@@ -1,0 +1,86 @@
+// Shared setup for the experiment benches.
+//
+// Every bench binary reproduces one figure of the paper: it simulates the
+// standard fleet (38 vPEs × 18 months), runs the relevant part of the
+// pipeline, and prints the same series the figure reports, alongside the
+// paper's numbers where the paper states them.
+//
+// Environment knobs (all optional):
+//   NFV_BENCH_SCALE   — gap_scale multiplier for the syslog process
+//                       (default 3; larger = sparser logs = faster).
+//   NFV_BENCH_MONTHS  — trace length in months (default 18).
+//   NFV_BENCH_SEED    — simulation seed (default 42).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/parsed_fleet.h"
+#include "core/pipeline.h"
+#include "simnet/fleet.h"
+#include "util/table.h"
+
+namespace nfv::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::strtod(value, nullptr) : fallback;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value ? static_cast<int>(std::strtol(value, nullptr, 10)) : fallback;
+}
+
+/// The standard bench fleet: the paper's deployment shape at a log rate
+/// that keeps a single-core run in minutes.
+inline simnet::FleetConfig standard_config() {
+  simnet::FleetConfig config;
+  config.seed = static_cast<std::uint64_t>(env_int("NFV_BENCH_SEED", 42));
+  config.months = env_int("NFV_BENCH_MONTHS", 18);
+  config.syslog.gap_scale = env_double("NFV_BENCH_SCALE", 3.0);
+  return config;
+}
+
+/// Simulate + parse once, with progress output.
+struct BenchFleet {
+  simnet::FleetTrace trace;
+  core::ParsedFleet parsed;
+};
+
+inline BenchFleet make_bench_fleet(const simnet::FleetConfig& config) {
+  std::cerr << "[bench] simulating " << config.profiles.num_vpes
+            << " vPEs x " << config.months
+            << " months (gap_scale=" << config.syslog.gap_scale << ")...\n";
+  BenchFleet fleet;
+  fleet.trace = simnet::simulate_fleet(config);
+  std::cerr << "[bench] " << fleet.trace.total_log_count() << " logs, "
+            << fleet.trace.tickets.size() << " tickets; mining templates...\n";
+  fleet.parsed = core::parse_fleet(fleet.trace);
+  std::cerr << "[bench] " << fleet.parsed.vocab() << " templates\n";
+  return fleet;
+}
+
+inline BenchFleet make_bench_fleet() { return make_bench_fleet(standard_config()); }
+
+/// Pipeline options tuned for bench runtime (smaller training caps than
+/// the library defaults; same algorithmic structure).
+inline core::PipelineOptions bench_pipeline_options() {
+  core::PipelineOptions options;
+  core::LstmDetectorConfig lstm;
+  lstm.max_train_windows = 3000;
+  lstm.initial_epochs = 3;
+  lstm.update_epochs = 1;
+  lstm.adapt_epochs = 3;
+  options.lstm_config = lstm;
+  return options;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n";
+  if (!claim.empty()) std::cout << "paper: " << claim << "\n\n";
+}
+
+}  // namespace nfv::bench

@@ -1,0 +1,72 @@
+// Figure 1(a): percentage of ticket root-cause types over time (monthly).
+//
+// Paper finding: maintenance is the dominant factor; duplicated and
+// circuit tickets are the next two major contributors; the ticket data is
+// highly skewed.
+#include "bench/bench_common.h"
+
+#include "util/sim_time.h"
+
+int main() {
+  using namespace nfv;
+  bench::print_header(
+      "Figure 1(a) — ticket type shares over time (monthly)",
+      "maintenance dominant; Duplicate and Circuit the next two "
+      "contributors");
+
+  auto config = bench::standard_config();
+  config.syslog.gap_scale = 50.0;  // ticket analysis doesn't need the logs
+  const auto trace = simnet::simulate_fleet(config);
+
+  const simnet::TicketCategory categories[] = {
+      simnet::TicketCategory::kMaintenance, simnet::TicketCategory::kCircuit,
+      simnet::TicketCategory::kCable, simnet::TicketCategory::kHardware,
+      simnet::TicketCategory::kSoftware, simnet::TicketCategory::kDuplicate};
+
+  // Monthly type shares (cumulative counts normalized per month).
+  util::Table table({"month", "Maint", "Circuit", "Cable", "Hardware",
+                     "Software", "DUP", "total"});
+  std::vector<std::size_t> overall(6, 0);
+  for (int m = 0; m < trace.config.months; ++m) {
+    std::vector<std::size_t> counts(6, 0);
+    std::size_t total = 0;
+    for (const simnet::Ticket& t : trace.tickets) {
+      if (util::month_of(t.report) != m) continue;
+      for (std::size_t c = 0; c < 6; ++c) {
+        if (t.category == categories[c]) {
+          ++counts[c];
+          ++overall[c];
+        }
+      }
+      ++total;
+    }
+    std::vector<std::string> row{std::to_string(m)};
+    for (std::size_t c = 0; c < 6; ++c) {
+      row.push_back(util::fmt_double(
+          total ? 100.0 * static_cast<double>(counts[c]) /
+                      static_cast<double>(total)
+                : 0.0,
+          1));
+    }
+    row.push_back(std::to_string(total));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::size_t total = 0;
+  for (std::size_t c : overall) total += c;
+  util::Table summary({"category", "share_%", "rank_note"},
+                      "overall shares (18 months, all vPEs)");
+  const char* names[] = {"Maintenance", "Circuit", "Cable",
+                         "Hardware",    "Software", "Duplicate"};
+  for (std::size_t c = 0; c < 6; ++c) {
+    summary.add_row(
+        {names[c],
+         util::fmt_double(100.0 * static_cast<double>(overall[c]) /
+                              static_cast<double>(total),
+                          1),
+         c == 0 ? "paper: dominant" : (c == 1 || c == 5 ? "paper: next two" : "")});
+  }
+  summary.print(std::cout);
+  return 0;
+}

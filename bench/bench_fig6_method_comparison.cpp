@@ -1,0 +1,69 @@
+// Figure 6: anomaly-detection performance of LSTM vs Autoencoder vs
+// One-Class SVM (all with the same customization + adaptation applied),
+// plus the PCA residual baseline as an extension.
+//
+// Paper findings: the deep approaches far outperform the shallow OC-SVM
+// (feature engineering is the bottleneck); LSTM edges out the autoencoder
+// by capturing sequential patterns (precision 0.82 vs 0.77).
+#include "bench/bench_common.h"
+
+#include "core/metrics.h"
+
+int main() {
+  using namespace nfv;
+  bench::print_header(
+      "Figure 6 — LSTM vs Autoencoder vs OC-SVM (PRC + best F)",
+      "LSTM P≈0.82 > Autoencoder P≈0.77 >> OC-SVM");
+
+  const auto fleet = bench::make_bench_fleet();
+
+  const struct {
+    core::DetectorKind kind;
+    const char* paper_note;
+  } methods[] = {
+      {core::DetectorKind::kLstm, "paper precision ~0.82"},
+      {core::DetectorKind::kAutoencoder, "paper precision ~0.77"},
+      {core::DetectorKind::kOcSvm, "paper: far worse (shallow)"},
+      {core::DetectorKind::kPca, "extension baseline (Xu et al.)"},
+  };
+
+  util::Table summary(
+      {"method", "best_P", "best_R", "best_F", "AUC-PR", "paper"});
+  for (const auto& method : methods) {
+    core::PipelineOptions options = bench::bench_pipeline_options();
+    options.detector = method.kind;
+    std::cerr << "[bench] running " << core::to_string(method.kind)
+              << " pipeline...\n";
+    const core::PipelineResult result =
+        core::run_pipeline(fleet.trace, fleet.parsed, options);
+    // Per-document detectors already aggregate a window per event, so the
+    // ≥2-anomaly cluster rule only applies to the per-log LSTM.
+    core::MappingConfig mapping;  // 1-day predictive period
+    if (method.kind != core::DetectorKind::kLstm) {
+      mapping.min_cluster_size = 1;
+    }
+    const auto curve = core::precision_recall_curve(
+        result.streams, mapping, result.eval_days, 25);
+
+    util::Table table({"threshold", "precision", "recall", "F"},
+                      std::string("PRC — ") + core::to_string(method.kind));
+    for (const auto& point : curve) {
+      table.add_row({util::fmt_double(point.threshold, 3),
+                     util::fmt_double(point.precision, 3),
+                     util::fmt_double(point.recall, 3),
+                     util::fmt_double(point.f_measure, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    const auto best = core::best_f_point(curve);
+    summary.add_row({core::to_string(method.kind),
+                     util::fmt_double(best.precision, 3),
+                     util::fmt_double(best.recall, 3),
+                     util::fmt_double(best.f_measure, 3),
+                     util::fmt_double(core::auc_pr(curve), 3),
+                     method.paper_note});
+  }
+  summary.print(std::cout);
+  return 0;
+}

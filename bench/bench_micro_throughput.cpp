@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: signature-tree
+// template mining, LSTM training/scoring, TF-IDF features, K-means and
+// OC-SVM fitting. These size the system ("<1 hour for monthly model
+// update", §5.1) rather than reproduce a figure.
+#include <benchmark/benchmark.h>
+
+#include "core/lstm_detector.h"
+#include "logproc/dataset.h"
+#include "logproc/signature_tree.h"
+#include "ml/kmeans.h"
+#include "ml/ocsvm.h"
+#include "simnet/template_catalog.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace nfv;
+
+std::vector<std::string> sample_lines(std::size_t count) {
+  const auto catalog = simnet::TemplateCatalog::standard();
+  util::Rng rng(1);
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    lines.push_back(catalog.render(
+        static_cast<std::int32_t>(rng.uniform_index(catalog.size())), rng));
+  }
+  return lines;
+}
+
+void BM_SignatureTreeLearn(benchmark::State& state) {
+  const auto lines = sample_lines(4096);
+  for (auto _ : state) {
+    logproc::SignatureTree tree;
+    for (const auto& line : lines) {
+      benchmark::DoNotOptimize(tree.learn(line));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_SignatureTreeLearn);
+
+void BM_SignatureTreeMatch(benchmark::State& state) {
+  const auto lines = sample_lines(4096);
+  logproc::SignatureTree tree;
+  for (const auto& line : lines) tree.learn(line);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.match(lines[i++ % lines.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SignatureTreeMatch);
+
+std::vector<logproc::ParsedLog> sample_logs(std::size_t count) {
+  util::Rng rng(2);
+  std::vector<logproc::ParsedLog> logs;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += static_cast<std::int64_t>(rng.exponential(60.0)) + 1;
+    logs.push_back({util::SimTime{t},
+                    static_cast<std::int32_t>(rng.uniform_index(64))});
+  }
+  return logs;
+}
+
+void BM_LstmTrainEpoch(benchmark::State& state) {
+  const auto logs = sample_logs(2000);
+  for (auto _ : state) {
+    core::LstmDetectorConfig config;
+    config.initial_epochs = 1;
+    config.oversample = false;
+    core::LstmDetector detector(config);
+    const core::LogView view{logs};
+    detector.fit({&view, 1}, 64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(logs.size()));
+}
+BENCHMARK(BM_LstmTrainEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_LstmScore(benchmark::State& state) {
+  const auto logs = sample_logs(2000);
+  core::LstmDetectorConfig config;
+  config.initial_epochs = 1;
+  config.oversample = false;
+  core::LstmDetector detector(config);
+  const core::LogView view{logs};
+  detector.fit({&view, 1}, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.score(logs, 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(logs.size()));
+}
+BENCHMARK(BM_LstmScore)->Unit(benchmark::kMillisecond);
+
+void BM_TfidfTransform(benchmark::State& state) {
+  const auto logs = sample_logs(4000);
+  const auto docs = logproc::build_documents(logs, 20);
+  logproc::TfidfFeaturizer featurizer;
+  featurizer.fit(docs, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.transform(docs[i++ % docs.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TfidfTransform);
+
+void BM_KMeansFleet(benchmark::State& state) {
+  util::Rng data_rng(3);
+  ml::Matrix data(38, 128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(data_rng.uniform(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    util::Rng rng(4);
+    ml::KMeansConfig config;
+    config.k = 4;
+    benchmark::DoNotOptimize(ml::kmeans(data, config, rng));
+  }
+}
+BENCHMARK(BM_KMeansFleet);
+
+void BM_OcSvmFit(benchmark::State& state) {
+  util::Rng rng(5);
+  ml::Matrix data(static_cast<std::size_t>(state.range(0)), 32);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    ml::OcSvm svm;
+    svm.fit(data);
+    benchmark::DoNotOptimize(svm.rho());
+  }
+}
+BENCHMARK(BM_OcSvmFit)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

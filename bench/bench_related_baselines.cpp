@@ -1,0 +1,109 @@
+// Related-work baselines beyond the paper's own comparison (extensions):
+//   - HMM sequential detector (classical failure prediction, [19]/[29])
+//     against the LSTM on the same pipeline;
+//   - SOM-based vPE grouping (vNMF, [21]/[24]) against the paper's
+//     K-means grouping.
+#include "bench/bench_common.h"
+
+#include "core/metrics.h"
+
+namespace {
+
+using namespace nfv;
+
+simnet::FleetConfig baseline_config() {
+  simnet::FleetConfig config = bench::standard_config();
+  config.months = 6;
+  config.update_month = -1;
+  return config;
+}
+
+core::PrcPoint best_f(const bench::BenchFleet& fleet,
+                      const core::PipelineOptions& options,
+                      core::EventGranularity granularity) {
+  const auto result = core::run_pipeline(fleet.trace, fleet.parsed, options);
+  core::MappingConfig mapping =
+      core::adapt_mapping_for(granularity, core::MappingConfig{});
+  const auto curve = core::precision_recall_curve(result.streams, mapping,
+                                                  result.eval_days, 20);
+  return core::best_f_point(curve);
+}
+
+}  // namespace
+
+int main() {
+  using namespace nfv;
+  bench::print_header(
+      "Related-work baselines (extensions) — HMM detector, SOM grouping",
+      "the paper's related work: HMM-style sequential prediction and "
+      "SOM-based NFV fault clustering");
+
+  const auto fleet = bench::make_bench_fleet(baseline_config());
+
+  // --- Detector: LSTM vs HMM. ---
+  util::Table detectors({"detector", "best_P", "best_R", "best_F"});
+  {
+    core::PipelineOptions options = bench::bench_pipeline_options();
+    std::cerr << "[bench] LSTM pipeline...\n";
+    const auto best =
+        best_f(fleet, options, core::EventGranularity::kPerLog);
+    detectors.add_row({"LSTM (paper)", util::fmt_double(best.precision, 3),
+                       util::fmt_double(best.recall, 3),
+                       util::fmt_double(best.f_measure, 3)});
+  }
+  {
+    core::PipelineOptions options = bench::bench_pipeline_options();
+    options.detector = core::DetectorKind::kHmm;
+    std::cerr << "[bench] HMM pipeline...\n";
+    const auto best =
+        best_f(fleet, options, core::EventGranularity::kPerLog);
+    detectors.add_row({"HMM (related work)",
+                       util::fmt_double(best.precision, 3),
+                       util::fmt_double(best.recall, 3),
+                       util::fmt_double(best.f_measure, 3)});
+  }
+  detectors.print(std::cout);
+  std::cout << "\n";
+
+  // --- Grouping: K-means (paper) vs SOM (vNMF). ---
+  util::Table grouping({"grouping", "groups", "best_F"});
+  {
+    core::PipelineOptions options = bench::bench_pipeline_options();
+    options.clustering.fixed_k = 4;
+    std::cerr << "[bench] K-means grouping...\n";
+    const auto result =
+        core::run_pipeline(fleet.trace, fleet.parsed, options);
+    core::MappingConfig mapping;
+    const auto curve = core::precision_recall_curve(
+        result.streams, mapping, result.eval_days, 20);
+    grouping.add_row({"K-means (paper)",
+                      std::to_string(result.clustering.num_groups),
+                      util::fmt_double(core::best_f_point(curve).f_measure,
+                                       3)});
+  }
+  {
+    core::PipelineOptions options = bench::bench_pipeline_options();
+    options.clustering.method = core::GroupingMethod::kSom;
+    options.clustering.som.rows = 2;
+    options.clustering.som.cols = 2;
+    std::cerr << "[bench] SOM grouping...\n";
+    const auto result =
+        core::run_pipeline(fleet.trace, fleet.parsed, options);
+    core::MappingConfig mapping;
+    const auto curve = core::precision_recall_curve(
+        result.streams, mapping, result.eval_days, 20);
+    grouping.add_row({"SOM (vNMF-style)",
+                      std::to_string(result.clustering.num_groups),
+                      util::fmt_double(core::best_f_point(curve).f_measure,
+                                       3)});
+  }
+  grouping.print(std::cout);
+  std::cout
+      << "\n(notes: on this substrate the HMM keeps pace with the LSTM — "
+         "detection here is dominated by rare/unseen templates, which "
+         "emission probabilities catch as well as a deep model; the LSTM's "
+         "edge in the paper and in Fig. 6 comes from subtler sequential "
+         "deviations. The two grouping methods land close, consistent with "
+         "grouping only needing to separate dissimilar vPEs.)\n";
+  return 0;
+}

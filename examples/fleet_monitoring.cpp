@@ -1,0 +1,93 @@
+// Fleet monitoring: the workload the paper's introduction motivates — a
+// runtime predictive-analysis system watching a whole vPE fleet in
+// parallel with the reactive ticketing flow.
+//
+// Runs the full rolling pipeline (per-group LSTM models, monthly
+// incremental training, transfer-learning adaptation after the software
+// update) on a mid-sized fleet and prints the monthly operating report an
+// operations team would consume.
+//
+//   ./examples/fleet_monitoring [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace nfv;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  simnet::FleetConfig config;
+  config.seed = seed;
+  config.months = 8;
+  config.profiles.num_vpes = 12;
+  config.profiles.num_clusters = 3;
+  config.profiles.num_outliers = 2;
+  config.syslog.gap_scale = 4.0;
+  config.update_month = 5;
+
+  std::cout << "Simulating a " << config.profiles.num_vpes << "-vPE fleet for "
+            << config.months << " months (software update in month "
+            << config.update_month << ")...\n";
+  const auto trace = simnet::simulate_fleet(config);
+  const auto parsed = core::parse_fleet(trace);
+  std::cout << "  " << trace.total_log_count() << " syslog lines, "
+            << trace.tickets.size() << " tickets, " << parsed.vocab()
+            << " mined templates\n\n";
+
+  core::PipelineOptions options;
+  options.clustering.fixed_k = 3;
+  core::LstmDetectorConfig lstm;
+  lstm.max_train_windows = 2500;
+  lstm.initial_epochs = 3;
+  options.lstm_config = lstm;
+  options.seed = seed;
+
+  std::cout << "Running the rolling monitoring pipeline "
+            << "(train month 0, then score/update monthly)...\n";
+  const core::PipelineResult result =
+      core::run_pipeline(trace, parsed, options);
+
+  util::Table monthly({"month", "precision", "recall", "F", "FA/day",
+                       "clusters", "note"},
+                      "monthly operating report");
+  for (const auto& m : result.monthly) {
+    monthly.add_row({std::to_string(m.month),
+                     util::fmt_double(m.prf.precision, 3),
+                     util::fmt_double(m.prf.recall, 3),
+                     util::fmt_double(m.prf.f_measure, 3),
+                     util::fmt_double(m.false_alarms_per_day, 2),
+                     std::to_string(m.anomaly_clusters),
+                     m.month == config.update_month
+                         ? "software update (adaptation after 1 week)"
+                         : ""});
+  }
+  monthly.print(std::cout);
+
+  std::cout << "\nAggregate over the evaluation span:\n"
+            << "  precision " << util::fmt_double(result.aggregate.precision, 3)
+            << ", recall " << util::fmt_double(result.aggregate.recall, 3)
+            << ", F " << util::fmt_double(result.aggregate.f_measure, 3)
+            << ", false alarms/day "
+            << util::fmt_double(result.false_alarms_per_day, 2) << "\n";
+
+  // Where do the early warnings come from?
+  const auto rates = core::detection_rates_by_category(result.detections);
+  util::Table warnings({"ticket type", "tickets", "warned before report",
+                        "warned >=15 min early"},
+                       "early-warning yield by root cause");
+  for (const auto& row : rates) {
+    if (row.ticket_count == 0) continue;
+    warnings.add_row({simnet::to_string(row.category),
+                      std::to_string(row.ticket_count),
+                      util::fmt_double(row.rate[2], 2),
+                      util::fmt_double(row.rate[0], 2)});
+  }
+  warnings.print(std::cout);
+  std::cout << "\nvPE grouping used " << result.clustering.num_groups
+            << " model groups.\n";
+  return 0;
+}

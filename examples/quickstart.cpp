@@ -1,0 +1,135 @@
+// Quickstart: simulate a small vPE fleet, mine syslog templates, train the
+// LSTM anomaly detector on the first month of normal logs, and see how the
+// detected anomalies line up with trouble tickets in the following month.
+//
+//   ./examples/quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/lstm_detector.h"
+#include "core/mapper.h"
+#include "core/metrics.h"
+#include "core/parsed_fleet.h"
+#include "core/pipeline.h"
+#include "simnet/fleet.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace nfv;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. Simulate a small NFV deployment (6 vPEs, 4 months). Denser logs
+  //    give the detector richer training data; the software-update story
+  //    is demonstrated separately in examples/update_adaptation.
+  simnet::FleetConfig config = simnet::small_fleet_config(seed);
+  config.syslog.gap_scale = 1.5;
+  config.update_month = -1;
+  std::cout << "Simulating " << config.profiles.num_vpes << " vPEs for "
+            << config.months << " months...\n";
+  const simnet::FleetTrace trace = simnet::simulate_fleet(config);
+  std::cout << "  " << trace.total_log_count() << " syslog lines, "
+            << trace.tickets.size() << " tickets, " << trace.faults.size()
+            << " underlying faults\n";
+
+  // 2. Structure the raw logs with the signature tree.
+  const core::ParsedFleet parsed = core::parse_fleet(trace);
+  std::cout << "  signature tree learned " << parsed.vocab()
+            << " templates\n\n";
+
+  // A few mined templates:
+  std::cout << "Sample mined templates:\n";
+  for (std::size_t i = 0; i < parsed.tree.size() && i < 5; ++i) {
+    std::cout << "  [" << i << "] "
+              << parsed.tree.signatures()[i].pattern() << "\n";
+  }
+  std::cout << "\n";
+
+  // 3. Pick the vPE with the most non-maintenance tickets in months 1-3
+  //    (so the demo has something to predict), train the LSTM detector on
+  //    its first month (ticket vicinity excluded), then score the rest.
+  std::int32_t vpe = 0;
+  int best_tickets = -1;
+  for (int v = 0; v < trace.num_vpes(); ++v) {
+    int count = 0;
+    for (const auto& t : trace.tickets) {
+      if (t.vpe == v && t.category != simnet::TicketCategory::kMaintenance &&
+          util::month_of(t.report) >= 1) {
+        ++count;
+      }
+    }
+    if (count > best_tickets) {
+      best_tickets = count;
+      vpe = v;
+    }
+  }
+  const auto exclusion = core::ticket_exclusion_windows(trace, vpe);
+  const auto train_window = logproc::slice_time(
+      parsed.logs_by_vpe[static_cast<std::size_t>(vpe)],
+      util::SimTime::epoch(), util::month_start(1));
+  const auto train = logproc::exclude_intervals(train_window, exclusion);
+  std::cout << "Training LSTM detector on " << train.size()
+            << " normal logs of vPE " << vpe << "...\n";
+
+  core::LstmDetectorConfig detector_config;
+  detector_config.seed = seed;
+  core::LstmDetector detector(detector_config);
+  const core::LogView train_view{train};
+  detector.fit({&train_view, 1}, parsed.vocab_at(1));
+
+  const auto test = logproc::slice_time(parsed.logs_by_vpe[static_cast<std::size_t>(vpe)],
+                                        util::month_start(1),
+                                        trace.horizon);
+  const auto events = detector.score(test, parsed.vocab());
+  std::cout << "Scored " << events.size() << " events in months 1-"
+            << trace.config.months - 1 << ".\n\n";
+
+  // 4. Threshold at the 99.5th percentile of training scores, cluster, and
+  //    map to tickets.
+  std::vector<double> train_scores;
+  for (const auto& e : detector.score(train, parsed.vocab())) {
+    train_scores.push_back(e.score);
+  }
+  const double threshold = util::quantile(train_scores, 0.995);
+  core::MappingConfig mapping_config;
+  const auto clusters =
+      core::cluster_anomalies(events, threshold, mapping_config);
+  const auto tickets = core::tickets_in_window(
+      trace, vpe, util::month_start(1), trace.horizon,
+      mapping_config.predictive_period);
+  const auto mapping =
+      core::map_anomalies(clusters, tickets, vpe, mapping_config);
+  const auto prf = core::compute_prf(mapping);
+
+  util::Table table({"metric", "value"},
+                  "vPE " + std::to_string(vpe) + ", months 1+");
+  table.add_row({"anomaly clusters", std::to_string(clusters.size())});
+  table.add_row({"early warnings", std::to_string(mapping.early_warnings)});
+  table.add_row({"errors (infected period)", std::to_string(mapping.errors)});
+  table.add_row({"false alarms", std::to_string(mapping.false_alarms)});
+  table.add_row({"tickets (non-maint)", std::to_string(prf.tickets_total)});
+  table.add_row({"tickets detected", std::to_string(prf.tickets_detected)});
+  table.add_row({"precision", util::fmt_double(prf.precision)});
+  table.add_row({"recall", util::fmt_double(prf.recall)});
+  table.add_row({"F-measure", util::fmt_double(prf.f_measure)});
+  table.print(std::cout);
+
+  std::cout << "\nDetected anomalies vs tickets:\n";
+  for (const auto& anomaly : mapping.anomalies) {
+    const char* outcome =
+        anomaly.outcome == core::AnomalyOutcome::kEarlyWarning ? "EARLY-WARN"
+        : anomaly.outcome == core::AnomalyOutcome::kError      ? "ERROR     "
+                                                               : "FALSE-ALRM";
+    std::cout << "  " << util::format_time(anomaly.time) << "  " << outcome;
+    if (anomaly.ticket_id >= 0) {
+      std::cout << "  ticket #" << anomaly.ticket_id;
+      if (anomaly.outcome == core::AnomalyOutcome::kEarlyWarning) {
+        std::cout << "  lead " << util::format_duration(anomaly.lead);
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Signature mining and operational signatures (§2 "VNF Syslog", §5.3
+// "Operational findings").
+//
+// Shows the logproc layer standalone: raw free-form syslog lines go
+// through the signature tree, which recovers message templates with
+// wildcarded variable fields; then demonstrates the paper's flagship
+// operational signature — a storm of "BGP UNUSABLE ASPATH" messages across
+// multiple peers inside a short interval — being picked out of a log
+// stream via the anomaly-cluster rule.
+//
+//   ./examples/signature_mining
+#include <iostream>
+
+#include "core/mapper.h"
+#include "logproc/dataset.h"
+#include "logproc/signature_tree.h"
+#include "simnet/template_catalog.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nfv;
+
+  // --- Part 1: template mining on raw lines. ---
+  const char* raw_lines[] = {
+      "rpd[1451]: bgp_recv: received 84 updates from peer 10.4.2.17 (External AS 65201)",
+      "rpd[1451]: bgp_recv: received 12 updates from peer 192.168.4.9 (External AS 65033)",
+      "rpd[1451]: bgp_recv: received 7 updates from peer 10.99.3.2 (External AS 64900)",
+      "mib2d[901]: SNMP_TRAP_LINK_DOWN: ifIndex 531, ifAdminStatus up(1), ifOperStatus down(2), ifName ge-0/0/17",
+      "mib2d[901]: SNMP_TRAP_LINK_DOWN: ifIndex 12, ifAdminStatus up(1), ifOperStatus down(2), ifName xe-1/2/0",
+      "chassisd[222]: temperature fpc2 intake 34C within range",
+      "chassisd[222]: temperature fpc7 intake 41C within range",
+      "sshd[8712]: accepted publickey for netops from 10.1.1.4 port 51234",
+  };
+
+  logproc::SignatureTree tree;
+  std::cout << "Learning templates from " << std::size(raw_lines)
+            << " raw syslog lines...\n\n";
+  for (const char* line : raw_lines) tree.learn(line);
+
+  util::Table mined({"id", "hits", "template"}, "mined signatures");
+  for (const auto& sig : tree.signatures()) {
+    mined.add_row({std::to_string(sig.id), std::to_string(sig.match_count),
+                   sig.pattern()});
+  }
+  mined.print(std::cout);
+
+  // Matching is read-only and tolerant of fresh variable fields:
+  const auto id = tree.match(
+      "rpd[9999]: bgp_recv: received 555 updates from peer 172.16.0.1 "
+      "(External AS 65500)");
+  std::cout << "\nnew line with unseen peer/counters matches template #"
+            << id << "\n\n";
+
+  // --- Part 2: the BGP UNUSABLE ASPATH storm signature. ---
+  // Render a realistic stream: background chatter with a protocol-flap
+  // storm in the middle (multiple peers, seconds apart), as described in
+  // the paper's operational findings.
+  const auto catalog = simnet::TemplateCatalog::standard();
+  util::Rng rng(3);
+  std::int32_t aspath_id = -1;
+  std::int32_t chatter_id = -1;
+  for (const auto& t : catalog.all()) {
+    if (t.name == "BGP_UNUSABLE_ASPATH") aspath_id = t.id;
+    if (t.name == "RPD_BGP_KEEPALIVE") chatter_id = t.id;
+  }
+
+  logproc::SignatureTree stream_tree;
+  std::vector<logproc::ParsedLog> stream;
+  std::int64_t t = 0;
+  auto emit = [&](std::int32_t template_id, std::int64_t gap_s) {
+    t += gap_s;
+    stream.push_back({util::SimTime{t},
+                      stream_tree.learn(catalog.render(template_id, rng))});
+  };
+  for (int i = 0; i < 40; ++i) emit(chatter_id, 120);
+  std::cout << "Injecting a BGP UNUSABLE ASPATH storm (5 peers, seconds "
+               "apart) into background chatter...\n";
+  for (int i = 0; i < 5; ++i) emit(aspath_id, 15);
+  for (int i = 0; i < 40; ++i) emit(chatter_id, 120);
+
+  // Score by novelty against the normal prefix: the storm template never
+  // appears in the first 40 (training) logs, so every storm line is
+  // maximally surprising (a stand-in for the LSTM's low log-likelihood);
+  // the ≥2-anomalies-in-2-minutes rule then turns the storm into ONE
+  // warning signature instead of five separate alerts.
+  const std::size_t train_prefix = 40;
+  std::vector<bool> seen(stream_tree.size(), false);
+  for (std::size_t i = 0; i < train_prefix; ++i) {
+    seen[static_cast<std::size_t>(stream[i].template_id)] = true;
+  }
+  std::vector<core::ScoredEvent> events;
+  for (std::size_t i = train_prefix; i < stream.size(); ++i) {
+    const bool known =
+        seen[static_cast<std::size_t>(stream[i].template_id)];
+    events.push_back({stream[i].time, known ? 0.1 : 10.0});
+  }
+  core::MappingConfig mapping;
+  const auto clusters = core::cluster_anomalies(events, 5.0, mapping);
+  std::cout << "detected " << clusters.size()
+            << " warning signature(s); storm onset at "
+            << util::format_time(clusters.empty() ? util::SimTime{0}
+                                                  : clusters.front())
+            << "\n";
+  std::cout << "\nPer the paper, this storm signature can be turned into a "
+               "quick detection rule that beats\nservice-level monitoring "
+               "to the incident, with minimum false positives.\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Surviving a software update: demonstrates §4.3's transfer learning.
+//
+// A model trained before a software update goes stale the moment the vPE's
+// syslog distribution shifts. This example trains a teacher on pre-update
+// data, then compares three strategies on post-update logs:
+//   1. do nothing (keep the stale teacher),
+//   2. transfer learning — copy the teacher, freeze the bottom LSTM layer,
+//      fine-tune the top on ONE WEEK of post-update data,
+//   3. full retrain from scratch on the same one week.
+//
+//   ./examples/update_adaptation [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/lstm_detector.h"
+#include "core/parsed_fleet.h"
+#include "logproc/dataset.h"
+#include "simnet/fleet.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace nfv;
+
+/// Mean anomaly score of a detector on a window of (normal) logs — a stale
+/// model shows an elevated score floor, i.e. a false-alarm storm.
+double mean_score(const core::LstmDetector& detector,
+                  std::span<const logproc::ParsedLog> logs,
+                  std::size_t vocab) {
+  const auto events = detector.score(logs, vocab);
+  double sum = 0.0;
+  for (const auto& e : events) sum += e.score;
+  return events.empty() ? 0.0 : sum / static_cast<double>(events.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nfv;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  simnet::FleetConfig config;
+  config.seed = seed;
+  config.months = 6;
+  config.profiles.num_vpes = 4;
+  config.profiles.num_clusters = 1;
+  config.profiles.num_outliers = 0;
+  config.profiles.update_fraction = 1.0;  // everyone gets the update
+  config.syslog.gap_scale = 2.0;
+  config.update_month = 3;
+  config.update_stagger_days = 0.5;
+
+  std::cout << "Simulating 4 vPEs; software update lands in month "
+            << config.update_month << "...\n";
+  const auto trace = simnet::simulate_fleet(config);
+  const auto parsed = core::parse_fleet(trace);
+  std::cout << "  " << trace.total_log_count() << " logs, "
+            << parsed.vocab() << " templates\n\n";
+
+  // Teacher: trained on months [0, 3) of all vPEs.
+  const auto update_at = util::month_start(config.update_month);
+  std::vector<std::vector<logproc::ParsedLog>> pre_streams;
+  std::vector<std::vector<logproc::ParsedLog>> week_streams;
+  std::vector<std::vector<logproc::ParsedLog>> eval_streams;
+  for (int v = 0; v < trace.num_vpes(); ++v) {
+    const auto& logs = parsed.logs_by_vpe[static_cast<std::size_t>(v)];
+    const auto exclusion = core::ticket_exclusion_windows(trace, v);
+    pre_streams.push_back(logproc::exclude_intervals(
+        logproc::slice_time(logs, util::SimTime::epoch(), update_at),
+        exclusion));
+    week_streams.push_back(logproc::exclude_intervals(
+        logproc::slice_time(logs, update_at + util::Duration::of_days(1),
+                            update_at + util::Duration::of_days(8)),
+        exclusion));
+    // Evaluation: a clean post-update month, well after the rollout.
+    eval_streams.push_back(logproc::exclude_intervals(
+        logproc::slice_time(logs, util::month_start(4),
+                            util::month_start(5)),
+        exclusion));
+  }
+  std::vector<core::LogView> pre_views(pre_streams.begin(),
+                                       pre_streams.end());
+  std::vector<core::LogView> week_views(week_streams.begin(),
+                                        week_streams.end());
+
+  core::LstmDetectorConfig detector_config;
+  detector_config.seed = seed;
+  detector_config.max_train_windows = 3000;
+  core::LstmDetector teacher(detector_config);
+  std::cout << "Training the teacher on pre-update months [0, 3)...\n";
+  teacher.fit(pre_views, parsed.vocab_at(config.update_month));
+
+  // Baseline score floor on pre-update data (what "healthy" looks like).
+  double pre_floor = 0.0;
+  for (const auto& s : pre_streams) {
+    pre_floor += mean_score(teacher, s, parsed.vocab());
+  }
+  pre_floor /= static_cast<double>(pre_streams.size());
+
+  auto eval_floor = [&](const core::LstmDetector& detector) {
+    double total = 0.0;
+    for (const auto& s : eval_streams) {
+      total += mean_score(detector, s, parsed.vocab());
+    }
+    return total / static_cast<double>(eval_streams.size());
+  };
+
+  // 1. Stale teacher.
+  const double stale = eval_floor(teacher);
+
+  // 2. Transfer learning: copy + freeze bottom + fine-tune on 1 week.
+  core::LstmDetector student = teacher;  // copy = teacher weights
+  std::cout << "Adapting a student copy on 1 week of post-update data "
+               "(bottom layers frozen)...\n";
+  student.adapt(week_views, parsed.vocab());
+  const double adapted = eval_floor(student);
+
+  // 3. Full retrain on the same single week.
+  core::LstmDetector from_scratch(detector_config);
+  std::cout << "Retraining from scratch on the same week...\n";
+  from_scratch.fit(week_views, parsed.vocab());
+  const double retrained = eval_floor(from_scratch);
+
+  util::Table table({"strategy", "mean anomaly score on post-update month",
+                     "vs healthy floor"},
+                    "post-update score floor (lower = fewer false alarms)");
+  auto ratio = [&](double x) { return util::fmt_double(x / pre_floor, 2); };
+  table.add_row({"healthy teacher on pre-update data",
+                 util::fmt_double(pre_floor, 3), "1.00"});
+  table.add_row({"stale teacher (no action)", util::fmt_double(stale, 3),
+                 ratio(stale)});
+  table.add_row({"transfer learning, 1 week (paper §4.3)",
+                 util::fmt_double(adapted, 3), ratio(adapted)});
+  table.add_row({"full retrain, same 1 week", util::fmt_double(retrained, 3),
+                 ratio(retrained)});
+  table.print(std::cout);
+
+  std::cout << "\nThe stale model's elevated score floor is what multiplies "
+               "false alarms after an update;\ntransfer learning restores "
+               "the floor with one week of data by reusing the teacher's "
+               "sequence structure.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Common interface for the anomaly detectors compared in §5 (LSTM,
+// Autoencoder, One-Class SVM, plus a PCA extension baseline).
+//
+// Detectors are trained only on "normal" logs (ticket windows excluded),
+// support monthly incremental updates and the fast transfer-learning
+// adaptation after software updates, and score a log stream position by
+// "how surprising is this event given recent history" — higher is more
+// anomalous.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logproc/dataset.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace nfv::core {
+
+/// One scored position in a log stream.
+struct ScoredEvent {
+  nfv::util::SimTime time;
+  double score = 0.0;  // higher = more anomalous
+};
+
+/// A view over one vPE's (time-sorted) parsed log stream. Training takes a
+/// set of such views — one per vPE — so that sequence windows never splice
+/// two different routers' streams together.
+using LogView = std::span<const logproc::ParsedLog>;
+
+enum class DetectorKind { kLstm, kAutoencoder, kOcSvm, kPca, kHmm };
+
+const char* to_string(DetectorKind kind);
+
+/// What one ScoredEvent covers. Per-log detectors (LSTM) score every
+/// syslog line, so the ≥2-anomalies-within-minutes rule applies; per-
+/// document detectors (TF-IDF baselines) already aggregate a window of
+/// logs per event, so a single over-threshold document is a detection.
+enum class EventGranularity { kPerLog, kPerDocument };
+
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  /// Train from scratch on normal logs (one view per vPE). `vocab` is the
+  /// current template-dictionary size (may exceed the largest id present).
+  virtual void fit(std::span<const LogView> streams, std::size_t vocab) = 0;
+
+  /// Monthly incremental (online) update with fresh normal logs.
+  virtual void update(std::span<const LogView> streams,
+                      std::size_t vocab) = 0;
+
+  /// Fast post-update adaptation (§4.3): copy-the-teacher semantics are
+  /// internal; callers simply provide ~1 week of fresh logs.
+  virtual void adapt(std::span<const LogView> streams,
+                     std::size_t vocab) = 0;
+
+  /// Score one vPE's (test) log stream. Implementations may emit one event
+  /// per log position (LSTM) or per document window (feature baselines).
+  virtual std::vector<ScoredEvent> score(LogView logs,
+                                         std::size_t vocab) const = 0;
+
+  virtual bool trained() const = 0;
+  virtual DetectorKind kind() const = 0;
+  virtual EventGranularity granularity() const = 0;
+};
+
+/// Mapping configuration adjusted to a detector's event granularity: per-
+/// document events bypass the multi-anomaly cluster rule.
+template <typename MappingConfigT>
+MappingConfigT adapt_mapping_for(EventGranularity granularity,
+                                 MappingConfigT config) {
+  if (granularity == EventGranularity::kPerDocument) {
+    config.min_cluster_size = 1;
+  }
+  return config;
+}
+
+}  // namespace nfv::core

@@ -1,0 +1,247 @@
+#include "core/lstm_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <istream>
+#include <ostream>
+
+#include "ml/optimizer.h"
+#include "ml/serialize.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace nfv::core {
+
+using ml::SeqExample;
+using nfv::util::Rng;
+
+LstmDetector::LstmDetector(const LstmDetectorConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<SeqExample> LstmDetector::prepare_examples(
+    std::span<const LogView> streams) const {
+  std::vector<SeqExample> examples;
+  for (const LogView& logs : streams) {
+    std::vector<SeqExample> part =
+        logproc::build_sequence_examples(logs, config_.window);
+    examples.insert(examples.end(),
+                    std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  if (examples.size() > config_.max_train_windows) {
+    // Deterministic uniform subsample preserving time order.
+    std::vector<SeqExample> kept;
+    kept.reserve(config_.max_train_windows);
+    const double stride = static_cast<double>(examples.size()) /
+                          static_cast<double>(config_.max_train_windows);
+    for (std::size_t i = 0; i < config_.max_train_windows; ++i) {
+      kept.push_back(examples[static_cast<std::size_t>(i * stride)]);
+    }
+    examples = std::move(kept);
+  }
+  return examples;
+}
+
+void LstmDetector::train_epochs(std::span<const SeqExample> examples,
+                                std::size_t epochs, float lr) {
+  if (examples.empty()) return;
+  ml::Adam optimizer(lr);
+  optimizer.bind(model_->params());
+  std::vector<std::size_t> order(examples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, order.size());
+      std::vector<const SeqExample*> batch;
+      batch.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        batch.push_back(&examples[order[i]]);
+      }
+      model_->train_batch(batch, optimizer);
+    }
+  }
+}
+
+std::vector<double> LstmDetector::score_examples(
+    std::span<const SeqExample> examples) const {
+  NFV_CHECK(trained(), "score_examples before fit");
+  std::vector<double> scores;
+  scores.reserve(examples.size());
+  const std::size_t chunk = 256;
+  for (std::size_t start = 0; start < examples.size(); start += chunk) {
+    const std::size_t end = std::min(start + chunk, examples.size());
+    std::vector<const SeqExample*> batch;
+    batch.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) batch.push_back(&examples[i]);
+    if (config_.score_mode == LstmScoreMode::kTargetRank) {
+      const std::vector<std::size_t> ranks =
+          model_->score_target_ranks(batch);
+      for (std::size_t rank : ranks) {
+        scores.push_back(static_cast<double>(rank));
+      }
+    } else {
+      const std::vector<double> lls = model_->score_log_likelihood(batch);
+      for (double ll : lls) scores.push_back(-ll);
+    }
+  }
+  return scores;
+}
+
+void LstmDetector::oversample_refine(std::vector<SeqExample> examples) {
+  if (examples.empty()) return;
+  double previous_fp_rate = 1.0;
+  for (std::size_t round = 0; round < config_.oversample_rounds; ++round) {
+    const std::vector<double> scores = score_examples(examples);
+    // "Misclassified as anomaly": the highest-score (lowest-likelihood)
+    // quantile of the *normal* training data.
+    const double threshold =
+        nfv::util::quantile(scores, 1.0 - config_.oversample_quantile);
+    std::vector<std::size_t> minority;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (scores[i] >= threshold) minority.push_back(i);
+    }
+    const double fp_rate = static_cast<double>(minority.size()) /
+                           static_cast<double>(scores.size());
+    if (minority.empty() || fp_rate >= previous_fp_rate) break;
+    previous_fp_rate = fp_rate;
+
+    // Over-sample the minority patterns, random-sample the rest (§4.2).
+    std::vector<SeqExample> refined;
+    refined.reserve(minority.size() * config_.oversample_factor +
+                    examples.size() / 2);
+    for (std::size_t idx : minority) {
+      for (std::size_t r = 0; r < config_.oversample_factor; ++r) {
+        refined.push_back(examples[idx]);
+      }
+    }
+    for (std::size_t i = 0; i < examples.size(); ++i) {
+      if (rng_.bernoulli(0.5)) refined.push_back(examples[i]);
+    }
+    train_epochs(refined, 1, config_.update_lr);
+  }
+}
+
+void LstmDetector::fit(std::span<const LogView> streams, std::size_t vocab) {
+  NFV_CHECK(vocab > 0, "fit requires a non-empty vocabulary");
+  ml::SequenceModelConfig model_config;
+  model_config.vocab = vocab;
+  model_config.embed_dim = config_.embed_dim;
+  model_config.hidden = config_.hidden;
+  model_config.layers = config_.layers;
+  model_config.window = config_.window;
+  Rng init_rng = rng_.fork(1);
+  model_.emplace(model_config, init_rng);
+
+  std::vector<SeqExample> examples = prepare_examples(streams);
+  train_epochs(examples, config_.initial_epochs, config_.initial_lr);
+  if (config_.oversample) oversample_refine(std::move(examples));
+}
+
+void LstmDetector::update(std::span<const LogView> streams,
+                          std::size_t vocab) {
+  NFV_CHECK(trained(), "update before fit");
+  if (vocab > model_->config().vocab) {
+    Rng grow_rng = rng_.fork(2);
+    model_->grow_vocab(vocab, grow_rng);
+  }
+  std::vector<SeqExample> examples = prepare_examples(streams);
+  train_epochs(examples, config_.update_epochs, config_.update_lr);
+}
+
+void LstmDetector::adapt(std::span<const LogView> streams,
+                         std::size_t vocab) {
+  NFV_CHECK(trained(), "adapt before fit");
+  if (vocab > model_->config().vocab) {
+    Rng grow_rng = rng_.fork(3);
+    model_->grow_vocab(vocab, grow_rng);
+  }
+  // Teacher → student: the current weights are the teacher; fine-tune the
+  // top layers on the small fresh dataset.
+  model_->freeze_lower_layers(
+      std::min(config_.adapt_frozen_layers, config_.layers));
+  std::vector<SeqExample> examples = prepare_examples(streams);
+  train_epochs(examples, config_.adapt_epochs, config_.adapt_lr);
+  model_->freeze_lower_layers(0);
+}
+
+std::vector<ScoredEvent> LstmDetector::score(LogView logs,
+                                             std::size_t vocab) const {
+  NFV_CHECK(trained(), "score before fit");
+  (void)vocab;
+  std::vector<ScoredEvent> out;
+  if (logs.size() <= config_.window) return out;
+
+  const auto model_vocab = static_cast<std::int32_t>(model_->config().vocab);
+  // Build windows (no gap filtering at scoring time: every log gets a
+  // score if it has k predecessors).
+  std::vector<SeqExample> examples = logproc::build_sequence_examples(
+      logs, config_.window, nfv::util::Duration::of_days(3650));
+  std::vector<const SeqExample*> known;
+  std::vector<std::size_t> known_index;
+  out.resize(examples.size());
+  std::size_t example_index = 0;
+  for (std::size_t i = config_.window; i < logs.size(); ++i, ++example_index) {
+    SeqExample& ex = examples[example_index];
+    out[example_index].time = logs[i].time;
+    bool unknown = ex.target >= model_vocab;
+    for (std::int32_t id : ex.ids) unknown = unknown || id >= model_vocab;
+    if (unknown) {
+      // Templates the model has never seen are maximally surprising.
+      out[example_index].score =
+          config_.score_mode == LstmScoreMode::kTargetRank
+              ? static_cast<double>(model_->config().vocab)
+              : config_.unknown_score;
+    } else {
+      known.push_back(&ex);
+      known_index.push_back(example_index);
+    }
+  }
+  const std::size_t chunk = 256;
+  for (std::size_t start = 0; start < known.size(); start += chunk) {
+    const std::size_t end = std::min(start + chunk, known.size());
+    std::vector<const SeqExample*> batch(known.begin() + start,
+                                         known.begin() + end);
+    if (config_.score_mode == LstmScoreMode::kTargetRank) {
+      const std::vector<std::size_t> ranks =
+          model_->score_target_ranks(batch);
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        out[known_index[start + i]].score = static_cast<double>(ranks[i]);
+      }
+    } else {
+      const std::vector<double> lls = model_->score_log_likelihood(batch);
+      for (std::size_t i = 0; i < lls.size(); ++i) {
+        out[known_index[start + i]].score = -lls[i];
+      }
+    }
+  }
+  return out;
+}
+
+void LstmDetector::save(std::ostream& os) const {
+  NFV_CHECK(trained(), "cannot save an untrained detector");
+  ml::write_u64(os, 0x4e465644455431ULL);  // "NFVDET1"
+  ml::write_u64(os, static_cast<std::uint64_t>(config_.score_mode));
+  ml::write_u64(os, config_.window);
+  model_->save(os);
+}
+
+LstmDetector LstmDetector::load(std::istream& is) {
+  NFV_CHECK(ml::read_u64(is) == 0x4e465644455431ULL,
+            "not an LstmDetector checkpoint");
+  LstmDetectorConfig config;
+  config.score_mode = static_cast<LstmScoreMode>(ml::read_u64(is));
+  config.window = ml::read_u64(is);
+  ml::SequenceModel model = ml::SequenceModel::load(is);
+  config.embed_dim = model.config().embed_dim;
+  config.hidden = model.config().hidden;
+  config.layers = model.config().layers;
+  LstmDetector detector(config);
+  detector.model_.emplace(std::move(model));
+  return detector;
+}
+
+}  // namespace nfv::core

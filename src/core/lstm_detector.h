@@ -1,0 +1,103 @@
+// The paper's primary contribution: LSTM-based unsupervised anomaly
+// detection on syslog template sequences (§4.2).
+//
+// Training uses only "normal" logs. The detector learns to predict the
+// next template from the k previous (template, Δt) tuples; at scoring
+// time the anomaly score of a log is the negative log-likelihood the
+// model assigns to it. Includes the paper's iterative minority-pattern
+// over-sampling loop (rare-but-normal patterns are over-sampled between
+// training rounds until the training false-positive rate stops improving).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "core/detector.h"
+#include "ml/sequence_model.h"
+
+namespace nfv::core {
+
+/// How the next-template prediction is turned into an anomaly score.
+enum class LstmScoreMode : std::uint8_t {
+  /// −log p(observed template) — the paper's thresholded log-likelihood.
+  kLogLikelihood,
+  /// Rank of the observed template in the predicted distribution —
+  /// DeepLog's top-k rule (anomalous if the observed template is not
+  /// among the k most likely continuations). Thresholding the rank at k
+  /// reproduces DeepLog exactly; sweeping it yields a PRC.
+  kTargetRank,
+};
+
+struct LstmDetectorConfig {
+  std::size_t window = 10;
+  std::size_t embed_dim = 16;
+  std::size_t hidden = 32;
+  std::size_t layers = 2;       // paper: 2 LSTM layers + 1 dense
+  std::size_t batch_size = 64;
+  std::size_t initial_epochs = 4;
+  std::size_t update_epochs = 2;
+  std::size_t adapt_epochs = 4;
+  float initial_lr = 3e-3f;
+  float update_lr = 1e-3f;
+  float adapt_lr = 3e-3f;
+  /// Cap on training windows per fit/update (uniform subsample beyond it).
+  std::size_t max_train_windows = 4000;
+  /// Minority over-sampling (§4.2): on/off, max refinement rounds, the
+  /// training-score quantile treated as "misclassified as anomaly", and
+  /// the replication factor for those windows.
+  bool oversample = true;
+  std::size_t oversample_rounds = 2;
+  double oversample_quantile = 0.03;
+  std::size_t oversample_factor = 4;
+  /// Layers frozen during transfer adaptation (embedding is frozen too
+  /// whenever this is > 0).
+  std::size_t adapt_frozen_layers = 1;
+  std::uint64_t seed = 1234;
+  /// Score assigned to events involving templates unseen at training time
+  /// (in kTargetRank mode the unknown score is the vocabulary size).
+  double unknown_score = 27.6;  // ≈ −log(1e-12)
+  LstmScoreMode score_mode = LstmScoreMode::kLogLikelihood;
+};
+
+class LstmDetector final : public AnomalyDetector {
+ public:
+  explicit LstmDetector(const LstmDetectorConfig& config = {});
+
+  void fit(std::span<const LogView> streams, std::size_t vocab) override;
+  void update(std::span<const LogView> streams, std::size_t vocab) override;
+  void adapt(std::span<const LogView> streams, std::size_t vocab) override;
+  std::vector<ScoredEvent> score(LogView logs,
+                                 std::size_t vocab) const override;
+
+  bool trained() const override { return model_.has_value(); }
+  DetectorKind kind() const override { return DetectorKind::kLstm; }
+  EventGranularity granularity() const override {
+    return EventGranularity::kPerLog;
+  }
+
+  const LstmDetectorConfig& config() const { return config_; }
+  const ml::SequenceModel& model() const { return *model_; }
+
+  /// Anomaly scores of a set of windows (per score_mode); exposed for the
+  /// over-sampling loop and threshold calibration.
+  std::vector<double> score_examples(
+      std::span<const ml::SeqExample> examples) const;
+
+  /// Persist / restore the trained model (config + weights).
+  void save(std::ostream& os) const;
+  static LstmDetector load(std::istream& is);
+
+ private:
+  void train_epochs(std::span<const ml::SeqExample> examples,
+                    std::size_t epochs, float lr);
+  std::vector<ml::SeqExample> prepare_examples(
+      std::span<const LogView> streams) const;
+  void oversample_refine(std::vector<ml::SeqExample> examples);
+
+  LstmDetectorConfig config_;
+  std::optional<ml::SequenceModel> model_;
+  mutable nfv::util::Rng rng_;
+};
+
+}  // namespace nfv::core

@@ -1,0 +1,130 @@
+#include "core/mapper.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nfv::core {
+
+using nfv::util::Duration;
+using nfv::util::SimTime;
+
+std::vector<SimTime> cluster_anomalies(std::span<const ScoredEvent> events,
+                                       double threshold,
+                                       const MappingConfig& config) {
+  // Collect over-threshold times (events arrive time-sorted per stream;
+  // sort defensively since callers may concatenate streams).
+  std::vector<SimTime> hits;
+  for (const ScoredEvent& event : events) {
+    if (event.score >= threshold) hits.push_back(event.time);
+  }
+  std::sort(hits.begin(), hits.end());
+
+  std::vector<SimTime> clusters;
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= hits.size(); ++i) {
+    const bool run_ends =
+        i == hits.size() || hits[i] - hits[i - 1] > config.cluster_span;
+    if (!run_ends) continue;
+    const std::size_t run_length = i - run_start;
+    if (run_length >= config.min_cluster_size) {
+      clusters.push_back(hits[run_start]);
+    }
+    run_start = i;
+  }
+  return clusters;
+}
+
+MappingResult map_anomalies(std::span<const SimTime> anomalies,
+                            std::span<const simnet::Ticket> tickets,
+                            std::int32_t vpe, const MappingConfig& config) {
+  MappingResult result;
+  result.tickets.reserve(tickets.size());
+  for (const simnet::Ticket& ticket : tickets) {
+    NFV_CHECK(ticket.vpe == vpe, "map_anomalies: ticket for wrong vPE");
+    TicketDetection detection;
+    detection.ticket_id = ticket.ticket_id;
+    detection.vpe = ticket.vpe;
+    detection.category = ticket.category;
+    detection.report = ticket.report;
+    result.tickets.push_back(detection);
+  }
+
+  result.anomalies.reserve(anomalies.size());
+  for (const SimTime t : anomalies) {
+    MappedAnomaly mapped;
+    mapped.time = t;
+    mapped.vpe = vpe;
+
+    // Find the best ticket whose predictive or infected period contains t.
+    // Infected-period membership wins over predictive membership of a later
+    // ticket (the anomaly is part of an ongoing trouble, not a new omen);
+    // among predictive matches the nearest report time wins.
+    const simnet::Ticket* best_infected = nullptr;
+    const simnet::Ticket* best_predictive = nullptr;
+    std::size_t best_infected_idx = 0;
+    std::size_t best_predictive_idx = 0;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const simnet::Ticket& ticket = tickets[i];
+      if (t >= ticket.report && t <= ticket.repair_finish) {
+        if (!best_infected || ticket.report > best_infected->report) {
+          best_infected = &ticket;
+          best_infected_idx = i;
+        }
+      } else if (t >= ticket.report - config.predictive_period &&
+                 t < ticket.report) {
+        if (!best_predictive ||
+            ticket.report - t < best_predictive->report - t) {
+          best_predictive = &ticket;
+          best_predictive_idx = i;
+        }
+      }
+    }
+
+    if (best_infected) {
+      mapped.outcome = AnomalyOutcome::kError;
+      mapped.ticket_id = best_infected->ticket_id;
+      ++result.errors;
+      TicketDetection& detection = result.tickets[best_infected_idx];
+      const Duration delay = t - best_infected->report;
+      // Track the earliest infected-period anomaly for this ticket.
+      if (!detection.detected_after || delay < detection.first_error_delay) {
+        detection.first_error_delay = delay;
+      }
+      detection.detected = true;
+      detection.detected_after = true;
+      ++detection.anomaly_count;
+    } else if (best_predictive) {
+      mapped.outcome = AnomalyOutcome::kEarlyWarning;
+      mapped.ticket_id = best_predictive->ticket_id;
+      mapped.lead = best_predictive->report - t;
+      ++result.early_warnings;
+      TicketDetection& detection = result.tickets[best_predictive_idx];
+      detection.detected = true;
+      detection.detected_before = true;
+      detection.best_lead = std::max(detection.best_lead, mapped.lead);
+      ++detection.anomaly_count;
+    } else {
+      mapped.outcome = AnomalyOutcome::kFalseAlarm;
+      ++result.false_alarms;
+    }
+    result.anomalies.push_back(mapped);
+  }
+  return result;
+}
+
+MappingResult merge_mappings(std::span<const MappingResult> parts) {
+  MappingResult merged;
+  for (const MappingResult& part : parts) {
+    merged.anomalies.insert(merged.anomalies.end(), part.anomalies.begin(),
+                            part.anomalies.end());
+    merged.tickets.insert(merged.tickets.end(), part.tickets.begin(),
+                          part.tickets.end());
+    merged.early_warnings += part.early_warnings;
+    merged.errors += part.errors;
+    merged.false_alarms += part.false_alarms;
+  }
+  return merged;
+}
+
+}  // namespace nfv::core

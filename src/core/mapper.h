@@ -1,0 +1,87 @@
+// Mapping detected syslog anomalies to trouble tickets (Fig. 4).
+//
+// Each ticket defines a *predictive period* (a window before its report
+// time) and an *infected period* (report → repair finish). A detected
+// anomaly inside the predictive period is an early warning; inside the
+// infected period it is an error; anywhere else it is a false alarm.
+// Warning signatures are only raised for small clusters of ≥2 anomalies
+// (§5.1: matched tickets always showed at least two anomalies, <1 min
+// apart on average).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.h"
+#include "simnet/types.h"
+#include "util/sim_time.h"
+
+namespace nfv::core {
+
+enum class AnomalyOutcome : std::uint8_t {
+  kEarlyWarning,  // inside a ticket's predictive period
+  kError,         // inside a ticket's infected period
+  kFalseAlarm,    // associated with no ticket
+};
+
+struct MappingConfig {
+  /// Length of the predictive period before ticket report.
+  nfv::util::Duration predictive_period = nfv::util::Duration::of_days(1);
+  /// Warning-signature rule: at least this many anomalies...
+  std::size_t min_cluster_size = 2;
+  /// ...within this span of one another.
+  nfv::util::Duration cluster_span = nfv::util::Duration::of_minutes(2);
+};
+
+/// One detected anomaly after mapping.
+struct MappedAnomaly {
+  nfv::util::SimTime time;
+  std::int32_t vpe = -1;
+  AnomalyOutcome outcome = AnomalyOutcome::kFalseAlarm;
+  std::int64_t ticket_id = -1;                 // -1 for false alarms
+  nfv::util::Duration lead{0};                 // report − anomaly time (early warnings)
+};
+
+/// Detection summary for one ticket.
+struct TicketDetection {
+  std::int64_t ticket_id = -1;
+  std::int32_t vpe = -1;
+  simnet::TicketCategory category = simnet::TicketCategory::kCircuit;
+  nfv::util::SimTime report;
+  bool detected = false;            // any anomaly in predictive ∪ infected
+  bool detected_before = false;     // any anomaly in the predictive period
+  bool detected_after = false;      // any anomaly in the infected period
+  /// Largest lead among predictive-period anomalies (report − time);
+  /// meaningful only when detected_before.
+  nfv::util::Duration best_lead{0};
+  /// Smallest delay among infected-period anomalies (time − report);
+  /// meaningful only when detected_after.
+  nfv::util::Duration first_error_delay{0};
+  std::size_t anomaly_count = 0;
+};
+
+struct MappingResult {
+  std::vector<MappedAnomaly> anomalies;       // the *clustered* detections
+  std::vector<TicketDetection> tickets;       // one per input ticket
+  std::size_t early_warnings = 0;
+  std::size_t errors = 0;
+  std::size_t false_alarms = 0;
+};
+
+/// Collapse raw over-threshold events into anomaly clusters. Returns the
+/// representative (first) time of every run of ≥ min_cluster_size events
+/// where consecutive events are ≤ cluster_span apart.
+std::vector<nfv::util::SimTime> cluster_anomalies(
+    std::span<const ScoredEvent> events, double threshold,
+    const MappingConfig& config);
+
+/// Map clustered anomaly times (one vPE) onto that vPE's tickets.
+/// `tickets` must all belong to the same vPE as the anomalies.
+MappingResult map_anomalies(std::span<const nfv::util::SimTime> anomalies,
+                            std::span<const simnet::Ticket> tickets,
+                            std::int32_t vpe, const MappingConfig& config);
+
+/// Merge per-vPE mapping results into a fleet-wide summary.
+MappingResult merge_mappings(std::span<const MappingResult> parts);
+
+}  // namespace nfv::core

@@ -1,0 +1,183 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace nfv::core {
+
+using nfv::util::Duration;
+
+PrfMetrics compute_prf(const MappingResult& mapping) {
+  PrfMetrics metrics;
+  metrics.true_anomalies = mapping.early_warnings + mapping.errors;
+  metrics.false_alarms = mapping.false_alarms;
+  for (const TicketDetection& detection : mapping.tickets) {
+    if (detection.category == simnet::TicketCategory::kMaintenance) continue;
+    ++metrics.tickets_total;
+    if (detection.detected) ++metrics.tickets_detected;
+  }
+  const std::size_t detected_total =
+      metrics.true_anomalies + metrics.false_alarms;
+  metrics.precision =
+      detected_total == 0
+          ? 0.0
+          : static_cast<double>(metrics.true_anomalies) /
+                static_cast<double>(detected_total);
+  metrics.recall = metrics.tickets_total == 0
+                       ? 0.0
+                       : static_cast<double>(metrics.tickets_detected) /
+                             static_cast<double>(metrics.tickets_total);
+  metrics.f_measure =
+      metrics.precision + metrics.recall == 0.0
+          ? 0.0
+          : 2.0 * metrics.precision * metrics.recall /
+                (metrics.precision + metrics.recall);
+  return metrics;
+}
+
+std::vector<PrcPoint> precision_recall_curve(
+    std::span<const VpeScoredStream> streams, const MappingConfig& config,
+    double days, std::size_t num_thresholds) {
+  NFV_CHECK(num_thresholds >= 2, "PRC needs at least two thresholds");
+  // Threshold candidates: quantiles of the pooled score distribution,
+  // concentrated near the top where the operating points live.
+  std::vector<double> scores;
+  for (const VpeScoredStream& stream : streams) {
+    for (const ScoredEvent& event : stream.events) {
+      scores.push_back(event.score);
+    }
+  }
+  if (scores.empty()) return {};
+  std::vector<double> qs;
+  qs.reserve(num_thresholds);
+  for (std::size_t i = 0; i < num_thresholds; ++i) {
+    const double u =
+        static_cast<double>(i) / static_cast<double>(num_thresholds - 1);
+    // Quadratic spacing: more resolution near quantile 1.
+    qs.push_back(0.5 + 0.5 * (1.0 - (1.0 - u) * (1.0 - u)));
+  }
+  std::vector<double> thresholds = nfv::util::quantiles(scores, qs);
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::vector<PrcPoint> curve;
+  curve.reserve(thresholds.size());
+  for (const double threshold : thresholds) {
+    std::vector<MappingResult> parts;
+    parts.reserve(streams.size());
+    for (const VpeScoredStream& stream : streams) {
+      const std::vector<nfv::util::SimTime> clusters =
+          cluster_anomalies(stream.events, threshold, config);
+      parts.push_back(
+          map_anomalies(clusters, stream.tickets, stream.vpe, config));
+    }
+    const MappingResult merged = merge_mappings(parts);
+    const PrfMetrics prf = compute_prf(merged);
+    PrcPoint point;
+    point.threshold = threshold;
+    point.precision = prf.precision;
+    point.recall = prf.recall;
+    point.f_measure = prf.f_measure;
+    point.false_alarms_per_day =
+        days > 0.0 ? static_cast<double>(prf.false_alarms) / days : 0.0;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double auc_pr(std::span<const PrcPoint> curve) {
+  if (curve.size() < 2) return 0.0;
+  std::vector<PrcPoint> sorted(curve.begin(), curve.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PrcPoint& a, const PrcPoint& b) {
+              return a.recall < b.recall;
+            });
+  double area = 0.0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const double dr = sorted[i].recall - sorted[i - 1].recall;
+    area += dr * 0.5 * (sorted[i].precision + sorted[i - 1].precision);
+  }
+  return area;
+}
+
+PrcPoint best_f_point(std::span<const PrcPoint> curve) {
+  PrcPoint best;
+  for (const PrcPoint& point : curve) {
+    if (point.f_measure > best.f_measure) best = point;
+  }
+  return best;
+}
+
+namespace {
+
+void accumulate_rates(const TicketDetection& detection,
+                      std::array<double, 5>& counts) {
+  const Duration kM15 = Duration::of_minutes(15);
+  const Duration kM5 = Duration::of_minutes(5);
+  if (detection.detected_before) {
+    if (detection.best_lead >= kM15) counts[0] += 1.0;
+    if (detection.best_lead >= kM5) counts[1] += 1.0;
+    counts[2] += 1.0;
+    counts[3] += 1.0;
+    counts[4] += 1.0;
+    return;
+  }
+  if (detection.detected_after) {
+    if (detection.first_error_delay <= kM5) {
+      counts[3] += 1.0;
+      counts[4] += 1.0;
+    } else if (detection.first_error_delay <= kM15) {
+      counts[4] += 1.0;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DetectionRateRow> detection_rates_by_category(
+    std::span<const TicketDetection> detections) {
+  std::vector<DetectionRateRow> rows;
+  const simnet::TicketCategory categories[] = {
+      simnet::TicketCategory::kCable, simnet::TicketCategory::kCircuit,
+      simnet::TicketCategory::kHardware, simnet::TicketCategory::kSoftware,
+      simnet::TicketCategory::kDuplicate};
+  for (const simnet::TicketCategory category : categories) {
+    DetectionRateRow row;
+    row.category = category;
+    std::array<double, 5> counts{};
+    for (const TicketDetection& detection : detections) {
+      if (detection.category != category) continue;
+      ++row.ticket_count;
+      accumulate_rates(detection, counts);
+    }
+    if (row.ticket_count > 0) {
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        row.rate[i] = counts[i] / static_cast<double>(row.ticket_count);
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+DetectionRateRow overall_detection_rate(
+    std::span<const TicketDetection> detections) {
+  DetectionRateRow row;
+  std::array<double, 5> counts{};
+  for (const TicketDetection& detection : detections) {
+    if (detection.category == simnet::TicketCategory::kMaintenance) continue;
+    ++row.ticket_count;
+    accumulate_rates(detection, counts);
+  }
+  if (row.ticket_count > 0) {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      row.rate[i] = counts[i] / static_cast<double>(row.ticket_count);
+    }
+  }
+  return row;
+}
+
+}  // namespace nfv::core

@@ -1,0 +1,77 @@
+// Evaluation metrics (§5): precision / recall / F-measure, the
+// precision-recall curve obtained by sweeping the detection threshold,
+// false alarms per day, and the per-ticket-type detection rates at fixed
+// time offsets that make up Fig. 8.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/mapper.h"
+#include "simnet/types.h"
+
+namespace nfv::core {
+
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  std::size_t true_anomalies = 0;   // mapped to a ticket period
+  std::size_t false_alarms = 0;
+  std::size_t tickets_total = 0;    // recall denominator
+  std::size_t tickets_detected = 0;
+};
+
+/// Compute precision/recall/F from a mapping result.
+/// Precision: fraction of detected anomaly clusters mapped to any ticket
+/// period. Recall: fraction of *non-maintenance* tickets with at least one
+/// mapped anomaly (maintenance is pre-scheduled and excluded, §3.2).
+PrfMetrics compute_prf(const MappingResult& mapping);
+
+struct PrcPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  double false_alarms_per_day = 0.0;
+};
+
+/// One vPE's scored stream with its tickets — the unit the sweep maps.
+struct VpeScoredStream {
+  std::int32_t vpe = -1;
+  std::vector<ScoredEvent> events;
+  std::vector<simnet::Ticket> tickets;
+};
+
+/// Sweep `num_thresholds` score quantiles, cluster + map at each, and
+/// return the PRC. `days` is the evaluated wall-clock span (for the
+/// false-alarm rate).
+std::vector<PrcPoint> precision_recall_curve(
+    std::span<const VpeScoredStream> streams, const MappingConfig& config,
+    double days, std::size_t num_thresholds = 25);
+
+/// Area under the PR curve (trapezoid over recall).
+double auc_pr(std::span<const PrcPoint> curve);
+
+/// The sweep point with maximal F-measure (the paper's operating point).
+PrcPoint best_f_point(std::span<const PrcPoint> curve);
+
+/// Fig. 8: per-category detection rates at time offsets relative to ticket
+/// report. Offsets: ≥15 min before, ≥5 min before, before (0), within
+/// +5 min, within +15 min (cumulative).
+struct DetectionRateRow {
+  simnet::TicketCategory category = simnet::TicketCategory::kCircuit;
+  std::size_t ticket_count = 0;
+  // {-15 min, -5 min, 0, +5 min, +15 min}
+  std::array<double, 5> rate{};
+};
+
+std::vector<DetectionRateRow> detection_rates_by_category(
+    std::span<const TicketDetection> detections);
+
+/// Overall detection rate across all (non-maintenance) tickets at the same
+/// offsets.
+DetectionRateRow overall_detection_rate(
+    std::span<const TicketDetection> detections);
+
+}  // namespace nfv::core

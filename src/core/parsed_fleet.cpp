@@ -1,0 +1,73 @@
+#include "core/parsed_fleet.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nfv::core {
+
+std::size_t ParsedFleet::vocab_at(int month) const {
+  NFV_CHECK(!vocab_by_month.empty(), "vocab timeline not built");
+  const auto idx = static_cast<std::size_t>(std::clamp<int>(
+      month, 0, static_cast<int>(vocab_by_month.size()) - 1));
+  return vocab_by_month[idx];
+}
+
+ParsedFleet parse_fleet(const simnet::FleetTrace& trace,
+                        logproc::SignatureTreeConfig config) {
+  ParsedFleet parsed;
+  parsed.tree = logproc::SignatureTree(config);
+  parsed.logs_by_vpe.resize(trace.logs_by_vpe.size());
+  parsed.vocab_by_month.assign(
+      static_cast<std::size_t>(trace.config.months) + 1, 0);
+
+  // Merge all vPE streams in time order with an index cursor per vPE.
+  const std::size_t n = trace.logs_by_vpe.size();
+  std::vector<std::size_t> cursor(n, 0);
+  int last_month = 0;  // vocab_by_month[0] is always 0
+  for (std::size_t v = 0; v < n; ++v) {
+    parsed.logs_by_vpe[v].reserve(trace.logs_by_vpe[v].size());
+  }
+  while (true) {
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (cursor[v] >= trace.logs_by_vpe[v].size()) continue;
+      if (best == n || trace.logs_by_vpe[v][cursor[v]].time <
+                           trace.logs_by_vpe[best][cursor[best]].time) {
+        best = v;
+      }
+    }
+    if (best == n) break;
+    const simnet::RawLogRecord& rec = trace.logs_by_vpe[best][cursor[best]++];
+    // Record the dictionary size at each month boundary we cross.
+    const int month = std::min(nfv::util::month_of(rec.time),
+                               trace.config.months);
+    for (int m = last_month + 1; m <= month; ++m) {
+      parsed.vocab_by_month[static_cast<std::size_t>(m)] =
+          parsed.tree.size();
+    }
+    last_month = std::max(last_month, month);
+    logproc::ParsedLog parsed_log;
+    parsed_log.time = rec.time;
+    parsed_log.template_id = parsed.tree.learn(rec.text);
+    parsed.logs_by_vpe[best].push_back(parsed_log);
+  }
+  for (std::size_t m = static_cast<std::size_t>(last_month) + 1;
+       m < parsed.vocab_by_month.size(); ++m) {
+    parsed.vocab_by_month[m] = parsed.tree.size();
+  }
+  return parsed;
+}
+
+std::vector<logproc::TimeInterval> ticket_exclusion_windows(
+    const simnet::FleetTrace& trace, std::int32_t vpe,
+    nfv::util::Duration margin) {
+  std::vector<logproc::TimeInterval> out;
+  for (const simnet::Ticket& ticket : trace.tickets) {
+    if (ticket.vpe != vpe) continue;
+    out.push_back({ticket.report - margin, ticket.repair_finish});
+  }
+  return out;
+}
+
+}  // namespace nfv::core

@@ -1,0 +1,44 @@
+// Bridge from raw simulated syslog to the structured representation the
+// detectors consume: every raw line is pushed through a shared signature
+// tree (template miner), exactly as the paper preprocesses its vPE syslogs.
+#pragma once
+
+#include <vector>
+
+#include "logproc/dataset.h"
+#include "logproc/signature_tree.h"
+#include "simnet/fleet.h"
+
+namespace nfv::core {
+
+/// The fleet's logs after template extraction. Template ids come from the
+/// shared signature tree and grow over time as new message shapes appear
+/// (e.g. after the software update).
+struct ParsedFleet {
+  logproc::SignatureTree tree;
+  std::vector<std::vector<logproc::ParsedLog>> logs_by_vpe;
+  /// vocab_by_month[m] = templates discovered before the start of month m
+  /// (index 0 = 0; last index = final vocabulary). Lets the pipeline train
+  /// with exactly the dictionary an online deployment would have had.
+  std::vector<std::size_t> vocab_by_month;
+
+  std::size_t vocab() const { return tree.size(); }
+
+  /// Dictionary size at the start of month m (clamped to the trace span).
+  std::size_t vocab_at(int month) const;
+};
+
+/// Run template extraction over the whole trace. Lines are processed in
+/// global time order so template ids appear in discovery order, mirroring
+/// an online deployment.
+ParsedFleet parse_fleet(const simnet::FleetTrace& trace,
+                        logproc::SignatureTreeConfig config = {});
+
+/// Ticket exclusion windows for one vPE: [report − margin, repair_finish)
+/// for every ticket on that vPE (the paper drops logs within 3 days of a
+/// ticket arrival through its resolution before training).
+std::vector<logproc::TimeInterval> ticket_exclusion_windows(
+    const simnet::FleetTrace& trace, std::int32_t vpe,
+    nfv::util::Duration margin = nfv::util::Duration::of_days(3));
+
+}  // namespace nfv::core

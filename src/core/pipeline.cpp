@@ -1,0 +1,307 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace nfv::core {
+
+using logproc::ParsedLog;
+using logproc::TimeInterval;
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+std::vector<simnet::Ticket> tickets_in_window(const simnet::FleetTrace& trace,
+                                              std::int32_t vpe, SimTime begin,
+                                              SimTime end,
+                                              Duration predictive_period) {
+  std::vector<simnet::Ticket> out;
+  for (const simnet::Ticket& ticket : trace.tickets) {
+    if (ticket.vpe != vpe) continue;
+    // Mapping-relevant span of the ticket: [report − P, repair_finish].
+    if (ticket.report - predictive_period < end &&
+        ticket.repair_finish >= begin) {
+      out.push_back(ticket);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct GroupState {
+  std::vector<std::int32_t> members;
+  std::unique_ptr<AnomalyDetector> detector;
+  double threshold = 0.0;
+};
+
+/// Normal (training) logs of one vPE in a window: ticket vicinity removed.
+std::vector<ParsedLog> normal_logs(
+    const ParsedFleet& parsed,
+    const std::vector<std::vector<TimeInterval>>& exclusions, std::int32_t vpe,
+    SimTime begin, SimTime end) {
+  const std::vector<ParsedLog> window = logproc::slice_time(
+      parsed.logs_by_vpe[static_cast<std::size_t>(vpe)], begin, end);
+  return logproc::exclude_intervals(
+      window, exclusions[static_cast<std::size_t>(vpe)]);
+}
+
+/// Set the group's operating threshold to a quantile of the detector's
+/// scores on (normal) calibration streams.
+void calibrate_threshold(GroupState& group,
+                         const std::vector<std::vector<ParsedLog>>& streams,
+                         double quantile_q) {
+  // Cap calibration work: the quantile is stable well below full coverage.
+  constexpr std::size_t kMaxCalibrationLogsPerStream = 3000;
+  std::vector<double> scores;
+  for (const std::vector<ParsedLog>& stream : streams) {
+    const std::size_t take =
+        std::min(stream.size(), kMaxCalibrationLogsPerStream);
+    const LogView view{stream.data() + (stream.size() - take), take};
+    const std::vector<ScoredEvent> events = group.detector->score(view, 0);
+    for (const ScoredEvent& event : events) scores.push_back(event.score);
+  }
+  if (scores.empty()) return;  // keep the previous threshold
+  group.threshold = nfv::util::quantile(scores, quantile_q);
+}
+
+/// Merge per-month ticket detections (a ticket straddling two months is
+/// mapped in both) into one row per ticket.
+std::vector<TicketDetection> merge_detections(
+    std::span<const TicketDetection> raw) {
+  std::map<std::int64_t, TicketDetection> merged;
+  for (const TicketDetection& detection : raw) {
+    auto [it, inserted] = merged.emplace(detection.ticket_id, detection);
+    if (inserted) continue;
+    TicketDetection& existing = it->second;
+    existing.detected = existing.detected || detection.detected;
+    if (detection.detected_before) {
+      existing.best_lead = existing.detected_before
+                               ? std::max(existing.best_lead,
+                                          detection.best_lead)
+                               : detection.best_lead;
+      existing.detected_before = true;
+    }
+    if (detection.detected_after) {
+      existing.first_error_delay =
+          existing.detected_after
+              ? std::min(existing.first_error_delay,
+                         detection.first_error_delay)
+              : detection.first_error_delay;
+      existing.detected_after = true;
+    }
+    existing.anomaly_count += detection.anomaly_count;
+  }
+  std::vector<TicketDetection> out;
+  out.reserve(merged.size());
+  for (auto& [id, detection] : merged) out.push_back(detection);
+  return out;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const simnet::FleetTrace& trace,
+                            const ParsedFleet& parsed,
+                            const PipelineOptions& options) {
+  const auto n = static_cast<std::size_t>(trace.num_vpes());
+  const int months = trace.config.months;
+  NFV_CHECK(options.initial_train_months >= 1 &&
+                options.initial_train_months < months,
+            "initial_train_months must leave at least one test month");
+  Rng rng(options.seed);
+
+  PipelineResult result;
+
+  // --- Customization: group the vPEs. ---
+  const SimTime train_end =
+      nfv::util::month_start(options.initial_train_months);
+  if (options.customize) {
+    Rng cluster_rng = rng.fork(1);
+    result.clustering = cluster_vpes(parsed, SimTime::epoch(), train_end,
+                                     options.clustering, cluster_rng);
+  } else {
+    result.clustering = single_group(n);
+  }
+
+  // --- Exclusion windows (±3 days around every ticket). ---
+  std::vector<std::vector<TimeInterval>> exclusions(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    exclusions[v] = ticket_exclusion_windows(
+        trace, static_cast<std::int32_t>(v), options.exclusion_margin);
+  }
+
+  // --- Group construction + initial fit. ---
+  std::vector<GroupState> groups(result.clustering.num_groups);
+  for (std::size_t v = 0; v < n; ++v) {
+    groups[static_cast<std::size_t>(result.clustering.group_of_vpe[v])]
+        .members.push_back(static_cast<std::int32_t>(v));
+  }
+  const std::size_t vocab_initial =
+      parsed.vocab_at(options.initial_train_months);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    GroupState& group = groups[g];
+    if (options.detector == DetectorKind::kLstm) {
+      LstmDetectorConfig config =
+          options.lstm_config.value_or(LstmDetectorConfig{});
+      config.oversample = options.oversample;
+      config.seed = options.seed + 100 * (g + 1);
+      group.detector = std::make_unique<LstmDetector>(config);
+    } else {
+      group.detector =
+          make_detector(options.detector, options.seed + 100 * (g + 1));
+    }
+    std::vector<std::vector<ParsedLog>> train_streams;
+    for (std::int32_t v : group.members) {
+      train_streams.push_back(
+          normal_logs(parsed, exclusions, v, SimTime::epoch(), train_end));
+    }
+    std::vector<LogView> views(train_streams.begin(), train_streams.end());
+    group.detector->fit(views, vocab_initial);
+    calibrate_threshold(group, train_streams, options.threshold_quantile);
+  }
+
+  // --- Rolling monthly evaluation. ---
+  result.streams.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    result.streams[v].vpe = static_cast<std::int32_t>(v);
+    result.streams[v].tickets = tickets_in_window(
+        trace, static_cast<std::int32_t>(v), train_end, trace.horizon,
+        options.mapping.predictive_period);
+  }
+  std::vector<TicketDetection> raw_detections;
+
+  for (int month = options.initial_train_months; month < months; ++month) {
+    const SimTime month_begin = nfv::util::month_start(month);
+    const SimTime month_end = nfv::util::month_start(month + 1);
+    std::vector<MappingResult> month_parts;
+
+    for (GroupState& group : groups) {
+      // The paper's fast adaptation kicks in one week after a software
+      // update: if any member of this group is updated this month, the
+      // remainder of the month is scored by the adapted model.
+      SimTime adapt_at = simnet::never();
+      std::vector<std::pair<std::int32_t, SimTime>> updated_members;
+      if (options.adapt) {
+        for (std::int32_t v : group.members) {
+          const SimTime u =
+              trace.update_time_by_vpe[static_cast<std::size_t>(v)];
+          if (u >= month_begin && u < month_end) {
+            updated_members.emplace_back(v, u);
+            adapt_at = std::min(adapt_at, u + options.adapt_span);
+          }
+        }
+      }
+      const bool split_month =
+          !updated_members.empty() && adapt_at < month_end;
+
+      // Phase 1: score up to the adaptation point (or the whole month).
+      const SimTime phase1_end = split_month ? adapt_at : month_end;
+      std::vector<std::vector<ScoredEvent>> events_by_member(
+          group.members.size());
+      for (std::size_t mi = 0; mi < group.members.size(); ++mi) {
+        const std::int32_t v = group.members[mi];
+        const std::vector<ParsedLog> logs = logproc::slice_time(
+            parsed.logs_by_vpe[static_cast<std::size_t>(v)], month_begin,
+            phase1_end);
+        events_by_member[mi] = group.detector->score(logs, parsed.vocab());
+      }
+
+      if (split_month) {
+        // Adapt on ~1 week of post-update data, then score the rest of the
+        // month with the adapted model.
+        std::vector<std::vector<ParsedLog>> adapt_streams;
+        for (const auto& [v, u] : updated_members) {
+          adapt_streams.push_back(logproc::slice_time(
+              parsed.logs_by_vpe[static_cast<std::size_t>(v)], u,
+              u + options.adapt_span));
+        }
+        std::vector<LogView> adapt_views(adapt_streams.begin(),
+                                         adapt_streams.end());
+        group.detector->adapt(adapt_views, parsed.vocab_at(month + 1));
+        // Recalibrate on the adaptation data itself (what operations has).
+        calibrate_threshold(group, adapt_streams,
+                            options.threshold_quantile);
+        for (std::size_t mi = 0; mi < group.members.size(); ++mi) {
+          const std::int32_t v = group.members[mi];
+          const std::vector<ParsedLog> logs = logproc::slice_time(
+              parsed.logs_by_vpe[static_cast<std::size_t>(v)], adapt_at,
+              month_end);
+          const std::vector<ScoredEvent> tail =
+              group.detector->score(logs, parsed.vocab());
+          events_by_member[mi].insert(events_by_member[mi].end(),
+                                      tail.begin(), tail.end());
+        }
+      }
+
+      // Detect at the group's operating threshold and map to tickets.
+      const MappingConfig group_mapping = adapt_mapping_for(
+          group.detector->granularity(), options.mapping);
+      for (std::size_t mi = 0; mi < group.members.size(); ++mi) {
+        const std::int32_t v = group.members[mi];
+        const std::vector<ScoredEvent>& events = events_by_member[mi];
+        const std::vector<SimTime> clusters =
+            cluster_anomalies(events, group.threshold, group_mapping);
+        const std::vector<simnet::Ticket> tickets =
+            tickets_in_window(trace, v, month_begin, month_end,
+                              options.mapping.predictive_period);
+        month_parts.push_back(
+            map_anomalies(clusters, tickets, v, group_mapping));
+        // Keep the raw scores for threshold sweeps.
+        auto& stream = result.streams[static_cast<std::size_t>(v)];
+        stream.events.insert(stream.events.end(), events.begin(),
+                             events.end());
+      }
+    }
+
+    const MappingResult month_mapping = merge_mappings(month_parts);
+    MonthlyMetrics metrics;
+    metrics.month = month;
+    metrics.prf = compute_prf(month_mapping);
+    metrics.false_alarms_per_day =
+        static_cast<double>(month_mapping.false_alarms) /
+        static_cast<double>(nfv::util::kDaysPerMonth);
+    metrics.anomaly_clusters = month_mapping.anomalies.size();
+    result.monthly.push_back(metrics);
+    raw_detections.insert(raw_detections.end(), month_mapping.tickets.begin(),
+                          month_mapping.tickets.end());
+    result.mapping.early_warnings += month_mapping.early_warnings;
+    result.mapping.errors += month_mapping.errors;
+    result.mapping.false_alarms += month_mapping.false_alarms;
+    result.mapping.anomalies.insert(result.mapping.anomalies.end(),
+                                    month_mapping.anomalies.begin(),
+                                    month_mapping.anomalies.end());
+
+    // --- End-of-month model maintenance. ---
+    if (month + 1 >= months) break;  // nothing left to score
+    const std::size_t vocab_now = parsed.vocab_at(month + 1);
+    for (GroupState& group : groups) {
+      std::vector<std::vector<ParsedLog>> update_streams;
+      for (std::int32_t v : group.members) {
+        update_streams.push_back(
+            normal_logs(parsed, exclusions, v, month_begin, month_end));
+      }
+      std::vector<LogView> views(update_streams.begin(),
+                                 update_streams.end());
+      group.detector->update(views, vocab_now);
+      calibrate_threshold(group, update_streams, options.threshold_quantile);
+    }
+  }
+
+  // --- Aggregates. ---
+  result.detections = merge_detections(raw_detections);
+  result.mapping.tickets = result.detections;
+  result.aggregate = compute_prf(result.mapping);
+  result.eval_days = static_cast<double>(
+      (months - options.initial_train_months) * nfv::util::kDaysPerMonth);
+  result.false_alarms_per_day =
+      result.eval_days > 0.0
+          ? static_cast<double>(result.mapping.false_alarms) /
+                result.eval_days
+          : 0.0;
+  return result;
+}
+
+}  // namespace nfv::core

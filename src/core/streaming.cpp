@@ -1,0 +1,122 @@
+#include "core/streaming.h"
+
+#include "util/check.h"
+
+namespace nfv::core {
+
+StreamMonitor::StreamMonitor(std::int32_t vpe,
+                             const AnomalyDetector* detector,
+                             logproc::SignatureTree* tree,
+                             StreamMonitorConfig config,
+                             WarningCallback on_warning)
+    : vpe_(vpe),
+      detector_(detector),
+      tree_(tree),
+      config_(config),
+      on_warning_(std::move(on_warning)) {
+  NFV_CHECK(detector != nullptr, "StreamMonitor requires a detector");
+  NFV_CHECK(tree != nullptr, "StreamMonitor requires a signature tree");
+  NFV_CHECK(config.window >= 1, "window must be >= 1");
+}
+
+void StreamMonitor::set_detector(const AnomalyDetector* detector) {
+  NFV_CHECK(detector != nullptr, "detector must not be null");
+  detector_ = detector;
+}
+
+void StreamMonitor::set_threshold(double threshold) {
+  config_.threshold = threshold;
+}
+
+double StreamMonitor::ingest(nfv::util::SimTime time,
+                             std::string_view raw_line) {
+  logproc::ParsedLog log;
+  log.time = time;
+  log.template_id = tree_->learn(raw_line);  // online template mining
+  return ingest_parsed(log);
+}
+
+double StreamMonitor::ingest_parsed(const logproc::ParsedLog& log) {
+  history_.push_back(log);
+  if (history_.size() > config_.window + 1) history_.pop_front();
+  if (history_.size() < config_.window + 1) return 0.0;
+
+  // One-window scoring: the detector sees exactly (k history + this log).
+  std::vector<logproc::ParsedLog> window(history_.begin(), history_.end());
+  const std::vector<ScoredEvent> events =
+      detector_->score(window, tree_->size());
+  if (events.empty()) return 0.0;  // document-based detectors need more
+  const double score = events.back().score;
+  if (score >= config_.threshold) {
+    track_cluster(log.time, score, log.template_id);
+  }
+  return score;
+}
+
+void StreamMonitor::track_cluster(nfv::util::SimTime time, double score,
+                                  std::int32_t template_id) {
+  if (!run_times_.empty() &&
+      time - run_times_.back() > config_.cluster_span) {
+    run_times_.clear();
+    run_peak_ = 0.0;
+    run_trigger_ = -1;
+    run_reported_ = false;
+  }
+  if (run_times_.empty()) run_trigger_ = template_id;
+  run_times_.push_back(time);
+  run_peak_ = std::max(run_peak_, score);
+  if (!run_reported_ && run_times_.size() >= config_.min_cluster_size) {
+    run_reported_ = true;
+    ++warnings_raised_;
+    if (on_warning_) {
+      StreamWarning warning;
+      warning.vpe = vpe_;
+      warning.time = run_times_.front();
+      warning.anomaly_count = run_times_.size();
+      warning.peak_score = run_peak_;
+      warning.trigger_template = run_trigger_;
+      on_warning_(warning);
+    }
+  }
+}
+
+const char* to_string(OperationalScenario scenario) {
+  switch (scenario) {
+    case OperationalScenario::kPredictiveSignal:
+      return "predictive-signal";
+    case OperationalScenario::kEarlyDetection:
+      return "early-detection";
+    case OperationalScenario::kPartOfTrigger:
+      return "part-of-trigger";
+    case OperationalScenario::kCoincidental:
+      return "coincidental";
+  }
+  return "unknown";
+}
+
+OperationalScenario classify_scenario(const MappedAnomaly& anomaly,
+                                      const ScenarioThresholds& thresholds) {
+  switch (anomaly.outcome) {
+    case AnomalyOutcome::kError:
+      return OperationalScenario::kPartOfTrigger;
+    case AnomalyOutcome::kFalseAlarm:
+      return OperationalScenario::kCoincidental;
+    case AnomalyOutcome::kEarlyWarning:
+      return anomaly.lead >= thresholds.predictive_lead
+                 ? OperationalScenario::kPredictiveSignal
+                 : OperationalScenario::kEarlyDetection;
+  }
+  return OperationalScenario::kCoincidental;
+}
+
+std::vector<std::size_t> scenario_histogram(
+    const MappingResult& mapping, const ScenarioThresholds& thresholds) {
+  std::vector<std::size_t> counts(4, 0);
+  for (const MappedAnomaly& anomaly : mapping.anomalies) {
+    counts[static_cast<std::size_t>(
+        classify_scenario(anomaly, thresholds))] += 1;
+  }
+  return counts;
+}
+
+}  // namespace nfv::core

@@ -1,0 +1,115 @@
+// Runtime streaming monitor.
+//
+// The paper envisions "a runtime predictive analysis system running in
+// parallel with existing reactive monitoring systems to provide network
+// operators timely warnings" (§1). StreamMonitor is that front-end: it
+// consumes one raw syslog line at a time per vPE, mines/matches the
+// template online, maintains the k-log history window, scores with the
+// current detector, applies the ≥N-anomalies-within-T warning-signature
+// rule, and emits warnings with bounded latency — no batch reprocessing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/mapper.h"
+#include "logproc/signature_tree.h"
+#include "ml/sequence_model.h"
+
+namespace nfv::core {
+
+/// A warning signature raised by the streaming monitor.
+struct StreamWarning {
+  std::int32_t vpe = -1;
+  nfv::util::SimTime time;          // time of the cluster's first anomaly
+  std::size_t anomaly_count = 0;    // anomalies in the cluster so far
+  double peak_score = 0.0;
+  std::int32_t trigger_template = -1;  // template id of the first anomaly
+};
+
+struct StreamMonitorConfig {
+  /// Detection threshold on the anomaly score.
+  double threshold = 10.0;
+  /// Warning rule: at least this many over-threshold events...
+  std::size_t min_cluster_size = 2;
+  /// ...within this span (paper: anomalies <1 min apart; rule uses 2 min).
+  nfv::util::Duration cluster_span = nfv::util::Duration::of_minutes(2);
+  /// History window length; must match the detector's window.
+  std::size_t window = 10;
+};
+
+/// Per-vPE online monitor over a shared detector. The detector is not
+/// owned and may be swapped (e.g. after a monthly update) via
+/// set_detector(); the history window survives the swap.
+class StreamMonitor {
+ public:
+  using WarningCallback = std::function<void(const StreamWarning&)>;
+
+  StreamMonitor(std::int32_t vpe, const AnomalyDetector* detector,
+                logproc::SignatureTree* tree, StreamMonitorConfig config,
+                WarningCallback on_warning);
+
+  /// Feed one raw syslog line. Returns the anomaly score assigned to this
+  /// line (0 while the history window is still filling).
+  double ingest(nfv::util::SimTime time, std::string_view raw_line);
+
+  /// Feed an already-parsed event (template id + time).
+  double ingest_parsed(const logproc::ParsedLog& log);
+
+  /// Swap in a newer model (monthly update / post-update adaptation).
+  void set_detector(const AnomalyDetector* detector);
+  void set_threshold(double threshold);
+
+  std::int32_t vpe() const { return vpe_; }
+  std::size_t warnings_raised() const { return warnings_raised_; }
+  const StreamMonitorConfig& config() const { return config_; }
+
+ private:
+  void track_cluster(nfv::util::SimTime time, double score,
+                     std::int32_t template_id);
+
+  std::int32_t vpe_;
+  const AnomalyDetector* detector_;
+  logproc::SignatureTree* tree_;
+  StreamMonitorConfig config_;
+  WarningCallback on_warning_;
+
+  std::deque<logproc::ParsedLog> history_;  // last `window`+1 events
+  // Current anomaly run (cluster candidate).
+  std::vector<nfv::util::SimTime> run_times_;
+  double run_peak_ = 0.0;
+  std::int32_t run_trigger_ = -1;
+  bool run_reported_ = false;
+  std::size_t warnings_raised_ = 0;
+};
+
+/// §5.3 "Operational findings": the four scenarios a detected condition
+/// falls into once tickets are known.
+enum class OperationalScenario : std::uint8_t {
+  kPredictiveSignal,   // precedes the ticket by a useful margin
+  kEarlyDetection,     // just ahead of / at ticket generation
+  kPartOfTrigger,      // inside the infected period (the ticket's own storm)
+  kCoincidental,       // unrelated to any ticket (candidate suppression rule)
+};
+
+const char* to_string(OperationalScenario scenario);
+
+struct ScenarioThresholds {
+  /// Minimum lead for a warning to count as genuinely predictive.
+  nfv::util::Duration predictive_lead = nfv::util::Duration::of_minutes(15);
+};
+
+/// Classify a mapped anomaly into the four operational scenarios.
+OperationalScenario classify_scenario(const MappedAnomaly& anomaly,
+                                      const ScenarioThresholds& thresholds = {});
+
+/// Histogram of scenarios over a mapping result (one count per scenario,
+/// indexed by the enum's underlying value).
+std::vector<std::size_t> scenario_histogram(
+    const MappingResult& mapping, const ScenarioThresholds& thresholds = {});
+
+}  // namespace nfv::core

@@ -1,0 +1,74 @@
+#include "core/vpe_clustering.h"
+
+#include "util/check.h"
+
+namespace nfv::core {
+
+VpeClustering cluster_vpes(const ParsedFleet& parsed,
+                           nfv::util::SimTime begin, nfv::util::SimTime end,
+                           const VpeClusteringOptions& options,
+                           nfv::util::Rng& rng) {
+  const std::size_t n = parsed.logs_by_vpe.size();
+  NFV_CHECK(n > 0, "cluster_vpes on an empty fleet");
+  const std::size_t vocab = parsed.vocab();
+
+  ml::Matrix distributions(n, vocab);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::vector<logproc::ParsedLog> window =
+        logproc::slice_time(parsed.logs_by_vpe[v], begin, end);
+    const std::vector<double> dist =
+        logproc::template_distribution(window, vocab);
+    for (std::size_t t = 0; t < vocab; ++t) {
+      distributions.at(v, t) = static_cast<float>(dist[t]);
+    }
+  }
+
+  VpeClustering clustering;
+  if (options.method == GroupingMethod::kSom) {
+    ml::Som som(options.som);
+    som.fit(distributions, rng);
+    const std::vector<std::size_t> bmus = som.assign(distributions);
+    // Compact the used units into dense group ids.
+    std::vector<int> unit_to_group(som.units(), -1);
+    int next_group = 0;
+    clustering.group_of_vpe.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      int& group = unit_to_group[bmus[v]];
+      if (group < 0) group = next_group++;
+      clustering.group_of_vpe[v] = group;
+    }
+    clustering.num_groups = static_cast<std::size_t>(next_group);
+    clustering.selected_k = clustering.num_groups;
+    return clustering;
+  }
+  if (options.fixed_k > 0) {
+    ml::KMeansConfig config;
+    config.k = std::min(options.fixed_k, n);
+    const ml::KMeansResult result = ml::kmeans(distributions, config, rng);
+    clustering.num_groups = config.k;
+    clustering.selected_k = config.k;
+    clustering.group_of_vpe.assign(result.labels.begin(),
+                                   result.labels.end());
+  } else {
+    const std::size_t k_max = std::min(options.k_max, n);
+    const std::size_t k_min = std::min(options.k_min, k_max);
+    const ml::KSelection selection =
+        ml::select_k_by_modularity(distributions, k_min, k_max, rng);
+    clustering.num_groups = selection.best_k;
+    clustering.selected_k = selection.best_k;
+    clustering.modularity_by_k = selection.modularity_by_k;
+    clustering.group_of_vpe.assign(selection.result.labels.begin(),
+                                   selection.result.labels.end());
+  }
+  return clustering;
+}
+
+VpeClustering single_group(std::size_t num_vpes) {
+  VpeClustering clustering;
+  clustering.group_of_vpe.assign(num_vpes, 0);
+  clustering.num_groups = 1;
+  clustering.selected_k = 1;
+  return clustering;
+}
+
+}  // namespace nfv::core

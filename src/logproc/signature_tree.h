@@ -1,0 +1,91 @@
+// Signature-tree template extraction for router syslogs.
+//
+// Implements the approach of Qiu et al., "What happened in my network:
+// mining network events from router syslogs" (IMC '10), which the paper
+// uses to transform raw free-form syslog into a structured representation:
+// each message is reduced to a template id ("signature") plus variable
+// fields. The tree is keyed by (token count, first stable token) with leaf
+// groups merged by token-wise similarity; positions that disagree across
+// merged messages become wildcards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace nfv::logproc {
+
+/// A learned message template. Tokens equal to kWildcard match anything.
+struct Signature {
+  std::int32_t id = -1;
+  std::vector<std::string> tokens;
+  std::uint64_t match_count = 0;
+
+  /// Human-readable pattern, e.g. "SNMP_TRAP_LINK_DOWN ifIndex <*> ...".
+  std::string pattern() const;
+};
+
+struct SignatureTreeConfig {
+  /// Minimum fraction of positions that must match (wildcards count as
+  /// matching) for a line to join an existing signature instead of
+  /// creating a new one.
+  double merge_threshold = 0.6;
+  /// Soft cap on distinct signatures; beyond it, the closest shape-
+  /// compatible signature is reused even below the merge threshold
+  /// (syslog template spaces are finite in practice; the cap bounds the
+  /// ML vocabulary). Lines with a shape no existing signature can absorb
+  /// still get a fresh template.
+  std::size_t max_signatures = 4096;
+};
+
+/// Online template miner. learn() both matches and updates the template
+/// set; match() is read-only. Template ids are dense and stable: ids are
+/// never reused or renumbered, so they can serve directly as the LSTM
+/// vocabulary.
+class SignatureTree {
+ public:
+  explicit SignatureTree(SignatureTreeConfig config = {});
+
+  /// Match the line, creating or generalizing a signature as needed.
+  /// Returns the template id.
+  std::int32_t learn(std::string_view line);
+
+  /// Read-only best match; returns -1 if nothing clears the threshold.
+  std::int32_t match(std::string_view line) const;
+
+  const std::vector<Signature>& signatures() const { return signatures_; }
+  std::size_t size() const { return signatures_.size(); }
+  const SignatureTreeConfig& config() const { return config_; }
+
+ private:
+  struct Leaf {
+    std::vector<std::int32_t> signature_ids;
+  };
+
+  /// Grouping key: token count + first non-variable token (empty if the
+  /// first token is variable).
+  struct Key {
+    std::size_t token_count;
+    std::string head;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  static double similarity(const std::vector<std::string>& sig_tokens,
+                           const std::vector<std::string>& line_tokens);
+
+  const Leaf* find_leaf(const Key& key) const;
+  std::int32_t best_in_leaf(const Leaf& leaf,
+                            const std::vector<std::string>& tokens,
+                            double* best_score) const;
+
+  SignatureTreeConfig config_;
+  std::vector<Signature> signatures_;
+  std::unordered_map<Key, Leaf, KeyHash> leaves_;
+};
+
+}  // namespace nfv::logproc

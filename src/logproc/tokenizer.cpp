@@ -1,0 +1,35 @@
+#include "logproc/tokenizer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace nfv::logproc {
+
+bool is_variable_token(std::string_view token) {
+  if (token.empty()) return false;
+  // Any digit anywhere marks the token as variable: counters, indices,
+  // IPs, interface units ("ge-0/0/1.100"), hex ids, timestamps.
+  return nfv::util::contains_digit(token);
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  const auto pieces = nfv::util::split(line, " \t,;=()[]\"");
+  out.reserve(pieces.size());
+  for (std::string_view piece : pieces) {
+    piece = nfv::util::trim(piece);
+    if (!piece.empty()) out.emplace_back(piece);
+  }
+  return out;
+}
+
+std::vector<std::string> tokenize_masked(std::string_view line) {
+  std::vector<std::string> tokens = tokenize(line);
+  for (std::string& token : tokens) {
+    if (is_variable_token(token)) token = std::string(kWildcard);
+  }
+  return tokens;
+}
+
+}  // namespace nfv::logproc

@@ -1,0 +1,31 @@
+// Syslog line tokenization.
+//
+// Splits a raw free-form syslog message into tokens and classifies the
+// tokens that are almost certainly variable fields (numbers, IPs,
+// interface names with indices, hex ids...). Variable tokens are rewritten
+// to the wildcard marker so that the signature tree (template miner) sees
+// stable structure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfv::logproc {
+
+/// The wildcard marker used in learned templates.
+inline constexpr std::string_view kWildcard = "<*>";
+
+/// True if the token should be treated as a variable field: contains a
+/// digit, or is a bare punctuation-delimited value like an IP or hex id.
+bool is_variable_token(std::string_view token);
+
+/// Tokenize one syslog message body. Splits on whitespace and the
+/// separators ,;=()[] while keeping ':' inside tokens (interface names such
+/// as "ge-0/0/1" and IPv6 addresses stay single tokens).
+std::vector<std::string> tokenize(std::string_view line);
+
+/// Tokenize and replace variable tokens with kWildcard.
+std::vector<std::string> tokenize_masked(std::string_view line);
+
+}  // namespace nfv::logproc

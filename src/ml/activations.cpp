@@ -1,0 +1,52 @@
+#include "ml/activations.h"
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+void apply_activation(Matrix& m, Activation act) {
+  switch (act) {
+    case Activation::kLinear:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = relu(m.data()[i]);
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m.data()[i] = std::tanh(m.data()[i]);
+      }
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m.data()[i] = sigmoid(m.data()[i]);
+      }
+      return;
+  }
+}
+
+void apply_activation_grad(const Matrix& pre, const Matrix& post, Matrix& grad,
+                           Activation act) {
+  NFV_CHECK(pre.size() == grad.size() && post.size() == grad.size(),
+            "activation grad shape mismatch");
+  switch (act) {
+    case Activation::kLinear:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad.data()[i] *= relu_grad(pre.data()[i]);
+      }
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad.data()[i] *= tanh_grad_from_output(post.data()[i]);
+      }
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad.data()[i] *= sigmoid_grad_from_output(post.data()[i]);
+      }
+      return;
+  }
+}
+
+}  // namespace nfv::ml

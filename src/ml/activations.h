@@ -1,0 +1,27 @@
+// Scalar activation functions and their derivatives, applied elementwise.
+#pragma once
+
+#include <cmath>
+
+#include "ml/matrix.h"
+
+namespace nfv::ml {
+
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+inline float sigmoid_grad_from_output(float y) { return y * (1.0f - y); }
+inline float tanh_grad_from_output(float y) { return 1.0f - y * y; }
+inline float relu(float x) { return x > 0.0f ? x : 0.0f; }
+inline float relu_grad(float x) { return x > 0.0f ? 1.0f : 0.0f; }
+
+/// Kinds of elementwise nonlinearity supported by Dense layers.
+enum class Activation { kLinear, kRelu, kTanh, kSigmoid };
+
+/// Apply an activation in place.
+void apply_activation(Matrix& m, Activation act);
+
+/// Given pre-activation input `pre` and post-activation output `post`,
+/// multiply `grad` (dL/d-post) in place by d-post/d-pre.
+void apply_activation_grad(const Matrix& pre, const Matrix& post, Matrix& grad,
+                           Activation act);
+
+}  // namespace nfv::ml

@@ -1,0 +1,96 @@
+#include "ml/autoencoder.h"
+
+#include "ml/loss.h"
+#include "util/check.h"
+
+namespace nfv::ml {
+
+Autoencoder::Autoencoder(const AutoencoderConfig& config,
+                         nfv::util::Rng& rng)
+    : config_(config) {
+  NFV_CHECK(config.input_dim > 0, "Autoencoder requires input_dim > 0");
+  NFV_CHECK(!config.encoder.empty(), "Autoencoder requires hidden layers");
+  // Encoder: in -> e0 -> e1 -> ... -> code.
+  std::size_t prev = config.input_dim;
+  int index = 0;
+  for (std::size_t width : config.encoder) {
+    layers_.emplace_back("ae.enc" + std::to_string(index++), prev, width,
+                         Activation::kRelu, rng);
+    prev = width;
+  }
+  // Decoder: mirror, linear final reconstruction.
+  for (std::size_t i = config.encoder.size(); i-- > 0;) {
+    const std::size_t width =
+        i == 0 ? config.input_dim : config.encoder[i - 1];
+    const Activation act =
+        i == 0 ? Activation::kLinear : Activation::kRelu;
+    layers_.emplace_back("ae.dec" + std::to_string(i), prev, width, act, rng);
+    prev = width;
+  }
+}
+
+std::vector<Param*> Autoencoder::params() {
+  std::vector<Param*> out;
+  for (Dense& layer : layers_) {
+    for (Param* p : layer.params()) out.push_back(p);
+  }
+  return out;
+}
+
+double Autoencoder::train_batch(const Matrix& batch, Optimizer& optimizer,
+                                double max_grad_norm) {
+  NFV_CHECK(batch.rows() > 0, "train_batch on empty batch");
+  const Matrix* x = &batch;
+  for (Dense& layer : layers_) x = &layer.forward(*x);
+  Matrix grad;
+  const double loss = mse_loss(*x, batch, grad);
+  const Matrix* g = &grad;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = &layers_[i].backward(*g);
+  }
+  clip_gradients(params(), max_grad_norm);
+  optimizer.step();
+  return loss;
+}
+
+void Autoencoder::reconstruct(const Matrix& batch, Matrix& output) const {
+  // Forward without touching training caches: manual affine chain.
+  Matrix current = batch;
+  Matrix next;
+  for (const Dense& layer : layers_) {
+    matmul_transb(current, layer.weight().value, next);
+    add_row_vector(next, layer.bias().value);
+    apply_activation(next, layer.activation());
+    current = next;
+  }
+  output = std::move(current);
+}
+
+std::vector<double> Autoencoder::reconstruction_error(
+    const Matrix& batch) const {
+  Matrix recon;
+  reconstruct(batch, recon);
+  std::vector<double> out(batch.rows(), 0.0);
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    double sum = 0.0;
+    const float* a = batch.row(r);
+    const float* b = recon.row(r);
+    for (std::size_t c = 0; c < batch.cols(); ++c) {
+      const double diff = static_cast<double>(a[c]) - b[c];
+      sum += diff * diff;
+    }
+    out[r] = sum / static_cast<double>(batch.cols());
+  }
+  return out;
+}
+
+void Autoencoder::freeze_lower_layers(std::size_t trainable_top) {
+  const std::size_t total = layers_.size();
+  const std::size_t frozen =
+      trainable_top >= total ? 0 : total - trainable_top;
+  for (std::size_t i = 0; i < total; ++i) {
+    for (Param* p : layers_[i].params()) p->frozen = i < frozen;
+  }
+}
+
+}  // namespace nfv::ml

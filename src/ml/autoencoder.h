@@ -1,0 +1,51 @@
+// Feed-forward autoencoder baseline (§5.2, Fig. 6).
+//
+// The paper's comparison trains an autoencoder on TF-IDF features of normal
+// syslog windows and uses the reconstruction error as the anomaly score
+// (following Zhang et al., "Automated IT system failure prediction").
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/dense.h"
+#include "ml/matrix.h"
+#include "ml/optimizer.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+struct AutoencoderConfig {
+  std::size_t input_dim = 0;               // feature width (required)
+  std::vector<std::size_t> encoder = {64, 16};  // hidden widths, top = code
+};
+
+/// Symmetric ReLU autoencoder with a linear reconstruction head.
+class Autoencoder {
+ public:
+  Autoencoder(const AutoencoderConfig& config, nfv::util::Rng& rng);
+
+  const AutoencoderConfig& config() const { return config_; }
+  std::vector<Param*> params();
+
+  /// One optimizer step on a batch of feature rows; returns mean MSE.
+  double train_batch(const Matrix& batch, Optimizer& optimizer,
+                     double max_grad_norm = 5.0);
+
+  /// Reconstruct a batch (forward only).
+  void reconstruct(const Matrix& batch, Matrix& output) const;
+
+  /// Per-row mean squared reconstruction error — the anomaly score.
+  std::vector<double> reconstruction_error(const Matrix& batch) const;
+
+  /// Freeze all layers except the top `trainable_top` (decoder-side) layers;
+  /// mirrors the transfer-learning adaptation applied to the LSTM.
+  void freeze_lower_layers(std::size_t trainable_top);
+
+ private:
+  AutoencoderConfig config_;
+  std::vector<Dense> layers_;
+};
+
+}  // namespace nfv::ml

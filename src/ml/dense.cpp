@@ -1,0 +1,42 @@
+#include "ml/dense.h"
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+Dense::Dense(std::string name, std::size_t in_features,
+             std::size_t out_features, Activation act, nfv::util::Rng& rng)
+    : act_(act),
+      weight_(name + ".weight", out_features, in_features),
+      bias_(name + ".bias", 1, out_features) {
+  xavier_uniform(weight_.value, in_features, out_features, rng);
+}
+
+const Matrix& Dense::forward(const Matrix& input) {
+  NFV_CHECK(input.cols() == in_features(),
+            "Dense forward: expected " << in_features() << " features, got "
+                                       << input.cols());
+  input_cache_ = input;
+  matmul_transb(input, weight_.value, pre_act_);
+  add_row_vector(pre_act_, bias_.value);
+  output_ = pre_act_;
+  apply_activation(output_, act_);
+  return output_;
+}
+
+const Matrix& Dense::backward(const Matrix& grad_output) {
+  NFV_CHECK(grad_output.rows() == output_.rows() &&
+                grad_output.cols() == output_.cols(),
+            "Dense backward shape mismatch");
+  grad_pre_ = grad_output;
+  apply_activation_grad(pre_act_, output_, grad_pre_, act_);
+  // dW += grad_preᵀ · input ; db += Σ rows(grad_pre); dx = grad_pre · W.
+  matmul_transa_accumulate(grad_pre_, input_cache_, weight_.grad);
+  sum_rows_accumulate(grad_pre_, bias_.grad);
+  matmul(grad_pre_, weight_.value, grad_input_);
+  return grad_input_;
+}
+
+std::vector<Param*> Dense::params() { return {&weight_, &bias_}; }
+
+}  // namespace nfv::ml

@@ -1,0 +1,50 @@
+// Fully-connected layer with manual backprop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/activations.h"
+#include "ml/matrix.h"
+#include "ml/param.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+/// y = act(x · Wᵀ + b). W is (out_features × in_features); inputs/outputs
+/// are (batch × features). The layer caches its last forward pass for
+/// backward(); call forward/backward in matched pairs.
+class Dense {
+ public:
+  Dense(std::string name, std::size_t in_features, std::size_t out_features,
+        Activation act, nfv::util::Rng& rng);
+
+  /// Forward pass; caches input and pre/post activation.
+  const Matrix& forward(const Matrix& input);
+
+  /// Backward pass: consumes dL/d-output, accumulates weight gradients, and
+  /// returns dL/d-input.
+  const Matrix& backward(const Matrix& grad_output);
+
+  std::vector<Param*> params();
+  std::size_t in_features() const { return weight_.value.cols(); }
+  std::size_t out_features() const { return weight_.value.rows(); }
+  Activation activation() const { return act_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
+
+ private:
+  Activation act_;
+  Param weight_;
+  Param bias_;
+  Matrix input_cache_;
+  Matrix pre_act_;
+  Matrix output_;
+  Matrix grad_input_;
+  Matrix grad_pre_;
+};
+
+}  // namespace nfv::ml

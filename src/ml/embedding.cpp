@@ -1,0 +1,51 @@
+#include "ml/embedding.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
+                     nfv::util::Rng& rng)
+    : table_(name + ".table", vocab, dim) {
+  xavier_uniform(table_.value, vocab, dim, rng);
+}
+
+const Matrix& Embedding::forward(const std::vector<std::int32_t>& ids) {
+  ids_cache_ = ids;
+  output_.resize(ids.size(), dim());
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    const auto id = ids[r];
+    NFV_CHECK(id >= 0 && static_cast<std::size_t>(id) < vocab(),
+              "embedding id out of range: " << id << " vocab " << vocab());
+    std::memcpy(output_.row(r), table_.value.row(static_cast<std::size_t>(id)),
+                dim() * sizeof(float));
+  }
+  return output_;
+}
+
+void Embedding::backward(const Matrix& grad_output) {
+  NFV_CHECK(grad_output.rows() == ids_cache_.size() &&
+                grad_output.cols() == dim(),
+            "embedding backward shape mismatch");
+  for (std::size_t r = 0; r < ids_cache_.size(); ++r) {
+    float* grow = table_.grad.row(static_cast<std::size_t>(ids_cache_[r]));
+    const float* g = grad_output.row(r);
+    for (std::size_t c = 0; c < dim(); ++c) grow[c] += g[c];
+  }
+}
+
+void Embedding::grow_vocab(std::size_t new_vocab, nfv::util::Rng& rng) {
+  NFV_CHECK(new_vocab >= vocab(), "grow_vocab cannot shrink the table");
+  if (new_vocab == vocab()) return;
+  Matrix grown(new_vocab, dim());
+  xavier_uniform(grown, new_vocab, dim(), rng);
+  for (std::size_t r = 0; r < vocab(); ++r) {
+    std::memcpy(grown.row(r), table_.value.row(r), dim() * sizeof(float));
+  }
+  table_.value = std::move(grown);
+  table_.grad.resize(new_vocab, dim());
+}
+
+}  // namespace nfv::ml

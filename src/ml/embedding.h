@@ -1,0 +1,43 @@
+// Token-embedding layer mapping template ids to dense vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/param.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+/// Lookup table (vocab × dim). forward() gathers rows for a batch of token
+/// ids; backward() scatters gradients back into the table.
+class Embedding {
+ public:
+  Embedding(std::string name, std::size_t vocab, std::size_t dim,
+            nfv::util::Rng& rng);
+
+  /// ids: one token per batch row. Output is (batch × dim).
+  const Matrix& forward(const std::vector<std::int32_t>& ids);
+
+  /// Accumulate gradients for the ids of the last forward pass.
+  void backward(const Matrix& grad_output);
+
+  std::vector<Param*> params() { return {&table_}; }
+  std::size_t vocab() const { return table_.value.rows(); }
+  std::size_t dim() const { return table_.value.cols(); }
+  Param& table() { return table_; }
+  const Param& table() const { return table_; }
+
+  /// Grow the vocabulary (new rows randomly initialized). Used when a system
+  /// update introduces templates unseen by the teacher model.
+  void grow_vocab(std::size_t new_vocab, nfv::util::Rng& rng);
+
+ private:
+  Param table_;
+  std::vector<std::int32_t> ids_cache_;
+  Matrix output_;
+};
+
+}  // namespace nfv::ml

@@ -1,0 +1,177 @@
+#include "ml/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+Hmm::Hmm(const HmmConfig& config) : config_(config) {
+  NFV_CHECK(config.states >= 1, "HMM needs at least one state");
+}
+
+double Hmm::emission(std::size_t state, std::int32_t symbol) const {
+  if (symbol < 0 || static_cast<std::size_t>(symbol) >= vocab_) {
+    return min_emission_;  // unseen symbol: maximally surprising
+  }
+  return emission_[state * vocab_ + static_cast<std::size_t>(symbol)];
+}
+
+void Hmm::fit(const std::vector<std::vector<std::int32_t>>& sequences,
+              std::size_t vocab, nfv::util::Rng& rng) {
+  NFV_CHECK(vocab > 0, "HMM needs a vocabulary");
+  bool any = false;
+  for (const auto& sequence : sequences) any = any || !sequence.empty();
+  NFV_CHECK(any, "HMM::fit needs at least one non-empty sequence");
+  vocab_ = vocab;
+  const std::size_t n = config_.states;
+
+  // Random (normalized) initialization.
+  auto normalize_row = [](double* row, std::size_t width) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < width; ++i) total += row[i];
+    for (std::size_t i = 0; i < width; ++i) row[i] /= total;
+  };
+  initial_.assign(n, 0.0);
+  transition_.assign(n * n, 0.0);
+  emission_.assign(n * vocab_, 0.0);
+  for (double& x : initial_) x = 1.0 + rng.uniform();
+  normalize_row(initial_.data(), n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      transition_[s * n + t] = 1.0 + rng.uniform();
+    }
+    normalize_row(&transition_[s * n], n);
+    for (std::size_t v = 0; v < vocab_; ++v) {
+      emission_[s * vocab_ + v] = 1.0 + rng.uniform();
+    }
+    normalize_row(&emission_[s * vocab_], vocab_);
+  }
+
+  double previous_ll = -1e300;
+  std::size_t total_symbols = 0;
+  for (const auto& sequence : sequences) total_symbols += sequence.size();
+
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    // Accumulators for re-estimation.
+    std::vector<double> new_initial(n, config_.smoothing);
+    std::vector<double> new_transition(n * n, config_.smoothing);
+    std::vector<double> new_emission(n * vocab_, config_.smoothing);
+    double total_ll = 0.0;
+
+    for (const auto& sequence : sequences) {
+      if (sequence.empty()) continue;
+      const std::size_t length = sequence.size();
+      std::vector<std::vector<double>> alpha;
+      std::vector<double> scales;
+      total_ll += forward(sequence, &alpha, &scales);
+
+      // Backward pass (scaled with the same factors).
+      std::vector<std::vector<double>> beta(
+          length, std::vector<double>(n, 0.0));
+      for (std::size_t s = 0; s < n; ++s) beta[length - 1][s] = 1.0;
+      for (std::size_t t = length - 1; t-- > 0;) {
+        for (std::size_t s = 0; s < n; ++s) {
+          double sum = 0.0;
+          for (std::size_t u = 0; u < n; ++u) {
+            sum += transition_[s * n + u] * emission(u, sequence[t + 1]) *
+                   beta[t + 1][u];
+          }
+          beta[t][s] = sum / scales[t + 1];
+        }
+      }
+
+      // Occupancy and transition statistics.
+      for (std::size_t t = 0; t < length; ++t) {
+        for (std::size_t s = 0; s < n; ++s) {
+          const double gamma = alpha[t][s] * beta[t][s];
+          if (t == 0) new_initial[s] += gamma;
+          if (sequence[t] >= 0 &&
+              static_cast<std::size_t>(sequence[t]) < vocab_) {
+            new_emission[s * vocab_ +
+                         static_cast<std::size_t>(sequence[t])] += gamma;
+          }
+        }
+      }
+      for (std::size_t t = 0; t + 1 < length; ++t) {
+        for (std::size_t s = 0; s < n; ++s) {
+          for (std::size_t u = 0; u < n; ++u) {
+            new_transition[s * n + u] +=
+                alpha[t][s] * transition_[s * n + u] *
+                emission(u, sequence[t + 1]) * beta[t + 1][u] /
+                scales[t + 1];
+          }
+        }
+      }
+    }
+
+    normalize_row(new_initial.data(), n);
+    for (std::size_t s = 0; s < n; ++s) {
+      normalize_row(&new_transition[s * n], n);
+      normalize_row(&new_emission[s * vocab_], vocab_);
+    }
+    initial_ = std::move(new_initial);
+    transition_ = std::move(new_transition);
+    emission_ = std::move(new_emission);
+
+    const double gain =
+        (total_ll - previous_ll) / static_cast<double>(total_symbols);
+    previous_ll = total_ll;
+    if (iter > 0 && gain >= 0.0 && gain < config_.tolerance) break;
+  }
+
+  // Floor for unseen-symbol scoring: below the smallest trained emission.
+  min_emission_ = 1e-9;
+  for (double e : emission_) min_emission_ = std::min(min_emission_, e);
+  min_emission_ = std::max(min_emission_ * 0.1, 1e-12);
+}
+
+double Hmm::forward(const std::vector<std::int32_t>& sequence,
+                    std::vector<std::vector<double>>* alphas,
+                    std::vector<double>* scales) const {
+  const std::size_t n = config_.states;
+  const std::size_t length = sequence.size();
+  std::vector<std::vector<double>> alpha(length, std::vector<double>(n, 0.0));
+  std::vector<double> scale(length, 0.0);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    alpha[0][s] = initial_[s] * emission(s, sequence[0]);
+    scale[0] += alpha[0][s];
+  }
+  scale[0] = std::max(scale[0], 1e-300);
+  for (std::size_t s = 0; s < n; ++s) alpha[0][s] /= scale[0];
+
+  for (std::size_t t = 1; t < length; ++t) {
+    for (std::size_t u = 0; u < n; ++u) {
+      double sum = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        sum += alpha[t - 1][s] * transition_[s * n + u];
+      }
+      alpha[t][u] = sum * emission(u, sequence[t]);
+      scale[t] += alpha[t][u];
+    }
+    scale[t] = std::max(scale[t], 1e-300);
+    for (std::size_t u = 0; u < n; ++u) alpha[t][u] /= scale[t];
+  }
+
+  double ll = 0.0;
+  for (double s : scale) ll += std::log(s);
+  if (alphas) *alphas = std::move(alpha);
+  if (scales) *scales = std::move(scale);
+  return ll;
+}
+
+double Hmm::log_likelihood(const std::vector<std::int32_t>& sequence) const {
+  NFV_CHECK(trained(), "Hmm::log_likelihood before fit");
+  NFV_CHECK(!sequence.empty(), "log_likelihood of empty sequence");
+  return forward(sequence, nullptr, nullptr);
+}
+
+double Hmm::anomaly_score(const std::vector<std::int32_t>& sequence) const {
+  NFV_CHECK(trained(), "Hmm::anomaly_score before fit");
+  if (sequence.empty()) return 0.0;
+  return -log_likelihood(sequence) / static_cast<double>(sequence.size());
+}
+
+}  // namespace nfv::ml

@@ -1,0 +1,60 @@
+// Discrete hidden Markov model trained with Baum-Welch.
+//
+// The paper's related work ([19], [29]) predicts failures with (semi-)
+// Markov models over event sequences; this HMM over syslog template ids
+// serves as that classical sequential baseline: train on normal windows,
+// score a window by its per-symbol negative log-likelihood under the
+// forward algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+struct HmmConfig {
+  std::size_t states = 8;
+  std::size_t max_iterations = 30;
+  double tolerance = 1e-4;       // stop when log-likelihood gain/symbol < tol
+  double smoothing = 1e-3;       // additive smoothing on re-estimated rows
+};
+
+/// Discrete-emission HMM. Train on sequences of symbols in [0, vocab);
+/// score new sequences by average negative log-likelihood per symbol.
+class Hmm {
+ public:
+  explicit Hmm(const HmmConfig& config = {});
+
+  /// Fit with Baum-Welch on the given sequences (each a vector of symbol
+  /// ids < vocab). Requires at least one non-empty sequence.
+  void fit(const std::vector<std::vector<std::int32_t>>& sequences,
+           std::size_t vocab, nfv::util::Rng& rng);
+
+  bool trained() const { return vocab_ > 0; }
+  std::size_t states() const { return config_.states; }
+  std::size_t vocab() const { return vocab_; }
+
+  /// Total log-likelihood of a sequence (forward algorithm, scaled).
+  double log_likelihood(const std::vector<std::int32_t>& sequence) const;
+
+  /// Anomaly score: −log-likelihood / length. Symbols ≥ vocab are mapped
+  /// to the least-likely emission (maximally surprising).
+  double anomaly_score(const std::vector<std::int32_t>& sequence) const;
+
+ private:
+  double forward(const std::vector<std::int32_t>& sequence,
+                 std::vector<std::vector<double>>* alphas,
+                 std::vector<double>* scales) const;
+  double emission(std::size_t state, std::int32_t symbol) const;
+
+  HmmConfig config_;
+  std::size_t vocab_ = 0;
+  std::vector<double> initial_;    // (states)
+  std::vector<double> transition_; // (states × states), row-major
+  std::vector<double> emission_;   // (states × vocab), row-major
+  double min_emission_ = 1e-9;
+};
+
+}  // namespace nfv::ml

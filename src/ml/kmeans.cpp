@@ -1,0 +1,182 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace nfv::ml {
+
+namespace {
+
+double squared_distance(const float* a, const float* b, std::size_t d) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& data, const KMeansConfig& config,
+                    nfv::util::Rng& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  NFV_CHECK(n > 0, "kmeans on empty data");
+  NFV_CHECK(config.k > 0 && config.k <= n,
+            "kmeans k=" << config.k << " out of range for n=" << n);
+
+  KMeansResult result;
+  result.centroids.resize(config.k, d);
+  result.labels.assign(n, 0);
+
+  // k-means++ seeding.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  std::size_t first = rng.uniform_index(n);
+  std::memcpy(result.centroids.row(0), data.row(first), d * sizeof(float));
+  for (std::size_t c = 1; c < config.k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dist =
+          squared_distance(data.row(i), result.centroids.row(c - 1), d);
+      min_dist[i] = std::min(min_dist[i], dist);
+    }
+    double total = 0.0;
+    for (double v : min_dist) total += v;
+    std::size_t chosen;
+    if (total <= 0.0) {
+      chosen = rng.uniform_index(n);
+    } else {
+      chosen = rng.categorical(min_dist);
+    }
+    std::memcpy(result.centroids.row(c), data.row(chosen), d * sizeof(float));
+  }
+
+  std::vector<std::size_t> counts(config.k, 0);
+  Matrix new_centroids(config.k, d);
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < config.k; ++c) {
+        const double dist =
+            squared_distance(data.row(i), result.centroids.row(c), d);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+      result.inertia += best;
+    }
+    // Update step.
+    new_centroids.zero();
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.labels[i];
+      float* cen = new_centroids.row(c);
+      const float* x = data.row(i);
+      for (std::size_t j = 0; j < d; ++j) cen[j] += x[j];
+      ++counts[c];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < config.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dist = squared_distance(
+              data.row(i), result.centroids.row(result.labels[i]), d);
+          if (dist > worst) {
+            worst = dist;
+            worst_i = i;
+          }
+        }
+        std::memcpy(new_centroids.row(c), data.row(worst_i),
+                    d * sizeof(float));
+        counts[c] = 1;
+      } else {
+        float* cen = new_centroids.row(c);
+        const float inv = 1.0f / static_cast<float>(counts[c]);
+        for (std::size_t j = 0; j < d; ++j) cen[j] *= inv;
+      }
+      movement +=
+          squared_distance(new_centroids.row(c), result.centroids.row(c), d);
+    }
+    result.centroids = new_centroids;
+    if (movement < config.tolerance) break;
+  }
+  return result;
+}
+
+Matrix cosine_similarity_graph(const Matrix& data, double threshold) {
+  const std::size_t n = data.rows();
+  Matrix graph(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::vector<double> a(data.row(i), data.row(i) + data.cols());
+      std::vector<double> b(data.row(j), data.row(j) + data.cols());
+      double sim = nfv::util::cosine_similarity(a, b);
+      if (sim < threshold) sim = 0.0;
+      graph.at(i, j) = static_cast<float>(sim);
+      graph.at(j, i) = static_cast<float>(sim);
+    }
+  }
+  return graph;
+}
+
+double modularity(const Matrix& similarity,
+                  const std::vector<std::size_t>& labels) {
+  const std::size_t n = similarity.rows();
+  NFV_CHECK(similarity.cols() == n, "modularity expects a square matrix");
+  NFV_CHECK(labels.size() == n, "modularity labels size mismatch");
+  double two_m = 0.0;
+  std::vector<double> degree(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      degree[i] += similarity.at(i, j);
+    }
+    two_m += degree[i];
+  }
+  if (two_m <= 0.0) return 0.0;
+  double q = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (labels[i] != labels[j]) continue;
+      q += similarity.at(i, j) - degree[i] * degree[j] / two_m;
+    }
+  }
+  return q / two_m;
+}
+
+KSelection select_k_by_modularity(const Matrix& data, std::size_t k_min,
+                                  std::size_t k_max, nfv::util::Rng& rng) {
+  NFV_CHECK(k_min >= 1 && k_min <= k_max, "invalid K range");
+  NFV_CHECK(k_max <= data.rows(), "k_max exceeds the number of points");
+  const Matrix graph = cosine_similarity_graph(data);
+  KSelection selection;
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeansConfig config;
+    config.k = k;
+    nfv::util::Rng local = rng.fork(k);
+    KMeansResult result = kmeans(data, config, local);
+    const double q = modularity(graph, result.labels);
+    selection.modularity_by_k.push_back(q);
+    if (q > best_q) {
+      best_q = q;
+      selection.best_k = k;
+      selection.result = std::move(result);
+    }
+  }
+  return selection;
+}
+
+}  // namespace nfv::ml

@@ -1,0 +1,52 @@
+// K-means clustering (Lloyd's algorithm with k-means++ seeding), used to
+// group vPEs with similar syslog distributions (§4.3). Also provides the
+// modularity score the paper uses to pick the number of groups K.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+struct KMeansConfig {
+  std::size_t k = 4;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-6;  // stop when centroids move less than this
+};
+
+struct KMeansResult {
+  Matrix centroids;                 // (k × d)
+  std::vector<std::size_t> labels;  // per input row
+  double inertia = 0.0;             // Σ squared distance to assigned centroid
+  std::size_t iterations = 0;
+};
+
+/// Cluster the rows of `data`. Deterministic given the Rng seed.
+KMeansResult kmeans(const Matrix& data, const KMeansConfig& config,
+                    nfv::util::Rng& rng);
+
+/// Newman modularity of a partition over a weighted similarity graph.
+/// `similarity` is a symmetric (n × n) matrix with zero diagonal; `labels`
+/// assigns each node to a community.
+double modularity(const Matrix& similarity,
+                  const std::vector<std::size_t>& labels);
+
+/// Pairwise cosine-similarity graph of the rows of `data` (diagonal zeroed),
+/// with similarities below `threshold` dropped — the graph the modularity
+/// criterion is evaluated on.
+Matrix cosine_similarity_graph(const Matrix& data, double threshold = 0.0);
+
+/// Pick K by maximizing modularity of the k-means partition over the cosine
+/// similarity graph, for K in [k_min, k_max]. Returns the winning result.
+struct KSelection {
+  std::size_t best_k = 0;
+  KMeansResult result;
+  std::vector<double> modularity_by_k;  // index 0 ↔ k_min
+};
+KSelection select_k_by_modularity(const Matrix& data, std::size_t k_min,
+                                  std::size_t k_max, nfv::util::Rng& rng);
+
+}  // namespace nfv::ml

@@ -1,0 +1,171 @@
+#include "ml/lstm.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "ml/activations.h"
+#include "util/check.h"
+
+namespace nfv::ml {
+
+Lstm::Lstm(std::string name, std::size_t input_size, std::size_t hidden_size,
+           nfv::util::Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      weight_(name + ".weight", 4 * hidden_size, input_size + hidden_size),
+      bias_(name + ".bias", 1, 4 * hidden_size) {
+  xavier_uniform(weight_.value, input_size + hidden_size, hidden_size, rng);
+  // Forget-gate bias = 1 (gate slice [H, 2H)).
+  for (std::size_t j = hidden_size_; j < 2 * hidden_size_; ++j) {
+    bias_.value.at(0, j) = 1.0f;
+  }
+}
+
+void Lstm::compute_gates(const Matrix& input, const Matrix& h_prev,
+                         Matrix& concat_scratch, Matrix& gates) const {
+  const std::size_t batch = input.rows();
+  NFV_CHECK(input.cols() == input_size_,
+            "Lstm input width " << input.cols() << " != " << input_size_);
+  concat_scratch.resize(batch, input_size_ + hidden_size_);
+  for (std::size_t r = 0; r < batch; ++r) {
+    std::memcpy(concat_scratch.row(r), input.row(r),
+                input_size_ * sizeof(float));
+    std::memcpy(concat_scratch.row(r) + input_size_, h_prev.row(r),
+                hidden_size_ * sizeof(float));
+  }
+  matmul_transb(concat_scratch, weight_.value, gates);
+  add_row_vector(gates, bias_.value);
+  const std::size_t h = hidden_size_;
+  for (std::size_t r = 0; r < batch; ++r) {
+    float* g = gates.row(r);
+    for (std::size_t j = 0; j < h; ++j) g[j] = sigmoid(g[j]);                // i
+    for (std::size_t j = h; j < 2 * h; ++j) g[j] = sigmoid(g[j]);            // f
+    for (std::size_t j = 2 * h; j < 3 * h; ++j) g[j] = std::tanh(g[j]);      // g
+    for (std::size_t j = 3 * h; j < 4 * h; ++j) g[j] = sigmoid(g[j]);        // o
+  }
+}
+
+const std::vector<Matrix>& Lstm::forward(const std::vector<Matrix>& inputs) {
+  NFV_CHECK(!inputs.empty(), "Lstm::forward on empty sequence");
+  const std::size_t steps = inputs.size();
+  const std::size_t batch = inputs.front().rows();
+  concat_cache_.assign(steps, Matrix());
+  gates_cache_.assign(steps, Matrix());
+  c_cache_.assign(steps, Matrix());
+  h_cache_.assign(steps, Matrix());
+
+  Matrix h_prev(batch, hidden_size_);
+  Matrix c_prev(batch, hidden_size_);
+  const std::size_t h = hidden_size_;
+  for (std::size_t t = 0; t < steps; ++t) {
+    NFV_CHECK(inputs[t].rows() == batch, "Lstm batch size varies over time");
+    compute_gates(inputs[t], h_prev, concat_cache_[t], gates_cache_[t]);
+    Matrix& c_t = c_cache_[t];
+    Matrix& h_t = h_cache_[t];
+    c_t.resize(batch, h);
+    h_t.resize(batch, h);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const float* g = gates_cache_[t].row(r);
+      const float* cp = c_prev.row(r);
+      float* c = c_t.row(r);
+      float* hh = h_t.row(r);
+      for (std::size_t j = 0; j < h; ++j) {
+        const float ig = g[j];
+        const float fg = g[h + j];
+        const float cg = g[2 * h + j];
+        const float og = g[3 * h + j];
+        c[j] = fg * cp[j] + ig * cg;
+        hh[j] = og * std::tanh(c[j]);
+      }
+    }
+    h_prev = h_t;
+    c_prev = c_t;
+  }
+  return h_cache_;
+}
+
+const std::vector<Matrix>& Lstm::backward(
+    const std::vector<Matrix>& grad_hidden) {
+  const std::size_t steps = h_cache_.size();
+  NFV_CHECK(grad_hidden.size() == steps,
+            "Lstm::backward expects one hidden-gradient per step");
+  NFV_CHECK(steps > 0, "Lstm::backward before forward");
+  const std::size_t batch = h_cache_.front().rows();
+  const std::size_t h = hidden_size_;
+
+  grad_inputs_.assign(steps, Matrix());
+  Matrix dh_next(batch, h);
+  Matrix dc_next(batch, h);
+  Matrix dgates(batch, 4 * h);
+  Matrix dconcat;
+
+  for (std::size_t ti = steps; ti-- > 0;) {
+    const Matrix& gates = gates_cache_[ti];
+    const Matrix& c_t = c_cache_[ti];
+    const Matrix* c_prev = ti > 0 ? &c_cache_[ti - 1] : nullptr;
+
+    for (std::size_t r = 0; r < batch; ++r) {
+      const float* g = gates.row(r);
+      const float* c = c_t.row(r);
+      const float* gh = grad_hidden[ti].row(r);
+      float* dhn = dh_next.row(r);
+      float* dcn = dc_next.row(r);
+      float* dg = dgates.row(r);
+      for (std::size_t j = 0; j < h; ++j) {
+        const float ig = g[j];
+        const float fg = g[h + j];
+        const float cg = g[2 * h + j];
+        const float og = g[3 * h + j];
+        const float tc = std::tanh(c[j]);
+        const float dh = gh[j] + dhn[j];
+        const float dc = dh * og * (1.0f - tc * tc) + dcn[j];
+        const float cprev = c_prev ? c_prev->row(r)[j] : 0.0f;
+        // Gradients w.r.t. pre-activation gate inputs.
+        dg[j] = dc * cg * sigmoid_grad_from_output(ig);              // i
+        dg[h + j] = dc * cprev * sigmoid_grad_from_output(fg);       // f
+        dg[2 * h + j] = dc * ig * tanh_grad_from_output(cg);         // g
+        dg[3 * h + j] = dh * tc * sigmoid_grad_from_output(og);      // o
+        dcn[j] = dc * fg;  // carried to step t-1
+      }
+    }
+
+    // Parameter gradients and gradient to the concatenated input.
+    matmul_transa_accumulate(dgates, concat_cache_[ti], weight_.grad);
+    sum_rows_accumulate(dgates, bias_.grad);
+    matmul(dgates, weight_.value, dconcat);
+
+    Matrix& dx = grad_inputs_[ti];
+    dx.resize(batch, input_size_);
+    for (std::size_t r = 0; r < batch; ++r) {
+      std::memcpy(dx.row(r), dconcat.row(r), input_size_ * sizeof(float));
+      std::memcpy(dh_next.row(r), dconcat.row(r) + input_size_,
+                  h * sizeof(float));
+    }
+  }
+  return grad_inputs_;
+}
+
+void Lstm::step(const Matrix& input, LstmState& state) const {
+  const std::size_t batch = input.rows();
+  NFV_CHECK(state.h.rows() == batch && state.c.rows() == batch,
+            "LstmState batch mismatch");
+  Matrix concat;
+  Matrix gates;
+  compute_gates(input, state.h, concat, gates);
+  const std::size_t h = hidden_size_;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const float* g = gates.row(r);
+    float* c = state.c.row(r);
+    float* hh = state.h.row(r);
+    for (std::size_t j = 0; j < h; ++j) {
+      c[j] = g[h + j] * c[j] + g[j] * g[2 * h + j];
+      hh[j] = g[3 * h + j] * std::tanh(c[j]);
+    }
+  }
+}
+
+LstmState Lstm::make_state(std::size_t batch) const {
+  return LstmState{Matrix(batch, hidden_size_), Matrix(batch, hidden_size_)};
+}
+
+}  // namespace nfv::ml

@@ -1,0 +1,71 @@
+// LSTM layer with full backpropagation-through-time.
+//
+// Implements the standard LSTM of Hochreiter & Schmidhuber as used by the
+// paper's anomaly detector (two stacked LSTM layers followed by a dense
+// softmax over the syslog template vocabulary). Weights for the four gates
+// are packed into one matrix so each timestep is a single GEMM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/param.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+/// Inference-time recurrent state for streaming scoring.
+struct LstmState {
+  Matrix h;  // (batch × hidden)
+  Matrix c;  // (batch × hidden)
+};
+
+/// Single LSTM layer. Gate packing order along the 4H axis: input, forget,
+/// cell (candidate), output. The forget-gate bias is initialized to +1, the
+/// usual trick to preserve memory early in training.
+class Lstm {
+ public:
+  Lstm(std::string name, std::size_t input_size, std::size_t hidden_size,
+       nfv::util::Rng& rng);
+
+  /// Full-sequence forward. `inputs[t]` is (batch × input_size); returns one
+  /// hidden matrix per step. Initial state is zero. Caches everything needed
+  /// for backward().
+  const std::vector<Matrix>& forward(const std::vector<Matrix>& inputs);
+
+  /// Full BPTT. `grad_hidden[t]` is dL/dh_t from the upper layer (may be
+  /// all-zero for steps without loss). Accumulates weight gradients and
+  /// returns dL/dx_t per step.
+  const std::vector<Matrix>& backward(const std::vector<Matrix>& grad_hidden);
+
+  /// Stateful single-step inference (no caching, no gradients).
+  void step(const Matrix& input, LstmState& state) const;
+
+  /// Zero-initialized state for a given batch size.
+  LstmState make_state(std::size_t batch) const;
+
+  std::vector<Param*> params() { return {&weight_, &bias_}; }
+  std::size_t input_size() const { return input_size_; }
+  std::size_t hidden_size() const { return hidden_size_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  void compute_gates(const Matrix& input, const Matrix& h_prev,
+                     Matrix& concat_scratch, Matrix& gates) const;
+
+  std::size_t input_size_;
+  std::size_t hidden_size_;
+  Param weight_;  // (4H × (I+H))
+  Param bias_;    // (1 × 4H)
+
+  // Caches from the last forward pass (one entry per timestep).
+  std::vector<Matrix> concat_cache_;  // [x_t, h_{t-1}]  (B × (I+H))
+  std::vector<Matrix> gates_cache_;   // post-activation (B × 4H)
+  std::vector<Matrix> c_cache_;       // cell states     (B × H)
+  std::vector<Matrix> h_cache_;       // hidden states   (B × H)
+  std::vector<Matrix> grad_inputs_;
+};
+
+}  // namespace nfv::ml

@@ -1,0 +1,121 @@
+#include "ml/matrix.h"
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::add(const Matrix& other) {
+  NFV_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+            "Matrix::add shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::add_scaled(const Matrix& other, float k) {
+  NFV_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+            "Matrix::add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += k * other.data_[i];
+  }
+}
+
+void Matrix::scale(float k) {
+  for (float& x : data_) x *= k;
+}
+
+void Matrix::hadamard(const Matrix& other) {
+  NFV_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+            "Matrix::hadamard shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+double Matrix::squared_norm() const {
+  double sum = 0.0;
+  for (float x : data_) sum += static_cast<double>(x) * x;
+  return sum;
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  NFV_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch: "
+                                      << a.cols() << " vs " << b.rows());
+  out.resize(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_transb(const Matrix& a, const Matrix& b, Matrix& out) {
+  NFV_CHECK(a.cols() == b.cols(), "matmul_transb inner-dimension mismatch: "
+                                      << a.cols() << " vs " << b.cols());
+  out.resize(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      orow[j] = dot;
+    }
+  }
+}
+
+void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  NFV_CHECK(a.rows() == b.rows(),
+            "matmul_transa_accumulate row mismatch: " << a.rows() << " vs "
+                                                      << b.rows());
+  NFV_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
+            "matmul_transa_accumulate output shape mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    const float* brow = b.row(r);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float ark = arow[k];
+      if (ark == 0.0f) continue;
+      float* orow = out.row(k);
+      for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += ark * brow[c];
+    }
+  }
+}
+
+void add_row_vector(Matrix& m, const Matrix& row) {
+  NFV_CHECK(row.rows() == 1 && row.cols() == m.cols(),
+            "add_row_vector expects a 1×cols vector");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* mrow = m.row(r);
+    const float* v = row.row(0);
+    for (std::size_t c = 0; c < m.cols(); ++c) mrow[c] += v[c];
+  }
+}
+
+void sum_rows_accumulate(const Matrix& m, Matrix& out) {
+  NFV_CHECK(out.rows() == 1 && out.cols() == m.cols(),
+            "sum_rows_accumulate expects a 1×cols accumulator");
+  float* acc = out.row(0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* mrow = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) acc[c] += mrow[c];
+  }
+}
+
+}  // namespace nfv::ml

@@ -1,0 +1,76 @@
+// Dense row-major float matrix used by the from-scratch neural network
+// stack. This is deliberately a small, dependency-free implementation: the
+// paper's models (2 LSTM layers + 1 dense over a template vocabulary) are
+// tiny by deep-learning standards, so clarity and determinism beat BLAS.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nfv::ml {
+
+/// Row-major dense matrix of float. Rows typically index batch elements.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+  std::span<float> row_span(std::size_t r) { return {row(r), cols_}; }
+  std::span<const float> row_span(std::size_t r) const { return {row(r), cols_}; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Set every element to `value`.
+  void fill(float value);
+  /// Set every element to zero (keeps shape).
+  void zero() { fill(0.0f); }
+  /// Reshape, reallocating as needed; contents are zeroed.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Elementwise in-place operations.
+  void add(const Matrix& other);                   // this += other
+  void add_scaled(const Matrix& other, float k);   // this += k * other
+  void scale(float k);                             // this *= k
+  void hadamard(const Matrix& other);              // this *= other (elementwise)
+
+  /// Frobenius-norm squared of all elements.
+  double squared_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a (R×K) * b (K×C). `out` is resized and overwritten.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a (R×K) * bᵀ where b is (C×K). The natural layout for y = x·Wᵀ
+/// with weight matrices stored as (out_features × in_features).
+void matmul_transb(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += aᵀ (K×R stored as R×K) * b (R×C) — i.e. out (K×C) accumulates
+/// gradient contributions Σ_r a[r]ᵀ b[r]. Used for weight gradients.
+void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Add a row vector (1×C or length-C matrix) to every row of m.
+void add_row_vector(Matrix& m, const Matrix& row);
+
+/// Accumulate column sums of m into row vector `out` (1×C).
+void sum_rows_accumulate(const Matrix& m, Matrix& out);
+
+}  // namespace nfv::ml

@@ -1,0 +1,194 @@
+#include "ml/ocsvm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+OcSvm::OcSvm(const OcSvmConfig& config) : config_(config) {
+  NFV_CHECK(config.nu > 0.0 && config.nu <= 1.0, "nu must be in (0, 1]");
+}
+
+double OcSvm::kernel(std::span<const float> a, std::span<const float> b) const {
+  NFV_CHECK(a.size() == b.size(), "kernel input width mismatch");
+  double dist2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    dist2 += d * d;
+  }
+  return std::exp(-gamma_effective_ * dist2);
+}
+
+void OcSvm::fit(const Matrix& data) {
+  NFV_CHECK(data.rows() > 0 && data.cols() > 0, "OcSvm::fit on empty data");
+
+  // Deterministic stride subsample if the training set is too large for the
+  // O(n²) kernel matrix.
+  Matrix train;
+  if (data.rows() > config_.max_training_rows) {
+    const std::size_t stride =
+        (data.rows() + config_.max_training_rows - 1) /
+        config_.max_training_rows;
+    std::size_t kept = 0;
+    for (std::size_t r = 0; r < data.rows(); r += stride) ++kept;
+    train.resize(kept, data.cols());
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < data.rows(); r += stride) {
+      std::memcpy(train.row(w++), data.row(r), data.cols() * sizeof(float));
+    }
+  } else {
+    train = data;
+  }
+  const std::size_t n = train.rows();
+  const std::size_t d = train.cols();
+
+  // Default gamma = 1 / (d * mean feature variance), the usual "scale"
+  // heuristic.
+  if (config_.gamma > 0.0) {
+    gamma_effective_ = config_.gamma;
+  } else {
+    double total_var = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      double sum = 0.0;
+      double sum2 = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double v = train.at(r, c);
+        sum += v;
+        sum2 += v * v;
+      }
+      const double mean = sum / static_cast<double>(n);
+      total_var += sum2 / static_cast<double>(n) - mean * mean;
+    }
+    const double mean_var = total_var / static_cast<double>(d);
+    gamma_effective_ =
+        mean_var > 1e-12 ? 1.0 / (static_cast<double>(d) * mean_var) : 1.0;
+  }
+
+  // Kernel matrix.
+  std::vector<double> K(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    K[i * n + i] = 1.0;  // RBF: K(x,x) = 1
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double k = kernel(train.row_span(i), train.row_span(j));
+      K[i * n + j] = k;
+      K[j * n + i] = k;
+    }
+  }
+
+  // Initialize α feasibly: first ⌊νn⌋ points at the cap, remainder on one.
+  const double cap = 1.0 / (config_.nu * static_cast<double>(n));
+  std::vector<double> alpha(n, 0.0);
+  {
+    double remaining = 1.0;
+    for (std::size_t i = 0; i < n && remaining > 0.0; ++i) {
+      const double take = std::min(cap, remaining);
+      alpha[i] = take;
+      remaining -= take;
+    }
+  }
+
+  // Gradient of the dual objective: g_i = (Kα)_i.
+  std::vector<double> grad(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += K[i * n + j] * alpha[j];
+    grad[i] = sum;
+  }
+
+  // Maximal-violating-pair SMO. Decrease α where the gradient is large,
+  // increase where it is small, preserving Σα = 1 and the box constraint.
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    std::size_t up = n;    // candidate to increase (α < cap), min gradient
+    std::size_t down = n;  // candidate to decrease (α > 0), max gradient
+    double min_grad = std::numeric_limits<double>::infinity();
+    double max_grad = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alpha[i] < cap - 1e-15 && grad[i] < min_grad) {
+        min_grad = grad[i];
+        up = i;
+      }
+      if (alpha[i] > 1e-15 && grad[i] > max_grad) {
+        max_grad = grad[i];
+        down = i;
+      }
+    }
+    if (up == n || down == n || max_grad - min_grad < config_.tolerance) break;
+
+    // Optimal unconstrained step for the pair, then clip to the box.
+    const double denom =
+        std::max(K[up * n + up] + K[down * n + down] - 2.0 * K[up * n + down],
+                 1e-12);
+    double delta = (max_grad - min_grad) / denom;
+    delta = std::min(delta, cap - alpha[up]);
+    delta = std::min(delta, alpha[down]);
+    if (delta <= 0.0) break;
+    alpha[up] += delta;
+    alpha[down] -= delta;
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] += delta * (K[i * n + up] - K[i * n + down]);
+    }
+  }
+
+  // ρ = average decision value over free support vectors (0 < α < cap);
+  // fall back to all support vectors if none are strictly free.
+  double rho_sum = 0.0;
+  std::size_t rho_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-12 && alpha[i] < cap - 1e-12) {
+      rho_sum += grad[i];
+      ++rho_count;
+    }
+  }
+  if (rho_count == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alpha[i] > 1e-12) {
+        rho_sum += grad[i];
+        ++rho_count;
+      }
+    }
+  }
+  rho_ = rho_count > 0 ? rho_sum / static_cast<double>(rho_count) : 0.0;
+
+  // Keep only support vectors.
+  std::size_t m = 0;
+  for (double a : alpha) {
+    if (a > 1e-12) ++m;
+  }
+  support_vectors_.resize(m, d);
+  alphas_.clear();
+  alphas_.reserve(m);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-12) {
+      std::memcpy(support_vectors_.row(w++), train.row(i), d * sizeof(float));
+      alphas_.push_back(alpha[i]);
+    }
+  }
+}
+
+double OcSvm::decision_value(std::span<const float> x) const {
+  NFV_CHECK(trained(), "OcSvm::decision_value before fit");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    sum += alphas_[i] * kernel(support_vectors_.row_span(i), x);
+  }
+  return sum - rho_;
+}
+
+double OcSvm::anomaly_score(std::span<const float> x) const {
+  return -decision_value(x);
+}
+
+std::vector<double> OcSvm::anomaly_scores(const Matrix& data) const {
+  std::vector<double> out(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    out[r] = anomaly_score(data.row_span(r));
+  }
+  return out;
+}
+
+}  // namespace nfv::ml

@@ -1,0 +1,56 @@
+// One-Class SVM baseline (§5.2, Fig. 6).
+//
+// Schölkopf's ν-one-class SVM with an RBF kernel, trained by an SMO-style
+// maximal-violating-pair solver on the dual:
+//     min ½ αᵀKα   s.t.  0 ≤ α_i ≤ 1/(νn),  Σα_i = 1.
+// The decision value f(x) = Σα_i K(x_i,x) − ρ is positive inside the learned
+// "normal" region; the anomaly score is ρ − Σα_i K(x_i,x).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace nfv::ml {
+
+struct OcSvmConfig {
+  double nu = 0.1;        // upper bound on training outlier fraction
+  double gamma = 0.0;     // RBF width; <=0 means 1/(d · feature variance)
+  std::size_t max_iterations = 20000;
+  double tolerance = 1e-4;
+  std::size_t max_training_rows = 1500;  // subsample beyond this (O(n²) kernel)
+};
+
+/// One-class SVM model with training-vector storage.
+class OcSvm {
+ public:
+  explicit OcSvm(const OcSvmConfig& config = {});
+
+  /// Fit on rows of `data` (each row one feature vector). Rows beyond
+  /// `max_training_rows` are dropped deterministically (stride subsample).
+  void fit(const Matrix& data);
+
+  bool trained() const { return !support_vectors_.empty(); }
+  double rho() const { return rho_; }
+  std::size_t support_vector_count() const { return support_vectors_.rows(); }
+  double gamma() const { return gamma_effective_; }
+
+  /// Decision value f(x); positive = normal side of the boundary.
+  double decision_value(std::span<const float> x) const;
+
+  /// Anomaly score = ρ − Σα_i K(x_i, x)  (= −decision_value).
+  double anomaly_score(std::span<const float> x) const;
+  std::vector<double> anomaly_scores(const Matrix& data) const;
+
+ private:
+  double kernel(std::span<const float> a, std::span<const float> b) const;
+
+  OcSvmConfig config_;
+  double gamma_effective_ = 0.0;
+  Matrix support_vectors_;       // (m × d)
+  std::vector<double> alphas_;   // length m, all > 0
+  double rho_ = 0.0;
+};
+
+}  // namespace nfv::ml

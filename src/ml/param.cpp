@@ -1,0 +1,31 @@
+#include "ml/param.h"
+
+#include <cmath>
+
+namespace nfv::ml {
+
+void xavier_uniform(Matrix& m, std::size_t fan_in, std::size_t fan_out,
+                    nfv::util::Rng& rng) {
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  uniform_init(m, a, rng);
+}
+
+void uniform_init(Matrix& m, float scale, nfv::util::Rng& rng) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-scale, scale));
+  }
+}
+
+double clip_gradients(const std::vector<Param*>& params, double max_norm) {
+  double total = 0.0;
+  for (const Param* p : params) total += p->grad.squared_norm();
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const auto k = static_cast<float>(max_norm / norm);
+    for (Param* p : params) p->grad.scale(k);
+  }
+  return norm;
+}
+
+}  // namespace nfv::ml

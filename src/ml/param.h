@@ -1,0 +1,39 @@
+// Trainable parameter tensors and initializers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+/// A named trainable tensor: value, gradient accumulator, and a freeze flag
+/// used by the transfer-learning adaptation step (frozen parameters keep
+/// their teacher weights while top layers fine-tune).
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+  bool frozen = false;
+
+  Param() = default;
+  Param(std::string n, std::size_t rows, std::size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(Matrix& m, std::size_t fan_in, std::size_t fan_out,
+                    nfv::util::Rng& rng);
+
+/// Uniform init in [-scale, scale].
+void uniform_init(Matrix& m, float scale, nfv::util::Rng& rng);
+
+/// Global L2-norm gradient clipping across a parameter set; returns the
+/// pre-clip norm. Standard practice for LSTM BPTT stability.
+double clip_gradients(const std::vector<Param*>& params, double max_norm);
+
+}  // namespace nfv::ml

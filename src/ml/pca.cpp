@@ -1,0 +1,113 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+Pca::Pca(const PcaConfig& config) : config_(config) {}
+
+void Pca::fit(const Matrix& data, nfv::util::Rng& rng) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  NFV_CHECK(n >= 2, "Pca::fit requires at least two rows");
+  const std::size_t k = std::min(config_.components, d);
+
+  mean_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = data.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  // Covariance (d × d). Feature widths here are small (template vocab or
+  // TF-IDF dims), so the dense covariance is fine.
+  std::vector<double> cov(d * d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = data.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = row[i] - mean_[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov[i * d + j] += xi * (row[j] - mean_[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov[i * d + j] /= static_cast<double>(n - 1);
+      cov[j * d + i] = cov[i * d + j];
+    }
+  }
+
+  components_.resize(k, d);
+  variance_.assign(k, 0.0);
+  std::vector<double> v(d);
+  std::vector<double> cv(d);
+  for (std::size_t comp = 0; comp < k; ++comp) {
+    for (double& x : v) x = rng.uniform(-1.0, 1.0);
+    double eigenvalue = 0.0;
+    for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+      // Deflate: remove projections onto previously found components.
+      for (std::size_t prev = 0; prev < comp; ++prev) {
+        double dot = 0.0;
+        const float* p = components_.row(prev);
+        for (std::size_t i = 0; i < d; ++i) dot += v[i] * p[i];
+        for (std::size_t i = 0; i < d; ++i) v[i] -= dot * p[i];
+      }
+      // cv = Cov · v.
+      for (std::size_t i = 0; i < d; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < d; ++j) sum += cov[i * d + j] * v[j];
+        cv[i] = sum;
+      }
+      double norm = 0.0;
+      for (double x : cv) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-15) break;  // null direction
+      double delta = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        const double next = cv[i] / norm;
+        delta += (next - v[i]) * (next - v[i]);
+        v[i] = next;
+      }
+      eigenvalue = norm;
+      if (delta < config_.tolerance) break;
+    }
+    variance_[comp] = eigenvalue;
+    for (std::size_t i = 0; i < d; ++i) {
+      components_.at(comp, i) = static_cast<float>(v[i]);
+    }
+  }
+}
+
+std::vector<double> Pca::project(std::span<const float> x) const {
+  NFV_CHECK(trained(), "Pca::project before fit");
+  NFV_CHECK(x.size() == mean_.size(), "Pca::project width mismatch");
+  std::vector<double> out(components_.rows(), 0.0);
+  for (std::size_t c = 0; c < components_.rows(); ++c) {
+    const float* p = components_.row(c);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      dot += (static_cast<double>(x[i]) - mean_[i]) * p[i];
+    }
+    out[c] = dot;
+  }
+  return out;
+}
+
+double Pca::residual_energy(std::span<const float> x) const {
+  NFV_CHECK(trained(), "Pca::residual_energy before fit");
+  NFV_CHECK(x.size() == mean_.size(), "Pca width mismatch");
+  const std::vector<double> coeffs = project(x);
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double centered = static_cast<double>(x[i]) - mean_[i];
+    total += centered * centered;
+  }
+  double projected = 0.0;
+  for (double c : coeffs) projected += c * c;
+  return std::max(0.0, total - projected);
+}
+
+}  // namespace nfv::ml

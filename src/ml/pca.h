@@ -1,0 +1,49 @@
+// Principal component analysis via orthogonal power iteration.
+//
+// Used as an extension baseline: Xu et al. (SOSP '09) — cited by the paper —
+// detect console-log anomalies by projecting feature vectors onto the top
+// principal components and scoring the residual subspace energy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+struct PcaConfig {
+  std::size_t components = 4;
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-7;
+};
+
+/// PCA model: mean + top-k principal directions of the training data.
+class Pca {
+ public:
+  explicit Pca(const PcaConfig& config = {});
+
+  /// Fit on the rows of `data` (n × d). Requires n ≥ 2.
+  void fit(const Matrix& data, nfv::util::Rng& rng);
+
+  bool trained() const { return !components_.empty(); }
+  std::size_t component_count() const { return components_.rows(); }
+  const Matrix& components() const { return components_; }
+  const std::vector<double>& explained_variance() const { return variance_; }
+
+  /// Project a row vector onto the principal subspace (length = components).
+  std::vector<double> project(std::span<const float> x) const;
+
+  /// Squared residual after removing the principal-subspace projection —
+  /// the anomaly score of Xu et al.
+  double residual_energy(std::span<const float> x) const;
+
+ private:
+  PcaConfig config_;
+  std::vector<double> mean_;
+  Matrix components_;            // (k × d), orthonormal rows
+  std::vector<double> variance_; // eigenvalues (descending)
+};
+
+}  // namespace nfv::ml

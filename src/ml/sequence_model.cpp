@@ -1,0 +1,261 @@
+#include "ml/sequence_model.h"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "ml/loss.h"
+#include "ml/serialize.h"
+#include "util/check.h"
+
+namespace nfv::ml {
+
+float normalize_dt(float dt_seconds) {
+  // log1p compresses the heavy-tailed inter-arrival distribution; the /10
+  // keeps the feature within roughly [0, 1.5] for Δt up to a few hours.
+  return std::log1p(std::max(dt_seconds, 0.0f)) * 0.1f;
+}
+
+SequenceModel::SequenceModel(const SequenceModelConfig& config,
+                             nfv::util::Rng& rng)
+    : config_(config),
+      embedding_("embed", config.vocab, config.embed_dim, rng),
+      output_("out", config.hidden, config.vocab, Activation::kLinear, rng) {
+  NFV_CHECK(config.vocab > 0, "SequenceModel requires a non-empty vocabulary");
+  NFV_CHECK(config.layers >= 1, "SequenceModel requires at least one LSTM layer");
+  NFV_CHECK(config.window >= 1, "SequenceModel requires window >= 1");
+  const std::size_t in0 = config.embed_dim + (config.use_dt_feature ? 1 : 0);
+  lstm_layers_.reserve(config.layers);
+  for (std::size_t l = 0; l < config.layers; ++l) {
+    lstm_layers_.emplace_back("lstm" + std::to_string(l),
+                              l == 0 ? in0 : config.hidden, config.hidden,
+                              rng);
+  }
+}
+
+std::vector<Param*> SequenceModel::params() {
+  std::vector<Param*> out;
+  for (Param* p : embedding_.params()) out.push_back(p);
+  for (Lstm& lstm : lstm_layers_) {
+    for (Param* p : lstm.params()) out.push_back(p);
+  }
+  for (Param* p : output_.params()) out.push_back(p);
+  return out;
+}
+
+void SequenceModel::build_inputs(
+    const std::vector<const SeqExample*>& batch, std::vector<Matrix>& inputs,
+    std::vector<std::vector<std::int32_t>>* ids_steps) const {
+  const std::size_t k = config_.window;
+  const std::size_t batch_size = batch.size();
+  const std::size_t width =
+      config_.embed_dim + (config_.use_dt_feature ? 1 : 0);
+  inputs.assign(k, Matrix());
+  if (ids_steps) ids_steps->assign(k, {});
+  for (std::size_t t = 0; t < k; ++t) {
+    Matrix& input = inputs[t];
+    input.resize(batch_size, width);
+    if (ids_steps) (*ids_steps)[t].resize(batch_size);
+    for (std::size_t r = 0; r < batch_size; ++r) {
+      const SeqExample& ex = *batch[r];
+      NFV_CHECK(ex.ids.size() == k && ex.dts.size() == k,
+                "SeqExample window length " << ex.ids.size()
+                                            << " != model window " << k);
+      const auto id = ex.ids[t];
+      NFV_CHECK(id >= 0 &&
+                    static_cast<std::size_t>(id) < embedding_.vocab(),
+                "template id " << id << " outside vocab "
+                               << embedding_.vocab());
+      const float* row =
+          embedding_.table().value.row(static_cast<std::size_t>(id));
+      std::memcpy(input.row(r), row, config_.embed_dim * sizeof(float));
+      if (config_.use_dt_feature) {
+        input.at(r, config_.embed_dim) = normalize_dt(ex.dts[t]);
+      }
+      if (ids_steps) (*ids_steps)[t][r] = id;
+    }
+  }
+}
+
+double SequenceModel::forward_backward(
+    const std::vector<const SeqExample*>& batch) {
+  const std::size_t k = config_.window;
+  const std::size_t batch_size = batch.size();
+
+  std::vector<Matrix> inputs;
+  std::vector<std::vector<std::int32_t>> ids_steps;
+  build_inputs(batch, inputs, &ids_steps);
+
+  // Forward through the LSTM stack.
+  const std::vector<Matrix>* hidden = &lstm_layers_[0].forward(inputs);
+  for (std::size_t l = 1; l < lstm_layers_.size(); ++l) {
+    hidden = &lstm_layers_[l].forward(*hidden);
+  }
+  const Matrix& logits = output_.forward(hidden->back());
+
+  std::vector<std::int32_t> targets(batch_size);
+  for (std::size_t r = 0; r < batch_size; ++r) targets[r] = batch[r]->target;
+  Matrix grad_logits;
+  const double loss = softmax_cross_entropy(logits, targets, grad_logits);
+
+  // Backward: dense head, then the LSTM stack top-down.
+  const Matrix& dh_last = output_.backward(grad_logits);
+  std::vector<Matrix> grad_hidden(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    grad_hidden[t].resize(batch_size, config_.hidden);
+  }
+  grad_hidden[k - 1] = dh_last;
+  const std::vector<Matrix>* grad_below = &grad_hidden;
+  for (std::size_t l = lstm_layers_.size(); l-- > 0;) {
+    grad_below = &lstm_layers_[l].backward(*grad_below);
+  }
+
+  // Scatter input gradients back into the embedding table.
+  Matrix& table_grad = embedding_.table().grad;
+  for (std::size_t t = 0; t < k; ++t) {
+    const Matrix& dx = (*grad_below)[t];
+    for (std::size_t r = 0; r < batch_size; ++r) {
+      float* grad_row = table_grad.row(
+          static_cast<std::size_t>(ids_steps[t][r]));
+      const float* g = dx.row(r);
+      for (std::size_t c = 0; c < config_.embed_dim; ++c) grad_row[c] += g[c];
+    }
+  }
+  return loss;
+}
+
+double SequenceModel::train_batch(const std::vector<const SeqExample*>& batch,
+                                  Optimizer& optimizer, double max_grad_norm) {
+  NFV_CHECK(!batch.empty(), "train_batch on empty batch");
+  const double loss = forward_backward(batch);
+  clip_gradients(params(), max_grad_norm);
+  optimizer.step();
+  return loss;
+}
+
+void SequenceModel::predict(const std::vector<const SeqExample*>& batch,
+                            Matrix& probs) const {
+  NFV_CHECK(!batch.empty(), "predict on empty batch");
+  std::vector<Matrix> inputs;
+  build_inputs(batch, inputs, nullptr);
+
+  // Stateful stepping avoids touching the training caches, keeping
+  // prediction const and cheap.
+  std::vector<LstmState> states;
+  states.reserve(lstm_layers_.size());
+  for (const Lstm& lstm : lstm_layers_) {
+    states.push_back(lstm.make_state(batch.size()));
+  }
+  for (std::size_t t = 0; t < config_.window; ++t) {
+    const Matrix* x = &inputs[t];
+    for (std::size_t l = 0; l < lstm_layers_.size(); ++l) {
+      lstm_layers_[l].step(*x, states[l]);
+      x = &states[l].h;
+    }
+  }
+  Matrix logits;
+  matmul_transb(states.back().h, output_.weight().value, logits);
+  add_row_vector(logits, output_.bias().value);
+  softmax(logits, probs);
+}
+
+std::vector<double> SequenceModel::score_log_likelihood(
+    const std::vector<const SeqExample*>& batch) const {
+  Matrix probs;
+  predict(batch, probs);
+  std::vector<double> out(batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    out[r] = log_prob(probs, r, batch[r]->target);
+  }
+  return out;
+}
+
+std::vector<std::size_t> SequenceModel::score_target_ranks(
+    const std::vector<const SeqExample*>& batch) const {
+  Matrix probs;
+  predict(batch, probs);
+  std::vector<std::size_t> out(batch.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const auto target = static_cast<std::size_t>(batch[r]->target);
+    NFV_CHECK(target < probs.cols(), "target outside vocabulary");
+    const float p_target = probs.at(r, target);
+    std::size_t rank = 0;
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      if (probs.at(r, c) > p_target) ++rank;
+    }
+    out[r] = rank;
+  }
+  return out;
+}
+
+void SequenceModel::freeze_lower_layers(std::size_t n) {
+  NFV_CHECK(n <= lstm_layers_.size(),
+            "cannot freeze " << n << " of " << lstm_layers_.size()
+                             << " LSTM layers");
+  const bool freeze_embed = n > 0;
+  for (Param* p : embedding_.params()) p->frozen = freeze_embed;
+  for (std::size_t l = 0; l < lstm_layers_.size(); ++l) {
+    const bool freeze = l < n;
+    for (Param* p : lstm_layers_[l].params()) p->frozen = freeze;
+  }
+  for (Param* p : output_.params()) p->frozen = false;
+}
+
+void SequenceModel::grow_vocab(std::size_t new_vocab, nfv::util::Rng& rng) {
+  NFV_CHECK(new_vocab >= config_.vocab, "grow_vocab cannot shrink");
+  if (new_vocab == config_.vocab) return;
+  embedding_.grow_vocab(new_vocab, rng);
+  // Grow the output head: new class rows in W and new bias columns.
+  Param& w = output_.weight();
+  Matrix grown_w(new_vocab, config_.hidden);
+  xavier_uniform(grown_w, config_.hidden, new_vocab, rng);
+  for (std::size_t r = 0; r < config_.vocab; ++r) {
+    std::memcpy(grown_w.row(r), w.value.row(r),
+                config_.hidden * sizeof(float));
+  }
+  w.value = std::move(grown_w);
+  w.grad.resize(new_vocab, config_.hidden);
+  Param& b = output_.bias();
+  Matrix grown_b(1, new_vocab);
+  std::memcpy(grown_b.row(0), b.value.row(0),
+              config_.vocab * sizeof(float));
+  b.value = std::move(grown_b);
+  b.grad.resize(1, new_vocab);
+  config_.vocab = new_vocab;
+}
+
+void SequenceModel::save(std::ostream& os) const {
+  write_u64(os, kSequenceModelMagic);
+  write_u64(os, config_.vocab);
+  write_u64(os, config_.embed_dim);
+  write_u64(os, config_.hidden);
+  write_u64(os, config_.layers);
+  write_u64(os, config_.window);
+  write_u64(os, config_.use_dt_feature ? 1 : 0);
+  auto* self = const_cast<SequenceModel*>(this);
+  for (Param* p : self->params()) write_matrix(os, p->value);
+}
+
+SequenceModel SequenceModel::load(std::istream& is) {
+  NFV_CHECK(read_u64(is) == kSequenceModelMagic,
+            "not a SequenceModel stream");
+  SequenceModelConfig config;
+  config.vocab = read_u64(is);
+  config.embed_dim = read_u64(is);
+  config.hidden = read_u64(is);
+  config.layers = read_u64(is);
+  config.window = read_u64(is);
+  config.use_dt_feature = read_u64(is) != 0;
+  nfv::util::Rng rng(0);  // weights are overwritten below
+  SequenceModel model(config, rng);
+  for (Param* p : model.params()) {
+    Matrix m = read_matrix(is);
+    NFV_CHECK(m.rows() == p->value.rows() && m.cols() == p->value.cols(),
+              "saved tensor shape mismatch for " << p->name);
+    p->value = std::move(m);
+  }
+  return model;
+}
+
+}  // namespace nfv::ml

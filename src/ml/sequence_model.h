@@ -1,0 +1,105 @@
+// The paper's syslog sequence model: embedding → 2 stacked LSTM layers →
+// dense softmax over the template vocabulary (§5.1: "Our final LSTM model
+// consists of 2 LSTM layers and 1 dense layer").
+//
+// Given the k previous syslog tuples (template id, inter-arrival time) the
+// model predicts a probability distribution for the (k+1)-th template. A low
+// log-likelihood of the actually observed template flags an anomaly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/dense.h"
+#include "ml/embedding.h"
+#include "ml/lstm.h"
+#include "ml/matrix.h"
+#include "ml/optimizer.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+/// One training/scoring window: k template ids with their inter-arrival
+/// times (seconds), plus the id of the template that followed.
+struct SeqExample {
+  std::vector<std::int32_t> ids;  // length k
+  std::vector<float> dts;         // length k, seconds since previous log
+  std::int32_t target = 0;        // the (k+1)-th template id
+};
+
+/// Model hyper-parameters. The paper reports performance is "fairly
+/// insensitive to parameter choices"; defaults here are sized for the
+/// simulator's vocabulary.
+struct SequenceModelConfig {
+  std::size_t vocab = 0;        // template-dictionary size (required)
+  std::size_t embed_dim = 16;   // template embedding width
+  std::size_t hidden = 32;      // LSTM hidden width
+  std::size_t layers = 2;       // stacked LSTM layers
+  std::size_t window = 10;      // k = history length
+  bool use_dt_feature = true;   // append log1p(Δt) to each embedded input
+};
+
+/// Two-layer LSTM next-template language model with manual backprop.
+/// Copyable: copying yields an independent model with identical weights,
+/// which is exactly the teacher→student step of the transfer-learning
+/// adaptation (§4.3).
+class SequenceModel {
+ public:
+  SequenceModel(const SequenceModelConfig& config, nfv::util::Rng& rng);
+
+  const SequenceModelConfig& config() const { return config_; }
+
+  /// All trainable parameters, bottom (embedding) to top (output dense).
+  std::vector<Param*> params();
+
+  /// One optimization step on a batch. Returns mean cross-entropy loss.
+  /// Gradients are clipped to `max_grad_norm` before the optimizer step.
+  double train_batch(const std::vector<const SeqExample*>& batch,
+                     Optimizer& optimizer, double max_grad_norm = 5.0);
+
+  /// Forward-only: probability rows over the vocabulary, one per example.
+  void predict(const std::vector<const SeqExample*>& batch,
+               Matrix& probs) const;
+
+  /// Log-likelihood of each example's observed target under the model.
+  std::vector<double> score_log_likelihood(
+      const std::vector<const SeqExample*>& batch) const;
+
+  /// Rank (0-based) of each example's observed target in the predicted
+  /// distribution: 0 = most likely next template. DeepLog-style detection
+  /// flags an event whose rank is ≥ k.
+  std::vector<std::size_t> score_target_ranks(
+      const std::vector<const SeqExample*>& batch) const;
+
+  /// Freeze the embedding and the bottom `n` LSTM layers; the remaining
+  /// layers (and the output head) stay trainable. Passing 0 unfreezes all.
+  void freeze_lower_layers(std::size_t n);
+
+  /// Extend the template vocabulary (new embedding rows + output columns
+  /// randomly initialized); existing weights are preserved. Needed when a
+  /// software update introduces previously unseen templates.
+  void grow_vocab(std::size_t new_vocab, nfv::util::Rng& rng);
+
+  void save(std::ostream& os) const;
+  static SequenceModel load(std::istream& is);
+
+ private:
+  /// Builds per-timestep input matrices from the batch (embedding + Δt).
+  void build_inputs(const std::vector<const SeqExample*>& batch,
+                    std::vector<Matrix>& inputs,
+                    std::vector<std::vector<std::int32_t>>* ids_steps) const;
+
+  double forward_backward(const std::vector<const SeqExample*>& batch);
+
+  SequenceModelConfig config_;
+  Embedding embedding_;
+  std::vector<Lstm> lstm_layers_;
+  Dense output_;
+};
+
+/// Normalization applied to Δt before it enters the network; exposed for
+/// tests. Maps seconds to a small bounded feature via log1p scaling.
+float normalize_dt(float dt_seconds);
+
+}  // namespace nfv::ml

@@ -1,0 +1,40 @@
+#include "ml/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+void write_u64(std::ostream& os, std::uint64_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof(value));
+  NFV_CHECK(is.good(), "unexpected end of checkpoint stream");
+  return value;
+}
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  write_u64(os, kMatrixMagic);
+  write_u64(os, m.rows());
+  write_u64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Matrix read_matrix(std::istream& is) {
+  NFV_CHECK(read_u64(is) == kMatrixMagic, "corrupt checkpoint: bad matrix tag");
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  Matrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  NFV_CHECK(is.good(), "unexpected end of checkpoint stream in matrix body");
+  return m;
+}
+
+}  // namespace nfv::ml

@@ -1,0 +1,22 @@
+// Minimal binary (de)serialization for model checkpoints. Little-endian
+// host order; the library never exchanges checkpoints across machines.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "ml/matrix.h"
+
+namespace nfv::ml {
+
+inline constexpr std::uint64_t kSequenceModelMagic = 0x4e46565345514d31ULL;
+inline constexpr std::uint64_t kAutoencoderMagic = 0x4e4656414531ULL;
+inline constexpr std::uint64_t kMatrixMagic = 0x4e46564d5831ULL;
+
+void write_u64(std::ostream& os, std::uint64_t value);
+std::uint64_t read_u64(std::istream& is);
+
+void write_matrix(std::ostream& os, const Matrix& m);
+Matrix read_matrix(std::istream& is);
+
+}  // namespace nfv::ml

@@ -1,0 +1,116 @@
+#include "ml/som.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+
+namespace {
+
+double squared_distance(std::span<const float> a, std::span<const float> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Som::Som(const SomConfig& config) : config_(config) {
+  NFV_CHECK(config.rows >= 1 && config.cols >= 1, "SOM grid must be non-empty");
+  NFV_CHECK(config.epochs >= 1, "SOM needs at least one epoch");
+}
+
+void Som::fit(const Matrix& data, nfv::util::Rng& rng) {
+  NFV_CHECK(data.rows() > 0 && data.cols() > 0, "Som::fit on empty data");
+  dim_ = data.cols();
+  const std::size_t n_units = units();
+  codebook_.resize(n_units, dim_);
+  // Initialize codebook from random training samples (plus tiny noise so
+  // duplicate samples don't create identical units).
+  for (std::size_t u = 0; u < n_units; ++u) {
+    const std::size_t pick = rng.uniform_index(data.rows());
+    for (std::size_t c = 0; c < dim_; ++c) {
+      codebook_.at(u, c) =
+          data.at(pick, c) + static_cast<float>(rng.uniform(-1e-4, 1e-4));
+    }
+  }
+
+  std::vector<std::size_t> order(data.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double total_steps = static_cast<double>(config_.epochs);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double progress = static_cast<double>(epoch) / total_steps;
+    const double lr =
+        config_.initial_learning_rate *
+        std::pow(config_.final_learning_rate / config_.initial_learning_rate,
+                 progress);
+    const double radius =
+        std::max(0.5, config_.initial_radius *
+                          std::pow(0.5 / config_.initial_radius, progress));
+    const double radius2 = radius * radius;
+
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      const std::span<const float> x = data.row_span(i);
+      const std::size_t bmu = best_matching_unit(x);
+      const auto [bmu_r, bmu_c] = unit_position(bmu);
+      for (std::size_t u = 0; u < n_units; ++u) {
+        const auto [ur, uc] = unit_position(u);
+        const double grid_d2 =
+            (static_cast<double>(ur) - static_cast<double>(bmu_r)) *
+                (static_cast<double>(ur) - static_cast<double>(bmu_r)) +
+            (static_cast<double>(uc) - static_cast<double>(bmu_c)) *
+                (static_cast<double>(uc) - static_cast<double>(bmu_c));
+        if (grid_d2 > 9.0 * radius2) continue;  // negligible influence
+        const double h = std::exp(-grid_d2 / (2.0 * radius2));
+        float* w = codebook_.row(u);
+        const auto step = static_cast<float>(lr * h);
+        for (std::size_t c = 0; c < dim_; ++c) {
+          w[c] += step * (x[c] - w[c]);
+        }
+      }
+    }
+  }
+}
+
+std::size_t Som::best_matching_unit(std::span<const float> x) const {
+  NFV_CHECK(trained(), "Som::best_matching_unit before fit");
+  NFV_CHECK(x.size() == dim_, "SOM input width mismatch");
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t u = 0; u < units(); ++u) {
+    const double d = squared_distance(codebook_.row_span(u), x);
+    if (d < best_d) {
+      best_d = d;
+      best = u;
+    }
+  }
+  return best;
+}
+
+double Som::quantization_error(std::span<const float> x) const {
+  const std::size_t bmu = best_matching_unit(x);
+  return std::sqrt(squared_distance(codebook_.row_span(bmu), x));
+}
+
+std::vector<std::size_t> Som::assign(const Matrix& data) const {
+  std::vector<std::size_t> out(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    out[r] = best_matching_unit(data.row_span(r));
+  }
+  return out;
+}
+
+std::span<const float> Som::codebook(std::size_t unit) const {
+  NFV_CHECK(trained(), "Som::codebook before fit");
+  NFV_CHECK(unit < units(), "SOM unit out of range");
+  return codebook_.row_span(unit);
+}
+
+}  // namespace nfv::ml

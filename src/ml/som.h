@@ -1,0 +1,62 @@
+// Self-Organizing Map (Kohonen network).
+//
+// The paper's related work (vNMF, [21]/[24]) clusters NFV monitoring data
+// with SOMs. This 2-D map over template-distribution vectors provides the
+// alternative vPE-grouping method the ablation bench compares against
+// K-means.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+
+struct SomConfig {
+  std::size_t rows = 3;
+  std::size_t cols = 3;
+  std::size_t epochs = 60;
+  double initial_learning_rate = 0.5;
+  double final_learning_rate = 0.02;
+  /// Initial neighbourhood radius (in grid cells); decays to ~0.5.
+  double initial_radius = 2.0;
+};
+
+/// Rectangular SOM with Gaussian neighbourhood and exponential decay.
+class Som {
+ public:
+  explicit Som(const SomConfig& config = {});
+
+  /// Train on the rows of `data` (n × d).
+  void fit(const Matrix& data, nfv::util::Rng& rng);
+
+  bool trained() const { return dim_ > 0; }
+  std::size_t units() const { return config_.rows * config_.cols; }
+  const SomConfig& config() const { return config_; }
+
+  /// Best-matching unit (flattened index) for a sample.
+  std::size_t best_matching_unit(std::span<const float> x) const;
+
+  /// Quantization error: distance of the sample to its BMU's codebook.
+  double quantization_error(std::span<const float> x) const;
+
+  /// Cluster labels for a dataset: each row's BMU index.
+  std::vector<std::size_t> assign(const Matrix& data) const;
+
+  /// Codebook vector of a unit.
+  std::span<const float> codebook(std::size_t unit) const;
+
+ private:
+  std::pair<std::size_t, std::size_t> unit_position(std::size_t unit) const {
+    return {unit / config_.cols, unit % config_.cols};
+  }
+
+  SomConfig config_;
+  std::size_t dim_ = 0;
+  Matrix codebook_;  // (rows*cols × d)
+};
+
+}  // namespace nfv::ml

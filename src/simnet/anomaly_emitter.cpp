@@ -1,0 +1,203 @@
+#include "simnet/anomaly_emitter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace nfv::simnet {
+
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+const CategoryTiming& AnomalyEmitterConfig::timing(
+    TicketCategory category) const {
+  switch (category) {
+    case TicketCategory::kCircuit:
+      return circuit;
+    case TicketCategory::kCable:
+      return cable;
+    case TicketCategory::kHardware:
+      return hardware;
+    case TicketCategory::kSoftware:
+      return software;
+    default:
+      return circuit;  // duplicates/maintenance never reach here
+  }
+}
+
+namespace {
+
+void emit_burst(std::vector<RawLogRecord>& out, SimTime start,
+                std::int32_t vpe, const std::vector<std::int32_t>& pool,
+                std::size_t burst_min, std::size_t burst_max,
+                double gap_mean_s, const TemplateCatalog& catalog, Rng& rng) {
+  NFV_CHECK(!pool.empty(), "anomaly burst with empty template pool");
+  const std::size_t count =
+      burst_min + rng.uniform_index(burst_max - burst_min + 1);
+  SimTime t = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    RawLogRecord rec;
+    rec.time = t;
+    rec.vpe = vpe;
+    rec.true_template = pool[rng.uniform_index(pool.size())];
+    rec.text = catalog.render(rec.true_template, rng);
+    rec.anomalous = true;
+    out.push_back(std::move(rec));
+    t = t + Duration::of_seconds(std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(rng.exponential(gap_mean_s))));
+  }
+}
+
+}  // namespace
+
+std::vector<RawLogRecord> emit_fault_logs(
+    const std::vector<FaultEvent>& faults, const std::vector<Ticket>& tickets,
+    const TemplateCatalog& catalog, const AnomalyEmitterConfig& config,
+    Rng& rng) {
+  // Index the primary ticket of each fault.
+  std::unordered_map<std::int64_t, const Ticket*> primary_by_fault;
+  for (const Ticket& ticket : tickets) {
+    if (ticket.fault_id >= 0 &&
+        ticket.category != TicketCategory::kDuplicate) {
+      primary_by_fault.emplace(ticket.fault_id, &ticket);
+    }
+  }
+
+  std::vector<RawLogRecord> out;
+  std::unordered_map<std::int64_t, bool> silent_fault;
+  for (const FaultEvent& fault : faults) {
+    const auto it = primary_by_fault.find(fault.fault_id);
+    NFV_CHECK(it != primary_by_fault.end(),
+              "fault " << fault.fault_id << " has no primary ticket");
+    const Ticket& ticket = *it->second;
+    const CategoryTiming& timing = config.timing(fault.category);
+    Rng fault_rng = rng.fork(static_cast<std::uint64_t>(fault.fault_id) + 7);
+
+    // Syslog-silent fault: the ticket exists, the VNF layer saw nothing.
+    if (fault_rng.bernoulli(timing.p_silent)) {
+      silent_fault[fault.fault_id] = true;
+      continue;
+    }
+
+    const std::vector<std::int32_t> precursors =
+        catalog.fault_ids(TemplateKind::kPrecursor, fault.category);
+    const std::vector<std::int32_t> errors =
+        catalog.fault_ids(TemplateKind::kError, fault.category);
+
+    // Pre-ticket precursor burst.
+    if (fault_rng.bernoulli(timing.p_precursor)) {
+      const auto lead = static_cast<std::int64_t>(fault_rng.lognormal(
+          std::log(timing.lead_median_s), timing.lead_sigma));
+      SimTime burst_start =
+          ticket.report - Duration::of_seconds(std::max<std::int64_t>(
+                              lead, 60));
+      // Never before the physical symptom could plausibly exist.
+      burst_start = std::max(burst_start,
+                             fault.onset - Duration::of_minutes(30));
+      if (burst_start.seconds > 0) {
+        emit_burst(out, burst_start, fault.vpe, precursors, config.burst_min,
+                   config.burst_max, config.burst_gap_mean_s, catalog,
+                   fault_rng);
+      }
+    }
+
+    // Post-report error burst.
+    if (fault_rng.bernoulli(timing.p_post_burst)) {
+      const auto lag = static_cast<std::int64_t>(fault_rng.lognormal(
+          std::log(config.post_lag_median_s), config.post_lag_sigma));
+      emit_burst(out, ticket.report + Duration::of_seconds(std::max<std::int64_t>(lag, 10)),
+                 fault.vpe, errors, config.burst_min, config.burst_max,
+                 config.burst_gap_mean_s, catalog, fault_rng);
+    }
+
+    // Error chatter across the infected period, in mini-bursts so that
+    // anything cut during the trouble (duplicate tickets in particular)
+    // has clusterable anomalies nearby.
+    SimTime t = ticket.report + Duration::of_seconds(static_cast<std::int64_t>(
+                                    fault_rng.exponential(
+                                        config.infected_gap_mean_s)));
+    if (!fault_rng.bernoulli(config.p_infected_chatter)) {
+      t = ticket.repair_finish;  // quiet infected period
+    }
+    while (t < ticket.repair_finish) {
+      emit_burst(out, t, fault.vpe, errors, config.burst_min,
+                 config.burst_max, config.burst_gap_mean_s, catalog,
+                 fault_rng);
+      t = t + Duration::of_seconds(std::max<std::int64_t>(
+                  1, static_cast<std::int64_t>(fault_rng.exponential(
+                         config.infected_gap_mean_s))));
+    }
+  }
+
+  // Duplicate tickets: the recurrence that triggers each follow-up ticket
+  // shows up as an error burst around its report time.
+  for (const Ticket& ticket : tickets) {
+    if (ticket.category != TicketCategory::kDuplicate) continue;
+    Rng dup_rng = rng.fork(static_cast<std::uint64_t>(ticket.ticket_id) + 13);
+    const FaultEvent* fault = nullptr;
+    for (const FaultEvent& candidate : faults) {
+      if (candidate.fault_id == ticket.fault_id) {
+        fault = &candidate;
+        break;
+      }
+    }
+    if (!fault) continue;
+    if (silent_fault[fault->fault_id]) continue;
+    const std::vector<std::int32_t> errors =
+        catalog.fault_ids(TemplateKind::kError, fault->category);
+    if (dup_rng.bernoulli(config.p_duplicate_post_burst)) {
+      emit_burst(out,
+                 ticket.report + Duration::of_seconds(
+                                     dup_rng.uniform_int(30, 480)),
+                 ticket.vpe, errors, config.burst_min, config.burst_max,
+                 config.burst_gap_mean_s, catalog, dup_rng);
+    }
+    if (dup_rng.bernoulli(config.p_duplicate_pre_burst)) {
+      emit_burst(out,
+                 ticket.report - Duration::of_seconds(
+                                     dup_rng.uniform_int(30, 300)),
+                 ticket.vpe, errors, config.burst_min, config.burst_max,
+                 config.burst_gap_mean_s, catalog, dup_rng);
+    }
+  }
+  return out;
+}
+
+std::vector<RawLogRecord> emit_near_miss_logs(
+    int num_vpes, SimTime horizon, const TemplateCatalog& catalog,
+    const AnomalyEmitterConfig& config, Rng& rng) {
+  std::vector<RawLogRecord> out;
+  if (config.near_miss_rate_per_day <= 0.0) return out;
+  const TicketCategory categories[4] = {
+      TicketCategory::kCircuit, TicketCategory::kCable,
+      TicketCategory::kHardware, TicketCategory::kSoftware};
+  const double mean_gap_s = 86400.0 / config.near_miss_rate_per_day;
+  for (int v = 0; v < num_vpes; ++v) {
+    Rng vpe_rng = rng.fork(static_cast<std::uint64_t>(v) + 4242);
+    SimTime t = SimTime{static_cast<std::int64_t>(
+        vpe_rng.exponential(mean_gap_s))};
+    while (t < horizon) {
+      const TicketCategory category =
+          categories[vpe_rng.uniform_index(4)];
+      // Near-misses repeat each category's single "noisy" symptom (the
+      // first precursor in catalog order). Real fault bursts draw from the
+      // whole precursor pool, so they keep reliable rare templates that
+      // the detector never sees in normal training data — otherwise
+      // ticket-less occurrences would teach the model that *every*
+      // precursor is normal and kill pre-ticket detection entirely.
+      const std::vector<std::int32_t> precursors =
+          catalog.fault_ids(TemplateKind::kPrecursor, category);
+      const std::vector<std::int32_t> noisy{precursors.front()};
+      emit_burst(out, t, v, noisy, config.burst_min, config.burst_max,
+                 config.burst_gap_mean_s, catalog, vpe_rng);
+      t = t + Duration::of_seconds(static_cast<std::int64_t>(
+                  vpe_rng.exponential(mean_gap_s)));
+    }
+  }
+  return out;
+}
+
+}  // namespace nfv::simnet

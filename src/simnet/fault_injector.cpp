@@ -1,0 +1,155 @@
+#include "simnet/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::simnet {
+
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+FaultSchedule inject_faults(const std::vector<VpeProfile>& profiles,
+                            SimTime horizon, const FaultInjectorConfig& config,
+                            Rng& rng) {
+  NFV_CHECK(!profiles.empty(), "inject_faults needs vPE profiles");
+  NFV_CHECK(horizon > SimTime::epoch(), "horizon must be positive");
+  FaultSchedule schedule;
+  std::int64_t next_fault_id = 0;
+
+  const double category_weights[4] = {config.p_circuit, config.p_cable,
+                                      config.p_hardware, config.p_software};
+  const TicketCategory categories[4] = {
+      TicketCategory::kCircuit, TicketCategory::kCable,
+      TicketCategory::kHardware, TicketCategory::kSoftware};
+
+  // Per-vPE primary fault renewal process.
+  for (const VpeProfile& profile : profiles) {
+    Rng vpe_rng = rng.fork(static_cast<std::uint64_t>(profile.vpe_id) + 77);
+    const double median_gap_s = config.fault_median_gap_h * 3600.0 /
+                                std::max(profile.fault_rate_scale, 1e-3);
+    const double mu = std::log(median_gap_s);
+    SimTime t = SimTime::epoch();
+    SimTime last_fault{-1};
+    while (true) {
+      const auto gap = static_cast<std::int64_t>(
+          vpe_rng.lognormal(mu, config.fault_gap_sigma));
+      t = t + Duration::of_seconds(std::max<std::int64_t>(gap, 60));
+      if (t >= horizon) break;
+      // Enforce the >40-minute spacing of Fig. 1(b) by dropping collisions
+      // (rare; only matters for the smallest sampled gaps).
+      if (last_fault.seconds >= 0 &&
+          t - last_fault < config.min_fault_gap) {
+        continue;
+      }
+      FaultEvent fault;
+      fault.fault_id = next_fault_id++;
+      fault.vpe = profile.vpe_id;
+      fault.category =
+          categories[vpe_rng.categorical(category_weights)];
+      fault.onset = t;
+      fault.cleared = t;  // finalized by the ticketing pipeline
+      fault.fleet_wide = false;
+      schedule.faults.push_back(fault);
+      last_fault = t;
+
+      // Related secondary trouble a few hours later (short-gap mass of
+      // Fig. 1(b)).
+      if (vpe_rng.bernoulli(config.p_secondary)) {
+        const SimTime secondary_time =
+            t + Duration::of_seconds(static_cast<std::int64_t>(
+                    3600.0 * vpe_rng.uniform(config.secondary_lag_min_h,
+                                             config.secondary_lag_max_h)));
+        if (secondary_time < horizon) {
+          FaultEvent secondary = fault;
+          secondary.fault_id = next_fault_id++;
+          secondary.category =
+              categories[vpe_rng.categorical(category_weights)];
+          secondary.onset = secondary_time;
+          secondary.cleared = secondary_time;
+          schedule.faults.push_back(secondary);
+          last_fault = secondary_time;
+          t = secondary_time;
+        }
+      }
+    }
+  }
+
+  // Per-vPE fault times, for collision checks below.
+  std::vector<std::vector<SimTime>> fault_times(profiles.size());
+  for (const FaultEvent& fault : schedule.faults) {
+    fault_times[static_cast<std::size_t>(fault.vpe)].push_back(fault.onset);
+  }
+  auto collides = [&](std::int32_t vpe, SimTime when) {
+    for (const SimTime t : fault_times[static_cast<std::size_t>(vpe)]) {
+      const auto gap = when >= t ? when - t : t - when;
+      if (gap < config.collision_margin) return true;
+    }
+    return false;
+  };
+
+  // Fleet-wide core-router events: same onset (±30 s) across a sampled
+  // subset of vPEs, surfacing as circuit troubles at each vPE.
+  for (int e = 0; e < config.fleet_wide_events; ++e) {
+    const auto when = static_cast<std::int64_t>(
+        rng.uniform(0.0, static_cast<double>(horizon.seconds)));
+    for (const VpeProfile& profile : profiles) {
+      if (!rng.bernoulli(config.fleet_wide_fraction)) continue;
+      if (collides(profile.vpe_id, SimTime{when})) continue;
+      FaultEvent fault;
+      fault.fault_id = next_fault_id++;
+      fault.vpe = profile.vpe_id;
+      fault.category = TicketCategory::kCircuit;
+      fault.onset = SimTime{when + rng.uniform_int(-30, 30)};
+      fault.cleared = fault.onset;
+      fault.fleet_wide = true;
+      schedule.faults.push_back(fault);
+      fault_times[static_cast<std::size_t>(profile.vpe_id)].push_back(
+          fault.onset);
+    }
+  }
+
+  std::sort(schedule.faults.begin(), schedule.faults.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.onset < b.onset;
+            });
+
+  // Maintenance campaigns: fleet-wide change windows covering a sampled
+  // subset of vPEs, spread over a few days around each campaign time.
+  {
+    Rng maint_rng = rng.fork(991);
+    const double gap_mu = std::log(config.campaign_gap_median_d * 86400.0);
+    SimTime campaign = SimTime{static_cast<std::int64_t>(maint_rng.uniform(
+        0.0, config.campaign_gap_median_d * 86400.0))};
+    while (campaign < horizon) {
+      for (const VpeProfile& profile : profiles) {
+        if (!maint_rng.bernoulli(config.campaign_coverage)) continue;
+        MaintenanceWindow window;
+        window.vpe = profile.vpe_id;
+        window.start =
+            campaign + Duration::of_seconds(static_cast<std::int64_t>(
+                           maint_rng.uniform(
+                               0.0, config.campaign_spread_d * 86400.0)));
+        if (window.start >= horizon) continue;
+        if (collides(profile.vpe_id, window.start)) continue;
+        window.length = Duration::of_seconds(static_cast<std::int64_t>(
+            3600.0 * maint_rng.uniform(config.maintenance_min_h,
+                                       config.maintenance_max_h)));
+        schedule.maintenance.push_back(window);
+      }
+      campaign =
+          campaign + Duration::of_seconds(static_cast<std::int64_t>(
+                         maint_rng.lognormal(gap_mu,
+                                             config.campaign_gap_sigma)));
+    }
+  }
+  std::sort(schedule.maintenance.begin(), schedule.maintenance.end(),
+            [](const MaintenanceWindow& a, const MaintenanceWindow& b) {
+              return a.start < b.start;
+            });
+  return schedule;
+}
+
+}  // namespace nfv::simnet

@@ -1,0 +1,112 @@
+#include "simnet/fleet.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nfv::simnet {
+
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+SimTime never() { return SimTime{std::numeric_limits<std::int64_t>::max()}; }
+
+std::size_t FleetTrace::total_log_count() const {
+  std::size_t total = 0;
+  for (const auto& logs : logs_by_vpe) total += logs.size();
+  return total;
+}
+
+FleetTrace simulate_fleet(const FleetConfig& config) {
+  NFV_CHECK(config.months > 0, "fleet must run for at least one month");
+  FleetTrace trace;
+  trace.config = config;
+  trace.catalog = TemplateCatalog::standard();
+  trace.horizon = nfv::util::month_start(config.months);
+
+  Rng rng(config.seed);
+  Rng profile_rng = rng.fork(1);
+  trace.profiles =
+      make_fleet_profiles(trace.catalog, config.profiles, profile_rng);
+
+  // Software-update rollout schedule.
+  Rng update_rng = rng.fork(2);
+  trace.update_time_by_vpe.assign(trace.profiles.size(), never());
+  if (config.update_month >= 0) {
+    const SimTime rollout = nfv::util::month_start(config.update_month);
+    for (const VpeProfile& profile : trace.profiles) {
+      if (!profile.affected_by_update) continue;
+      const auto stagger = static_cast<std::int64_t>(
+          update_rng.uniform(0.0, config.update_stagger_days * 86400.0));
+      trace.update_time_by_vpe[static_cast<std::size_t>(profile.vpe_id)] =
+          rollout + Duration::of_seconds(stagger);
+    }
+  }
+
+  // Faults, maintenance, tickets.
+  Rng fault_rng = rng.fork(3);
+  FaultSchedule schedule =
+      inject_faults(trace.profiles, trace.horizon, config.faults, fault_rng);
+  Rng ticket_rng = rng.fork(4);
+  TicketingResult ticketing =
+      run_ticketing(schedule, config.ticketing, ticket_rng);
+  trace.tickets = std::move(ticketing.tickets);
+  trace.faults = std::move(schedule.faults);
+  trace.maintenance = std::move(schedule.maintenance);
+
+  // Fault-driven syslogs.
+  Rng emit_rng = rng.fork(5);
+  std::vector<RawLogRecord> fault_logs = emit_fault_logs(
+      trace.faults, trace.tickets, trace.catalog, config.anomalies, emit_rng);
+  Rng near_miss_rng = rng.fork(6);
+  std::vector<RawLogRecord> near_miss_logs = emit_near_miss_logs(
+      config.profiles.num_vpes, trace.horizon, trace.catalog,
+      config.anomalies, near_miss_rng);
+  fault_logs.insert(fault_logs.end(),
+                    std::make_move_iterator(near_miss_logs.begin()),
+                    std::make_move_iterator(near_miss_logs.end()));
+
+  // Background syslogs per vPE, then merge in the fault logs.
+  trace.logs_by_vpe.resize(trace.profiles.size());
+  for (const VpeProfile& profile : trace.profiles) {
+    const auto v = static_cast<std::size_t>(profile.vpe_id);
+    std::vector<MaintenanceWindow> windows;
+    for (const MaintenanceWindow& w : trace.maintenance) {
+      if (w.vpe == profile.vpe_id) windows.push_back(w);
+    }
+    SyslogProcess process(&trace.catalog, &profile,
+                          trace.update_time_by_vpe[v], config.syslog,
+                          rng.fork(1000 + static_cast<std::uint64_t>(v)));
+    trace.logs_by_vpe[v] =
+        process.generate(SimTime::epoch(), trace.horizon, windows);
+  }
+  for (RawLogRecord& rec : fault_logs) {
+    if (rec.time >= trace.horizon || rec.time < SimTime::epoch()) continue;
+    trace.logs_by_vpe[static_cast<std::size_t>(rec.vpe)].push_back(
+        std::move(rec));
+  }
+  for (auto& logs : trace.logs_by_vpe) {
+    std::stable_sort(logs.begin(), logs.end(),
+                     [](const RawLogRecord& a, const RawLogRecord& b) {
+                       return a.time < b.time;
+                     });
+  }
+  return trace;
+}
+
+FleetConfig small_fleet_config(std::uint64_t seed) {
+  FleetConfig config;
+  config.seed = seed;
+  config.months = 4;
+  config.profiles.num_vpes = 6;
+  config.profiles.num_clusters = 2;
+  config.profiles.num_outliers = 1;
+  config.syslog.gap_scale = 4.0;  // sparser logs
+  config.update_month = 2;
+  config.faults.fleet_wide_events = 1;
+  return config;
+}
+
+}  // namespace nfv::simnet

@@ -1,0 +1,66 @@
+// Fleet simulator: orchestrates everything into an 18-month trace.
+//
+// This is the stand-in for the paper's proprietary dataset — 38 vPEs on a
+// tier-1 ISP backbone observed for 18 months. run() produces per-vPE raw
+// syslog streams, the trouble-ticket feed, the hidden fault ground truth,
+// and each vPE's software-update time (operations know their own rollout
+// schedule, so exposing it to the adaptation logic is faithful).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/anomaly_emitter.h"
+#include "simnet/fault_injector.h"
+#include "simnet/syslog_process.h"
+#include "simnet/template_catalog.h"
+#include "simnet/ticketing.h"
+#include "simnet/types.h"
+#include "simnet/vpe_profile.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace nfv::simnet {
+
+struct FleetConfig {
+  std::uint64_t seed = 42;
+  int months = 18;
+  FleetProfileConfig profiles;
+  FaultInjectorConfig faults;
+  TicketingConfig ticketing;
+  AnomalyEmitterConfig anomalies;
+  SyslogProcessConfig syslog;
+  /// Month (0-based) in which the software-update rollout begins; the
+  /// paper's update lands "between late 2017 and early 2018" ≈ month 13 of
+  /// an Oct'16 start. Set < 0 to disable the update entirely.
+  int update_month = 13;
+  /// Rollout stagger across affected vPEs, days.
+  double update_stagger_days = 21.0;
+};
+
+/// A value that compares after every in-trace time (for "never updated").
+nfv::util::SimTime never();
+
+struct FleetTrace {
+  FleetConfig config;
+  TemplateCatalog catalog;
+  std::vector<VpeProfile> profiles;
+  std::vector<std::vector<RawLogRecord>> logs_by_vpe;  // time-sorted each
+  std::vector<Ticket> tickets;                         // report-sorted
+  std::vector<FaultEvent> faults;                      // onset-sorted
+  std::vector<MaintenanceWindow> maintenance;
+  std::vector<nfv::util::SimTime> update_time_by_vpe;  // never() if none
+  nfv::util::SimTime horizon;
+
+  std::size_t total_log_count() const;
+  int num_vpes() const { return static_cast<int>(logs_by_vpe.size()); }
+};
+
+/// Run the full simulation. Deterministic in `config.seed`.
+FleetTrace simulate_fleet(const FleetConfig& config);
+
+/// A scaled-down config (fewer vPEs, fewer months, sparser logs) for unit
+/// tests and quick experiments.
+FleetConfig small_fleet_config(std::uint64_t seed = 42);
+
+}  // namespace nfv::simnet

@@ -1,0 +1,161 @@
+#include "simnet/syslog_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::simnet {
+
+using nfv::util::DiscreteSampler;
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+namespace {
+
+DiscreteSampler make_motif_sampler(const EmissionProfile& profile) {
+  if (profile.motifs.empty()) return DiscreteSampler();
+  std::vector<double> weights;
+  weights.reserve(profile.motifs.size());
+  for (const Motif& m : profile.motifs) weights.push_back(m.weight);
+  return DiscreteSampler(weights);
+}
+
+}  // namespace
+
+SyslogProcess::SyslogProcess(const TemplateCatalog* catalog,
+                             const VpeProfile* profile, SimTime update_time,
+                             const SyslogProcessConfig& config, Rng rng)
+    : catalog_(catalog),
+      profile_(profile),
+      update_time_(update_time),
+      config_(config),
+      rng_(rng),
+      normal_sampler_(profile->normal.weights),
+      post_sampler_(profile->post_update.weights),
+      normal_motif_sampler_(make_motif_sampler(profile->normal)),
+      post_motif_sampler_(make_motif_sampler(profile->post_update)) {
+  NFV_CHECK(catalog != nullptr && profile != nullptr,
+            "SyslogProcess requires catalog and profile");
+}
+
+const EmissionProfile& SyslogProcess::profile_at(SimTime t) const {
+  return t >= update_time_ ? profile_->post_update : profile_->normal;
+}
+
+void SyslogProcess::emit(std::vector<RawLogRecord>& out, SimTime t,
+                         std::int32_t template_id) {
+  RawLogRecord rec;
+  rec.time = t;
+  rec.vpe = profile_->vpe_id;
+  rec.true_template = template_id;
+  rec.text = catalog_->render(template_id, rng_);
+  rec.anomalous = false;
+  out.push_back(std::move(rec));
+}
+
+std::vector<RawLogRecord> SyslogProcess::generate(
+    SimTime begin, SimTime end, std::span<const MaintenanceWindow> windows) {
+  NFV_CHECK(begin < end, "SyslogProcess::generate empty interval");
+  std::vector<RawLogRecord> out;
+  const double median_gap =
+      profile_->median_log_gap_s * config_.gap_scale;
+  const double mu_gap = std::log(median_gap);
+
+  // Background + motif stream.
+  SimTime t = begin + Duration::of_seconds(static_cast<std::int64_t>(
+                          rng_.exponential(median_gap)));
+  while (t < end) {
+    const EmissionProfile& era = profile_at(t);
+    const bool post = t >= update_time_;
+    const DiscreteSampler& background =
+        post ? post_sampler_ : normal_sampler_;
+    const DiscreteSampler& motifs =
+        post ? post_motif_sampler_ : normal_motif_sampler_;
+
+    if (!motifs.empty() && rng_.bernoulli(config_.motif_probability)) {
+      const Motif& motif = era.motifs[motifs.sample(rng_)];
+      SimTime mt = t;
+      for (std::int32_t id : motif.chain) {
+        if (mt >= end) break;
+        // The era can flip mid-motif (update boot); templates keep flowing.
+        emit(out, mt, id);
+        mt = mt + Duration::of_seconds(std::max<std::int64_t>(
+                      1, static_cast<std::int64_t>(
+                             rng_.exponential(config_.motif_gap_mean_s))));
+      }
+      t = mt;
+    } else {
+      emit(out, t, static_cast<std::int32_t>(background.sample(rng_)));
+    }
+    t = t + Duration::of_seconds(std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       rng_.lognormal(mu_gap, config_.gap_sigma))));
+  }
+
+  // Rare benign bursts: a Poisson process of short storms drawn from the
+  // kBenignRare templates. They are normal operations (anomalous = false)
+  // but rare enough that a sequence model will flag them — the realistic
+  // false-alarm floor.
+  if (config_.benign_burst_rate_per_day > 0.0) {
+    const std::vector<std::int32_t> rare_ids =
+        catalog_->ids_of_kind(TemplateKind::kBenignRare);
+    if (!rare_ids.empty()) {
+      const double mean_gap_s = 86400.0 / config_.benign_burst_rate_per_day;
+      SimTime bt = begin + Duration::of_seconds(static_cast<std::int64_t>(
+                               rng_.exponential(mean_gap_s)));
+      while (bt < end) {
+        const std::size_t count =
+            config_.benign_burst_min +
+            rng_.uniform_index(config_.benign_burst_max -
+                               config_.benign_burst_min + 1);
+        // One storm typically repeats a single rare template.
+        const std::int32_t id = rare_ids[rng_.uniform_index(rare_ids.size())];
+        SimTime lt = bt;
+        for (std::size_t i = 0; i < count && lt < end; ++i) {
+          emit(out, lt, id);
+          lt = lt + Duration::of_seconds(std::max<std::int64_t>(
+                        1, static_cast<std::int64_t>(rng_.exponential(
+                               config_.benign_burst_gap_mean_s))));
+        }
+        bt = bt + Duration::of_seconds(static_cast<std::int64_t>(
+                      rng_.exponential(mean_gap_s)));
+      }
+    }
+  }
+
+  // Maintenance chatter inside windows.
+  const std::vector<std::int32_t> maint_ids =
+      catalog_->ids_of_kind(TemplateKind::kMaintenance);
+  for (const MaintenanceWindow& window : windows) {
+    NFV_CHECK(window.vpe == profile_->vpe_id,
+              "maintenance window for wrong vPE");
+    if (window.end() <= begin || window.start >= end) continue;
+    SimTime mt = std::max(window.start, begin);
+    // Opening line, then a random walk over maintenance templates, closing
+    // with MAINT_END (the last id in catalog order).
+    emit(out, mt, maint_ids.front());
+    mt = mt + Duration::of_seconds(static_cast<std::int64_t>(
+                  rng_.exponential(config_.maintenance_gap_mean_s)));
+    const SimTime stop = std::min(window.end(), end);
+    while (mt < stop) {
+      const std::size_t pick = 1 + rng_.uniform_index(maint_ids.size() - 2);
+      emit(out, mt, maint_ids[pick]);
+      mt = mt + Duration::of_seconds(std::max<std::int64_t>(
+                    1, static_cast<std::int64_t>(rng_.exponential(
+                           config_.maintenance_gap_mean_s))));
+    }
+    if (stop > window.start && stop <= end) {
+      emit(out, stop - Duration::of_seconds(1), maint_ids.back());
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const RawLogRecord& a, const RawLogRecord& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+}  // namespace nfv::simnet

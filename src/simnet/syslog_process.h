@@ -1,0 +1,84 @@
+// Background syslog generation for one vPE.
+//
+// A semi-Markov process over the template catalog: background emissions are
+// drawn from the vPE's weight distribution, and with some probability an
+// emission instead starts a *motif* — a short template chain executed in
+// order with seconds-scale gaps. Motifs give the stream the sequential
+// structure that makes next-template prediction meaningful. The process
+// switches to the post-update emission profile at the vPE's update time,
+// and emits maintenance chatter inside scheduled maintenance windows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simnet/template_catalog.h"
+#include "simnet/types.h"
+#include "simnet/vpe_profile.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace nfv::simnet {
+
+/// A scheduled maintenance window on one vPE.
+struct MaintenanceWindow {
+  std::int32_t vpe = -1;
+  nfv::util::SimTime start;
+  nfv::util::Duration length;
+  nfv::util::SimTime end() const { return start + length; }
+};
+
+struct SyslogProcessConfig {
+  /// Probability that an emission event starts a motif instead of a single
+  /// background template.
+  double motif_probability = 0.2;
+  /// Mean gap between consecutive logs inside a motif, seconds.
+  double motif_gap_mean_s = 15.0;
+  /// Lognormal sigma of the background inter-event gap (median comes from
+  /// the vPE profile).
+  double gap_sigma = 1.0;
+  /// Global rate multiplier: >1 slows the stream down (longer gaps).
+  /// Benches use this to trade fidelity for speed.
+  double gap_scale = 1.0;
+  /// Mean gap between maintenance-window log lines, seconds.
+  double maintenance_gap_mean_s = 240.0;
+  /// Rare benign bursts (audit storms, route refreshes): mean bursts per
+  /// vPE per day. These are the natural false-alarm source — legitimate
+  /// operations whose log signature looks anomalous.
+  double benign_burst_rate_per_day = 0.25;
+  std::size_t benign_burst_min = 2;
+  std::size_t benign_burst_max = 4;
+  double benign_burst_gap_mean_s = 25.0;
+};
+
+/// Generator for one vPE's background (non-fault) syslog.
+class SyslogProcess {
+ public:
+  SyslogProcess(const TemplateCatalog* catalog, const VpeProfile* profile,
+                nfv::util::SimTime update_time,
+                const SyslogProcessConfig& config, nfv::util::Rng rng);
+
+  /// Generate all background logs in [begin, end), including maintenance
+  /// chatter for the provided windows (which must belong to this vPE).
+  /// Output is time-sorted.
+  std::vector<RawLogRecord> generate(
+      nfv::util::SimTime begin, nfv::util::SimTime end,
+      std::span<const MaintenanceWindow> windows);
+
+ private:
+  const EmissionProfile& profile_at(nfv::util::SimTime t) const;
+  void emit(std::vector<RawLogRecord>& out, nfv::util::SimTime t,
+            std::int32_t template_id);
+
+  const TemplateCatalog* catalog_;
+  const VpeProfile* profile_;
+  nfv::util::SimTime update_time_;
+  SyslogProcessConfig config_;
+  nfv::util::Rng rng_;
+  nfv::util::DiscreteSampler normal_sampler_;
+  nfv::util::DiscreteSampler post_sampler_;
+  nfv::util::DiscreteSampler normal_motif_sampler_;
+  nfv::util::DiscreteSampler post_motif_sampler_;
+};
+
+}  // namespace nfv::simnet

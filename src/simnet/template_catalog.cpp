@@ -1,0 +1,234 @@
+#include "simnet/template_catalog.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nfv::simnet {
+
+using nfv::util::Rng;
+
+const LogTemplate& TemplateCatalog::at(std::int32_t id) const {
+  NFV_CHECK(id >= 0 && static_cast<std::size_t>(id) < templates_.size(),
+            "template id out of range: " << id);
+  return templates_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::int32_t> TemplateCatalog::ids_of_kind(
+    TemplateKind kind) const {
+  std::vector<std::int32_t> out;
+  for (const LogTemplate& t : templates_) {
+    if (t.kind == kind) out.push_back(t.id);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> TemplateCatalog::fault_ids(
+    TemplateKind kind, TicketCategory category) const {
+  std::vector<std::int32_t> out;
+  for (const LogTemplate& t : templates_) {
+    if (t.kind == kind && t.category == category) out.push_back(t.id);
+  }
+  return out;
+}
+
+void TemplateCatalog::add(std::string name, std::string pattern,
+                          TemplateKind kind, double base_weight,
+                          TicketCategory category) {
+  LogTemplate t;
+  t.id = static_cast<std::int32_t>(templates_.size());
+  t.name = std::move(name);
+  t.pattern = std::move(pattern);
+  t.kind = kind;
+  t.category = category;
+  t.base_weight = base_weight;
+  templates_.push_back(std::move(t));
+}
+
+namespace {
+
+std::string render_field(std::string_view key, Rng& rng) {
+  using nfv::util::format;
+  if (key == "if") {
+    const char* speeds[] = {"ge", "xe", "et"};
+    return format("%s-%d/%d/%d", speeds[rng.uniform_index(3)],
+                  static_cast<int>(rng.uniform_index(2)),
+                  static_cast<int>(rng.uniform_index(4)),
+                  static_cast<int>(rng.uniform_index(48)));
+  }
+  if (key == "ip") {
+    return format("%d.%d.%d.%d", static_cast<int>(rng.uniform_int(10, 203)),
+                  static_cast<int>(rng.uniform_int(0, 255)),
+                  static_cast<int>(rng.uniform_int(0, 255)),
+                  static_cast<int>(rng.uniform_int(1, 254)));
+  }
+  if (key == "num") return format("%d", static_cast<int>(rng.uniform_int(0, 99)));
+  if (key == "big") {
+    return format("%lld", static_cast<long long>(rng.uniform_int(1000, 99999999)));
+  }
+  if (key == "hex") {
+    return format("0x%08llx",
+                  static_cast<unsigned long long>(rng.next_u64() & 0xffffffffu));
+  }
+  if (key == "as") return format("%d", static_cast<int>(rng.uniform_int(64512, 65534)));
+  if (key == "pct") return format("%d%%", static_cast<int>(rng.uniform_int(1, 99)));
+  if (key == "fpc") return format("%d", static_cast<int>(rng.uniform_index(8)));
+  if (key == "peer") {
+    const char* roles[] = {"agg", "core", "edge", "rr"};
+    return format("%s%d.region%d", roles[rng.uniform_index(4)],
+                  static_cast<int>(rng.uniform_int(1, 8)),
+                  static_cast<int>(rng.uniform_int(1, 4)));
+  }
+  return std::string(key);
+}
+
+}  // namespace
+
+std::string TemplateCatalog::render(std::int32_t id, Rng& rng) const {
+  const LogTemplate& t = at(id);
+  std::string out;
+  out.reserve(t.pattern.size() + 16);
+  std::size_t i = 0;
+  while (i < t.pattern.size()) {
+    if (t.pattern[i] == '{') {
+      const std::size_t close = t.pattern.find('}', i);
+      if (close != std::string::npos) {
+        out += render_field(
+            std::string_view(t.pattern).substr(i + 1, close - i - 1), rng);
+        i = close + 1;
+        continue;
+      }
+    }
+    out += t.pattern[i++];
+  }
+  return out;
+}
+
+TemplateCatalog TemplateCatalog::standard() {
+  TemplateCatalog c;
+  using K = TemplateKind;
+  using TC = TicketCategory;
+
+  // --- Normal operational chatter (routing protocols) ---
+  c.add("RPD_BGP_UPDATE_RECV", "rpd[{num}]: bgp_recv: received {num} updates from peer {ip} (External AS {as})", K::kNormal, 9.0);
+  c.add("RPD_BGP_KEEPALIVE", "rpd[{num}]: BGP keepalive exchange with {ip} completed, hold timer reset", K::kNormal, 7.0);
+  c.add("RPD_OSPF_HELLO", "rpd[{num}]: OSPF hello processed on {if} area 0.0.0.{num}", K::kNormal, 6.0);
+  c.add("RPD_OSPF_LSA_REFRESH", "rpd[{num}]: OSPF LSA refresh: advertising router {ip} seq {hex}", K::kNormal, 4.0);
+  c.add("RPD_ISIS_ADJ_STATE", "rpd[{num}]: IS-IS adjacency refresh on {if} level 2 system {peer}", K::kNormal, 2.5);
+  c.add("RPD_LDP_SESSION_UP", "rpd[{num}]: LDP session {ip} keepalive ok, label space {num}", K::kNormal, 2.0);
+  c.add("RPD_RSVP_REFRESH", "rpd[{num}]: RSVP path refresh for LSP {peer}-to-{peer} bandwidth {big}bps", K::kNormal, 1.5);
+  c.add("RPD_TASK_BEGIN", "rpd[{num}]: task scheduler: periodic job {num} started", K::kNormal, 2.0);
+  c.add("RPD_KRT_QUEUE", "rpd[{num}]: KRT queue drained, {num} routes installed in {num}ms", K::kNormal, 3.0);
+  c.add("BGP_RIB_CHURN", "rpd[{num}]: RIB walk complete: {big} prefixes, {num} withdrawn", K::kNormal, 3.5);
+
+  // --- Normal: interfaces / data plane ---
+  c.add("IF_STATS_POLL", "pfed[{num}]: interface {if} stats poll: in {big} octets out {big} octets", K::kNormal, 8.0);
+  c.add("LACP_TIMEOUT_REFRESH", "lacpd[{num}]: LACP partner refresh on {if} sys-prio {num}", K::kNormal, 2.0);
+  c.add("BFD_SESSION_OK", "bfdd[{num}]: BFD session {ip} on {if} state Up, interval {num}ms", K::kNormal, 3.0);
+  c.add("PFE_CELL_STATS", "fpc{fpc} pfe: fabric cell stats ok, drops {num} over {big} cells", K::kNormal, 2.5);
+  c.add("DDOS_PROTO_OK", "jddosd[{num}]: protocol {num} violation check ok, rate {big}pps", K::kNormal, 1.5);
+  c.add("FW_FILTER_HIT", "fw: filter {hex} term {num} matched {big} packets on {if}", K::kNormal, 2.0);
+  c.add("COS_QUEUE_STATS", "cosd[{num}]: queue {num} on {if}: tail-drops {num} red-drops {num}", K::kNormal, 1.8);
+  c.add("ARP_RESOLVE", "kernel: arp resolved {ip} on {if} lladdr {hex}", K::kNormal, 2.2);
+
+  // --- Normal: system / platform ---
+  c.add("SNMP_GET", "snmpd[{num}]: GET request from {ip} oid ifHCInOctets.{num}", K::kNormal, 6.0);
+  c.add("NTP_SYNC", "xntpd[{num}]: clock synchronized to {ip} stratum {num} offset 0.{num}ms", K::kNormal, 1.2);
+  c.add("CHASSISD_POLL", "chassisd[{num}]: environment poll: all FRUs nominal, {num} sensors read", K::kNormal, 2.0);
+  c.add("CHASSISD_TEMP_OK", "chassisd[{num}]: temperature fpc{fpc} intake {num}C within range", K::kNormal, 1.5);
+  c.add("SSHD_LOGIN", "sshd[{num}]: accepted publickey for netops from {ip} port {big}", K::kNormal, 1.0);
+  c.add("MGD_SHOW_CMD", "mgd[{num}]: UI_CMDLINE_READ_LINE: user 'netops' command 'show bgp summary'", K::kNormal, 1.6);
+  c.add("SYSTEM_CRON", "cron[{num}]: (root) CMD (newsyslog -r) exit {num}", K::kNormal, 0.8);
+  c.add("LICENSE_CHECK", "license-check[{num}]: feature bandwidth usage {pct} of entitlement", K::kNormal, 0.6);
+  c.add("JTASK_IO_STATS", "rpd[{num}]: jtask io stats: {big} reads {big} writes pending {num}", K::kNormal, 1.4);
+  c.add("KERNEL_IFSTATE", "kernel: ifstate sync: {num} entries committed, gen {big}", K::kNormal, 1.7);
+
+  // --- Normal: NFV / virtualization layer (vPE-specific visibility) ---
+  c.add("VNF_HEARTBEAT", "vnf-agent[{num}]: heartbeat to VIM controller {ip} ok rtt {num}ms", K::kNormal, 3.0);
+  c.add("VCPU_STEAL", "hypervisor: vcpu {num} steal time {num}ms over last interval", K::kNormal, 2.0);
+  c.add("VIRTIO_QUEUE", "virtio-net: queue {num} on vnic{num} kicked, {big} descriptors", K::kNormal, 2.2);
+  c.add("OVS_FLOW_STATS", "ovs-vswitchd[{num}]: datapath flow stats: {big} hits {num} misses", K::kNormal, 1.8);
+  c.add("VM_BALLOON", "balloon: target {big}MB actual {big}MB", K::kNormal, 0.9);
+  c.add("DPDK_POLL_STATS", "dpdk-pmd[{num}]: rx burst poll on port {num}: {big} pkts, {num} empty polls", K::kNormal, 2.4);
+
+  // --- Normal: commit motif (chained in the generator) ---
+  c.add("UI_COMMIT", "mgd[{num}]: UI_COMMIT: user 'netops' requested commit", K::kNormal, 0.7);
+  c.add("UI_COMMIT_PROGRESS", "mgd[{num}]: UI_COMMIT_PROGRESS: commit phase {num} of {num}", K::kNormal, 0.7);
+  c.add("UI_COMMIT_COMPLETED", "mgd[{num}]: UI_COMMIT_COMPLETED: commit complete", K::kNormal, 0.7);
+
+  // --- Maintenance-window messages ---
+  c.add("MAINT_START", "mgd[{num}]: maintenance window opened by change {hex}", K::kMaintenance, 1.0);
+  c.add("PKG_INSTALL", "pkg[{num}]: installing bundle jinstall-{num}.{num}R{num} validate ok", K::kMaintenance, 1.0);
+  c.add("ISSU_PHASE", "chassisd[{num}]: ISSU phase {num}: dark window {num}s", K::kMaintenance, 1.0);
+  c.add("SYSTEM_REBOOT", "init: system going down for reboot requested by netops", K::kMaintenance, 0.8);
+  c.add("MAINT_SNAPSHOT", "mgd[{num}]: configuration snapshot saved as rollback {num}", K::kMaintenance, 0.9);
+  c.add("MAINT_END", "mgd[{num}]: maintenance window closed, change {hex} verified", K::kMaintenance, 1.0);
+
+  // --- Circuit fault precursors (the paper's flagship signatures) ---
+  c.add("BGP_UNUSABLE_ASPATH", "rpd[{num}]: BGP UNUSABLE ASPATH: bgp reject path from peer {ip} (AS {as})", K::kPrecursor, 1.0, TC::kCircuit);
+  c.add("CHASSIS_PEER_INVALID", "chassisd[{num}]: invalid response from peer chassis-control session {hex}", K::kPrecursor, 1.0, TC::kCircuit);
+  c.add("BGP_HOLDTIME_EXPIRY_WARN", "rpd[{num}]: peer {ip} hold timer {num}s about to expire, last keepalive {num}s ago", K::kPrecursor, 1.0, TC::kCircuit);
+  c.add("BFD_FLAP_WARN", "bfdd[{num}]: BFD session {ip} on {if} flapped {num} times in {num}s", K::kPrecursor, 1.0, TC::kCircuit);
+  c.add("LDP_SESSION_RETRY", "rpd[{num}]: LDP session {ip} init retry {num}, backoff {num}s", K::kPrecursor, 1.0, TC::kCircuit);
+
+  // --- Circuit fault errors (infected period) ---
+  c.add("BGP_NEIGHBOR_DOWN", "rpd[{num}]: RPD_BGP_NEIGHBOR_STATE_CHANGED: peer {ip} (External AS {as}) changed state from Established to Idle (event HoldTime)", K::kError, 1.0, TC::kCircuit);
+  c.add("CIRCUIT_IF_DOWN", "mib2d[{num}]: SNMP_TRAP_LINK_DOWN: ifIndex {num}, ifAdminStatus up({num}), ifOperStatus down({num}), ifName {if}", K::kError, 1.0, TC::kCircuit);
+  c.add("OSPF_NBR_DOWN", "rpd[{num}]: RPD_OSPF_NBRDOWN: OSPF neighbor {ip} (realm v2 {if}) state changed from Full to Down", K::kError, 1.0, TC::kCircuit);
+  c.add("VRF_CONNECTIVITY_LOSS", "rpd[{num}]: VRF {peer} lost connectivity to CE {ip}, {big} prefixes withdrawn", K::kError, 1.0, TC::kCircuit);
+
+  // --- Cable fault precursors ---
+  c.add("OPTICS_POWER_LOW", "fpc{fpc} xcvr {num}: rx optical power {num}.{num}dBm below warn threshold on {if}", K::kPrecursor, 1.0, TC::kCable);
+  c.add("FEC_ERRORS_RISING", "fpc{fpc} mac: FEC corrected errors rising on {if}: {big} in {num}s", K::kPrecursor, 1.0, TC::kCable);
+  c.add("LINK_CRC_WARN", "fpc{fpc} mac: CRC error rate {num}e-{num} on {if} exceeds watermark", K::kPrecursor, 1.0, TC::kCable);
+
+  // --- Cable fault errors ---
+  c.add("CABLE_LOS", "fpc{fpc} xcvr {num}: rx loss of signal on {if}", K::kError, 1.0, TC::kCable);
+  c.add("CABLE_IF_DOWN_FLAP", "mib2d[{num}]: SNMP_TRAP_LINK_DOWN: ifIndex {num}, ifName {if} (carrier transitions {num})", K::kError, 1.0, TC::kCable);
+  c.add("LACP_MEMBER_DETACH", "lacpd[{num}]: member {if} detached from ae{num}: port timeout", K::kError, 1.0, TC::kCable);
+
+  // --- Hardware fault precursors ---
+  c.add("CM_PARITY_WARN", "fpc{fpc} cmerror: module {num} parity error count {num} (threshold {num})", K::kPrecursor, 1.0, TC::kHardware);
+  c.add("FAN_RPM_DEVIATION", "chassisd[{num}]: fan tray {num} rpm {big} deviates {pct} from commanded", K::kPrecursor, 1.0, TC::kHardware);
+  c.add("TEMP_RISING_WARN", "chassisd[{num}]: temperature fpc{fpc} exhaust {num}C rising, fan duty {pct}", K::kPrecursor, 1.0, TC::kHardware);
+  c.add("VOLTAGE_RAIL_WARN", "chassisd[{num}]: power rail {num}V{num} reading {num}mV out of spec on FRU {num}", K::kPrecursor, 1.0, TC::kHardware);
+
+  // --- Hardware fault errors ---
+  c.add("FRU_FAILURE", "chassisd[{num}]: CHASSISD_FRU_ERROR: FPC {fpc} fault, error code {hex}", K::kError, 1.0, TC::kHardware);
+  c.add("ALARM_RED", "alarmd[{num}]: Alarm set: RED, class CHASSIS, reason FPC {fpc} offline", K::kError, 1.0, TC::kHardware);
+  c.add("PFE_DISABLE", "fpc{fpc} pfe: PFE {num} disabled after {num} wedge detections", K::kError, 1.0, TC::kHardware);
+
+  // --- Software fault precursors ---
+  c.add("RPD_SCHED_SLIP", "rpd[{num}]: RPD_SCHED_SLIP: {num}s scheduler slip, longest {num}s", K::kPrecursor, 1.0, TC::kSoftware);
+  c.add("MEM_UTIL_HIGH", "rpd[{num}]: memory utilization {pct} above watermark, rtsock backlog {num}", K::kPrecursor, 1.0, TC::kSoftware);
+  c.add("WEDGE_DETECT_WARN", "fpc{fpc} pfe: possible wedge: host loopback latency {num}ms", K::kPrecursor, 1.0, TC::kSoftware);
+  c.add("VNF_HEARTBEAT_MISS", "vnf-agent[{num}]: missed {num} heartbeats to VIM controller {ip}", K::kPrecursor, 1.0, TC::kSoftware);
+
+  // --- Software fault errors ---
+  c.add("PROC_COREDUMP", "kernel: pid {big} (rpd), uid 0: exited on signal {num} (core dumped)", K::kError, 1.0, TC::kSoftware);
+  c.add("DAEMON_RESTART", "init: routing (PID {big}) terminated; restarting", K::kError, 1.0, TC::kSoftware);
+  c.add("RPD_ABORT", "rpd[{num}]: assertion failed file krt_state.c line {big}", K::kError, 1.0, TC::kSoftware);
+
+  // --- Rare benign bursts (legitimate but surprising operations) ---
+  c.add("CONFIG_AUDIT_SWEEP", "audit[{num}]: configuration audit sweep section {num}: {num} stanzas checked", K::kBenignRare, 1.0);
+  c.add("ROUTE_REFRESH_STORM", "rpd[{num}]: route refresh from {ip}: {big} prefixes re-advertised", K::kBenignRare, 1.2);
+  c.add("SNMP_BULKWALK", "snmpd[{num}]: bulk walk from {ip}: {big} oids in {num}s", K::kBenignRare, 1.0);
+  c.add("NTP_STEP", "xntpd[{num}]: time reset {num}.{num}s (step) to stratum {num} source {ip}", K::kBenignRare, 0.6);
+  c.add("LICENSE_REVALIDATE", "license-check[{num}]: entitlement revalidation forced, token {hex}", K::kBenignRare, 0.5);
+  c.add("FLOWTABLE_FLUSH", "vrouter-dp[{num}]: flow table {num} flushed, {big} entries aged", K::kBenignRare, 0.8);
+  c.add("IGP_FULL_SPF", "rpd[{num}]: full SPF run triggered by LSA {hex}, {num}ms", K::kBenignRare, 1.0);
+  c.add("CHASSIS_INVENTORY", "chassisd[{num}]: full inventory reread: {num} FRUs enumerated", K::kBenignRare, 0.7);
+
+  // --- Post-update templates (appear only after the system upgrade) ---
+  c.add("TELEMETRY_EXPORT", "telemetry-agent[{num}]: gRPC export to {ip}:{num} ok, {big} datapoints", K::kPostUpdate, 5.0);
+  c.add("SECINTEL_FEED", "secintel[{num}]: threat feed delta applied: {num} entries ver {big}", K::kPostUpdate, 2.5);
+  c.add("OPENCONFIG_SUBSCRIBE", "na-grpcd[{num}]: OpenConfig subscription {hex} from {ip} paths {num}", K::kPostUpdate, 3.0);
+  c.add("EVPN_MAC_LEARN", "rpd[{num}]: EVPN MAC+IP advertisement {hex} learned on {if} vlan {num}", K::kPostUpdate, 3.5);
+  c.add("SR_TE_POLICY", "rpd[{num}]: SR-TE policy {peer} color {num} path recomputed, {num} segments", K::kPostUpdate, 2.8);
+  c.add("AGENTD_SENSOR", "agentd[{num}]: sensor /interfaces/{if}/state pushed {big} bytes", K::kPostUpdate, 4.0);
+  c.add("NEW_DDOS_ENGINE", "jddosd2[{num}]: adaptive policer {num} tuned to {big}pps", K::kPostUpdate, 1.8);
+  c.add("VROUTER_OFFLOAD", "vrouter-dp[{num}]: flow offload table {num} occupancy {pct}", K::kPostUpdate, 2.2);
+
+  return c;
+}
+
+}  // namespace nfv::simnet

@@ -1,0 +1,81 @@
+#include "simnet/ticketing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::simnet {
+
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+TicketingResult run_ticketing(FaultSchedule& schedule,
+                              const TicketingConfig& config, Rng& rng) {
+  TicketingResult result;
+  std::int64_t next_ticket_id = 0;
+
+  for (FaultEvent& fault : schedule.faults) {
+    Rng fault_rng = rng.fork(static_cast<std::uint64_t>(fault.fault_id) + 31);
+    Ticket ticket;
+    ticket.ticket_id = next_ticket_id++;
+    ticket.fault_id = fault.fault_id;
+    ticket.vpe = fault.vpe;
+    ticket.category = fault.category;
+    const auto delay = static_cast<std::int64_t>(fault_rng.lognormal(
+        std::log(config.report_delay_median_s), config.report_delay_sigma));
+    ticket.report = fault.onset + Duration::of_seconds(std::max<std::int64_t>(
+                                      delay, 30));
+    const auto repair_s = static_cast<std::int64_t>(fault_rng.lognormal(
+        std::log(config.repair_median_h * 3600.0), config.repair_sigma));
+    ticket.repair_finish =
+        ticket.report +
+        Duration::of_seconds(std::max<std::int64_t>(repair_s, 600));
+    fault.cleared = ticket.repair_finish;
+    result.tickets.push_back(ticket);
+
+    // Duplicate burst while the original trouble is being worked.
+    if (fault_rng.bernoulli(config.p_duplicates)) {
+      const std::uint32_t count =
+          1 + fault_rng.poisson(config.duplicate_count_mean);
+      SimTime t = ticket.report;
+      for (std::uint32_t d = 0; d < count; ++d) {
+        const auto gap = static_cast<std::int64_t>(fault_rng.lognormal(
+            std::log(config.duplicate_gap_median_h * 3600.0),
+            config.duplicate_gap_sigma));
+        t = t + Duration::of_seconds(std::max<std::int64_t>(gap, 120));
+        if (t >= ticket.repair_finish) break;
+        Ticket dup;
+        dup.ticket_id = next_ticket_id++;
+        dup.fault_id = fault.fault_id;
+        dup.vpe = fault.vpe;
+        dup.category = TicketCategory::kDuplicate;
+        dup.report = t;
+        dup.repair_finish = ticket.repair_finish;
+        result.tickets.push_back(dup);
+      }
+    }
+  }
+
+  // Maintenance tickets: pre-scheduled, report at window start, resolved at
+  // window end.
+  for (const MaintenanceWindow& window : schedule.maintenance) {
+    Ticket ticket;
+    ticket.ticket_id = next_ticket_id++;
+    ticket.fault_id = -1;
+    ticket.vpe = window.vpe;
+    ticket.category = TicketCategory::kMaintenance;
+    ticket.report = window.start;
+    ticket.repair_finish = window.end();
+    result.tickets.push_back(ticket);
+  }
+
+  std::sort(result.tickets.begin(), result.tickets.end(),
+            [](const Ticket& a, const Ticket& b) {
+              return a.report < b.report;
+            });
+  return result;
+}
+
+}  // namespace nfv::simnet

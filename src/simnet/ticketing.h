@@ -1,0 +1,47 @@
+// The monitoring/ticketing pipeline.
+//
+// Trouble tickets are *delayed, imperfect* observations of faults (§2):
+// monitoring signals pass through pattern matching, correlation and
+// verification stages before a ticket is cut, so the report time trails the
+// first symptom. Unresolved troubles spawn bursts of duplicate tickets, and
+// pre-scheduled maintenance windows produce their own (predictable) tickets.
+#pragma once
+
+#include <vector>
+
+#include "simnet/fault_injector.h"
+#include "simnet/types.h"
+#include "util/rng.h"
+
+namespace nfv::simnet {
+
+struct TicketingConfig {
+  /// Report delay (report − onset): lognormal median seconds and sigma.
+  /// Represents the verification/correlation latency of the ticket flow.
+  double report_delay_median_s = 300.0;
+  double report_delay_sigma = 1.0;
+  /// Repair duration (repair_finish − report): lognormal median hours.
+  double repair_median_h = 4.0;
+  double repair_sigma = 1.0;
+  /// Probability that a primary fault spawns duplicate tickets, and the
+  /// Poisson mean of how many (≥1 when spawned). Duplicates arrive in
+  /// bursts (§3.2).
+  double p_duplicates = 0.25;
+  double duplicate_count_mean = 1.0;
+  /// Gap between duplicate tickets: lognormal median hours.
+  double duplicate_gap_median_h = 2.0;
+  double duplicate_gap_sigma = 0.8;
+};
+
+struct TicketingResult {
+  std::vector<Ticket> tickets;  // report-time sorted, ids assigned
+};
+
+/// Run the pipeline: derives one ticket per fault (plus duplicates and
+/// maintenance tickets) and writes each fault's `cleared` time back into
+/// `schedule.faults`. Duplicate tickets reference the originating fault.
+TicketingResult run_ticketing(FaultSchedule& schedule,
+                              const TicketingConfig& config,
+                              nfv::util::Rng& rng);
+
+}  // namespace nfv::simnet

@@ -1,0 +1,28 @@
+#include "simnet/types.h"
+
+namespace nfv::simnet {
+
+const char* to_string(TicketCategory category) {
+  switch (category) {
+    case TicketCategory::kMaintenance:
+      return "Maintenance";
+    case TicketCategory::kCircuit:
+      return "Circuit";
+    case TicketCategory::kCable:
+      return "Cable";
+    case TicketCategory::kHardware:
+      return "Hardware";
+    case TicketCategory::kSoftware:
+      return "Software";
+    case TicketCategory::kDuplicate:
+      return "Duplicate";
+  }
+  return "Unknown";
+}
+
+bool is_primary(TicketCategory category) {
+  return category != TicketCategory::kDuplicate &&
+         category != TicketCategory::kMaintenance;
+}
+
+}  // namespace nfv::simnet

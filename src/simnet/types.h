@@ -1,0 +1,64 @@
+// Core domain types of the simulated NFV deployment: trouble tickets with
+// the paper's six root-cause categories, hidden fault events (the ground
+// truth the ticketing system imperfectly observes), and raw syslog records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace nfv::simnet {
+
+/// Trouble-ticket root causes (§2 "Network Trouble Tickets").
+enum class TicketCategory : std::uint8_t {
+  kMaintenance = 0,  // expected or scheduled network actions
+  kCircuit,          // connection between two devices is down
+  kCable,            // cable disconnection (environment/human)
+  kHardware,         // card / chassis component failures
+  kSoftware,         // software issues
+  kDuplicate,        // follow-ups on unresolved troubles
+};
+
+inline constexpr std::size_t kTicketCategoryCount = 6;
+
+const char* to_string(TicketCategory category);
+
+/// Categories that are *not* duplicates of another ticket.
+bool is_primary(TicketCategory category);
+
+/// A network fault as it actually happened — the simulator's hidden ground
+/// truth. The monitoring stack observes faults only through syslog and
+/// derives tickets with delay.
+struct FaultEvent {
+  std::int64_t fault_id = -1;
+  std::int32_t vpe = -1;
+  TicketCategory category = TicketCategory::kCircuit;
+  nfv::util::SimTime onset;         // first physical symptom
+  nfv::util::SimTime cleared;       // symptom end (repair finished)
+  bool fleet_wide = false;          // core-router event hitting many vPEs
+};
+
+/// A trouble ticket as emitted by the monitoring/ticketing pipeline.
+struct Ticket {
+  std::int64_t ticket_id = -1;
+  std::int64_t fault_id = -1;       // -1 for maintenance windows
+  std::int32_t vpe = -1;
+  TicketCategory category = TicketCategory::kCircuit;
+  nfv::util::SimTime report;        // ticket report time
+  nfv::util::SimTime repair_finish; // time the ticket is marked resolved
+};
+
+/// One raw syslog line from a vPE. `true_template` and `anomalous` are
+/// simulator ground truth used only for validation — the analysis pipeline
+/// must work from `text` alone.
+struct RawLogRecord {
+  nfv::util::SimTime time;
+  std::int32_t vpe = -1;
+  std::string text;
+  std::int32_t true_template = -1;
+  bool anomalous = false;           // emitted by a fault process
+};
+
+}  // namespace nfv::simnet

@@ -1,0 +1,283 @@
+#include "simnet/vpe_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::simnet {
+
+using nfv::util::Rng;
+
+namespace {
+
+/// Cluster-level base: catalog base weights perturbed per cluster, so each
+/// cluster "speaks" with a different template mix (different server roles).
+std::vector<double> make_cluster_weights(const TemplateCatalog& catalog,
+                                         double cluster_noise,
+                                         double template_dropout, Rng& rng) {
+  std::vector<double> weights(catalog.size(), 0.0);
+  for (const LogTemplate& t : catalog.all()) {
+    if (t.kind == TemplateKind::kNormal) {
+      if (rng.bernoulli(template_dropout)) continue;  // role never logs it
+      weights[static_cast<std::size_t>(t.id)] =
+          t.base_weight * rng.lognormal(0.0, cluster_noise);
+    }
+  }
+  return weights;
+}
+
+/// Motif pool: hand-curated chains over the catalog's normal templates plus
+/// cluster-specific random chains. Chains reference templates by name so
+/// the pool stays in sync with the catalog.
+std::vector<Motif> make_cluster_motifs(const TemplateCatalog& catalog,
+                                       Rng& rng) {
+  auto id_of = [&](std::string_view name) -> std::int32_t {
+    for (const LogTemplate& t : catalog.all()) {
+      if (t.name == name) return t.id;
+    }
+    NFV_CHECK(false, "motif references unknown template " << name);
+    return -1;
+  };
+
+  std::vector<Motif> pool;
+  // The commit conversation — present on every cluster.
+  pool.push_back({{id_of("UI_COMMIT"), id_of("UI_COMMIT_PROGRESS"),
+                   id_of("UI_COMMIT_PROGRESS"), id_of("UI_COMMIT_COMPLETED")},
+                  1.0});
+  // BGP update burst followed by RIB churn and KRT drain.
+  pool.push_back({{id_of("RPD_BGP_UPDATE_RECV"), id_of("RPD_BGP_UPDATE_RECV"),
+                   id_of("BGP_RIB_CHURN"), id_of("RPD_KRT_QUEUE")},
+                  2.0});
+  // SNMP poll cycle.
+  pool.push_back({{id_of("SNMP_GET"), id_of("IF_STATS_POLL"),
+                   id_of("COS_QUEUE_STATS")},
+                  1.6});
+  // Operator inspection session.
+  pool.push_back({{id_of("SSHD_LOGIN"), id_of("MGD_SHOW_CMD"),
+                   id_of("MGD_SHOW_CMD")},
+                  0.8});
+  // VNF layer heartbeat + stats sweep.
+  pool.push_back({{id_of("VNF_HEARTBEAT"), id_of("OVS_FLOW_STATS"),
+                   id_of("DPDK_POLL_STATS"), id_of("VIRTIO_QUEUE")},
+                  1.4});
+  // IGP refresh cycle.
+  pool.push_back({{id_of("RPD_OSPF_HELLO"), id_of("RPD_OSPF_LSA_REFRESH"),
+                   id_of("RPD_ISIS_ADJ_STATE")},
+                  1.2});
+  // Chassis environment sweep.
+  pool.push_back({{id_of("CHASSISD_POLL"), id_of("CHASSISD_TEMP_OK")}, 1.0});
+
+  // Cluster-specific random chains drawn from the normal templates, giving
+  // each cluster sequential idioms of its own.
+  const std::vector<std::int32_t> normal_ids =
+      catalog.ids_of_kind(TemplateKind::kNormal);
+  const std::size_t extra = 3 + rng.uniform_index(3);
+  for (std::size_t i = 0; i < extra; ++i) {
+    Motif m;
+    const std::size_t len = 3 + rng.uniform_index(3);
+    for (std::size_t j = 0; j < len; ++j) {
+      m.chain.push_back(normal_ids[rng.uniform_index(normal_ids.size())]);
+    }
+    m.weight = rng.uniform(0.5, 2.0);
+    pool.push_back(std::move(m));
+  }
+
+  // Conflicting continuations: every cluster finishes the shared motif
+  // prefixes with its own template. A per-group model learns its cluster's
+  // continuation sharply; a single global model must split probability
+  // across the clusters' variants — the paper's "no single model will
+  // work well across VNFs".
+  for (Motif& m : pool) {
+    m.chain.push_back(normal_ids[rng.uniform_index(normal_ids.size())]);
+  }
+
+  // Each cluster keeps a random subset of the pool.
+  std::vector<Motif> kept;
+  for (Motif& m : pool) {
+    if (rng.bernoulli(0.75)) kept.push_back(std::move(m));
+  }
+  if (kept.empty()) kept.push_back(pool.front());
+
+  // Rare cluster-specific idioms: legitimate sequences that fire only a
+  // few times a week. A per-group model sees enough of them to learn them
+  // (the over-sampling loop targets exactly these); a single global model
+  // has them diluted ~K x in its training budget and keeps flagging them -
+  // the mechanism behind the paper's customization gain (Sec. 4.3/Fig. 7).
+  for (int r = 0; r < 2; ++r) {
+    Motif rare;
+    const std::size_t len = 3 + rng.uniform_index(2);
+    for (std::size_t j = 0; j < len; ++j) {
+      rare.chain.push_back(normal_ids[rng.uniform_index(normal_ids.size())]);
+    }
+    rare.weight = 0.06;
+    kept.push_back(std::move(rare));
+  }
+  return kept;
+}
+
+std::vector<double> perturb_weights(const std::vector<double>& base,
+                                    double sigma, double dropout, Rng& rng) {
+  std::vector<double> out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i] <= 0.0 || rng.bernoulli(dropout)) {
+      out[i] = 0.0;
+    } else {
+      out[i] = base[i] * rng.lognormal(0.0, sigma);
+    }
+  }
+  return out;
+}
+
+/// Post-update behaviour: new telemetry/daemon templates take a large share
+/// of the emission mass, a chunk of legacy templates fades, the rest is
+/// re-noised. This is what collapses month-over-month cosine similarity
+/// below 0.4 at the update (§3.3).
+EmissionProfile make_post_update(const TemplateCatalog& catalog,
+                                 const FleetProfileConfig& config,
+                                 const EmissionProfile& before, Rng& rng) {
+  EmissionProfile after;
+  after.weights = before.weights;
+  double normal_mass = 0.0;
+  for (double w : after.weights) normal_mass += w;
+
+  // Reshuffle the legacy emission rates (see FleetProfileConfig).
+  if (config.update_permute_weights) {
+    std::vector<std::size_t> nonzero;
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < after.weights.size(); ++i) {
+      if (after.weights[i] > 0.0) {
+        nonzero.push_back(i);
+        weights.push_back(after.weights[i]);
+      }
+    }
+    rng.shuffle(weights);
+    for (std::size_t j = 0; j < nonzero.size(); ++j) {
+      after.weights[nonzero[j]] = weights[j];
+    }
+  }
+  // Fade a share of the legacy templates.
+  for (double& w : after.weights) {
+    if (w > 0.0 && rng.bernoulli(config.update_fade_prob)) {
+      w *= config.update_fade_factor;
+    }
+  }
+  // Bring in the post-update templates at a share of the original mass.
+  const std::vector<std::int32_t> new_ids =
+      catalog.ids_of_kind(TemplateKind::kPostUpdate);
+  double new_base_total = 0.0;
+  for (std::int32_t id : new_ids) new_base_total += catalog.at(id).base_weight;
+  for (std::int32_t id : new_ids) {
+    after.weights[static_cast<std::size_t>(id)] =
+        config.update_new_mass * normal_mass * catalog.at(id).base_weight /
+        new_base_total * rng.lognormal(0.0, 0.3);
+  }
+
+  // Motifs survive but their relative rates reshuffle, plus one new
+  // telemetry sweep idiom appears.
+  after.motifs = before.motifs;
+  {
+    std::vector<double> motif_weights;
+    for (const Motif& m : after.motifs) motif_weights.push_back(m.weight);
+    rng.shuffle(motif_weights);
+    for (std::size_t i = 0; i < after.motifs.size(); ++i) {
+      after.motifs[i].weight = motif_weights[i];
+    }
+  }
+  if (new_ids.size() >= 3) {
+    Motif telemetry;
+    telemetry.chain = {new_ids[0], new_ids[new_ids.size() - 3],
+                       new_ids[new_ids.size() - 1]};
+    telemetry.weight = 1.5;
+    after.motifs.push_back(std::move(telemetry));
+  }
+  return after;
+}
+
+}  // namespace
+
+std::vector<VpeProfile> make_fleet_profiles(const TemplateCatalog& catalog,
+                                            const FleetProfileConfig& config,
+                                            Rng& rng) {
+  NFV_CHECK(config.num_vpes > 0, "fleet needs at least one vPE");
+  NFV_CHECK(config.num_clusters > 0 &&
+                config.num_clusters <= config.num_vpes,
+            "invalid cluster count");
+
+  // Cluster bases.
+  struct ClusterBase {
+    std::vector<double> weights;
+    std::vector<Motif> motifs;
+  };
+  std::vector<ClusterBase> clusters;
+  clusters.reserve(static_cast<std::size_t>(config.num_clusters));
+  for (int c = 0; c < config.num_clusters; ++c) {
+    Rng cluster_rng = rng.fork(static_cast<std::uint64_t>(c) + 1000);
+    ClusterBase base;
+    base.weights = make_cluster_weights(catalog, config.cluster_noise,
+                                        config.cluster_template_dropout,
+                                        cluster_rng);
+    base.motifs = make_cluster_motifs(catalog, cluster_rng);
+    clusters.push_back(std::move(base));
+  }
+
+  // Choose outlier vPEs and update-affected vPEs deterministically.
+  std::vector<int> vpe_order(static_cast<std::size_t>(config.num_vpes));
+  for (int i = 0; i < config.num_vpes; ++i) {
+    vpe_order[static_cast<std::size_t>(i)] = i;
+  }
+  rng.shuffle(vpe_order);
+  std::vector<bool> is_outlier(static_cast<std::size_t>(config.num_vpes));
+  for (int i = 0; i < std::min(config.num_outliers, config.num_vpes); ++i) {
+    is_outlier[static_cast<std::size_t>(vpe_order[static_cast<std::size_t>(i)])] = true;
+  }
+  rng.shuffle(vpe_order);
+  const int num_updated = static_cast<int>(
+      std::lround(config.update_fraction * config.num_vpes));
+  std::vector<bool> updated(static_cast<std::size_t>(config.num_vpes));
+  for (int i = 0; i < num_updated; ++i) {
+    updated[static_cast<std::size_t>(vpe_order[static_cast<std::size_t>(i)])] = true;
+  }
+
+  std::vector<VpeProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(config.num_vpes));
+  for (int v = 0; v < config.num_vpes; ++v) {
+    Rng vpe_rng = rng.fork(static_cast<std::uint64_t>(v) + 5000);
+    VpeProfile p;
+    p.vpe_id = v;
+    p.cluster = v % config.num_clusters;
+    p.divergence = is_outlier[static_cast<std::size_t>(v)]
+                       ? config.outlier_noise
+                       : config.vpe_noise;
+    const ClusterBase& base = clusters[static_cast<std::size_t>(p.cluster)];
+    if (is_outlier[static_cast<std::size_t>(v)]) {
+      // Outliers get an emission profile independent of any cluster: a
+      // fresh random base with heavy dropout (unusual server role).
+      p.normal.weights = make_cluster_weights(
+          catalog, config.outlier_noise, config.outlier_template_dropout,
+          vpe_rng);
+    } else {
+      p.normal.weights =
+          perturb_weights(base.weights, p.divergence,
+                          config.vpe_template_dropout, vpe_rng);
+    }
+    p.normal.motifs = base.motifs;
+    // Motif taste also varies per vPE.
+    for (Motif& m : p.normal.motifs) {
+      m.weight *= vpe_rng.lognormal(0.0, p.divergence);
+    }
+    p.affected_by_update = updated[static_cast<std::size_t>(v)];
+    p.post_update =
+        p.affected_by_update
+            ? make_post_update(catalog, config, p.normal, vpe_rng)
+            : p.normal;
+    // Fault-rate skew: heavy-tailed so a few vPEs dominate ticket volume
+    // (Fig. 2), median stays ~1.
+    p.fault_rate_scale = vpe_rng.lognormal(0.0, 0.7);
+    p.median_log_gap_s = 1800.0 * vpe_rng.lognormal(0.0, 0.3);
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+}  // namespace nfv::simnet

@@ -1,0 +1,91 @@
+// Per-vPE behavioural profiles.
+//
+// §3.3 of the paper observes that syslog distributions vary across vPEs
+// (server roles, configurations, traffic), that the variation has group
+// structure (4 clusters suffice for customization), and that a software
+// update shifts the distribution sharply. Profiles encode exactly those
+// three effects: a cluster-level base distribution and motif set, per-vPE
+// perturbation (with a handful of deliberate outliers), and a distinct
+// post-update distribution for the vPEs the upgrade touches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/template_catalog.h"
+#include "util/rng.h"
+
+namespace nfv::simnet {
+
+/// A short chain of templates that tends to appear in order (a "protocol
+/// conversation", e.g. commit → progress → completed). Motifs give the log
+/// stream the sequential structure the LSTM exploits.
+struct Motif {
+  std::vector<std::int32_t> chain;
+  double weight = 1.0;
+};
+
+/// The template-emission behaviour of one vPE in one era (pre/post update).
+struct EmissionProfile {
+  /// Relative emission weight per catalog template id (0 = never).
+  std::vector<double> weights;
+  /// Motifs started from the background state.
+  std::vector<Motif> motifs;
+};
+
+struct VpeProfile {
+  std::int32_t vpe_id = -1;
+  int cluster = 0;
+  EmissionProfile normal;        // steady-state behaviour
+  EmissionProfile post_update;   // behaviour after the software update
+  bool affected_by_update = false;
+  /// Per-vPE fault-rate multiplier (drives the skew of Fig. 2).
+  double fault_rate_scale = 1.0;
+  /// Divergence of this vPE's distribution from its cluster base; a few
+  /// outlier vPEs get large values (drives the Fig. 3 spread).
+  double divergence = 0.25;
+  /// Median inter-arrival of background logs, seconds.
+  double median_log_gap_s = 1800.0;
+};
+
+struct FleetProfileConfig {
+  int num_vpes = 38;
+  int num_clusters = 4;
+  /// How many vPEs are distribution outliers (paper: 5 with cos-sim < 0.5).
+  int num_outliers = 5;
+  /// Fraction of vPEs the software update touches.
+  double update_fraction = 0.6;
+  /// Lognormal sigma of cluster-level template-weight noise.
+  double cluster_noise = 1.3;
+  /// Lognormal sigma of per-vPE weight noise for ordinary vPEs.
+  double vpe_noise = 0.35;
+  /// Lognormal sigma for outlier vPEs.
+  double outlier_noise = 2.5;
+  /// Structural diversity: probability a cluster never emits a given
+  /// normal template (role differences), probability an individual vPE
+  /// additionally drops one (configuration differences), and the dropout
+  /// applied to outlier vPEs, whose emission profile is generated
+  /// independently of any cluster.
+  double cluster_template_dropout = 0.2;
+  double vpe_template_dropout = 0.1;
+  double outlier_template_dropout = 0.5;
+  /// Post-update shift: share of total emission mass taken by the new
+  /// (kPostUpdate) templates, probability a legacy template fades, and the
+  /// factor faded templates keep.
+  double update_new_mass = 0.3;
+  double update_fade_prob = 0.5;
+  double update_fade_factor = 0.15;
+  /// Additionally permute the legacy templates' emission weights at the
+  /// update: message *rates* get reshuffled wholesale (new software logs
+  /// different things at different frequencies), which is what collapses
+  /// month-over-month cosine similarity below 0.4 (§3.3) without flooding
+  /// the stream with unknown templates.
+  bool update_permute_weights = true;
+};
+
+/// Build the fleet's profiles deterministically from `rng`.
+std::vector<VpeProfile> make_fleet_profiles(const TemplateCatalog& catalog,
+                                            const FleetProfileConfig& config,
+                                            nfv::util::Rng& rng);
+
+}  // namespace nfv::simnet

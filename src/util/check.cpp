@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace nfv::util {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": check failed: (" << expr << ")";
+  if (!message.empty()) oss << " — " << message;
+  throw CheckError(oss.str());
+}
+
+}  // namespace nfv::util

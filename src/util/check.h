@@ -1,0 +1,36 @@
+// Lightweight runtime assertion utilities.
+//
+// NFV_CHECK(cond, msg) throws nfv::util::CheckError when `cond` is false.
+// Unlike assert(), checks stay active in release builds: the library is
+// used for empirical studies where silently-wrong numbers are worse than
+// a crash with a message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nfv::util {
+
+/// Error thrown when an NFV_CHECK condition fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+}  // namespace nfv::util
+
+/// Always-on check. On failure throws nfv::util::CheckError with
+/// file:line, the failed expression, and the streamed message.
+#define NFV_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream nfv_check_oss_;                                  \
+      nfv_check_oss_ << msg; /* NOLINT */                                 \
+      ::nfv::util::check_failed(__FILE__, __LINE__, #cond,                \
+                                nfv_check_oss_.str());                    \
+    }                                                                     \
+  } while (false)

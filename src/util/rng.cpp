@@ -1,0 +1,172 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t mix = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  return Rng(mix);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  NFV_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection-free multiply-shift (Lemire); bias negligible for n << 2^64.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  NFV_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(
+                  (static_cast<unsigned __int128>(next_u64()) * span) >> 64);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu_log, double sigma_log) {
+  return std::exp(normal(mu_log, sigma_log));
+}
+
+double Rng::exponential(double mean) {
+  NFV_CHECK(mean > 0.0, "exponential mean must be positive");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  NFV_CHECK(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  NFV_CHECK(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint32_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // simulator's large-mean regimes.
+  const double value = normal(mean, std::sqrt(mean));
+  return value <= 0.0 ? 0u : static_cast<std::uint32_t>(value + 0.5);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    NFV_CHECK(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  NFV_CHECK(total > 0.0, "categorical requires a positive total weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical fallback
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    NFV_CHECK(w >= 0.0, "DiscreteSampler weights must be non-negative");
+    total += w;
+    cumulative_.push_back(total);
+  }
+  NFV_CHECK(total > 0.0, "DiscreteSampler requires a positive total weight");
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  NFV_CHECK(!cumulative_.empty(), "sampling from an empty DiscreteSampler");
+  const double target = rng.uniform() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cumulative_.begin(),
+      static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+}  // namespace nfv::util

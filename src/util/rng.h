@@ -1,0 +1,100 @@
+// Deterministic random number generation for the simulator and the ML stack.
+//
+// All stochastic components of the library draw from nfv::util::Rng, a
+// xoshiro256** generator seeded via splitmix64. Determinism is a first-class
+// requirement: every experiment in the paper reproduction must be exactly
+// re-runnable from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nfv::util {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic PRNG (xoshiro256**) with convenience distributions.
+///
+/// Not thread-safe; create one Rng per logical stream. Use `fork()` to derive
+/// independent child streams (e.g. one per simulated vPE) so that adding a
+/// component does not perturb the draws seen by existing components.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Derive an independent generator; `salt` distinguishes siblings.
+  Rng fork(std::uint64_t salt);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu_log, sigma_log)).
+  double lognormal(double mu_log, double sigma_log);
+
+  /// Exponential with the given mean (NOT rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed durations).
+  double pareto(double xm, double alpha);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth / PTRS hybrid).
+  std::uint32_t poisson(double mean);
+
+  /// Sample an index from non-negative weights (need not be normalized).
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Precomputed alias-free cumulative sampler for repeated categorical draws
+/// from a fixed distribution (O(log n) per draw).
+class DiscreteSampler {
+ public:
+  DiscreteSampler() = default;
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cumulative_.size(); }
+  bool empty() const { return cumulative_.empty(); }
+
+ private:
+  std::vector<double> cumulative_;  // strictly increasing, last == total
+};
+
+}  // namespace nfv::util

@@ -1,0 +1,55 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace nfv::util {
+
+int month_of(SimTime t) {
+  if (t.seconds < 0) return 0;
+  return static_cast<int>(t.seconds / kMonth.seconds);
+}
+
+SimTime month_start(int m) {
+  return SimTime{static_cast<std::int64_t>(m) * kMonth.seconds};
+}
+
+std::string format_time(SimTime t) {
+  const int month = month_of(t);
+  std::int64_t rem = t.seconds - month_start(month).seconds;
+  const std::int64_t day = rem / 86400;
+  rem %= 86400;
+  const std::int64_t hh = rem / 3600;
+  rem %= 3600;
+  const std::int64_t mm = rem / 60;
+  const std::int64_t ss = rem % 60;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "m%02d d%02lld %02lld:%02lld:%02lld", month,
+                static_cast<long long>(day), static_cast<long long>(hh),
+                static_cast<long long>(mm), static_cast<long long>(ss));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  std::int64_t s = d.seconds;
+  const bool negative = s < 0;
+  if (negative) s = -s;
+  char buf[48];
+  if (s >= 86400) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd%lldh", negative ? "-" : "",
+                  static_cast<long long>(s / 86400),
+                  static_cast<long long>((s % 86400) / 3600));
+  } else if (s >= 3600) {
+    std::snprintf(buf, sizeof(buf), "%s%lldh%lldm", negative ? "-" : "",
+                  static_cast<long long>(s / 3600),
+                  static_cast<long long>((s % 3600) / 60));
+  } else if (s >= 60) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm", negative ? "-" : "",
+                  static_cast<long long>(s / 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%llds", negative ? "-" : "",
+                  static_cast<long long>(s));
+  }
+  return buf;
+}
+
+}  // namespace nfv::util

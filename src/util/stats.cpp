@@ -1,0 +1,140 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+namespace {
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  NFV_CHECK(!sorted.empty(), "quantile of empty data");
+  NFV_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1], got " << q);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, q);
+}
+
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(sorted_quantile(sorted, q));
+  return out;
+}
+
+double cosine_similarity(std::span<const double> a,
+                         std::span<const double> b) {
+  NFV_CHECK(a.size() == b.size(),
+            "cosine_similarity size mismatch: " << a.size() << " vs "
+                                                << b.size());
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void normalize_l1(std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  if (total <= 0.0) return;
+  for (double& x : xs) x /= total;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> out;
+  out.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out.push_back({sorted[i], static_cast<double>(i + 1) /
+                                  static_cast<double>(sorted.size())});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> empirical_cdf_sampled(std::span<const double> xs,
+                                            std::size_t max_points) {
+  auto full = empirical_cdf(xs);
+  if (full.size() <= max_points || max_points == 0) return full;
+  std::vector<CdfPoint> out;
+  out.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t idx =
+        (i * (full.size() - 1)) / std::max<std::size_t>(max_points - 1, 1);
+    out.push_back(full[idx]);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  NFV_CHECK(bins > 0, "histogram needs at least one bin");
+  NFV_CHECK(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x, double weight) {
+  const double pos =
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor(pos));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace nfv::util

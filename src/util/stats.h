@@ -1,0 +1,87 @@
+// Small statistics helpers shared by the analysis benches and the core
+// pipeline: summary statistics, quantiles, empirical CDFs, histograms and
+// the cosine similarity used throughout §3 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nfv::util {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for fewer than 2 elements.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0,1]. Sorts a copy of the input.
+/// Requires a non-empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// Several quantiles at once (single sort). Requires a non-empty input.
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs);
+
+/// Cosine similarity between two equally-sized non-negative vectors.
+/// Returns 0 when either vector is all-zero.
+double cosine_similarity(std::span<const double> a, std::span<const double> b);
+
+/// L1-normalize in place; no-op on an all-zero vector.
+void normalize_l1(std::vector<double>& xs);
+
+/// Point on an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_fraction = 0.0;
+};
+
+/// Empirical CDF of the input (sorted copy); one point per element.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+/// Empirical CDF downsampled to ~`max_points` evenly spaced points, for
+/// printing bench series without flooding the output.
+std::vector<CdfPoint> empirical_cdf_sampled(std::span<const double> xs,
+                                            std::size_t max_points);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Running mean/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace nfv::util

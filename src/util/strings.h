@@ -1,0 +1,34 @@
+// String helpers used by the syslog tokenizer and the table writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfv::util {
+
+/// Split on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view delims = " \t");
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if every character is an ASCII digit (and text is non-empty).
+bool is_all_digits(std::string_view text);
+
+/// True if the token contains at least one digit (signal for variable
+/// fields like interface indices, IPs, counters in syslog lines).
+bool contains_digit(std::string_view text);
+
+/// Lowercase copy (ASCII only).
+std::string to_lower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace nfv::util

@@ -1,0 +1,38 @@
+// Plain-text table and CSV writers for the bench harness. Each bench prints
+// the rows/series of the paper figure it reproduces; Table keeps that output
+// aligned and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nfv::util {
+
+/// Column-aligned text table with an optional title, printed to any ostream.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, std::string title = "");
+
+  /// Append a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for bench output).
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace nfv::util

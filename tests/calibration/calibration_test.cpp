@@ -1,0 +1,231 @@
+// Calibration regression tests: the paper-shape claims that EXPERIMENTS.md
+// tracks, encoded as executable assertions with tolerance bands. If a
+// simulator or pipeline change drifts the reproduction away from the
+// paper's dataset statistics, these fail before the (slow) benches would
+// show it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/parsed_fleet.h"
+#include "core/pipeline.h"
+#include "logproc/dataset.h"
+#include "simnet/fleet.h"
+#include "util/stats.h"
+
+namespace nfv {
+namespace {
+
+using simnet::Ticket;
+using simnet::TicketCategory;
+using util::Duration;
+using util::SimTime;
+
+/// Ticket analysis doesn't need dense logs: crank gap_scale way up.
+simnet::FleetTrace ticket_trace(std::uint64_t seed, int months = 18) {
+  simnet::FleetConfig config;
+  config.seed = seed;
+  config.months = months;
+  config.syslog.gap_scale = 60.0;
+  return simnet::simulate_fleet(config);
+}
+
+class TicketCalibrationP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TicketCalibrationP, MaintenanceIsTheLargestCategory) {
+  // Fig. 1(a): maintenance dominant; Duplicate and Circuit the next two.
+  const auto trace = ticket_trace(GetParam());
+  std::map<TicketCategory, std::size_t> counts;
+  for (const Ticket& t : trace.tickets) ++counts[t.category];
+  const std::size_t maintenance = counts[TicketCategory::kMaintenance];
+  for (const auto& [category, count] : counts) {
+    if (category == TicketCategory::kMaintenance) continue;
+    EXPECT_LE(count, maintenance) << to_string(category);
+  }
+  // Circuit and Duplicate are the two largest non-maintenance causes.
+  std::vector<std::pair<std::size_t, TicketCategory>> others;
+  for (const auto& [category, count] : counts) {
+    if (category != TicketCategory::kMaintenance) {
+      others.emplace_back(count, category);
+    }
+  }
+  std::sort(others.rbegin(), others.rend());
+  ASSERT_GE(others.size(), 2u);
+  const auto top_two = {others[0].second, others[1].second};
+  EXPECT_TRUE(std::count(top_two.begin(), top_two.end(),
+                         TicketCategory::kCircuit) == 1);
+  EXPECT_TRUE(std::count(top_two.begin(), top_two.end(),
+                         TicketCategory::kDuplicate) == 1);
+}
+
+TEST_P(TicketCalibrationP, InterArrivalTailMatchesFig1b) {
+  // Fig. 1(b): min gap > 40 min; ~80% > 10 h; ~25% > 1000 h.
+  const auto trace = ticket_trace(GetParam());
+  std::map<int, SimTime> last;
+  std::vector<double> gaps_hours;
+  for (const Ticket& t : trace.tickets) {
+    if (t.category == TicketCategory::kDuplicate) continue;
+    const auto it = last.find(t.vpe);
+    if (it != last.end()) gaps_hours.push_back((t.report - it->second).hours());
+    last[t.vpe] = t.report;
+  }
+  ASSERT_GT(gaps_hours.size(), 200u);
+  std::sort(gaps_hours.begin(), gaps_hours.end());
+  EXPECT_GT(gaps_hours.front(), 40.0 / 60.0);
+  auto fraction_above = [&](double hours) {
+    const auto it =
+        std::upper_bound(gaps_hours.begin(), gaps_hours.end(), hours);
+    return static_cast<double>(gaps_hours.end() - it) /
+           static_cast<double>(gaps_hours.size());
+  };
+  EXPECT_GT(fraction_above(10.0), 0.70);
+  EXPECT_LT(fraction_above(10.0), 0.97);
+  EXPECT_GT(fraction_above(1000.0), 0.15);
+  EXPECT_LT(fraction_above(1000.0), 0.50);
+}
+
+TEST_P(TicketCalibrationP, TicketVolumeIsSkewedAcrossVpes) {
+  // Fig. 2: a few vPEs carry much more than their share.
+  const auto trace = ticket_trace(GetParam(), 12);
+  std::map<int, int> per_vpe;
+  for (const Ticket& t : trace.tickets) {
+    if (t.category == TicketCategory::kMaintenance) continue;
+    ++per_vpe[t.vpe];
+  }
+  std::vector<int> counts;
+  for (const auto& [vpe, count] : per_vpe) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  ASSERT_GE(counts.size(), 10u);
+  int total = 0;
+  for (int c : counts) total += c;
+  const int top5 = counts[0] + counts[1] + counts[2] + counts[3] + counts[4];
+  // Top 5 of 38 vPEs (13% of the fleet) carry well above 13% of tickets.
+  EXPECT_GT(static_cast<double>(top5) / total, 0.22);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TicketCalibrationP,
+                         ::testing::Values(42u, 7u, 1337u));
+
+TEST(SyslogCalibration, PerVpeDiversityMatchesFig3) {
+  // Fig. 3: substantial spread — a meaningful share of vPEs above 0.8
+  // similarity to the aggregate, and a low tail below 0.6.
+  simnet::FleetConfig config;
+  config.seed = 42;
+  config.months = 4;
+  config.syslog.gap_scale = 8.0;
+  config.update_month = -1;
+  const auto trace = simnet::simulate_fleet(config);
+  const auto parsed = core::parse_fleet(trace);
+  const std::size_t vocab = parsed.vocab();
+  const auto n = static_cast<std::size_t>(trace.num_vpes());
+
+  std::vector<std::vector<double>> dists(n);
+  std::vector<double> aggregate(vocab, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    dists[v] = logproc::template_distribution(parsed.logs_by_vpe[v], vocab);
+    for (std::size_t t = 0; t < vocab; ++t) aggregate[t] += dists[v][t];
+  }
+  util::normalize_l1(aggregate);
+  int above_08 = 0;
+  int below_06 = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const double sim = util::cosine_similarity(dists[v], aggregate);
+    if (sim > 0.8) ++above_08;
+    if (sim < 0.6) ++below_06;
+  }
+  EXPECT_GE(above_08, 5);   // some vPEs track the aggregate
+  EXPECT_LE(above_08, 30);  // ...but far from all (paper: ~1/3)
+  EXPECT_GE(below_06, 2);   // and a low tail exists (paper: 5 below 0.5)
+}
+
+TEST(SyslogCalibration, UpdateShiftsDistributionsSharply) {
+  // §3.3: the software update collapses the before/after similarity of
+  // affected vPEs while unaffected vPEs stay stable.
+  simnet::FleetConfig config;
+  config.seed = 42;
+  config.months = 6;
+  config.syslog.gap_scale = 8.0;
+  config.update_month = 3;
+  const auto trace = simnet::simulate_fleet(config);
+  const auto parsed = core::parse_fleet(trace);
+  const std::size_t vocab = parsed.vocab();
+
+  util::RunningStats updated;
+  util::RunningStats stable;
+  for (std::size_t v = 0; v < parsed.logs_by_vpe.size(); ++v) {
+    const auto update_time = trace.update_time_by_vpe[v];
+    const SimTime pivot = update_time == simnet::never()
+                              ? util::month_start(config.update_month)
+                              : update_time;
+    const auto before = logproc::template_distribution(
+        logproc::slice_time(parsed.logs_by_vpe[v],
+                            pivot - Duration::of_days(30), pivot),
+        vocab);
+    const auto after = logproc::template_distribution(
+        logproc::slice_time(parsed.logs_by_vpe[v], pivot,
+                            pivot + Duration::of_days(30)),
+        vocab);
+    const double sim = util::cosine_similarity(before, after);
+    (update_time == simnet::never() ? stable : updated).add(sim);
+  }
+  ASSERT_GT(updated.count(), 0u);
+  ASSERT_GT(stable.count(), 0u);
+  // Thresholds allow for the sampling noise of ~100-log monthly windows
+  // at this reduced rate; the *gap* between the two populations is the
+  // calibrated property.
+  EXPECT_LT(updated.mean(), 0.65);
+  EXPECT_GT(stable.mean(), 0.72);
+  EXPECT_LT(updated.mean(), stable.mean() - 0.15);
+}
+
+TEST(PipelineCalibration, DeterministicAcrossRuns) {
+  // The whole experiment chain is a pure function of the seed.
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(5));
+  const auto parsed = core::parse_fleet(trace);
+  core::PipelineOptions options;
+  options.clustering.fixed_k = 2;
+  core::LstmDetectorConfig lstm;
+  lstm.initial_epochs = 2;
+  lstm.update_epochs = 1;
+  lstm.max_train_windows = 1000;
+  options.lstm_config = lstm;
+  const auto a = core::run_pipeline(trace, parsed, options);
+  const auto b = core::run_pipeline(trace, parsed, options);
+  EXPECT_DOUBLE_EQ(a.aggregate.f_measure, b.aggregate.f_measure);
+  EXPECT_EQ(a.mapping.false_alarms, b.mapping.false_alarms);
+  ASSERT_EQ(a.monthly.size(), b.monthly.size());
+  for (std::size_t m = 0; m < a.monthly.size(); ++m) {
+    EXPECT_DOUBLE_EQ(a.monthly[m].prf.f_measure, b.monthly[m].prf.f_measure);
+  }
+}
+
+TEST(PipelineCalibration, AnomalyBurstsLeadTicketsEndToEnd) {
+  // A small but complete end-to-end check of the paper's core claim:
+  // syslog anomalies map to tickets, with some genuinely early warnings.
+  simnet::FleetConfig config = simnet::small_fleet_config(21);
+  config.syslog.gap_scale = 2.0;
+  config.months = 5;
+  config.profiles.num_vpes = 8;
+  const auto trace = simnet::simulate_fleet(config);
+  const auto parsed = core::parse_fleet(trace);
+  core::PipelineOptions options;
+  options.clustering.fixed_k = 2;
+  core::LstmDetectorConfig lstm;
+  lstm.initial_epochs = 3;
+  lstm.max_train_windows = 2000;
+  options.lstm_config = lstm;
+  const auto result = core::run_pipeline(trace, parsed, options);
+  EXPECT_GT(result.mapping.early_warnings, 0u);
+  EXPECT_GT(result.aggregate.recall, 0.4);
+  EXPECT_GT(result.aggregate.precision, 0.5);
+  // At least one ticket was flagged before its report time.
+  bool any_before = false;
+  for (const auto& detection : result.detections) {
+    any_before = any_before || detection.detected_before;
+  }
+  EXPECT_TRUE(any_before);
+}
+
+}  // namespace
+}  // namespace nfv

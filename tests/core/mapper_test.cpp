@@ -1,0 +1,190 @@
+#include "core/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nfv::core {
+namespace {
+
+using nfv::util::Duration;
+using nfv::util::SimTime;
+using simnet::Ticket;
+using simnet::TicketCategory;
+
+Ticket make_ticket(std::int64_t id, std::int64_t report_s,
+                   std::int64_t repair_s,
+                   TicketCategory category = TicketCategory::kCircuit,
+                   std::int32_t vpe = 0) {
+  Ticket t;
+  t.ticket_id = id;
+  t.vpe = vpe;
+  t.category = category;
+  t.report = SimTime{report_s};
+  t.repair_finish = SimTime{repair_s};
+  return t;
+}
+
+std::vector<ScoredEvent> events_at(std::initializer_list<std::int64_t> times,
+                                   double score = 10.0) {
+  std::vector<ScoredEvent> out;
+  for (std::int64_t t : times) out.push_back({SimTime{t}, score});
+  return out;
+}
+
+TEST(ClusterAnomalies, RequiresMinClusterSize) {
+  MappingConfig config;  // min 2 within 2 min
+  const auto events = events_at({1000, 5000, 9000});  // isolated hits
+  EXPECT_TRUE(cluster_anomalies(events, 5.0, config).empty());
+  const auto paired = events_at({1000, 1060, 9000});
+  const auto clusters = cluster_anomalies(paired, 5.0, config);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].seconds, 1000);
+}
+
+TEST(ClusterAnomalies, ThresholdFilters) {
+  MappingConfig config;
+  std::vector<ScoredEvent> events{{SimTime{100}, 1.0},
+                                  {SimTime{130}, 1.0}};
+  EXPECT_TRUE(cluster_anomalies(events, 5.0, config).empty());
+  EXPECT_EQ(cluster_anomalies(events, 0.5, config).size(), 1u);
+}
+
+TEST(ClusterAnomalies, RunsSplitByGap) {
+  MappingConfig config;
+  // Two bursts separated by an hour.
+  const auto events = events_at({100, 150, 200, 3800, 3830});
+  const auto clusters = cluster_anomalies(events, 5.0, config);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].seconds, 100);
+  EXPECT_EQ(clusters[1].seconds, 3800);
+}
+
+TEST(ClusterAnomalies, SingletonRuleConfigurable) {
+  MappingConfig config;
+  config.min_cluster_size = 1;
+  const auto events = events_at({1000});
+  EXPECT_EQ(cluster_anomalies(events, 5.0, config).size(), 1u);
+}
+
+TEST(MapAnomalies, PredictivePeriodGivesEarlyWarning) {
+  MappingConfig config;
+  config.predictive_period = Duration::of_hours(12);
+  const std::vector<Ticket> tickets{make_ticket(1, 100000, 120000)};
+  const std::vector<SimTime> anomalies{SimTime{100000 - 3600}};
+  const MappingResult result = map_anomalies(anomalies, tickets, 0, config);
+  EXPECT_EQ(result.early_warnings, 1u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.false_alarms, 0u);
+  ASSERT_EQ(result.anomalies.size(), 1u);
+  EXPECT_EQ(result.anomalies[0].outcome, AnomalyOutcome::kEarlyWarning);
+  EXPECT_EQ(result.anomalies[0].ticket_id, 1);
+  EXPECT_EQ(result.anomalies[0].lead.seconds, 3600);
+  ASSERT_EQ(result.tickets.size(), 1u);
+  EXPECT_TRUE(result.tickets[0].detected_before);
+  EXPECT_EQ(result.tickets[0].best_lead.seconds, 3600);
+}
+
+TEST(MapAnomalies, InfectedPeriodGivesError) {
+  MappingConfig config;
+  const std::vector<Ticket> tickets{make_ticket(2, 100000, 120000)};
+  const std::vector<SimTime> anomalies{SimTime{110000}};
+  const MappingResult result = map_anomalies(anomalies, tickets, 0, config);
+  EXPECT_EQ(result.errors, 1u);
+  EXPECT_TRUE(result.tickets[0].detected_after);
+  EXPECT_FALSE(result.tickets[0].detected_before);
+  EXPECT_EQ(result.tickets[0].first_error_delay.seconds, 10000);
+}
+
+TEST(MapAnomalies, OutsideBothPeriodsIsFalseAlarm) {
+  MappingConfig config;
+  config.predictive_period = Duration::of_hours(1);
+  const std::vector<Ticket> tickets{make_ticket(3, 100000, 120000)};
+  const std::vector<SimTime> anomalies{SimTime{10}};
+  const MappingResult result = map_anomalies(anomalies, tickets, 0, config);
+  EXPECT_EQ(result.false_alarms, 1u);
+  EXPECT_EQ(result.anomalies[0].ticket_id, -1);
+  EXPECT_FALSE(result.tickets[0].detected);
+}
+
+TEST(MapAnomalies, BoundaryConditions) {
+  MappingConfig config;
+  config.predictive_period = Duration::of_hours(1);
+  const std::vector<Ticket> tickets{make_ticket(4, 10000, 20000)};
+  // Exactly at report: infected. Exactly at repair: infected (inclusive).
+  // Exactly at report − P: predictive (inclusive). Just before: false alarm.
+  const std::vector<SimTime> anomalies{SimTime{10000}, SimTime{20000},
+                                       SimTime{10000 - 3600},
+                                       SimTime{10000 - 3601}};
+  const MappingResult result = map_anomalies(anomalies, tickets, 0, config);
+  EXPECT_EQ(result.errors, 2u);
+  EXPECT_EQ(result.early_warnings, 1u);
+  EXPECT_EQ(result.false_alarms, 1u);
+}
+
+TEST(MapAnomalies, InfectedWinsOverPredictiveOfLaterTicket) {
+  MappingConfig config;
+  config.predictive_period = Duration::of_hours(12);
+  // Anomaly inside ticket A's infected period and ticket B's predictive
+  // period → counts as error on A.
+  const std::vector<Ticket> tickets{make_ticket(1, 10000, 50000),
+                                    make_ticket(2, 60000, 90000)};
+  const std::vector<SimTime> anomalies{SimTime{40000}};
+  const MappingResult result = map_anomalies(anomalies, tickets, 0, config);
+  EXPECT_EQ(result.errors, 1u);
+  EXPECT_EQ(result.early_warnings, 0u);
+  EXPECT_EQ(result.anomalies[0].ticket_id, 1);
+}
+
+TEST(MapAnomalies, NearestUpcomingTicketWinsPredictive) {
+  MappingConfig config;
+  config.predictive_period = Duration::of_days(1);
+  const std::vector<Ticket> tickets{make_ticket(1, 50000, 51000),
+                                    make_ticket(2, 40000, 41000)};
+  const std::vector<SimTime> anomalies{SimTime{39000}};
+  const MappingResult result = map_anomalies(anomalies, tickets, 0, config);
+  EXPECT_EQ(result.anomalies[0].ticket_id, 2);  // closer report time
+}
+
+TEST(MapAnomalies, MultipleAnomaliesOneTicket) {
+  MappingConfig config;
+  const std::vector<Ticket> tickets{make_ticket(5, 100000, 200000)};
+  const std::vector<SimTime> anomalies{
+      SimTime{99000}, SimTime{99500}, SimTime{150000}};
+  const MappingResult result = map_anomalies(anomalies, tickets, 0, config);
+  EXPECT_EQ(result.tickets[0].anomaly_count, 3u);
+  EXPECT_TRUE(result.tickets[0].detected_before);
+  EXPECT_TRUE(result.tickets[0].detected_after);
+  // Best lead is the earliest warning.
+  EXPECT_EQ(result.tickets[0].best_lead.seconds, 1000);
+}
+
+TEST(MapAnomalies, WrongVpeTicketRejected) {
+  MappingConfig config;
+  const std::vector<Ticket> tickets{make_ticket(1, 100, 200,
+                                                TicketCategory::kCircuit,
+                                                /*vpe=*/3)};
+  EXPECT_THROW(map_anomalies({}, tickets, 0, config),
+               nfv::util::CheckError);
+}
+
+TEST(MergeMappings, SumsCounters) {
+  MappingConfig config;
+  config.predictive_period = Duration::of_hours(1);
+  const std::vector<Ticket> tickets_a{make_ticket(1, 1000, 2000)};
+  const std::vector<SimTime> anomalies_a{SimTime{1500}};
+  const std::vector<Ticket> tickets_b{
+      make_ticket(2, 9000, 9500, TicketCategory::kSoftware, 1)};
+  const std::vector<SimTime> anomalies_b{SimTime{10}};
+  const MappingResult a = map_anomalies(anomalies_a, tickets_a, 0, config);
+  const MappingResult b = map_anomalies(anomalies_b, tickets_b, 1, config);
+  const std::vector<MappingResult> parts{a, b};
+  const MappingResult merged = merge_mappings(parts);
+  EXPECT_EQ(merged.errors, 1u);
+  EXPECT_EQ(merged.false_alarms, 1u);
+  EXPECT_EQ(merged.anomalies.size(), 2u);
+  EXPECT_EQ(merged.tickets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,182 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nfv::core {
+namespace {
+
+using nfv::util::Duration;
+using nfv::util::SimTime;
+using simnet::Ticket;
+using simnet::TicketCategory;
+
+TicketDetection make_detection(TicketCategory category, bool before,
+                               std::int64_t lead_s, bool after,
+                               std::int64_t delay_s,
+                               std::int64_t id = 0) {
+  TicketDetection d;
+  d.ticket_id = id;
+  d.category = category;
+  d.detected = before || after;
+  d.detected_before = before;
+  d.detected_after = after;
+  d.best_lead = Duration::of_seconds(lead_s);
+  d.first_error_delay = Duration::of_seconds(delay_s);
+  return d;
+}
+
+TEST(ComputePrf, BasicCounts) {
+  MappingResult mapping;
+  mapping.early_warnings = 6;
+  mapping.errors = 2;
+  mapping.false_alarms = 2;
+  mapping.tickets.push_back(
+      make_detection(TicketCategory::kCircuit, true, 600, false, 0, 1));
+  mapping.tickets.push_back(
+      make_detection(TicketCategory::kSoftware, false, 0, false, 0, 2));
+  mapping.tickets.push_back(  // maintenance excluded from recall
+      make_detection(TicketCategory::kMaintenance, false, 0, true, 10, 3));
+  const PrfMetrics prf = compute_prf(mapping);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.8);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+  EXPECT_EQ(prf.tickets_total, 2u);
+  EXPECT_EQ(prf.tickets_detected, 1u);
+  EXPECT_NEAR(prf.f_measure, 2 * 0.8 * 0.5 / 1.3, 1e-12);
+}
+
+TEST(ComputePrf, EmptyMappingAllZero) {
+  const PrfMetrics prf = compute_prf(MappingResult{});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f_measure, 0.0);
+}
+
+TEST(PrecisionRecallCurve, SweepIsWellFormed) {
+  // One vPE, two tickets. Ticket A's warning burst scores 10, ticket B's
+  // scores 6, a benign burst scores 4. Sweeping the threshold walks
+  // through three regimes:
+  //   t ≤ 4:      recall 1,   precision 2/3 (benign burst fires too)
+  //   4 < t ≤ 6:  recall 1,   precision 1
+  //   6 < t ≤ 10: recall 1/2, precision 1
+  VpeScoredStream stream;
+  stream.vpe = 0;
+  for (int i = 0; i < 2; ++i) {
+    Ticket ticket;
+    ticket.ticket_id = i + 1;
+    ticket.vpe = 0;
+    ticket.category = TicketCategory::kCircuit;
+    ticket.report = SimTime{500000 + i * 1000000};
+    ticket.repair_finish = SimTime{600000 + i * 1000000};
+    stream.tickets.push_back(ticket);
+  }
+  stream.events.push_back({SimTime{499000}, 10.0});
+  stream.events.push_back({SimTime{499030}, 10.0});
+  stream.events.push_back({SimTime{1499000}, 6.0});
+  stream.events.push_back({SimTime{1499030}, 6.0});
+  stream.events.push_back({SimTime{100000}, 4.0});
+  stream.events.push_back({SimTime{100040}, 4.0});
+  for (int i = 0; i < 50; ++i) {  // isolated background noise
+    stream.events.push_back({SimTime{200000 + i * 10000}, 1.0});
+  }
+
+  MappingConfig config;
+  const std::vector<VpeScoredStream> streams{stream};
+  const auto curve = precision_recall_curve(streams, config, 10.0, 30);
+  ASSERT_GE(curve.size(), 3u);
+  bool saw_perfect = false;
+  bool saw_two_thirds = false;
+  bool saw_half_recall = false;
+  for (const PrcPoint& point : curve) {
+    EXPECT_GE(point.precision, 0.0);
+    EXPECT_LE(point.precision, 1.0);
+    EXPECT_GE(point.recall, 0.0);
+    EXPECT_LE(point.recall, 1.0);
+    if (point.precision == 1.0 && point.recall == 1.0) saw_perfect = true;
+    if (std::abs(point.precision - 2.0 / 3.0) < 1e-9) saw_two_thirds = true;
+    if (point.recall == 0.5) saw_half_recall = true;
+  }
+  EXPECT_TRUE(saw_perfect);
+  EXPECT_TRUE(saw_two_thirds);
+  EXPECT_TRUE(saw_half_recall);
+
+  const PrcPoint best = best_f_point(curve);
+  EXPECT_DOUBLE_EQ(best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(best.recall, 1.0);
+  EXPECT_GT(auc_pr(curve), 0.4);
+}
+
+TEST(PrecisionRecallCurve, EmptyStreams) {
+  MappingConfig config;
+  const std::vector<VpeScoredStream> streams;
+  EXPECT_TRUE(precision_recall_curve(streams, config, 1.0).empty());
+}
+
+TEST(AucPr, TrapezoidArea) {
+  std::vector<PrcPoint> curve(2);
+  curve[0].recall = 0.0;
+  curve[0].precision = 1.0;
+  curve[1].recall = 1.0;
+  curve[1].precision = 0.5;
+  EXPECT_DOUBLE_EQ(auc_pr(curve), 0.75);
+  EXPECT_DOUBLE_EQ(auc_pr(std::vector<PrcPoint>{}), 0.0);
+}
+
+TEST(DetectionRates, CumulativeColumns) {
+  std::vector<TicketDetection> detections;
+  // Circuit: detected 20 min before.
+  detections.push_back(
+      make_detection(TicketCategory::kCircuit, true, 1200, false, 0, 1));
+  // Circuit: detected 7 min before.
+  detections.push_back(
+      make_detection(TicketCategory::kCircuit, true, 420, false, 0, 2));
+  // Circuit: detected 4 min *after*.
+  detections.push_back(
+      make_detection(TicketCategory::kCircuit, false, 0, true, 240, 3));
+  // Circuit: detected 10 min after.
+  detections.push_back(
+      make_detection(TicketCategory::kCircuit, false, 0, true, 600, 4));
+  // Circuit: never detected.
+  detections.push_back(
+      make_detection(TicketCategory::kCircuit, false, 0, false, 0, 5));
+
+  const auto rows = detection_rates_by_category(detections);
+  const DetectionRateRow* circuit = nullptr;
+  for (const auto& row : rows) {
+    if (row.category == TicketCategory::kCircuit) circuit = &row;
+  }
+  ASSERT_NE(circuit, nullptr);
+  EXPECT_EQ(circuit->ticket_count, 5u);
+  EXPECT_DOUBLE_EQ(circuit->rate[0], 0.2);  // ≥15 min before
+  EXPECT_DOUBLE_EQ(circuit->rate[1], 0.4);  // ≥5 min before
+  EXPECT_DOUBLE_EQ(circuit->rate[2], 0.4);  // before report
+  EXPECT_DOUBLE_EQ(circuit->rate[3], 0.6);  // within +5 min
+  EXPECT_DOUBLE_EQ(circuit->rate[4], 0.8);  // within +15 min
+  // Monotone non-decreasing across the columns.
+  for (std::size_t i = 1; i < circuit->rate.size(); ++i) {
+    EXPECT_GE(circuit->rate[i], circuit->rate[i - 1]);
+  }
+}
+
+TEST(DetectionRates, EmptyCategoryIsZero) {
+  const auto rows = detection_rates_by_category({});
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.ticket_count, 0u);
+    for (double r : row.rate) EXPECT_DOUBLE_EQ(r, 0.0);
+  }
+}
+
+TEST(OverallDetectionRate, SkipsMaintenance) {
+  std::vector<TicketDetection> detections;
+  detections.push_back(
+      make_detection(TicketCategory::kCircuit, true, 1200, false, 0, 1));
+  detections.push_back(
+      make_detection(TicketCategory::kMaintenance, true, 1200, false, 0, 2));
+  const DetectionRateRow row = overall_detection_rate(detections);
+  EXPECT_EQ(row.ticket_count, 1u);
+  EXPECT_DOUBLE_EQ(row.rate[2], 1.0);
+}
+
+}  // namespace
+}  // namespace nfv::core

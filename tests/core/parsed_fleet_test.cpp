@@ -1,0 +1,129 @@
+#include "core/parsed_fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace nfv::core {
+namespace {
+
+using nfv::util::Duration;
+using nfv::util::SimTime;
+
+TEST(ParsedFleet, EveryLogGetsATemplate) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(3));
+  const ParsedFleet parsed = parse_fleet(trace);
+  ASSERT_EQ(parsed.logs_by_vpe.size(), trace.logs_by_vpe.size());
+  for (std::size_t v = 0; v < parsed.logs_by_vpe.size(); ++v) {
+    ASSERT_EQ(parsed.logs_by_vpe[v].size(), trace.logs_by_vpe[v].size());
+    for (const logproc::ParsedLog& log : parsed.logs_by_vpe[v]) {
+      EXPECT_GE(log.template_id, 0);
+      EXPECT_LT(static_cast<std::size_t>(log.template_id), parsed.vocab());
+    }
+  }
+}
+
+TEST(ParsedFleet, TimesPreserved) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(3));
+  const ParsedFleet parsed = parse_fleet(trace);
+  for (std::size_t v = 0; v < parsed.logs_by_vpe.size(); ++v) {
+    for (std::size_t i = 0; i < parsed.logs_by_vpe[v].size(); ++i) {
+      EXPECT_EQ(parsed.logs_by_vpe[v][i].time, trace.logs_by_vpe[v][i].time);
+    }
+  }
+}
+
+TEST(ParsedFleet, TemplateCountNearTrueCatalog) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(3));
+  const ParsedFleet parsed = parse_fleet(trace);
+  // The signature tree should recover roughly the emitted template space —
+  // not 10× more (over-splitting) and not 10× fewer (over-merging).
+  std::size_t emitted_templates = 0;
+  std::vector<bool> seen(trace.catalog.size(), false);
+  for (const auto& logs : trace.logs_by_vpe) {
+    for (const auto& rec : logs) {
+      if (!seen[static_cast<std::size_t>(rec.true_template)]) {
+        seen[static_cast<std::size_t>(rec.true_template)] = true;
+        ++emitted_templates;
+      }
+    }
+  }
+  EXPECT_GT(parsed.vocab(), emitted_templates / 3);
+  EXPECT_LT(parsed.vocab(), emitted_templates * 3);
+}
+
+TEST(ParsedFleet, SameTrueTemplateMapsToSameId) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(3));
+  const ParsedFleet parsed = parse_fleet(trace);
+  // For each true template, collect the set of assigned ids; the dominant
+  // id should cover the vast majority of its occurrences.
+  std::vector<std::map<std::int32_t, int>> assignment(trace.catalog.size());
+  for (std::size_t v = 0; v < parsed.logs_by_vpe.size(); ++v) {
+    for (std::size_t i = 0; i < parsed.logs_by_vpe[v].size(); ++i) {
+      ++assignment[static_cast<std::size_t>(
+          trace.logs_by_vpe[v][i].true_template)]
+          [parsed.logs_by_vpe[v][i].template_id];
+    }
+  }
+  std::size_t total = 0;
+  std::size_t dominant = 0;
+  for (const auto& counts : assignment) {
+    int best = 0;
+    int sum = 0;
+    for (const auto& [id, count] : counts) {
+      best = std::max(best, count);
+      sum += count;
+    }
+    total += static_cast<std::size_t>(sum);
+    dominant += static_cast<std::size_t>(best);
+  }
+  EXPECT_GT(static_cast<double>(dominant) / static_cast<double>(total), 0.9);
+}
+
+TEST(ParsedFleet, VocabTimelineMonotone) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(3));
+  const ParsedFleet parsed = parse_fleet(trace);
+  ASSERT_EQ(parsed.vocab_by_month.size(),
+            static_cast<std::size_t>(trace.config.months) + 1);
+  EXPECT_EQ(parsed.vocab_by_month.front(), 0u);
+  for (std::size_t m = 1; m < parsed.vocab_by_month.size(); ++m) {
+    EXPECT_GE(parsed.vocab_by_month[m], parsed.vocab_by_month[m - 1]);
+  }
+  EXPECT_EQ(parsed.vocab_by_month.back(), parsed.vocab());
+  EXPECT_EQ(parsed.vocab_at(trace.config.months), parsed.vocab());
+  EXPECT_EQ(parsed.vocab_at(999), parsed.vocab());  // clamped
+}
+
+TEST(ParsedFleet, UpdateMonthIntroducesNewTemplates) {
+  // The post-update templates must enlarge the dictionary after the
+  // rollout month.
+  auto config = simnet::small_fleet_config(5);
+  const auto trace = simnet::simulate_fleet(config);
+  const ParsedFleet parsed = parse_fleet(trace);
+  const auto before =
+      parsed.vocab_at(config.update_month);
+  const auto after = parsed.vocab_at(config.months);
+  EXPECT_GT(after, before);
+}
+
+TEST(TicketExclusionWindows, MarginApplied) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(3));
+  const auto windows =
+      ticket_exclusion_windows(trace, 0, Duration::of_days(3));
+  std::size_t expected = 0;
+  for (const simnet::Ticket& t : trace.tickets) {
+    if (t.vpe == 0) ++expected;
+  }
+  ASSERT_EQ(windows.size(), expected);
+  std::size_t i = 0;
+  for (const simnet::Ticket& t : trace.tickets) {
+    if (t.vpe != 0) continue;
+    EXPECT_EQ(windows[i].begin, t.report - Duration::of_days(3));
+    EXPECT_EQ(windows[i].end, t.repair_finish);
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

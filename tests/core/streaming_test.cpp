@@ -1,0 +1,214 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/lstm_detector.h"
+#include "util/check.h"
+
+namespace nfv::core {
+namespace {
+
+using logproc::ParsedLog;
+using nfv::util::Duration;
+using nfv::util::SimTime;
+
+std::vector<ParsedLog> motif_stream(std::size_t cycles,
+                                    std::int64_t start_s = 0) {
+  std::vector<ParsedLog> logs;
+  std::int64_t t = start_s;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (std::int32_t id = 0; id < 4; ++id) {
+      logs.push_back({SimTime{t}, id});
+      t += 60;
+    }
+  }
+  return logs;
+}
+
+struct StreamingFixture : ::testing::Test {
+  LstmDetector detector;
+  logproc::SignatureTree tree;
+
+  StreamingFixture() : detector(make_config()) {
+    const auto train = motif_stream(150);
+    const LogView view{train};
+    detector.fit({&view, 1}, 8);
+  }
+
+  static LstmDetectorConfig make_config() {
+    LstmDetectorConfig config;
+    config.window = 4;
+    config.hidden = 16;
+    config.embed_dim = 8;
+    config.initial_epochs = 6;
+    return config;
+  }
+
+  StreamMonitorConfig monitor_config(double threshold) const {
+    StreamMonitorConfig config;
+    config.threshold = threshold;
+    config.window = 4;
+    return config;
+  }
+};
+
+TEST_F(StreamingFixture, NormalStreamRaisesNothing) {
+  std::vector<StreamWarning> warnings;
+  StreamMonitor monitor(0, &detector, &tree, monitor_config(15.0),
+                        [&](const StreamWarning& w) { warnings.push_back(w); });
+  for (const ParsedLog& log : motif_stream(30, 100000)) {
+    monitor.ingest_parsed(log);
+  }
+  EXPECT_TRUE(warnings.empty());
+  EXPECT_EQ(monitor.warnings_raised(), 0u);
+}
+
+TEST_F(StreamingFixture, AnomalyBurstRaisesOneWarning) {
+  std::vector<StreamWarning> warnings;
+  StreamMonitor monitor(3, &detector, &tree, monitor_config(15.0),
+                        [&](const StreamWarning& w) { warnings.push_back(w); });
+  auto stream = motif_stream(20, 100000);
+  // Burst of a template unknown to the model (id 9 >= vocab 8), seconds
+  // apart — deterministic unknown-score path.
+  const SimTime burst_at = stream[40].time;
+  stream.insert(stream.begin() + 41,
+                {{burst_at + Duration::of_seconds(5), 9},
+                 {burst_at + Duration::of_seconds(20), 9},
+                 {burst_at + Duration::of_seconds(40), 9}});
+  for (const ParsedLog& log : stream) monitor.ingest_parsed(log);
+  ASSERT_EQ(warnings.size(), 1u);  // one cluster, not three alerts
+  EXPECT_EQ(warnings[0].vpe, 3);
+  EXPECT_EQ(warnings[0].time, burst_at + Duration::of_seconds(5));
+  EXPECT_GE(warnings[0].anomaly_count, 2u);
+  EXPECT_GT(warnings[0].peak_score, 15.0);
+}
+
+TEST_F(StreamingFixture, IsolatedAnomalyStaysSilent) {
+  // A single over-threshold event with nothing following within the
+  // cluster span stays below the ≥2 rule. (The anomaly is the stream's
+  // last event: any *follow-up* log would carry the unknown template in
+  // its history window and legitimately extend the anomaly run.)
+  std::vector<StreamWarning> warnings;
+  StreamMonitor monitor(0, &detector, &tree, monitor_config(15.0),
+                        [&](const StreamWarning& w) { warnings.push_back(w); });
+  auto stream = motif_stream(20, 100000);
+  stream.push_back({stream.back().time + Duration::of_seconds(5), 9});
+  for (const ParsedLog& log : stream) monitor.ingest_parsed(log);
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST_F(StreamingFixture, RawLinesMineTemplatesOnline) {
+  std::vector<StreamWarning> warnings;
+  StreamMonitor monitor(0, &detector, &tree, monitor_config(1e9),
+                        [&](const StreamWarning& w) { warnings.push_back(w); });
+  std::int64_t t = 0;
+  for (int i = 0; i < 10; ++i) {
+    monitor.ingest(SimTime{t += 60},
+                   "rpd[100]: keepalive exchange with 10.0.0." +
+                       std::to_string(i) + " ok");
+  }
+  EXPECT_GE(tree.size(), 1u);
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST_F(StreamingFixture, DetectorSwapKeepsHistory) {
+  StreamMonitor monitor(0, &detector, &tree, monitor_config(15.0), nullptr);
+  const auto stream = motif_stream(10, 100000);
+  for (const ParsedLog& log : stream) monitor.ingest_parsed(log);
+  // Swapping in the same detector must not throw and scoring continues.
+  monitor.set_detector(&detector);
+  monitor.set_threshold(20.0);
+  EXPECT_NO_THROW(monitor.ingest_parsed(
+      {stream.back().time + Duration::of_seconds(60), 0}));
+}
+
+TEST_F(StreamingFixture, NullArgumentsRejected) {
+  EXPECT_THROW(
+      StreamMonitor(0, nullptr, &tree, monitor_config(1.0), nullptr),
+      nfv::util::CheckError);
+  EXPECT_THROW(
+      StreamMonitor(0, &detector, nullptr, monitor_config(1.0), nullptr),
+      nfv::util::CheckError);
+}
+
+TEST(OperationalScenario, Classification) {
+  MappedAnomaly anomaly;
+  anomaly.outcome = AnomalyOutcome::kError;
+  EXPECT_EQ(classify_scenario(anomaly),
+            OperationalScenario::kPartOfTrigger);
+  anomaly.outcome = AnomalyOutcome::kFalseAlarm;
+  EXPECT_EQ(classify_scenario(anomaly), OperationalScenario::kCoincidental);
+  anomaly.outcome = AnomalyOutcome::kEarlyWarning;
+  anomaly.lead = Duration::of_minutes(30);
+  EXPECT_EQ(classify_scenario(anomaly),
+            OperationalScenario::kPredictiveSignal);
+  anomaly.lead = Duration::of_minutes(5);
+  EXPECT_EQ(classify_scenario(anomaly),
+            OperationalScenario::kEarlyDetection);
+}
+
+TEST(OperationalScenario, HistogramCountsAll) {
+  MappingResult mapping;
+  MappedAnomaly a;
+  a.outcome = AnomalyOutcome::kError;
+  mapping.anomalies.push_back(a);
+  a.outcome = AnomalyOutcome::kFalseAlarm;
+  mapping.anomalies.push_back(a);
+  a.outcome = AnomalyOutcome::kEarlyWarning;
+  a.lead = Duration::of_hours(1);
+  mapping.anomalies.push_back(a);
+  const auto histogram = scenario_histogram(mapping);
+  ASSERT_EQ(histogram.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t count : histogram) total += count;
+  EXPECT_EQ(total, mapping.anomalies.size());
+  EXPECT_EQ(histogram[static_cast<std::size_t>(
+                OperationalScenario::kPredictiveSignal)],
+            1u);
+}
+
+TEST(OperationalScenario, Names) {
+  EXPECT_STREQ(to_string(OperationalScenario::kPredictiveSignal),
+               "predictive-signal");
+  EXPECT_STREQ(to_string(OperationalScenario::kCoincidental),
+               "coincidental");
+}
+
+TEST_F(StreamingFixture, SaveLoadRoundTripScoresIdentically) {
+  std::stringstream stream;
+  detector.save(stream);
+  const LstmDetector restored = LstmDetector::load(stream);
+  ASSERT_TRUE(restored.trained());
+  const auto test = motif_stream(10, 500000);
+  const auto a = detector.score(test, 8);
+  const auto b = restored.score(test, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].score, b[i].score, 1e-9);
+  }
+}
+
+TEST_F(StreamingFixture, TargetRankModeOrdersLikeDeepLog) {
+  LstmDetectorConfig config = make_config();
+  config.score_mode = LstmScoreMode::kTargetRank;
+  LstmDetector rank_detector(config);
+  const auto train = motif_stream(150);
+  const LogView view{train};
+  rank_detector.fit({&view, 1}, 8);
+
+  // Correct continuations rank near 0; a wrong one ranks worse.
+  auto test = motif_stream(10, 700000);
+  const auto good = rank_detector.score(test, 8);
+  test[23].template_id = 1;  // corrupt one "3" position
+  const auto bad = rank_detector.score(test, 8);
+  EXPECT_GT(bad[19].score, good[19].score);
+  // Unknown templates (id >= vocab) get the maximal rank (vocab size).
+  test[30].template_id = 9;
+  const auto unknown = rank_detector.score(test, 8);
+  EXPECT_DOUBLE_EQ(unknown[26].score, 8.0);
+}
+
+}  // namespace
+}  // namespace nfv::core

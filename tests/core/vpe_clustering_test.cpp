@@ -1,0 +1,107 @@
+#include "core/vpe_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::core {
+namespace {
+
+using nfv::util::SimTime;
+
+TEST(VpeClustering, SingleGroupBaseline) {
+  const VpeClustering clustering = single_group(7);
+  EXPECT_EQ(clustering.num_groups, 1u);
+  ASSERT_EQ(clustering.group_of_vpe.size(), 7u);
+  for (int g : clustering.group_of_vpe) EXPECT_EQ(g, 0);
+}
+
+TEST(VpeClustering, FixedKProducesKGroups) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(3));
+  const ParsedFleet parsed = parse_fleet(trace);
+  VpeClusteringOptions options;
+  options.fixed_k = 2;
+  nfv::util::Rng rng(1);
+  const VpeClustering clustering =
+      cluster_vpes(parsed, SimTime::epoch(), nfv::util::month_start(1),
+                   options, rng);
+  EXPECT_EQ(clustering.num_groups, 2u);
+  ASSERT_EQ(clustering.group_of_vpe.size(),
+            static_cast<std::size_t>(trace.num_vpes()));
+  for (int g : clustering.group_of_vpe) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, 2);
+  }
+}
+
+TEST(VpeClustering, ModularitySelectionWithinRange) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(5));
+  const ParsedFleet parsed = parse_fleet(trace);
+  VpeClusteringOptions options;
+  options.fixed_k = 0;
+  options.k_min = 2;
+  options.k_max = 4;
+  nfv::util::Rng rng(2);
+  const VpeClustering clustering =
+      cluster_vpes(parsed, SimTime::epoch(), nfv::util::month_start(1),
+                   options, rng);
+  EXPECT_GE(clustering.selected_k, 2u);
+  EXPECT_LE(clustering.selected_k, 4u);
+  EXPECT_EQ(clustering.modularity_by_k.size(), 3u);
+}
+
+TEST(VpeClustering, SomGroupingProducesValidPartition) {
+  const auto trace = simnet::simulate_fleet(simnet::small_fleet_config(9));
+  const ParsedFleet parsed = parse_fleet(trace);
+  VpeClusteringOptions options;
+  options.method = GroupingMethod::kSom;
+  options.som.rows = 2;
+  options.som.cols = 2;
+  nfv::util::Rng rng(4);
+  const VpeClustering clustering =
+      cluster_vpes(parsed, nfv::util::SimTime::epoch(),
+                   nfv::util::month_start(1), options, rng);
+  ASSERT_EQ(clustering.group_of_vpe.size(),
+            static_cast<std::size_t>(trace.num_vpes()));
+  EXPECT_GE(clustering.num_groups, 1u);
+  EXPECT_LE(clustering.num_groups, 4u);
+  // Group ids are dense [0, num_groups).
+  for (int g : clustering.group_of_vpe) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(static_cast<std::size_t>(g), clustering.num_groups);
+  }
+}
+
+TEST(VpeClustering, GroupsSimilarVpesTogether) {
+  // Full-size profile structure: vPEs of the same simulator cluster should
+  // mostly co-occur in the learned groups. Use a bigger fleet briefly.
+  auto config = simnet::small_fleet_config(7);
+  config.profiles.num_vpes = 12;
+  config.profiles.num_clusters = 3;
+  config.profiles.num_outliers = 0;
+  config.months = 2;
+  const auto trace = simnet::simulate_fleet(config);
+  const ParsedFleet parsed = parse_fleet(trace);
+  VpeClusteringOptions options;
+  options.fixed_k = 3;
+  nfv::util::Rng rng(3);
+  const VpeClustering clustering =
+      cluster_vpes(parsed, SimTime::epoch(), nfv::util::month_start(1),
+                   options, rng);
+  // Count pairs of same-simulator-cluster vPEs placed in the same learned
+  // group vs different groups.
+  int same_together = 0;
+  int same_total = 0;
+  for (std::size_t a = 0; a < 12; ++a) {
+    for (std::size_t b = a + 1; b < 12; ++b) {
+      if (trace.profiles[a].cluster != trace.profiles[b].cluster) continue;
+      ++same_total;
+      if (clustering.group_of_vpe[a] == clustering.group_of_vpe[b]) {
+        ++same_together;
+      }
+    }
+  }
+  ASSERT_GT(same_total, 0);
+  EXPECT_GT(static_cast<double>(same_together) / same_total, 0.5);
+}
+
+}  // namespace
+}  // namespace nfv::core

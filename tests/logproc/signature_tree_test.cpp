@@ -1,0 +1,143 @@
+#include "logproc/signature_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "logproc/tokenizer.h"
+#include "util/check.h"
+
+namespace nfv::logproc {
+namespace {
+
+TEST(SignatureTree, SameShapeLinesShareTemplate) {
+  SignatureTree tree;
+  const auto a = tree.learn("peer 10.0.0.1 state changed to Idle");
+  const auto b = tree.learn("peer 10.9.8.7 state changed to Idle");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(SignatureTree, DifferentMessagesGetDifferentTemplates) {
+  SignatureTree tree;
+  const auto a = tree.learn("peer 10.0.0.1 state changed to Idle");
+  const auto b = tree.learn("fan tray 3 rpm 9000 deviates from commanded");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(SignatureTree, GeneralizesDisagreeingPositions) {
+  SignatureTree tree;
+  tree.learn("session to agg1.region2 established cleanly");
+  tree.learn("session to core3.region1 established cleanly");
+  ASSERT_EQ(tree.size(), 1u);
+  const auto& sig = tree.signatures()[0];
+  // Position 2 disagreed → wildcard; others survive.
+  EXPECT_EQ(sig.tokens[0], "session");
+  EXPECT_EQ(sig.tokens[2], kWildcard);
+  EXPECT_EQ(sig.tokens[3], "established");
+}
+
+TEST(SignatureTree, MatchCountsAccumulate) {
+  SignatureTree tree;
+  const auto id = tree.learn("alpha beta gamma");
+  tree.learn("alpha beta gamma");
+  tree.learn("alpha beta gamma");
+  EXPECT_EQ(tree.signatures()[static_cast<std::size_t>(id)].match_count, 3u);
+}
+
+TEST(SignatureTree, DifferentTokenCountsNeverMerge) {
+  SignatureTree tree;
+  const auto a = tree.learn("alpha beta gamma");
+  const auto b = tree.learn("alpha beta gamma delta");
+  EXPECT_NE(a, b);
+}
+
+TEST(SignatureTree, MatchIsReadOnly) {
+  SignatureTree tree;
+  const auto id = tree.learn("peer 10.0.0.1 hold timer expired early");
+  const auto before = tree.size();
+  EXPECT_EQ(tree.match("peer 172.16.0.9 hold timer expired early"), id);
+  EXPECT_EQ(tree.size(), before);
+  EXPECT_EQ(tree.match("utterly novel message shape never seen"), -1);
+  EXPECT_EQ(tree.size(), before);
+}
+
+TEST(SignatureTree, IdsAreDenseAndStable) {
+  SignatureTree tree;
+  const auto a = tree.learn("message one alpha");
+  const auto b = tree.learn("message two beta distinct tail");
+  EXPECT_EQ(a, 0);
+  // b may or may not be 1 depending on merge, but must index signatures().
+  EXPECT_GE(b, 0);
+  EXPECT_LT(static_cast<std::size_t>(b), tree.size());
+  EXPECT_EQ(tree.signatures()[0].id, 0);
+}
+
+TEST(SignatureTree, EmptyLineHandled) {
+  SignatureTree tree;
+  const auto id = tree.learn("");
+  EXPECT_GE(id, 0);
+  EXPECT_EQ(tree.learn(""), id);
+}
+
+TEST(SignatureTree, MergeThresholdControlsSplitting) {
+  SignatureTreeConfig strict;
+  strict.merge_threshold = 0.95;
+  SignatureTree tree(strict);
+  const auto a = tree.learn("alpha beta gamma delta epsilon");
+  const auto b = tree.learn("alpha beta gamma delta zeta");
+  // 4/5 = 0.8 similarity < 0.95 → separate templates.
+  EXPECT_NE(a, b);
+
+  SignatureTreeConfig loose;
+  loose.merge_threshold = 0.6;
+  SignatureTree tree2(loose);
+  const auto c = tree2.learn("alpha beta gamma delta epsilon");
+  const auto d = tree2.learn("alpha beta gamma delta zeta");
+  EXPECT_EQ(c, d);
+}
+
+TEST(SignatureTree, CapReusesClosestCompatibleSignature) {
+  SignatureTreeConfig config;
+  config.max_signatures = 1;
+  config.merge_threshold = 0.9;
+  SignatureTree tree(config);
+  const auto a = tree.learn("alpha beta gamma");
+  // Same shape, low similarity: cap forces reuse.
+  const auto b = tree.learn("alpha omega psi");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(SignatureTree, CapStillAdmitsNewShapes) {
+  SignatureTreeConfig config;
+  config.max_signatures = 1;
+  SignatureTree tree(config);
+  tree.learn("alpha beta gamma");
+  const auto b = tree.learn("a completely different shape with more tokens");
+  EXPECT_GE(b, 1);  // soft cap: new shape still gets a template
+}
+
+TEST(SignatureTree, RejectsBadConfig) {
+  SignatureTreeConfig bad;
+  bad.merge_threshold = 0.0;
+  EXPECT_THROW(SignatureTree{bad}, nfv::util::CheckError);
+  SignatureTreeConfig bad2;
+  bad2.max_signatures = 0;
+  EXPECT_THROW(SignatureTree{bad2}, nfv::util::CheckError);
+}
+
+TEST(Signature, PatternRendering) {
+  SignatureTree tree;
+  tree.learn("peer 10.0.0.1 down");
+  EXPECT_EQ(tree.signatures()[0].pattern(), "peer <*> down");
+}
+
+TEST(SignatureTree, VariableFirstTokenGroupsByEmptyHead) {
+  SignatureTree tree;
+  const auto a = tree.learn("42 widgets processed ok");
+  const auto b = tree.learn("77 widgets processed ok");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace nfv::logproc

@@ -1,0 +1,55 @@
+#include "logproc/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::logproc {
+namespace {
+
+TEST(Tokenizer, SplitsOnSeparators) {
+  const auto tokens =
+      tokenize("rpd[1234]: peer 10.0.0.1 (AS 65000) down");
+  // '[', ']', '(', ')' are separators; ':' is kept inside tokens.
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0], "rpd");
+  EXPECT_EQ(tokens[1], "1234");
+}
+
+TEST(Tokenizer, KeepsInterfaceNamesWhole) {
+  const auto tokens = tokenize("link down on ge-0/0/17 now");
+  bool found = false;
+  for (const auto& t : tokens) found = found || t == "ge-0/0/17";
+  EXPECT_TRUE(found);
+}
+
+TEST(Tokenizer, EmptyLine) { EXPECT_TRUE(tokenize("").empty()); }
+
+TEST(Tokenizer, WhitespaceOnly) { EXPECT_TRUE(tokenize("  \t ").empty()); }
+
+TEST(IsVariableToken, DigitsMarkVariables) {
+  EXPECT_TRUE(is_variable_token("1234"));
+  EXPECT_TRUE(is_variable_token("10.0.0.1"));
+  EXPECT_TRUE(is_variable_token("ge-0/0/1"));
+  EXPECT_TRUE(is_variable_token("0xdeadbeef"));
+  EXPECT_FALSE(is_variable_token("keepalive"));
+  EXPECT_FALSE(is_variable_token("BGP"));
+  EXPECT_FALSE(is_variable_token(""));
+}
+
+TEST(TokenizeMasked, ReplacesVariableFields) {
+  const auto tokens = tokenize_masked("peer 10.0.0.1 state Idle count 42");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0], "peer");
+  EXPECT_EQ(tokens[1], kWildcard);
+  EXPECT_EQ(tokens[2], "state");
+  EXPECT_EQ(tokens[3], "Idle");
+  EXPECT_EQ(tokens[4], "count");
+  EXPECT_EQ(tokens[5], kWildcard);
+}
+
+TEST(TokenizeMasked, StableTokensUntouched) {
+  const auto tokens = tokenize_masked("BGP keepalive exchange completed");
+  for (const auto& t : tokens) EXPECT_NE(t, kWildcard);
+}
+
+}  // namespace
+}  // namespace nfv::logproc

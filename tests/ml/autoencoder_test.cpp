@@ -1,0 +1,123 @@
+#include "ml/autoencoder.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/optimizer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+namespace {
+
+using nfv::util::Rng;
+
+/// Structured data on a 2-D manifold inside R^8: x = [a, a, b, b, a+b, ...].
+Matrix manifold_batch(std::size_t rows, Rng& rng) {
+  Matrix m(rows, 8);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto a = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto b = static_cast<float>(rng.uniform(-1.0, 1.0));
+    float* row = m.row(r);
+    row[0] = a;
+    row[1] = a;
+    row[2] = b;
+    row[3] = b;
+    row[4] = a + b;
+    row[5] = a - b;
+    row[6] = 0.5f * a;
+    row[7] = 0.5f * b;
+  }
+  return m;
+}
+
+AutoencoderConfig small_config() {
+  AutoencoderConfig config;
+  config.input_dim = 8;
+  config.encoder = {6, 3};
+  return config;
+}
+
+TEST(Autoencoder, ReconstructionLossDecreases) {
+  Rng rng(21);
+  Autoencoder ae(small_config(), rng);
+  Adam adam(3e-3f);
+  adam.bind(ae.params());
+  Rng data_rng(5);
+  double first = 0.0;
+  double last = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const Matrix batch = manifold_batch(16, data_rng);
+    const double loss = ae.train_batch(batch, adam);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.3);
+}
+
+TEST(Autoencoder, OffManifoldScoresHigher) {
+  Rng rng(23);
+  Autoencoder ae(small_config(), rng);
+  Adam adam(3e-3f);
+  adam.bind(ae.params());
+  Rng data_rng(7);
+  for (int i = 0; i < 400; ++i) {
+    ae.train_batch(manifold_batch(16, data_rng), adam);
+  }
+  // On-manifold vs random (off-manifold) points.
+  const Matrix normal = manifold_batch(32, data_rng);
+  Matrix anomalous(32, 8);
+  for (std::size_t i = 0; i < anomalous.size(); ++i) {
+    anomalous.data()[i] = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+  }
+  const auto normal_err = ae.reconstruction_error(normal);
+  const auto anomalous_err = ae.reconstruction_error(anomalous);
+  double normal_mean = 0.0;
+  double anomalous_mean = 0.0;
+  for (double e : normal_err) normal_mean += e;
+  for (double e : anomalous_err) anomalous_mean += e;
+  EXPECT_GT(anomalous_mean / 32.0, 2.0 * normal_mean / 32.0);
+}
+
+TEST(Autoencoder, ReconstructPreservesShape) {
+  Rng rng(25);
+  Autoencoder ae(small_config(), rng);
+  Rng data_rng(9);
+  const Matrix batch = manifold_batch(5, data_rng);
+  Matrix output;
+  ae.reconstruct(batch, output);
+  EXPECT_EQ(output.rows(), 5u);
+  EXPECT_EQ(output.cols(), 8u);
+}
+
+TEST(Autoencoder, SymmetricLayerStack) {
+  Rng rng(27);
+  Autoencoder ae(small_config(), rng);
+  // encoder {6,3} → layers 8→6→3→6→8 = 4 Dense layers = 8 params.
+  EXPECT_EQ(ae.params().size(), 8u);
+}
+
+TEST(Autoencoder, FreezeLowerLayers) {
+  Rng rng(29);
+  Autoencoder ae(small_config(), rng);
+  ae.freeze_lower_layers(1);  // only the last layer trainable
+  const auto params = ae.params();
+  // 4 layers × 2 params; first 3 layers frozen.
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_TRUE(params[i]->frozen);
+  for (std::size_t i = 6; i < 8; ++i) EXPECT_FALSE(params[i]->frozen);
+  ae.freeze_lower_layers(99);  // everything trainable again
+  for (Param* p : ae.params()) EXPECT_FALSE(p->frozen);
+}
+
+TEST(Autoencoder, RejectsInvalidConfig) {
+  Rng rng(31);
+  AutoencoderConfig no_input;
+  no_input.encoder = {4};
+  EXPECT_THROW(Autoencoder(no_input, rng), nfv::util::CheckError);
+  AutoencoderConfig no_layers;
+  no_layers.input_dim = 8;
+  no_layers.encoder = {};
+  EXPECT_THROW(Autoencoder(no_layers, rng), nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::ml

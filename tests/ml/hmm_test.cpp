@@ -1,0 +1,99 @@
+#include "ml/hmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+namespace {
+
+using nfv::util::Rng;
+
+/// Deterministic cyclic sequences over a vocab of 6: 0→1→2→0→...
+std::vector<std::vector<std::int32_t>> cyclic_sequences(std::size_t count,
+                                                        std::size_t length) {
+  std::vector<std::vector<std::int32_t>> out;
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<std::int32_t> sequence;
+    for (std::size_t i = 0; i < length; ++i) {
+      sequence.push_back(static_cast<std::int32_t>((s + i) % 3));
+    }
+    out.push_back(std::move(sequence));
+  }
+  return out;
+}
+
+TEST(Hmm, LearnsStructuredSequences) {
+  Rng rng(1);
+  HmmConfig config;
+  config.states = 4;
+  Hmm hmm(config);
+  hmm.fit(cyclic_sequences(30, 24), 6, rng);
+  ASSERT_TRUE(hmm.trained());
+
+  // In-pattern sequences score low; scrambled/unused-symbol ones high.
+  const std::vector<std::int32_t> normal{0, 1, 2, 0, 1, 2, 0, 1};
+  const std::vector<std::int32_t> scrambled{2, 0, 0, 2, 1, 1, 0, 2};
+  const std::vector<std::int32_t> foreign{4, 5, 4, 5, 4, 5, 4, 5};
+  EXPECT_LT(hmm.anomaly_score(normal), hmm.anomaly_score(scrambled));
+  EXPECT_LT(hmm.anomaly_score(scrambled), hmm.anomaly_score(foreign));
+}
+
+TEST(Hmm, UnknownSymbolsAreMaximallySurprising) {
+  Rng rng(2);
+  Hmm hmm;
+  hmm.fit(cyclic_sequences(10, 12), 3, rng);
+  const std::vector<std::int32_t> with_unknown{0, 1, 99};
+  const std::vector<std::int32_t> without{0, 1, 2};
+  EXPECT_GT(hmm.anomaly_score(with_unknown), hmm.anomaly_score(without));
+}
+
+TEST(Hmm, LogLikelihoodIsFiniteAndNegative) {
+  Rng rng(3);
+  Hmm hmm;
+  hmm.fit(cyclic_sequences(10, 12), 3, rng);
+  const double ll = hmm.log_likelihood({0, 1, 2, 0});
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_LT(ll, 0.0);
+}
+
+TEST(Hmm, TrainingImprovesLikelihood) {
+  // More Baum-Welch iterations must not hurt the training likelihood.
+  const auto sequences = cyclic_sequences(20, 16);
+  HmmConfig one_iter;
+  one_iter.max_iterations = 1;
+  HmmConfig many_iter;
+  many_iter.max_iterations = 25;
+  Rng rng1(4);
+  Rng rng2(4);
+  Hmm a(one_iter);
+  Hmm b(many_iter);
+  a.fit(sequences, 3, rng1);
+  b.fit(sequences, 3, rng2);
+  double ll_a = 0.0;
+  double ll_b = 0.0;
+  for (const auto& sequence : sequences) {
+    ll_a += a.log_likelihood(sequence);
+    ll_b += b.log_likelihood(sequence);
+  }
+  EXPECT_GE(ll_b, ll_a - 1e-6);
+}
+
+TEST(Hmm, RejectsInvalidInputs) {
+  Rng rng(5);
+  Hmm hmm;
+  EXPECT_THROW(hmm.fit({}, 3, rng), nfv::util::CheckError);
+  EXPECT_THROW(hmm.fit({{}}, 3, rng), nfv::util::CheckError);
+  EXPECT_THROW(hmm.fit(cyclic_sequences(2, 4), 0, rng),
+               nfv::util::CheckError);
+  EXPECT_THROW(hmm.log_likelihood({0}), nfv::util::CheckError);
+  HmmConfig zero_states;
+  zero_states.states = 0;
+  EXPECT_THROW(Hmm{zero_states}, nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::ml

@@ -1,0 +1,154 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+namespace {
+
+using nfv::util::Rng;
+
+/// Three well-separated blobs in 2-D.
+Matrix three_blobs(std::size_t per_blob, Rng& rng) {
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix m(per_blob * 3, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t r = b * per_blob + i;
+      m.at(r, 0) = static_cast<float>(rng.normal(centers[b][0], 0.4));
+      m.at(r, 1) = static_cast<float>(rng.normal(centers[b][1], 0.4));
+    }
+  }
+  return m;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(47);
+  const Matrix data = three_blobs(30, rng);
+  KMeansConfig config;
+  config.k = 3;
+  const KMeansResult result = kmeans(data, config, rng);
+  ASSERT_EQ(result.labels.size(), 90u);
+  // All points of a blob share a label, and blobs get distinct labels.
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::size_t label = result.labels[b * 30];
+    for (std::size_t i = 1; i < 30; ++i) {
+      EXPECT_EQ(result.labels[b * 30 + i], label) << "blob " << b;
+    }
+  }
+  EXPECT_NE(result.labels[0], result.labels[30]);
+  EXPECT_NE(result.labels[30], result.labels[60]);
+  EXPECT_NE(result.labels[0], result.labels[60]);
+}
+
+TEST(KMeans, InertiaDropsWithMoreClusters) {
+  Rng rng(49);
+  const Matrix data = three_blobs(20, rng);
+  KMeansConfig k1;
+  k1.k = 1;
+  KMeansConfig k3;
+  k3.k = 3;
+  Rng r1(1);
+  Rng r3(1);
+  const double inertia1 = kmeans(data, k1, r1).inertia;
+  const double inertia3 = kmeans(data, k3, r3).inertia;
+  EXPECT_LT(inertia3, inertia1 * 0.1);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  Rng rng(51);
+  Matrix data(4, 2);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(i);
+  }
+  KMeansConfig config;
+  config.k = 4;
+  const KMeansResult result = kmeans(data, config, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, RejectsInvalidK) {
+  Rng rng(53);
+  Matrix data(3, 2);
+  KMeansConfig config;
+  config.k = 5;
+  EXPECT_THROW(kmeans(data, config, rng), nfv::util::CheckError);
+  config.k = 0;
+  EXPECT_THROW(kmeans(data, config, rng), nfv::util::CheckError);
+}
+
+TEST(Modularity, PerfectCommunitiesScoreHigh) {
+  // Two cliques with no cross edges.
+  Matrix graph(4, 4);
+  graph.at(0, 1) = graph.at(1, 0) = 1.0f;
+  graph.at(2, 3) = graph.at(3, 2) = 1.0f;
+  const double good = modularity(graph, {0, 0, 1, 1});
+  const double bad = modularity(graph, {0, 1, 0, 1});
+  EXPECT_GT(good, 0.4);
+  EXPECT_LT(bad, 0.0);
+}
+
+TEST(Modularity, EmptyGraphIsZero) {
+  Matrix graph(3, 3);
+  EXPECT_DOUBLE_EQ(modularity(graph, {0, 1, 2}), 0.0);
+}
+
+TEST(Modularity, RejectsBadShapes) {
+  Matrix graph(2, 3);
+  EXPECT_THROW(modularity(graph, {0, 1}), nfv::util::CheckError);
+  Matrix square(2, 2);
+  EXPECT_THROW(modularity(square, {0}), nfv::util::CheckError);
+}
+
+TEST(CosineSimilarityGraph, DiagonalZeroSymmetric) {
+  Matrix data(3, 2);
+  data.at(0, 0) = 1.0f;
+  data.at(1, 0) = 1.0f;
+  data.at(2, 1) = 1.0f;
+  const Matrix graph = cosine_similarity_graph(data);
+  EXPECT_FLOAT_EQ(graph.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(graph.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(graph.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(graph.at(0, 2), 0.0f);
+}
+
+TEST(CosineSimilarityGraph, ThresholdDropsWeakEdges) {
+  Matrix data(2, 2);
+  data.at(0, 0) = 1.0f;
+  data.at(0, 1) = 0.1f;
+  data.at(1, 0) = 0.1f;
+  data.at(1, 1) = 1.0f;
+  const Matrix graph = cosine_similarity_graph(data, 0.9);
+  EXPECT_FLOAT_EQ(graph.at(0, 1), 0.0f);
+}
+
+TEST(SelectKByModularity, FindsThreeBlobs) {
+  Rng rng(55);
+  // Distribution-like rows: three groups with distinct dominant columns.
+  Matrix data(12, 6);
+  for (std::size_t r = 0; r < 12; ++r) {
+    const std::size_t g = r / 4;
+    for (std::size_t c = 0; c < 6; ++c) {
+      data.at(r, c) = static_cast<float>(rng.uniform(0.0, 0.05));
+    }
+    data.at(r, 2 * g) = 0.6f + static_cast<float>(rng.uniform(0.0, 0.1));
+    data.at(r, 2 * g + 1) = 0.3f;
+  }
+  const KSelection selection = select_k_by_modularity(data, 2, 6, rng);
+  EXPECT_EQ(selection.best_k, 3u);
+  EXPECT_EQ(selection.modularity_by_k.size(), 5u);
+}
+
+TEST(SelectKByModularity, RejectsBadRange) {
+  Rng rng(57);
+  Matrix data(3, 2, 1.0f);
+  EXPECT_THROW(select_k_by_modularity(data, 2, 5, rng),
+               nfv::util::CheckError);
+  EXPECT_THROW(select_k_by_modularity(data, 3, 2, rng),
+               nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::ml

@@ -1,0 +1,158 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+  m.at(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m.at(0, 1), 7.0f);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matrix, FillAndZero) {
+  Matrix m(2, 2, 3.0f);
+  m.fill(1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 1.0f);
+  m.zero();
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(Matrix, ResizeZeroesContents) {
+  Matrix m(1, 1, 9.0f);
+  m.resize(2, 2);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0.0f);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(1, 3);
+  Matrix b(1, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a.at(0, i) = static_cast<float>(i + 1);
+    b.at(0, i) = 2.0f;
+  }
+  a.add(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 3.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 4.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 8.0f);
+  a.hadamard(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 16.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(1, 2);
+  Matrix b(2, 1);
+  EXPECT_THROW(a.add(b), nfv::util::CheckError);
+  EXPECT_THROW(a.hadamard(b), nfv::util::CheckError);
+}
+
+TEST(Matrix, SquaredNorm) {
+  Matrix m(1, 2);
+  m.at(0, 0) = 3.0f;
+  m.at(0, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 25.0);
+}
+
+TEST(Matmul, KnownProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  Matrix out;
+  matmul(a, b, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 19);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 22);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 43);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 50);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  Matrix out;
+  EXPECT_THROW(matmul(a, b, out), nfv::util::CheckError);
+}
+
+TEST(MatmulTransB, MatchesExplicitTranspose) {
+  Matrix a(2, 3);
+  Matrix b(4, 3);  // b^T is 3x4
+  float v = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = v += 0.5f;
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = v -= 0.25f;
+  Matrix bt(3, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) bt.at(c, r) = b.at(r, c);
+  }
+  Matrix expected;
+  matmul(a, bt, expected);
+  Matrix got;
+  matmul_transb(a, b, got);
+  ASSERT_EQ(got.rows(), expected.rows());
+  ASSERT_EQ(got.cols(), expected.cols());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-4f);
+  }
+}
+
+TEST(MatmulTransAAccumulate, AccumulatesGradientShape) {
+  Matrix a(3, 2);  // e.g. (batch x out)
+  Matrix b(3, 4);  // (batch x in)
+  a.fill(1.0f);
+  b.fill(2.0f);
+  Matrix out(2, 4);
+  out.fill(1.0f);
+  matmul_transa_accumulate(a, b, out);
+  // out += a^T b, each element = 3 * 1 * 2 = 6, plus prior 1.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], 7.0f);
+  }
+}
+
+TEST(AddRowVector, AddsToEveryRow) {
+  Matrix m(2, 3, 1.0f);
+  Matrix row(1, 3);
+  row.at(0, 0) = 1;
+  row.at(0, 1) = 2;
+  row.at(0, 2) = 3;
+  add_row_vector(m, row);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 4.0f);
+}
+
+TEST(SumRowsAccumulate, ColumnSums) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    m.at(r, 0) = 1.0f;
+    m.at(r, 1) = 2.0f;
+  }
+  Matrix out(1, 2);
+  out.at(0, 0) = 10.0f;
+  sum_rows_accumulate(m, out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 13.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 6.0f);
+}
+
+}  // namespace
+}  // namespace nfv::ml

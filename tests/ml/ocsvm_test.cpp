@@ -1,0 +1,121 @@
+#include "ml/ocsvm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+namespace {
+
+using nfv::util::Rng;
+
+/// Gaussian blob around (2, 2).
+Matrix blob(std::size_t rows, Rng& rng) {
+  Matrix m(rows, 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.at(r, 0) = static_cast<float>(rng.normal(2.0, 0.3));
+    m.at(r, 1) = static_cast<float>(rng.normal(2.0, 0.3));
+  }
+  return m;
+}
+
+TEST(OcSvm, SeparatesBlobFromOutliers) {
+  Rng rng(33);
+  OcSvmConfig config;
+  config.nu = 0.1;
+  OcSvm svm(config);
+  svm.fit(blob(300, rng));
+  ASSERT_TRUE(svm.trained());
+
+  // Points near the blob center: positive decision value (normal).
+  const float inside[2] = {2.0f, 2.0f};
+  EXPECT_GT(svm.decision_value(inside), 0.0);
+
+  // Far outliers: negative decision value (anomalous).
+  const float outside[2] = {6.0f, -3.0f};
+  EXPECT_LT(svm.decision_value(outside), 0.0);
+  EXPECT_GT(svm.anomaly_score(outside), svm.anomaly_score(inside));
+}
+
+TEST(OcSvm, NuBoundsTrainingOutlierFraction) {
+  Rng rng(35);
+  OcSvmConfig config;
+  config.nu = 0.2;
+  OcSvm svm(config);
+  const Matrix train = blob(200, rng);
+  svm.fit(train);
+  std::size_t outliers = 0;
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    if (svm.decision_value(train.row_span(r)) < 0.0) ++outliers;
+  }
+  // ν is an upper bound on the training outlier fraction (plus slack for
+  // the approximate solver).
+  EXPECT_LE(static_cast<double>(outliers) / 200.0, 0.2 + 0.08);
+}
+
+TEST(OcSvm, SupportVectorsAreSubset) {
+  Rng rng(37);
+  OcSvmConfig config;
+  config.nu = 0.1;
+  OcSvm svm(config);
+  svm.fit(blob(150, rng));
+  EXPECT_GT(svm.support_vector_count(), 0u);
+  EXPECT_LT(svm.support_vector_count(), 150u);
+}
+
+TEST(OcSvm, SubsamplesHugeTrainingSets) {
+  Rng rng(39);
+  OcSvmConfig config;
+  config.max_training_rows = 100;
+  OcSvm svm(config);
+  svm.fit(blob(500, rng));
+  EXPECT_LE(svm.support_vector_count(), 100u);
+  const float inside[2] = {2.0f, 2.0f};
+  EXPECT_GT(svm.decision_value(inside), 0.0);
+}
+
+TEST(OcSvm, ExplicitGammaRespected) {
+  Rng rng(41);
+  OcSvmConfig config;
+  config.gamma = 2.5;
+  OcSvm svm(config);
+  svm.fit(blob(50, rng));
+  EXPECT_DOUBLE_EQ(svm.gamma(), 2.5);
+}
+
+TEST(OcSvm, DefaultGammaScalesWithVariance) {
+  Rng rng(43);
+  OcSvm svm;
+  svm.fit(blob(100, rng));
+  EXPECT_GT(svm.gamma(), 0.0);
+}
+
+TEST(OcSvm, AnomalyScoresBatch) {
+  Rng rng(45);
+  OcSvm svm;
+  svm.fit(blob(100, rng));
+  const Matrix test = blob(10, rng);
+  const auto scores = svm.anomaly_scores(test);
+  ASSERT_EQ(scores.size(), 10u);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_DOUBLE_EQ(scores[r], -svm.decision_value(test.row_span(r)));
+  }
+}
+
+TEST(OcSvm, RejectsInvalidInputs) {
+  OcSvmConfig bad_nu;
+  bad_nu.nu = 0.0;
+  EXPECT_THROW(OcSvm{bad_nu}, nfv::util::CheckError);
+
+  OcSvm svm;
+  Matrix empty;
+  EXPECT_THROW(svm.fit(empty), nfv::util::CheckError);
+  const float x[2] = {0.0f, 0.0f};
+  EXPECT_THROW(svm.decision_value(x), nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::ml

@@ -1,0 +1,122 @@
+#include "ml/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+namespace {
+
+Param make_param(float value, float grad) {
+  Param p("p", 1, 1);
+  p.value.at(0, 0) = value;
+  p.grad.at(0, 0) = grad;
+  return p;
+}
+
+TEST(Sgd, BasicStep) {
+  Param p = make_param(1.0f, 0.5f);
+  Sgd sgd(0.1f);
+  sgd.bind({&p});
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value.at(0, 0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 0.0f);  // gradients zeroed
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p = make_param(0.0f, 1.0f);
+  Sgd sgd(1.0f, 0.9f);
+  sgd.bind({&p});
+  sgd.step();
+  const float after_one = p.value.at(0, 0);
+  EXPECT_FLOAT_EQ(after_one, -1.0f);
+  p.grad.at(0, 0) = 1.0f;
+  sgd.step();
+  // velocity = 0.9*1 + 1 = 1.9
+  EXPECT_FLOAT_EQ(p.value.at(0, 0), after_one - 1.9f);
+}
+
+TEST(Sgd, StepBeforeBindThrows) {
+  Sgd sgd(0.1f);
+  EXPECT_THROW(sgd.step(), nfv::util::CheckError);
+}
+
+TEST(Sgd, FrozenParamUntouched) {
+  Param p = make_param(2.0f, 1.0f);
+  p.frozen = true;
+  Sgd sgd(0.5f);
+  sgd.bind({&p});
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 0.0f);  // grads still cleared
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, the first Adam step is ≈ lr * sign(grad).
+  Param p = make_param(0.0f, 0.3f);
+  Adam adam(0.01f);
+  adam.bind({&p});
+  adam.step();
+  EXPECT_NEAR(p.value.at(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2 by feeding grad = 2(x-3).
+  Param p = make_param(0.0f, 0.0f);
+  Adam adam(0.1f);
+  adam.bind({&p});
+  for (int i = 0; i < 500; ++i) {
+    p.grad.at(0, 0) = 2.0f * (p.value.at(0, 0) - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 3.0f, 1e-2f);
+}
+
+TEST(Adam, FrozenParamUntouched) {
+  Param p = make_param(1.0f, 5.0f);
+  p.frozen = true;
+  Adam adam(0.1f);
+  adam.bind({&p});
+  adam.step();
+  EXPECT_FLOAT_EQ(p.value.at(0, 0), 1.0f);
+}
+
+TEST(Adam, RebindResetsState) {
+  Param p = make_param(0.0f, 1.0f);
+  Adam adam(0.01f);
+  adam.bind({&p});
+  adam.step();
+  // After rebinding, moment estimates restart: step magnitude is again lr.
+  adam.bind({&p});
+  p.grad.at(0, 0) = -1.0f;
+  const float before = p.value.at(0, 0);
+  adam.step();
+  EXPECT_NEAR(p.value.at(0, 0) - before, 0.01f, 1e-4f);
+}
+
+TEST(Optimizer, LearningRateAccessors) {
+  Adam adam(0.02f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.02f);
+  adam.set_learning_rate(0.005f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.005f);
+}
+
+TEST(ClipGradients, ScalesDownLargeNorm) {
+  Param p = make_param(0.0f, 3.0f);
+  Param q = make_param(0.0f, 4.0f);
+  const double norm = clip_gradients({&p, &q}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(p.grad.at(0, 0), 0.6f, 1e-5f);
+  EXPECT_NEAR(q.grad.at(0, 0), 0.8f, 1e-5f);
+}
+
+TEST(ClipGradients, LeavesSmallNorm) {
+  Param p = make_param(0.0f, 0.3f);
+  clip_gradients({&p}, 1.0);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 0.3f);
+}
+
+}  // namespace
+}  // namespace nfv::ml

@@ -1,0 +1,121 @@
+#include "ml/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+namespace {
+
+using nfv::util::Rng;
+
+/// Data concentrated along the (1, 1, 0) direction in R^3 plus small noise.
+Matrix line_data(std::size_t rows, Rng& rng) {
+  Matrix m(rows, 3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double t = rng.uniform(-2.0, 2.0);
+    m.at(r, 0) = static_cast<float>(t + rng.normal(0.0, 0.05));
+    m.at(r, 1) = static_cast<float>(t + rng.normal(0.0, 0.05));
+    m.at(r, 2) = static_cast<float>(rng.normal(0.0, 0.05));
+  }
+  return m;
+}
+
+TEST(Pca, FindsDominantDirection) {
+  Rng rng(61);
+  PcaConfig config;
+  config.components = 1;
+  Pca pca(config);
+  pca.fit(line_data(300, rng), rng);
+  ASSERT_TRUE(pca.trained());
+  const Matrix& comps = pca.components();
+  ASSERT_EQ(comps.rows(), 1u);
+  // Dominant direction ≈ ±(1,1,0)/√2.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  const double c0 = comps.at(0, 0);
+  const double c1 = comps.at(0, 1);
+  const double c2 = comps.at(0, 2);
+  EXPECT_NEAR(std::abs(c0), inv_sqrt2, 0.05);
+  EXPECT_NEAR(std::abs(c1), inv_sqrt2, 0.05);
+  EXPECT_NEAR(std::abs(c2), 0.0, 0.1);
+  EXPECT_GT(c0 * c1, 0.0);  // same sign
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Rng rng(63);
+  PcaConfig config;
+  config.components = 3;
+  Pca pca(config);
+  Matrix data(100, 4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  pca.fit(data, rng);
+  const Matrix& comps = pca.components();
+  for (std::size_t a = 0; a < comps.rows(); ++a) {
+    for (std::size_t b = a; b < comps.rows(); ++b) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < comps.cols(); ++c) {
+        dot += static_cast<double>(comps.at(a, c)) * comps.at(b, c);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 0.05);
+    }
+  }
+}
+
+TEST(Pca, ExplainedVarianceDescending) {
+  Rng rng(65);
+  PcaConfig config;
+  config.components = 2;
+  Pca pca(config);
+  pca.fit(line_data(300, rng), rng);
+  const auto& variance = pca.explained_variance();
+  ASSERT_EQ(variance.size(), 2u);
+  EXPECT_GT(variance[0], variance[1]);
+}
+
+TEST(Pca, OnLineLowResidualOffLineHigh) {
+  Rng rng(67);
+  PcaConfig config;
+  config.components = 1;
+  Pca pca(config);
+  pca.fit(line_data(300, rng), rng);
+  const float on_line[3] = {1.0f, 1.0f, 0.0f};
+  const float off_line[3] = {1.0f, -1.0f, 2.0f};
+  EXPECT_LT(pca.residual_energy(on_line), 0.05);
+  EXPECT_GT(pca.residual_energy(off_line), 1.0);
+}
+
+TEST(Pca, ProjectionLength) {
+  Rng rng(69);
+  PcaConfig config;
+  config.components = 2;
+  Pca pca(config);
+  pca.fit(line_data(100, rng), rng);
+  const float x[3] = {0.5f, 0.5f, 0.1f};
+  EXPECT_EQ(pca.project(x).size(), 2u);
+}
+
+TEST(Pca, ComponentsClampedToDim) {
+  Rng rng(71);
+  PcaConfig config;
+  config.components = 10;
+  Pca pca(config);
+  pca.fit(line_data(50, rng), rng);
+  EXPECT_EQ(pca.component_count(), 3u);
+}
+
+TEST(Pca, RejectsDegenerateInputs) {
+  Rng rng(73);
+  Pca pca;
+  Matrix one_row(1, 3);
+  EXPECT_THROW(pca.fit(one_row, rng), nfv::util::CheckError);
+  const float x[3] = {0, 0, 0};
+  EXPECT_THROW(pca.residual_energy(x), nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::ml

@@ -1,0 +1,69 @@
+#include "ml/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nfv::ml {
+namespace {
+
+TEST(Serialize, U64RoundTrip) {
+  std::stringstream stream;
+  write_u64(stream, 0xdeadbeefcafef00dULL);
+  write_u64(stream, 0);
+  EXPECT_EQ(read_u64(stream), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(read_u64(stream), 0u);
+}
+
+TEST(Serialize, U64TruncatedStreamThrows) {
+  std::stringstream stream;
+  stream << "abc";
+  EXPECT_THROW(read_u64(stream), nfv::util::CheckError);
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  Matrix m(3, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(i) * 0.25f;
+  }
+  std::stringstream stream;
+  write_matrix(stream, m);
+  const Matrix restored = read_matrix(stream);
+  ASSERT_EQ(restored.rows(), 3u);
+  ASSERT_EQ(restored.cols(), 4u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(restored.data()[i], m.data()[i]);
+  }
+}
+
+TEST(Serialize, MatrixBadMagicThrows) {
+  std::stringstream stream;
+  write_u64(stream, 12345);  // not kMatrixMagic
+  write_u64(stream, 1);
+  write_u64(stream, 1);
+  EXPECT_THROW(read_matrix(stream), nfv::util::CheckError);
+}
+
+TEST(Serialize, MatrixTruncatedBodyThrows) {
+  Matrix m(2, 2, 1.0f);
+  std::stringstream stream;
+  write_matrix(stream, m);
+  std::string data = stream.str();
+  data.resize(data.size() - 4);  // chop the last float
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_matrix(truncated), nfv::util::CheckError);
+}
+
+TEST(Serialize, EmptyMatrixRoundTrip) {
+  Matrix m(0, 5);
+  std::stringstream stream;
+  write_matrix(stream, m);
+  const Matrix restored = read_matrix(stream);
+  EXPECT_EQ(restored.rows(), 0u);
+  EXPECT_EQ(restored.cols(), 5u);
+}
+
+}  // namespace
+}  // namespace nfv::ml

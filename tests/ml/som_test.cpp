@@ -1,0 +1,96 @@
+#include "ml/som.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nfv::ml {
+namespace {
+
+using nfv::util::Rng;
+
+Matrix blobs(std::size_t per_blob, Rng& rng) {
+  const double centers[3][2] = {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}};
+  Matrix m(per_blob * 3, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t r = b * per_blob + i;
+      m.at(r, 0) = static_cast<float>(rng.normal(centers[b][0], 0.3));
+      m.at(r, 1) = static_cast<float>(rng.normal(centers[b][1], 0.3));
+    }
+  }
+  return m;
+}
+
+TEST(Som, SeparatesBlobsIntoDistinctUnits) {
+  Rng rng(7);
+  const Matrix data = blobs(25, rng);
+  Som som;
+  som.fit(data, rng);
+  ASSERT_TRUE(som.trained());
+  const auto labels = som.assign(data);
+  // A blob may spread over a couple of adjacent units (topographic map),
+  // but every unit must be *pure*: all its points from one blob.
+  std::map<std::size_t, std::set<std::size_t>> blobs_per_unit;
+  std::set<std::size_t> units_per_blob[3];
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < 25; ++i) {
+      const std::size_t unit = labels[b * 25 + i];
+      blobs_per_unit[unit].insert(b);
+      units_per_blob[b].insert(unit);
+    }
+  }
+  for (const auto& [unit, blobs] : blobs_per_unit) {
+    EXPECT_EQ(blobs.size(), 1u) << "unit " << unit << " mixes blobs";
+  }
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_LE(units_per_blob[b].size(), 3u) << "blob " << b << " scattered";
+  }
+}
+
+TEST(Som, QuantizationErrorSmallOnTrainingData) {
+  Rng rng(9);
+  const Matrix data = blobs(20, rng);
+  Som som;
+  som.fit(data, rng);
+  double total = 0.0;
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    total += som.quantization_error(data.row_span(r));
+  }
+  EXPECT_LT(total / static_cast<double>(data.rows()), 1.0);
+  // A far-away point has a much larger error.
+  const float outlier[2] = {50.0f, -40.0f};
+  EXPECT_GT(som.quantization_error(outlier), 10.0);
+}
+
+TEST(Som, CodebookAccessors) {
+  Rng rng(11);
+  const Matrix data = blobs(10, rng);
+  SomConfig config;
+  config.rows = 2;
+  config.cols = 2;
+  Som som(config);
+  som.fit(data, rng);
+  EXPECT_EQ(som.units(), 4u);
+  EXPECT_EQ(som.codebook(0).size(), 2u);
+  EXPECT_THROW(som.codebook(4), nfv::util::CheckError);
+}
+
+TEST(Som, RejectsInvalidInputs) {
+  SomConfig empty_grid;
+  empty_grid.rows = 0;
+  EXPECT_THROW(Som{empty_grid}, nfv::util::CheckError);
+  Rng rng(13);
+  Som som;
+  Matrix no_data;
+  EXPECT_THROW(som.fit(no_data, rng), nfv::util::CheckError);
+  const float x[2] = {0.0f, 0.0f};
+  EXPECT_THROW(som.best_matching_unit(x), nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::ml

@@ -1,0 +1,254 @@
+#include "simnet/anomaly_emitter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nfv::simnet {
+namespace {
+
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+struct Fixture {
+  TemplateCatalog catalog = TemplateCatalog::standard();
+  FaultSchedule schedule;
+  TicketingResult ticketing;
+
+  explicit Fixture(std::uint64_t seed = 50, int num_vpes = 10) {
+    FleetProfileConfig profile_config;
+    profile_config.num_vpes = num_vpes;
+    profile_config.num_clusters = 2;
+    profile_config.num_outliers = 1;
+    Rng rng(seed);
+    const auto profiles = make_fleet_profiles(catalog, profile_config, rng);
+    FaultInjectorConfig fault_config;
+    Rng fault_rng(seed + 1);
+    schedule = inject_faults(profiles, SimTime{18LL * 30 * 86400},
+                             fault_config, fault_rng);
+    TicketingConfig ticket_config;
+    Rng ticket_rng(seed + 2);
+    ticketing = run_ticketing(schedule, ticket_config, ticket_rng);
+  }
+};
+
+TEST(AnomalyEmitter, AllRecordsMarkedAnomalous) {
+  Fixture f;
+  AnomalyEmitterConfig config;
+  Rng rng(1);
+  const auto logs = emit_fault_logs(f.schedule.faults, f.ticketing.tickets,
+                                    f.catalog, config, rng);
+  ASSERT_FALSE(logs.empty());
+  for (const RawLogRecord& rec : logs) {
+    EXPECT_TRUE(rec.anomalous);
+    EXPECT_FALSE(rec.text.empty());
+    const TemplateKind kind = f.catalog.at(rec.true_template).kind;
+    EXPECT_TRUE(kind == TemplateKind::kPrecursor ||
+                kind == TemplateKind::kError);
+  }
+}
+
+TEST(AnomalyEmitter, TemplatesMatchFaultCategory) {
+  Fixture f;
+  AnomalyEmitterConfig config;
+  Rng rng(2);
+  const auto logs = emit_fault_logs(f.schedule.faults, f.ticketing.tickets,
+                                    f.catalog, config, rng);
+  // Build vPE → fault-categories map; every emitted template's category
+  // must be one of that vPE's fault categories.
+  std::map<int, std::map<TicketCategory, int>> vpe_categories;
+  for (const FaultEvent& fault : f.schedule.faults) {
+    ++vpe_categories[fault.vpe][fault.category];
+  }
+  for (const RawLogRecord& rec : logs) {
+    const TicketCategory category = f.catalog.at(rec.true_template).category;
+    EXPECT_GT(vpe_categories[rec.vpe][category], 0)
+        << "vPE " << rec.vpe << " never had a "
+        << to_string(category) << " fault";
+  }
+}
+
+TEST(AnomalyEmitter, PrecursorRatesTrackConfig) {
+  Fixture f(50, 30);  // larger fleet → tighter rate estimates
+  AnomalyEmitterConfig config;
+  Rng rng(3);
+  const auto logs = emit_fault_logs(f.schedule.faults, f.ticketing.tickets,
+                                    f.catalog, config, rng);
+
+  // Index primary tickets.
+  std::map<std::int64_t, const Ticket*> primary;
+  for (const Ticket& t : f.ticketing.tickets) {
+    if (t.fault_id >= 0 && t.category != TicketCategory::kDuplicate) {
+      primary[t.fault_id] = &t;
+    }
+  }
+  // For each fault, check whether a precursor log exists before report.
+  std::map<TicketCategory, std::pair<int, int>> stats;  // {with_pre, total}
+  for (const FaultEvent& fault : f.schedule.faults) {
+    const Ticket* ticket = primary[fault.fault_id];
+    bool has_precursor = false;
+    for (const RawLogRecord& rec : logs) {
+      if (rec.vpe != fault.vpe) continue;
+      if (f.catalog.at(rec.true_template).kind != TemplateKind::kPrecursor) {
+        continue;
+      }
+      if (f.catalog.at(rec.true_template).category != fault.category) {
+        continue;
+      }
+      // Narrow attribution window: the lead-time distribution has median
+      // ~10 minutes, so 2 h captures essentially all genuine bursts while
+      // keeping bursts of *neighbouring* faults out of the count.
+      if (rec.time < ticket->report &&
+          rec.time >= ticket->report - Duration::of_hours(2)) {
+        has_precursor = true;
+        break;
+      }
+    }
+    auto& [with_pre, total] = stats[fault.category];
+    with_pre += has_precursor ? 1 : 0;
+    ++total;
+  }
+  // Expected emission = (1 − p_silent) × p_precursor; the configured
+  // values are calibrated so the downstream *detected* rates land on the
+  // paper's Fig. 8 numbers (see AnomalyEmitterConfig).
+  AnomalyEmitterConfig reference;
+  const auto circuit = stats[TicketCategory::kCircuit];
+  const auto hardware = stats[TicketCategory::kHardware];
+  ASSERT_GT(circuit.second, 20);
+  ASSERT_GT(hardware.second, 20);
+  const double circuit_rate =
+      static_cast<double>(circuit.first) / circuit.second;
+  const double hardware_rate =
+      static_cast<double>(hardware.first) / hardware.second;
+  const auto expected = [&](const CategoryTiming& timing) {
+    return (1.0 - timing.p_silent) * timing.p_precursor;
+  };
+  EXPECT_NEAR(circuit_rate, expected(reference.circuit), 0.15);
+  EXPECT_NEAR(hardware_rate, expected(reference.hardware), 0.18);
+  EXPECT_GT(circuit_rate, hardware_rate);
+}
+
+TEST(AnomalyEmitter, BurstsAreTightClusters) {
+  Fixture f;
+  AnomalyEmitterConfig config;
+  Rng rng(4);
+  auto logs = emit_fault_logs(f.schedule.faults, f.ticketing.tickets,
+                              f.catalog, config, rng);
+  std::sort(logs.begin(), logs.end(),
+            [](const RawLogRecord& a, const RawLogRecord& b) {
+              return a.time < b.time;
+            });
+  // The paper observes matched anomalies come ≥2 at a time, <1 min apart
+  // on average: consecutive same-vPE anomaly gaps should often be tiny.
+  std::map<int, SimTime> last_by_vpe;
+  std::size_t small_gaps = 0;
+  std::size_t gaps = 0;
+  for (const RawLogRecord& rec : logs) {
+    const auto it = last_by_vpe.find(rec.vpe);
+    if (it != last_by_vpe.end()) {
+      ++gaps;
+      if (rec.time - it->second <= Duration::of_minutes(1)) ++small_gaps;
+    }
+    last_by_vpe[rec.vpe] = rec.time;
+  }
+  ASSERT_GT(gaps, 100u);
+  // Burst logs sit seconds apart; infected-period chatter is ~25 min
+  // apart, so a meaningful share (not all) of gaps are sub-minute.
+  EXPECT_GT(static_cast<double>(small_gaps) / gaps, 0.15);
+}
+
+TEST(AnomalyEmitter, InfectedPeriodChatterStopsAtRepair) {
+  Fixture f;
+  AnomalyEmitterConfig config;
+  Rng rng(5);
+  const auto logs = emit_fault_logs(f.schedule.faults, f.ticketing.tickets,
+                                    f.catalog, config, rng);
+  // Error-kind logs must not appear long after every fault on the vPE has
+  // cleared. Track per-vPE last repair time.
+  std::map<int, SimTime> last_clear;
+  for (const FaultEvent& fault : f.schedule.faults) {
+    auto& t = last_clear[fault.vpe];
+    t = std::max(t, fault.cleared);
+  }
+  for (const RawLogRecord& rec : logs) {
+    if (f.catalog.at(rec.true_template).kind == TemplateKind::kError) {
+      EXPECT_LE(rec.time.seconds,
+                (last_clear[rec.vpe] + Duration::of_hours(1)).seconds);
+    }
+  }
+}
+
+TEST(AnomalyEmitter, MissingPrimaryTicketThrows) {
+  Fixture f;
+  AnomalyEmitterConfig config;
+  Rng rng(6);
+  std::vector<Ticket> no_tickets;
+  EXPECT_THROW(emit_fault_logs(f.schedule.faults, no_tickets, f.catalog,
+                               config, rng),
+               nfv::util::CheckError);
+}
+
+TEST(AnomalyEmitterConfig, TimingLookup) {
+  AnomalyEmitterConfig config;
+  EXPECT_DOUBLE_EQ(config.timing(TicketCategory::kCircuit).p_precursor,
+                   config.circuit.p_precursor);
+  EXPECT_DOUBLE_EQ(config.timing(TicketCategory::kHardware).p_precursor,
+                   config.hardware.p_precursor);
+  EXPECT_DOUBLE_EQ(config.timing(TicketCategory::kCable).p_precursor,
+                   config.cable.p_precursor);
+  EXPECT_DOUBLE_EQ(config.timing(TicketCategory::kSoftware).p_precursor,
+                   config.software.p_precursor);
+  // Emission ordering mirrors the paper's detection ordering.
+  EXPECT_GT(config.circuit.p_precursor, config.cable.p_precursor);
+  EXPECT_GT(config.software.p_precursor, config.hardware.p_precursor);
+  // Physical-layer causes are silent at the VNF layer most often.
+  EXPECT_GT(config.cable.p_silent, config.circuit.p_silent);
+  EXPECT_GT(config.hardware.p_silent, config.software.p_silent);
+}
+
+TEST(AnomalyEmitter, NearMissBurstsHaveNoTickets) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  AnomalyEmitterConfig config;
+  config.near_miss_rate_per_day = 0.5;
+  Rng rng(9);
+  const auto logs = emit_near_miss_logs(4, SimTime{60LL * 86400}, catalog,
+                                        config, rng);
+  // ~0.5/day × 4 vPEs × 60 days = ~120 bursts of ≥2 logs.
+  EXPECT_GT(logs.size(), 120u);
+  for (const RawLogRecord& rec : logs) {
+    EXPECT_TRUE(rec.anomalous);
+    EXPECT_EQ(catalog.at(rec.true_template).kind, TemplateKind::kPrecursor);
+    EXPECT_GE(rec.vpe, 0);
+    EXPECT_LT(rec.vpe, 4);
+  }
+}
+
+TEST(AnomalyEmitter, NearMissDisabledByZeroRate) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  AnomalyEmitterConfig config;
+  config.near_miss_rate_per_day = 0.0;
+  Rng rng(9);
+  EXPECT_TRUE(emit_near_miss_logs(4, SimTime{60LL * 86400}, catalog, config,
+                                  rng)
+                  .empty());
+}
+
+TEST(AnomalyEmitter, SilentFaultsEmitNothing) {
+  Fixture f;
+  AnomalyEmitterConfig config;
+  config.circuit.p_silent = 1.0;
+  config.cable.p_silent = 1.0;
+  config.hardware.p_silent = 1.0;
+  config.software.p_silent = 1.0;
+  Rng rng(10);
+  const auto logs = emit_fault_logs(f.schedule.faults, f.ticketing.tickets,
+                                    f.catalog, config, rng);
+  EXPECT_TRUE(logs.empty());
+}
+
+}  // namespace
+}  // namespace nfv::simnet

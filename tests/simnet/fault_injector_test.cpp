@@ -1,0 +1,167 @@
+#include "simnet/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace nfv::simnet {
+namespace {
+
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+std::vector<VpeProfile> profiles(int n = 10) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  FleetProfileConfig config;
+  config.num_vpes = n;
+  config.num_clusters = 2;
+  config.num_outliers = 1;
+  Rng rng(31);
+  return make_fleet_profiles(catalog, config, rng);
+}
+
+TEST(FaultInjector, SortedAndWithinHorizon) {
+  const auto p = profiles();
+  FaultInjectorConfig config;
+  Rng rng(1);
+  const SimTime horizon{18LL * 30 * 86400};
+  const FaultSchedule schedule = inject_faults(p, horizon, config, rng);
+  ASSERT_FALSE(schedule.faults.empty());
+  EXPECT_TRUE(std::is_sorted(schedule.faults.begin(), schedule.faults.end(),
+                             [](const FaultEvent& a, const FaultEvent& b) {
+                               return a.onset < b.onset;
+                             }));
+  for (const FaultEvent& f : schedule.faults) {
+    EXPECT_GE(f.onset, SimTime::epoch());
+    EXPECT_LT(f.onset, horizon);
+    EXPECT_GE(f.vpe, 0);
+    EXPECT_LT(f.vpe, 10);
+  }
+}
+
+TEST(FaultInjector, UniqueFaultIds) {
+  const auto p = profiles();
+  FaultInjectorConfig config;
+  Rng rng(2);
+  const FaultSchedule schedule =
+      inject_faults(p, SimTime{18LL * 30 * 86400}, config, rng);
+  std::map<std::int64_t, int> ids;
+  for (const FaultEvent& f : schedule.faults) ++ids[f.fault_id];
+  for (const auto& [id, count] : ids) EXPECT_EQ(count, 1) << id;
+}
+
+TEST(FaultInjector, MinimumSpacingPerVpe) {
+  const auto p = profiles();
+  FaultInjectorConfig config;
+  Rng rng(3);
+  const FaultSchedule schedule =
+      inject_faults(p, SimTime{18LL * 30 * 86400}, config, rng);
+  std::map<int, SimTime> last_per_vpe;
+  for (const FaultEvent& f : schedule.faults) {
+    if (f.fleet_wide) continue;  // correlated events are exempt
+    const auto it = last_per_vpe.find(f.vpe);
+    if (it != last_per_vpe.end()) {
+      EXPECT_GE((f.onset - it->second).seconds, config.min_fault_gap.seconds)
+          << "vPE " << f.vpe;
+    }
+    last_per_vpe[f.vpe] = f.onset;
+  }
+}
+
+TEST(FaultInjector, CategoryMixRoughlyMatchesConfig) {
+  const auto p = profiles(30);
+  FaultInjectorConfig config;
+  Rng rng(4);
+  const FaultSchedule schedule =
+      inject_faults(p, SimTime{18LL * 30 * 86400}, config, rng);
+  std::map<TicketCategory, int> counts;
+  int total = 0;
+  for (const FaultEvent& f : schedule.faults) {
+    if (f.fleet_wide) continue;
+    ++counts[f.category];
+    ++total;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_NEAR(static_cast<double>(counts[TicketCategory::kCircuit]) / total,
+              config.p_circuit, 0.1);
+  EXPECT_NEAR(static_cast<double>(counts[TicketCategory::kSoftware]) / total,
+              config.p_software, 0.1);
+}
+
+TEST(FaultInjector, FleetWideEventsHitManyVpesAtOnce) {
+  const auto p = profiles(20);
+  FaultInjectorConfig config;
+  config.fleet_wide_events = 2;
+  config.fleet_wide_fraction = 0.5;
+  Rng rng(5);
+  const FaultSchedule schedule =
+      inject_faults(p, SimTime{18LL * 30 * 86400}, config, rng);
+  std::vector<const FaultEvent*> fleet_wide;
+  for (const FaultEvent& f : schedule.faults) {
+    if (f.fleet_wide) fleet_wide.push_back(&f);
+  }
+  // Each event hits ~10 vPEs; they share (almost) the same onset.
+  EXPECT_GE(fleet_wide.size(), 10u);
+  for (const FaultEvent* f : fleet_wide) {
+    EXPECT_EQ(f->category, TicketCategory::kCircuit);
+  }
+}
+
+TEST(FaultInjector, FaultRateScalesWithProfile) {
+  // Heavy-tailed renewal counts are extremely noisy per vPE; aggregate
+  // several independent seeds before comparing rates.
+  auto p = profiles(2);
+  p[0].fault_rate_scale = 0.2;
+  p[1].fault_rate_scale = 5.0;
+  FaultInjectorConfig config;
+  config.fleet_wide_events = 0;
+  config.p_secondary = 0.0;
+  int count0 = 0;
+  int count1 = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(600 + seed);
+    const FaultSchedule schedule =
+        inject_faults(p, SimTime{36LL * 30 * 86400}, config, rng);
+    for (const FaultEvent& f : schedule.faults) {
+      (f.vpe == 0 ? count0 : count1)++;
+    }
+  }
+  EXPECT_GT(count1, 2 * count0);
+}
+
+TEST(FaultInjector, MaintenanceScheduledForEveryVpe) {
+  const auto p = profiles();
+  FaultInjectorConfig config;
+  Rng rng(7);
+  const FaultSchedule schedule =
+      inject_faults(p, SimTime{18LL * 30 * 86400}, config, rng);
+  std::map<int, int> windows_per_vpe;
+  for (const MaintenanceWindow& w : schedule.maintenance) {
+    ++windows_per_vpe[w.vpe];
+    EXPECT_GE(w.length.seconds, 3600);
+    EXPECT_LE(w.length.seconds, 4 * 3600);
+  }
+  for (int v = 0; v < 10; ++v) {
+    // ~4-5 windows expected over 18 months at a 65-day campaign cadence
+    // with 55% coverage.
+    EXPECT_GE(windows_per_vpe[v], 1) << "vPE " << v;
+    EXPECT_LE(windows_per_vpe[v], 12) << "vPE " << v;
+  }
+}
+
+TEST(FaultInjector, RejectsBadInputs) {
+  FaultInjectorConfig config;
+  Rng rng(8);
+  EXPECT_THROW(inject_faults({}, SimTime{100}, config, rng),
+               nfv::util::CheckError);
+  const auto p = profiles(2);
+  EXPECT_THROW(inject_faults(p, SimTime::epoch(), config, rng),
+               nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::simnet

@@ -1,0 +1,150 @@
+#include "simnet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nfv::simnet {
+namespace {
+
+using nfv::util::Duration;
+using nfv::util::SimTime;
+
+TEST(Fleet, SmallConfigRunsAndIsConsistent) {
+  const FleetConfig config = small_fleet_config(7);
+  const FleetTrace trace = simulate_fleet(config);
+  EXPECT_EQ(trace.num_vpes(), config.profiles.num_vpes);
+  EXPECT_EQ(trace.horizon, nfv::util::month_start(config.months));
+  EXPECT_GT(trace.total_log_count(), 1000u);
+  EXPECT_GT(trace.tickets.size(), 10u);
+  EXPECT_FALSE(trace.faults.empty());
+  EXPECT_EQ(trace.update_time_by_vpe.size(),
+            static_cast<std::size_t>(config.profiles.num_vpes));
+}
+
+TEST(Fleet, DeterministicInSeed) {
+  const FleetTrace a = simulate_fleet(small_fleet_config(11));
+  const FleetTrace b = simulate_fleet(small_fleet_config(11));
+  ASSERT_EQ(a.total_log_count(), b.total_log_count());
+  ASSERT_EQ(a.tickets.size(), b.tickets.size());
+  for (std::size_t i = 0; i < a.tickets.size(); ++i) {
+    EXPECT_EQ(a.tickets[i].report, b.tickets[i].report);
+    EXPECT_EQ(a.tickets[i].category, b.tickets[i].category);
+  }
+  EXPECT_EQ(a.logs_by_vpe[0][100].text, b.logs_by_vpe[0][100].text);
+}
+
+TEST(Fleet, DifferentSeedsDiffer) {
+  const FleetTrace a = simulate_fleet(small_fleet_config(1));
+  const FleetTrace b = simulate_fleet(small_fleet_config(2));
+  EXPECT_NE(a.total_log_count(), b.total_log_count());
+}
+
+TEST(Fleet, LogsSortedPerVpeAndInHorizon) {
+  const FleetTrace trace = simulate_fleet(small_fleet_config(13));
+  for (const auto& logs : trace.logs_by_vpe) {
+    EXPECT_TRUE(std::is_sorted(logs.begin(), logs.end(),
+                               [](const RawLogRecord& a,
+                                  const RawLogRecord& b) {
+                                 return a.time < b.time;
+                               }));
+    for (const RawLogRecord& rec : logs) {
+      EXPECT_GE(rec.time, SimTime::epoch());
+      EXPECT_LT(rec.time, trace.horizon);
+    }
+  }
+}
+
+TEST(Fleet, LogVpeFieldMatchesStreamIndex) {
+  const FleetTrace trace = simulate_fleet(small_fleet_config(17));
+  for (int v = 0; v < trace.num_vpes(); ++v) {
+    for (const RawLogRecord& rec :
+         trace.logs_by_vpe[static_cast<std::size_t>(v)]) {
+      EXPECT_EQ(rec.vpe, v);
+    }
+  }
+}
+
+TEST(Fleet, AnomalousLogsExistAndTieToFaultWindows) {
+  const FleetTrace trace = simulate_fleet(small_fleet_config(19));
+  std::size_t anomalous = 0;
+  for (const auto& logs : trace.logs_by_vpe) {
+    for (const RawLogRecord& rec : logs) {
+      if (rec.anomalous) ++anomalous;
+    }
+  }
+  EXPECT_GT(anomalous, 20u);
+}
+
+TEST(Fleet, UpdateTimesOnlyForAffectedVpes) {
+  const FleetConfig config = small_fleet_config(23);
+  const FleetTrace trace = simulate_fleet(config);
+  const SimTime rollout = nfv::util::month_start(config.update_month);
+  int updated = 0;
+  for (std::size_t v = 0; v < trace.profiles.size(); ++v) {
+    const bool affected = trace.profiles[v].affected_by_update;
+    if (affected) {
+      ++updated;
+      EXPECT_GE(trace.update_time_by_vpe[v], rollout);
+      EXPECT_LT(trace.update_time_by_vpe[v],
+                rollout + Duration::of_days(22));
+    } else {
+      EXPECT_EQ(trace.update_time_by_vpe[v], never());
+    }
+  }
+  EXPECT_GT(updated, 0);
+}
+
+TEST(Fleet, UpdateDisabledWhenMonthNegative) {
+  FleetConfig config = small_fleet_config(29);
+  config.update_month = -1;
+  const FleetTrace trace = simulate_fleet(config);
+  for (const SimTime t : trace.update_time_by_vpe) {
+    EXPECT_EQ(t, never());
+  }
+}
+
+TEST(Fleet, MaintenanceDominatesTicketMix) {
+  // Fig. 1(a): maintenance is the dominant root cause. Use a full-size
+  // fleet but few months to keep runtime bounded.
+  FleetConfig config;
+  config.months = 12;
+  config.syslog.gap_scale = 8.0;
+  config.faults.fleet_wide_events = 2;
+  const FleetTrace trace = simulate_fleet(config);
+  std::map<TicketCategory, std::size_t> counts;
+  for (const Ticket& t : trace.tickets) ++counts[t.category];
+  const std::size_t maintenance = counts[TicketCategory::kMaintenance];
+  const double share =
+      static_cast<double>(maintenance) / trace.tickets.size();
+  EXPECT_GT(share, 0.22);
+  // Maintenance is the single largest category.
+  for (const auto& [category, count] : counts) {
+    if (category != TicketCategory::kMaintenance) {
+      EXPECT_LE(count, maintenance) << to_string(category);
+    }
+  }
+  // And every category appears.
+  for (const TicketCategory category :
+       {TicketCategory::kCircuit, TicketCategory::kCable,
+        TicketCategory::kHardware, TicketCategory::kSoftware,
+        TicketCategory::kDuplicate}) {
+    bool found = false;
+    for (const Ticket& t : trace.tickets) {
+      found = found || t.category == category;
+    }
+    EXPECT_TRUE(found) << to_string(category);
+  }
+}
+
+TEST(Fleet, RejectsZeroMonths) {
+  FleetConfig config = small_fleet_config(31);
+  config.months = 0;
+  EXPECT_THROW(simulate_fleet(config), nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::simnet

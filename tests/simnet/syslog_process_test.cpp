@@ -1,0 +1,187 @@
+#include "simnet/syslog_process.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "simnet/fleet.h"
+#include "util/stats.h"
+
+namespace nfv::simnet {
+namespace {
+
+using nfv::util::Duration;
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+struct Fixture {
+  TemplateCatalog catalog = TemplateCatalog::standard();
+  std::vector<VpeProfile> profiles;
+
+  Fixture() {
+    FleetProfileConfig config;
+    config.num_vpes = 4;
+    config.num_clusters = 2;
+    config.num_outliers = 1;
+    Rng rng(3);
+    profiles = make_fleet_profiles(catalog, config, rng);
+  }
+};
+
+TEST(SyslogProcess, OutputSortedAndInRange) {
+  Fixture f;
+  SyslogProcessConfig config;
+  SyslogProcess process(&f.catalog, &f.profiles[0], never(), config,
+                        Rng(11));
+  const SimTime end = SimTime{14 * 86400};
+  const auto logs = process.generate(SimTime::epoch(), end, {});
+  ASSERT_GT(logs.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(logs.begin(), logs.end(),
+                             [](const RawLogRecord& a, const RawLogRecord& b) {
+                               return a.time < b.time;
+                             }));
+  for (const RawLogRecord& rec : logs) {
+    EXPECT_GE(rec.time, SimTime::epoch());
+    EXPECT_LT(rec.time, end);
+    EXPECT_EQ(rec.vpe, 0);
+    EXPECT_FALSE(rec.anomalous);
+    EXPECT_FALSE(rec.text.empty());
+  }
+}
+
+TEST(SyslogProcess, DeterministicGivenSeed) {
+  Fixture f;
+  SyslogProcessConfig config;
+  SyslogProcess a(&f.catalog, &f.profiles[0], never(), config, Rng(5));
+  SyslogProcess b(&f.catalog, &f.profiles[0], never(), config, Rng(5));
+  const SimTime end = SimTime{5 * 86400};
+  const auto logs_a = a.generate(SimTime::epoch(), end, {});
+  const auto logs_b = b.generate(SimTime::epoch(), end, {});
+  ASSERT_EQ(logs_a.size(), logs_b.size());
+  for (std::size_t i = 0; i < logs_a.size(); ++i) {
+    EXPECT_EQ(logs_a[i].time, logs_b[i].time);
+    EXPECT_EQ(logs_a[i].text, logs_b[i].text);
+  }
+}
+
+TEST(SyslogProcess, GapScaleThinsTheStream) {
+  Fixture f;
+  SyslogProcessConfig dense;
+  SyslogProcessConfig sparse;
+  sparse.gap_scale = 4.0;
+  const SimTime end = SimTime{20 * 86400};
+  SyslogProcess pd(&f.catalog, &f.profiles[0], never(), dense, Rng(7));
+  SyslogProcess ps(&f.catalog, &f.profiles[0], never(), sparse, Rng(7));
+  const auto dense_logs = pd.generate(SimTime::epoch(), end, {});
+  const auto sparse_logs = ps.generate(SimTime::epoch(), end, {});
+  EXPECT_GT(dense_logs.size(), 2 * sparse_logs.size());
+}
+
+TEST(SyslogProcess, PostUpdateTemplatesAppearOnlyAfterUpdate) {
+  Fixture f;
+  // Use an update-affected profile.
+  const VpeProfile* updated = nullptr;
+  for (const VpeProfile& p : f.profiles) {
+    if (p.affected_by_update) updated = &p;
+  }
+  ASSERT_NE(updated, nullptr);
+  const SimTime update_time{10 * 86400};
+  SyslogProcessConfig config;
+  SyslogProcess process(&f.catalog, updated, update_time, config, Rng(13));
+  const auto logs =
+      process.generate(SimTime::epoch(), SimTime{20 * 86400}, {});
+  bool post_seen_before = false;
+  bool post_seen_after = false;
+  for (const RawLogRecord& rec : logs) {
+    if (f.catalog.at(rec.true_template).kind == TemplateKind::kPostUpdate) {
+      if (rec.time < update_time) post_seen_before = true;
+      if (rec.time >= update_time) post_seen_after = true;
+    }
+  }
+  EXPECT_FALSE(post_seen_before);
+  EXPECT_TRUE(post_seen_after);
+}
+
+TEST(SyslogProcess, MaintenanceWindowEmitsMaintenanceChatter) {
+  Fixture f;
+  MaintenanceWindow window;
+  window.vpe = 0;
+  window.start = SimTime{2 * 86400};
+  window.length = Duration::of_hours(2);
+  SyslogProcessConfig config;
+  SyslogProcess process(&f.catalog, &f.profiles[0], never(), config,
+                        Rng(17));
+  const auto logs = process.generate(SimTime::epoch(), SimTime{4 * 86400},
+                                     {&window, 1});
+  std::size_t maint_in_window = 0;
+  std::size_t maint_outside = 0;
+  for (const RawLogRecord& rec : logs) {
+    if (f.catalog.at(rec.true_template).kind != TemplateKind::kMaintenance) {
+      continue;
+    }
+    if (rec.time >= window.start && rec.time <= window.end()) {
+      ++maint_in_window;
+    } else {
+      ++maint_outside;
+    }
+  }
+  EXPECT_GE(maint_in_window, 3u);
+  EXPECT_EQ(maint_outside, 0u);
+}
+
+TEST(SyslogProcess, BenignBurstsPresentAndClustered) {
+  Fixture f;
+  SyslogProcessConfig config;
+  config.benign_burst_rate_per_day = 1.0;  // exaggerate for the test
+  SyslogProcess process(&f.catalog, &f.profiles[0], never(), config,
+                        Rng(19));
+  const auto logs =
+      process.generate(SimTime::epoch(), SimTime{30 * 86400}, {});
+  std::vector<SimTime> rare_times;
+  for (const RawLogRecord& rec : logs) {
+    if (f.catalog.at(rec.true_template).kind == TemplateKind::kBenignRare) {
+      rare_times.push_back(rec.time);
+    }
+  }
+  // ~30 bursts of ≥2 logs expected.
+  EXPECT_GE(rare_times.size(), 30u);
+  // Bursty: many consecutive rare logs are less than 2 minutes apart.
+  std::size_t close_pairs = 0;
+  for (std::size_t i = 1; i < rare_times.size(); ++i) {
+    if (rare_times[i] - rare_times[i - 1] <= Duration::of_minutes(2)) {
+      ++close_pairs;
+    }
+  }
+  EXPECT_GT(close_pairs, rare_times.size() / 3);
+}
+
+TEST(SyslogProcess, MotifChainsAppearInOrder) {
+  Fixture f;
+  SyslogProcessConfig config;
+  config.motif_probability = 0.5;
+  SyslogProcess process(&f.catalog, &f.profiles[0], never(), config,
+                        Rng(23));
+  const auto logs =
+      process.generate(SimTime::epoch(), SimTime{30 * 86400}, {});
+  // Look for at least one full occurrence of some profile motif chain as a
+  // consecutive subsequence.
+  bool found = false;
+  for (const Motif& motif : f.profiles[0].normal.motifs) {
+    for (std::size_t i = 0;
+         !found && i + motif.chain.size() <= logs.size(); ++i) {
+      bool all = true;
+      for (std::size_t j = 0; j < motif.chain.size(); ++j) {
+        if (logs[i + j].true_template != motif.chain[j]) {
+          all = false;
+          break;
+        }
+      }
+      found = found || all;
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace nfv::simnet

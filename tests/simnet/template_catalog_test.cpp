@@ -1,0 +1,100 @@
+#include "simnet/template_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nfv::simnet {
+namespace {
+
+TEST(TemplateCatalog, StandardCatalogIsSubstantial) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  EXPECT_GE(catalog.size(), 80u);
+}
+
+TEST(TemplateCatalog, IdsAreDense) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog.all()[i].id, static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(TemplateCatalog, NamesAreUnique) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  std::set<std::string> names;
+  for (const LogTemplate& t : catalog.all()) {
+    EXPECT_TRUE(names.insert(t.name).second) << "duplicate name " << t.name;
+  }
+}
+
+TEST(TemplateCatalog, EveryKindRepresented) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  EXPECT_GE(catalog.ids_of_kind(TemplateKind::kNormal).size(), 25u);
+  EXPECT_GE(catalog.ids_of_kind(TemplateKind::kMaintenance).size(), 4u);
+  EXPECT_GE(catalog.ids_of_kind(TemplateKind::kPostUpdate).size(), 5u);
+  EXPECT_GE(catalog.ids_of_kind(TemplateKind::kBenignRare).size(), 5u);
+}
+
+TEST(TemplateCatalog, EveryFaultCategoryHasPrecursorsAndErrors) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  for (const TicketCategory category :
+       {TicketCategory::kCircuit, TicketCategory::kCable,
+        TicketCategory::kHardware, TicketCategory::kSoftware}) {
+    EXPECT_GE(catalog.fault_ids(TemplateKind::kPrecursor, category).size(),
+              2u)
+        << to_string(category);
+    EXPECT_GE(catalog.fault_ids(TemplateKind::kError, category).size(), 2u)
+        << to_string(category);
+  }
+}
+
+TEST(TemplateCatalog, PaperSignaturesPresent) {
+  // The two operational signatures called out in §5.3.
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  bool found_aspath = false;
+  bool found_chassis = false;
+  for (const LogTemplate& t : catalog.all()) {
+    found_aspath = found_aspath ||
+                   t.pattern.find("BGP UNUSABLE ASPATH") != std::string::npos;
+    found_chassis =
+        found_chassis ||
+        t.pattern.find("invalid response from peer chassis-control") !=
+            std::string::npos;
+  }
+  EXPECT_TRUE(found_aspath);
+  EXPECT_TRUE(found_chassis);
+}
+
+TEST(TemplateCatalog, RenderFillsAllPlaceholders) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  nfv::util::Rng rng(77);
+  for (const LogTemplate& t : catalog.all()) {
+    const std::string rendered = catalog.render(t.id, rng);
+    EXPECT_EQ(rendered.find('{'), std::string::npos)
+        << t.name << " rendered: " << rendered;
+    EXPECT_FALSE(rendered.empty());
+  }
+}
+
+TEST(TemplateCatalog, RenderIsRandomized) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  nfv::util::Rng rng(78);
+  // A template with variable fields renders differently across draws.
+  const auto normal_ids = catalog.ids_of_kind(TemplateKind::kNormal);
+  const std::string a = catalog.render(normal_ids[0], rng);
+  const std::string b = catalog.render(normal_ids[0], rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(TemplateCatalog, AtRejectsBadIds) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  EXPECT_THROW(catalog.at(-1), nfv::util::CheckError);
+  EXPECT_THROW(catalog.at(static_cast<std::int32_t>(catalog.size())),
+               nfv::util::CheckError);
+}
+
+}  // namespace
+}  // namespace nfv::simnet

@@ -1,0 +1,159 @@
+#include "simnet/ticketing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace nfv::simnet {
+namespace {
+
+using nfv::util::Rng;
+using nfv::util::SimTime;
+
+FaultSchedule make_schedule() {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  FleetProfileConfig profile_config;
+  profile_config.num_vpes = 8;
+  profile_config.num_clusters = 2;
+  profile_config.num_outliers = 1;
+  Rng rng(41);
+  const auto profiles = make_fleet_profiles(catalog, profile_config, rng);
+  FaultInjectorConfig fault_config;
+  Rng fault_rng(42);
+  return inject_faults(profiles, SimTime{18LL * 30 * 86400}, fault_config,
+                       fault_rng);
+}
+
+TEST(Ticketing, OneTicketPerFaultPlusExtras) {
+  FaultSchedule schedule = make_schedule();
+  const std::size_t fault_count = schedule.faults.size();
+  const std::size_t window_count = schedule.maintenance.size();
+  TicketingConfig config;
+  Rng rng(1);
+  const TicketingResult result = run_ticketing(schedule, config, rng);
+  std::size_t primaries = 0;
+  std::size_t maintenance = 0;
+  std::size_t duplicates = 0;
+  for (const Ticket& t : result.tickets) {
+    if (t.category == TicketCategory::kMaintenance) {
+      ++maintenance;
+    } else if (t.category == TicketCategory::kDuplicate) {
+      ++duplicates;
+    } else {
+      ++primaries;
+    }
+  }
+  EXPECT_EQ(primaries, fault_count);
+  EXPECT_EQ(maintenance, window_count);
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST(Ticketing, ReportAfterOnsetAndRepairAfterReport) {
+  FaultSchedule schedule = make_schedule();
+  std::map<std::int64_t, SimTime> onset_by_fault;
+  for (const FaultEvent& f : schedule.faults) {
+    onset_by_fault[f.fault_id] = f.onset;
+  }
+  TicketingConfig config;
+  Rng rng(2);
+  const TicketingResult result = run_ticketing(schedule, config, rng);
+  for (const Ticket& t : result.tickets) {
+    EXPECT_LT(t.report, t.repair_finish);
+    if (t.fault_id >= 0 && t.category != TicketCategory::kDuplicate) {
+      EXPECT_GT(t.report, onset_by_fault[t.fault_id]);
+    }
+  }
+}
+
+TEST(Ticketing, FaultClearedMatchesPrimaryRepair) {
+  FaultSchedule schedule = make_schedule();
+  TicketingConfig config;
+  Rng rng(3);
+  const TicketingResult result = run_ticketing(schedule, config, rng);
+  std::map<std::int64_t, SimTime> repair_by_fault;
+  for (const Ticket& t : result.tickets) {
+    if (t.fault_id >= 0 && t.category != TicketCategory::kDuplicate) {
+      repair_by_fault[t.fault_id] = t.repair_finish;
+    }
+  }
+  for (const FaultEvent& f : schedule.faults) {
+    EXPECT_EQ(f.cleared, repair_by_fault[f.fault_id])
+        << "fault " << f.fault_id;
+  }
+}
+
+TEST(Ticketing, DuplicatesInsideOriginalTicketWindow) {
+  FaultSchedule schedule = make_schedule();
+  TicketingConfig config;
+  config.p_duplicates = 1.0;  // force duplicates
+  Rng rng(4);
+  const TicketingResult result = run_ticketing(schedule, config, rng);
+  std::map<std::int64_t, const Ticket*> primary_by_fault;
+  for (const Ticket& t : result.tickets) {
+    if (t.fault_id >= 0 && t.category != TicketCategory::kDuplicate) {
+      primary_by_fault[t.fault_id] = &t;
+    }
+  }
+  std::size_t duplicates = 0;
+  for (const Ticket& t : result.tickets) {
+    if (t.category != TicketCategory::kDuplicate) continue;
+    ++duplicates;
+    const Ticket* primary = primary_by_fault[t.fault_id];
+    ASSERT_NE(primary, nullptr);
+    EXPECT_GT(t.report, primary->report);
+    EXPECT_LT(t.report, primary->repair_finish);
+    EXPECT_EQ(t.vpe, primary->vpe);
+  }
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST(Ticketing, TicketsSortedAndUniqueIds) {
+  FaultSchedule schedule = make_schedule();
+  TicketingConfig config;
+  Rng rng(5);
+  const TicketingResult result = run_ticketing(schedule, config, rng);
+  EXPECT_TRUE(std::is_sorted(result.tickets.begin(), result.tickets.end(),
+                             [](const Ticket& a, const Ticket& b) {
+                               return a.report < b.report;
+                             }));
+  std::map<std::int64_t, int> ids;
+  for (const Ticket& t : result.tickets) ++ids[t.ticket_id];
+  for (const auto& [id, count] : ids) EXPECT_EQ(count, 1);
+}
+
+TEST(Ticketing, MaintenanceTicketsSpanTheirWindow) {
+  FaultSchedule schedule = make_schedule();
+  TicketingConfig config;
+  Rng rng(6);
+  const TicketingResult result = run_ticketing(schedule, config, rng);
+  std::size_t checked = 0;
+  for (const Ticket& t : result.tickets) {
+    if (t.category != TicketCategory::kMaintenance) continue;
+    bool matched = false;
+    for (const MaintenanceWindow& w : schedule.maintenance) {
+      if (w.vpe == t.vpe && w.start == t.report &&
+          w.end() == t.repair_finish) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Ticketing, NoDuplicatesWhenDisabled) {
+  FaultSchedule schedule = make_schedule();
+  TicketingConfig config;
+  config.p_duplicates = 0.0;
+  Rng rng(7);
+  const TicketingResult result = run_ticketing(schedule, config, rng);
+  for (const Ticket& t : result.tickets) {
+    EXPECT_NE(t.category, TicketCategory::kDuplicate);
+  }
+}
+
+}  // namespace
+}  // namespace nfv::simnet

@@ -1,0 +1,31 @@
+#include "simnet/types.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::simnet {
+namespace {
+
+TEST(TicketCategory, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(TicketCategory::kMaintenance), "Maintenance");
+  EXPECT_STREQ(to_string(TicketCategory::kCircuit), "Circuit");
+  EXPECT_STREQ(to_string(TicketCategory::kCable), "Cable");
+  EXPECT_STREQ(to_string(TicketCategory::kHardware), "Hardware");
+  EXPECT_STREQ(to_string(TicketCategory::kSoftware), "Software");
+  EXPECT_STREQ(to_string(TicketCategory::kDuplicate), "Duplicate");
+}
+
+TEST(TicketCategory, PrimaryClassification) {
+  EXPECT_TRUE(is_primary(TicketCategory::kCircuit));
+  EXPECT_TRUE(is_primary(TicketCategory::kCable));
+  EXPECT_TRUE(is_primary(TicketCategory::kHardware));
+  EXPECT_TRUE(is_primary(TicketCategory::kSoftware));
+  EXPECT_FALSE(is_primary(TicketCategory::kDuplicate));
+  EXPECT_FALSE(is_primary(TicketCategory::kMaintenance));
+}
+
+TEST(TicketCategory, CountConstant) {
+  EXPECT_EQ(kTicketCategoryCount, 6u);
+}
+
+}  // namespace
+}  // namespace nfv::simnet

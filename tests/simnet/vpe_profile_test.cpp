@@ -1,0 +1,166 @@
+#include "simnet/vpe_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace nfv::simnet {
+namespace {
+
+std::vector<VpeProfile> standard_profiles(std::uint64_t seed = 1) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  FleetProfileConfig config;
+  nfv::util::Rng rng(seed);
+  return make_fleet_profiles(catalog, config, rng);
+}
+
+TEST(VpeProfile, FleetSizeAndClusters) {
+  const auto profiles = standard_profiles();
+  ASSERT_EQ(profiles.size(), 38u);
+  for (const VpeProfile& p : profiles) {
+    EXPECT_GE(p.cluster, 0);
+    EXPECT_LT(p.cluster, 4);
+    EXPECT_EQ(p.vpe_id, &p - profiles.data());
+  }
+}
+
+TEST(VpeProfile, Deterministic) {
+  const auto a = standard_profiles(9);
+  const auto b = standard_profiles(9);
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a[v].normal.weights, b[v].normal.weights);
+    EXPECT_EQ(a[v].fault_rate_scale, b[v].fault_rate_scale);
+  }
+}
+
+TEST(VpeProfile, ConfiguredOutlierCount) {
+  const auto profiles = standard_profiles();
+  int outliers = 0;
+  for (const VpeProfile& p : profiles) {
+    if (p.divergence > 1.0) ++outliers;
+  }
+  EXPECT_EQ(outliers, 5);
+}
+
+TEST(VpeProfile, UpdateFractionRespected) {
+  const auto profiles = standard_profiles();
+  int updated = 0;
+  for (const VpeProfile& p : profiles) {
+    if (p.affected_by_update) ++updated;
+  }
+  EXPECT_NEAR(static_cast<double>(updated) / 38.0, 0.6, 0.03);
+}
+
+TEST(VpeProfile, OnlyNormalTemplatesWeightedPreUpdate) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  const auto profiles = standard_profiles();
+  for (const LogTemplate& t : catalog.all()) {
+    if (t.kind == TemplateKind::kNormal) continue;
+    for (const VpeProfile& p : profiles) {
+      EXPECT_DOUBLE_EQ(p.normal.weights[static_cast<std::size_t>(t.id)], 0.0)
+          << t.name;
+    }
+  }
+}
+
+TEST(VpeProfile, PostUpdateIntroducesNewTemplates) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  const auto profiles = standard_profiles();
+  const auto new_ids = catalog.ids_of_kind(TemplateKind::kPostUpdate);
+  for (const VpeProfile& p : profiles) {
+    double new_mass = 0.0;
+    for (std::int32_t id : new_ids) {
+      new_mass += p.post_update.weights[static_cast<std::size_t>(id)];
+    }
+    if (p.affected_by_update) {
+      EXPECT_GT(new_mass, 0.0) << "vPE " << p.vpe_id;
+    } else {
+      EXPECT_DOUBLE_EQ(new_mass, 0.0) << "vPE " << p.vpe_id;
+    }
+  }
+}
+
+TEST(VpeProfile, PostUpdateShiftsDistribution) {
+  const auto profiles = standard_profiles();
+  // The weight permutation + new templates must change the emission
+  // distribution substantially for the typical updated vPE (§3.3:
+  // month-over-month cosine similarity collapses at the update). A rare
+  // vPE can shift less when the random permutation happens to be
+  // near-identity on its few dominant templates, so assert on the bulk.
+  int updated = 0;
+  int shifted = 0;
+  double sim_sum = 0.0;
+  for (const VpeProfile& p : profiles) {
+    if (!p.affected_by_update) continue;
+    auto before = p.normal.weights;
+    auto after = p.post_update.weights;
+    nfv::util::normalize_l1(before);
+    nfv::util::normalize_l1(after);
+    const double sim = nfv::util::cosine_similarity(before, after);
+    ++updated;
+    sim_sum += sim;
+    if (sim < 0.9) ++shifted;
+  }
+  ASSERT_GT(updated, 0);
+  EXPECT_GE(static_cast<double>(shifted) / updated, 0.8);
+  EXPECT_LT(sim_sum / updated, 0.7);
+}
+
+TEST(VpeProfile, MotifChainsReferenceValidTemplates) {
+  const TemplateCatalog catalog = TemplateCatalog::standard();
+  const auto profiles = standard_profiles();
+  for (const VpeProfile& p : profiles) {
+    EXPECT_FALSE(p.normal.motifs.empty());
+    for (const Motif& m : p.normal.motifs) {
+      EXPECT_GE(m.chain.size(), 2u);
+      for (std::int32_t id : m.chain) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(static_cast<std::size_t>(id), catalog.size());
+      }
+    }
+  }
+}
+
+TEST(VpeProfile, SameClusterMoreSimilarThanCrossCluster) {
+  const auto profiles = standard_profiles();
+  // Compare non-outlier vPEs: same-cluster cosine similarity should on
+  // average beat cross-cluster similarity.
+  double same = 0.0;
+  int same_n = 0;
+  double cross = 0.0;
+  int cross_n = 0;
+  for (std::size_t a = 0; a < profiles.size(); ++a) {
+    if (profiles[a].divergence > 1.0) continue;
+    for (std::size_t b = a + 1; b < profiles.size(); ++b) {
+      if (profiles[b].divergence > 1.0) continue;
+      auto wa = profiles[a].normal.weights;
+      auto wb = profiles[b].normal.weights;
+      nfv::util::normalize_l1(wa);
+      nfv::util::normalize_l1(wb);
+      const double sim = nfv::util::cosine_similarity(wa, wb);
+      if (profiles[a].cluster == profiles[b].cluster) {
+        same += sim;
+        ++same_n;
+      } else {
+        cross += sim;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST(VpeProfile, FaultRateSkewIsHeavyTailed) {
+  const auto profiles = standard_profiles();
+  double max_scale = 0.0;
+  double sum = 0.0;
+  for (const VpeProfile& p : profiles) {
+    max_scale = std::max(max_scale, p.fault_rate_scale);
+    sum += p.fault_rate_scale;
+  }
+  // A few vPEs should dominate (Fig. 2): max well above the mean.
+  EXPECT_GT(max_scale, 2.0 * sum / 38.0);
+}
+
+}  // namespace
+}  // namespace nfv::simnet

@@ -1,0 +1,233 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace nfv::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkIsIndependentOfSiblingCount) {
+  // A child stream must not change when more siblings are forked later
+  // from a *different* parent draw — forks consume exactly one parent draw.
+  Rng parent1(7);
+  Rng child_a = parent1.fork(5);
+  Rng parent2(7);
+  Rng child_b = parent2.fork(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(42);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) ++seen[rng.uniform_index(7)];
+  for (int count : seen) EXPECT_GT(count, 700);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(42);
+  EXPECT_THROW(rng.uniform_index(0), CheckError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(42);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(42);
+  EXPECT_THROW(rng.exponential(0.0), CheckError);
+  EXPECT_THROW(rng.exponential(-1.0), CheckError);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(42);
+  const int n = 100001;
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.lognormal(std::log(100.0), 1.0);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 100.0, 3.0);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(42);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(42);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(42);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(42);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(42);
+  const double weights[] = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng(42);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(weights), CheckError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(42);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(DiscreteSampler, MatchesCategoricalDistribution) {
+  Rng rng(42);
+  const std::vector<double> weights{2.0, 1.0, 1.0};
+  DiscreteSampler sampler(weights);
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+}
+
+TEST(DiscreteSampler, EmptyByDefault) {
+  DiscreteSampler sampler;
+  EXPECT_TRUE(sampler.empty());
+}
+
+TEST(DiscreteSampler, RejectsNegativeWeights) {
+  const std::vector<double> weights{1.0, -0.5};
+  EXPECT_THROW(DiscreteSampler{weights}, CheckError);
+}
+
+TEST(DiscreteSampler, SingleElement) {
+  Rng rng(42);
+  const std::vector<double> weights{3.0};
+  DiscreteSampler sampler(weights);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+}
+
+}  // namespace
+}  // namespace nfv::util

@@ -1,0 +1,69 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::util {
+namespace {
+
+TEST(Duration, FactoryHelpers) {
+  EXPECT_EQ(Duration::of_seconds(5).seconds, 5);
+  EXPECT_EQ(Duration::of_minutes(2).seconds, 120);
+  EXPECT_EQ(Duration::of_hours(1).seconds, 3600);
+  EXPECT_EQ(Duration::of_days(1).seconds, 86400);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration d = Duration::of_hours(2) + Duration::of_minutes(30);
+  EXPECT_EQ(d.seconds, 9000);
+  EXPECT_EQ((d - Duration::of_minutes(30)).seconds, 7200);
+  EXPECT_EQ((Duration::of_minutes(10) * 3).seconds, 1800);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::of_hours(3).hours(), 3.0);
+  EXPECT_DOUBLE_EQ(Duration::of_days(2).days(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::of_minutes(90).hours(), 1.5);
+}
+
+TEST(SimTime, ComparisonAndArithmetic) {
+  const SimTime t0 = SimTime::epoch();
+  const SimTime t1 = t0 + Duration::of_hours(1);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - t0).seconds, 3600);
+  EXPECT_EQ((t1 - Duration::of_hours(1)), t0);
+}
+
+TEST(SimTime, MonthOf) {
+  EXPECT_EQ(month_of(SimTime::epoch()), 0);
+  EXPECT_EQ(month_of(month_start(3)), 3);
+  EXPECT_EQ(month_of(month_start(3) - Duration::of_seconds(1)), 2);
+  EXPECT_EQ(month_of(SimTime{-100}), 0);
+}
+
+TEST(SimTime, MonthStartRoundTrip) {
+  for (int m = 0; m < 20; ++m) {
+    EXPECT_EQ(month_of(month_start(m)), m);
+    EXPECT_EQ(month_start(m).seconds, static_cast<std::int64_t>(m) * 30 * 86400);
+  }
+}
+
+TEST(Format, Time) {
+  EXPECT_EQ(format_time(SimTime::epoch()), "m00 d00 00:00:00");
+  const SimTime t = month_start(2) + Duration::of_days(5) +
+                    Duration::of_hours(4) + Duration::of_minutes(3) +
+                    Duration::of_seconds(2);
+  EXPECT_EQ(format_time(t), "m02 d05 04:03:02");
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration(Duration::of_seconds(42)), "42s");
+  EXPECT_EQ(format_duration(Duration::of_minutes(15)), "15m");
+  EXPECT_EQ(format_duration(Duration::of_hours(2) + Duration::of_minutes(4)),
+            "2h4m");
+  EXPECT_EQ(format_duration(Duration::of_days(2) + Duration::of_hours(4)),
+            "2d4h");
+  EXPECT_EQ(format_duration(Duration::of_minutes(-15)), "-15m");
+}
+
+}  // namespace
+}  // namespace nfv::util

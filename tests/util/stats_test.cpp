@@ -1,0 +1,167 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace nfv::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputs) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInput) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 7.0);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ) {
+  const std::vector<double> empty;
+  EXPECT_THROW(quantile(empty, 0.5), CheckError);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, 1.5), CheckError);
+  EXPECT_THROW(quantile(xs, -0.1), CheckError);
+}
+
+TEST(Quantiles, BatchMatchesSingle) {
+  const std::vector<double> xs{5.0, 1.0, 9.0, 3.0, 7.0};
+  const std::vector<double> qs{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto batch = quantiles(xs, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(xs, qs[i]));
+  }
+}
+
+TEST(CosineSimilarity, IdenticalVectors) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OrthogonalVectors) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, ZeroVectorGivesZero) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineSimilarity, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(cosine_similarity(a, b), CheckError);
+}
+
+TEST(NormalizeL1, SumsToOne) {
+  std::vector<double> xs{1.0, 3.0, 4.0};
+  normalize_l1(xs);
+  EXPECT_DOUBLE_EQ(xs[0] + xs[1] + xs[2], 1.0);
+  EXPECT_DOUBLE_EQ(xs[0], 0.125);
+}
+
+TEST(NormalizeL1, AllZeroIsNoop) {
+  std::vector<double> xs{0.0, 0.0};
+  normalize_l1(xs);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+}
+
+TEST(EmpiricalCdf, MonotoneAndComplete) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].cumulative_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, SampledKeepsEndpoints) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(static_cast<double>(i));
+  const auto sampled = empirical_cdf_sampled(xs, 10);
+  ASSERT_EQ(sampled.size(), 10u);
+  EXPECT_DOUBLE_EQ(sampled.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(sampled.back().value, 999.0);
+}
+
+TEST(EmpiricalCdf, SampledSmallInputReturnedWhole) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(empirical_cdf_sampled(xs, 10).size(), 2u);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 2.5);
+}
+
+TEST(Histogram, RejectsDegenerateConfig) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+}
+
+TEST(RunningStats, TracksMinMaxMean) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  stats.add(3.0);
+  stats.add(-1.0);
+  stats.add(4.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace nfv::util

@@ -1,0 +1,66 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace nfv::util {
+namespace {
+
+TEST(Split, BasicWhitespace) {
+  const auto pieces = split("a b  c");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Split, CustomDelimitersAndEmptyPieces) {
+  const auto pieces = split("a,,b,c", ",");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+}
+
+TEST(Split, EmptyInput) { EXPECT_TRUE(split("").empty()); }
+
+TEST(Split, TrailingDelimiter) {
+  const auto pieces = split("a b ", " ");
+  ASSERT_EQ(pieces.size(), 2u);
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(IsAllDigits, Cases) {
+  EXPECT_TRUE(is_all_digits("12345"));
+  EXPECT_FALSE(is_all_digits("12a45"));
+  EXPECT_FALSE(is_all_digits(""));
+  EXPECT_FALSE(is_all_digits("-12"));
+}
+
+TEST(ContainsDigit, Cases) {
+  EXPECT_TRUE(contains_digit("ge-0/0/1"));
+  EXPECT_FALSE(contains_digit("keepalive"));
+  EXPECT_FALSE(contains_digit(""));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("BGP Peer"), "bgp peer");
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace nfv::util

@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nfv::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, TitlePrinted) {
+  Table table({"a"}, "My Title");
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_NE(oss.str().find("== My Title =="), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_EQ(table.row_count(), 1u);
+  std::ostringstream oss;
+  table.print(oss);  // must not crash on missing cells
+  EXPECT_NE(oss.str().find("only-one"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"label", "v1", "v2"});
+  table.add_row_numeric("row", {1.23456, 2.0}, 2);
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_NE(oss.str().find("1.23"), std::string::npos);
+  EXPECT_NE(oss.str().find("2.00"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(1.5, 0), "2");
+  EXPECT_EQ(fmt_double(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace nfv::util
