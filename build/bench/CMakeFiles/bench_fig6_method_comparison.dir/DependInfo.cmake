@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_method_comparison.cpp" "bench/CMakeFiles/bench_fig6_method_comparison.dir/bench_fig6_method_comparison.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_method_comparison.dir/bench_fig6_method_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logproc/CMakeFiles/nfv_logproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nfv_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/nfv_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

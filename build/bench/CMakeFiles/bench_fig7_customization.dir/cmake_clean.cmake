@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_customization.dir/bench_fig7_customization.cpp.o"
+  "CMakeFiles/bench_fig7_customization.dir/bench_fig7_customization.cpp.o.d"
+  "bench_fig7_customization"
+  "bench_fig7_customization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_customization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_update_shift.dir/bench_sec33_update_shift.cpp.o"
+  "CMakeFiles/bench_sec33_update_shift.dir/bench_sec33_update_shift.cpp.o.d"
+  "bench_sec33_update_shift"
+  "bench_sec33_update_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_update_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_training_overhead.dir/bench_training_overhead.cpp.o"
+  "CMakeFiles/bench_training_overhead.dir/bench_training_overhead.cpp.o.d"
+  "bench_training_overhead"
+  "bench_training_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

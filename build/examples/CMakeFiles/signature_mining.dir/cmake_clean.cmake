@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_mining.dir/signature_mining.cpp.o"
+  "CMakeFiles/signature_mining.dir/signature_mining.cpp.o.d"
+  "signature_mining"
+  "signature_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_adaptation.dir/update_adaptation.cpp.o"
+  "CMakeFiles/update_adaptation.dir/update_adaptation.cpp.o.d"
+  "update_adaptation"
+  "update_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

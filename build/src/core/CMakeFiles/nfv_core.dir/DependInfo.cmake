@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feature_detectors.cpp" "src/core/CMakeFiles/nfv_core.dir/feature_detectors.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/feature_detectors.cpp.o.d"
+  "/root/repo/src/core/hmm_detector.cpp" "src/core/CMakeFiles/nfv_core.dir/hmm_detector.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/hmm_detector.cpp.o.d"
+  "/root/repo/src/core/lstm_detector.cpp" "src/core/CMakeFiles/nfv_core.dir/lstm_detector.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/lstm_detector.cpp.o.d"
+  "/root/repo/src/core/mapper.cpp" "src/core/CMakeFiles/nfv_core.dir/mapper.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/nfv_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/parsed_fleet.cpp" "src/core/CMakeFiles/nfv_core.dir/parsed_fleet.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/parsed_fleet.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/nfv_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/nfv_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/vpe_clustering.cpp" "src/core/CMakeFiles/nfv_core.dir/vpe_clustering.cpp.o" "gcc" "src/core/CMakeFiles/nfv_core.dir/vpe_clustering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nfv_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/logproc/CMakeFiles/nfv_logproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/nfv_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_core.dir/feature_detectors.cpp.o"
+  "CMakeFiles/nfv_core.dir/feature_detectors.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/hmm_detector.cpp.o"
+  "CMakeFiles/nfv_core.dir/hmm_detector.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/lstm_detector.cpp.o"
+  "CMakeFiles/nfv_core.dir/lstm_detector.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/mapper.cpp.o"
+  "CMakeFiles/nfv_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/metrics.cpp.o"
+  "CMakeFiles/nfv_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/parsed_fleet.cpp.o"
+  "CMakeFiles/nfv_core.dir/parsed_fleet.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/pipeline.cpp.o"
+  "CMakeFiles/nfv_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/streaming.cpp.o"
+  "CMakeFiles/nfv_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/nfv_core.dir/vpe_clustering.cpp.o"
+  "CMakeFiles/nfv_core.dir/vpe_clustering.cpp.o.d"
+  "libnfv_core.a"
+  "libnfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

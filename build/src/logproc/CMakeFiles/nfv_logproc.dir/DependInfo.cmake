@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logproc/dataset.cpp" "src/logproc/CMakeFiles/nfv_logproc.dir/dataset.cpp.o" "gcc" "src/logproc/CMakeFiles/nfv_logproc.dir/dataset.cpp.o.d"
+  "/root/repo/src/logproc/signature_tree.cpp" "src/logproc/CMakeFiles/nfv_logproc.dir/signature_tree.cpp.o" "gcc" "src/logproc/CMakeFiles/nfv_logproc.dir/signature_tree.cpp.o.d"
+  "/root/repo/src/logproc/tokenizer.cpp" "src/logproc/CMakeFiles/nfv_logproc.dir/tokenizer.cpp.o" "gcc" "src/logproc/CMakeFiles/nfv_logproc.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nfv_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

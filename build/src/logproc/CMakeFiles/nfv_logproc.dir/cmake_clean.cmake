@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_logproc.dir/dataset.cpp.o"
+  "CMakeFiles/nfv_logproc.dir/dataset.cpp.o.d"
+  "CMakeFiles/nfv_logproc.dir/signature_tree.cpp.o"
+  "CMakeFiles/nfv_logproc.dir/signature_tree.cpp.o.d"
+  "CMakeFiles/nfv_logproc.dir/tokenizer.cpp.o"
+  "CMakeFiles/nfv_logproc.dir/tokenizer.cpp.o.d"
+  "libnfv_logproc.a"
+  "libnfv_logproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_logproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

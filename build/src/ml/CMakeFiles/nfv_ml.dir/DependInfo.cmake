@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/activations.cpp" "src/ml/CMakeFiles/nfv_ml.dir/activations.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/activations.cpp.o.d"
+  "/root/repo/src/ml/autoencoder.cpp" "src/ml/CMakeFiles/nfv_ml.dir/autoencoder.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/ml/dense.cpp" "src/ml/CMakeFiles/nfv_ml.dir/dense.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/dense.cpp.o.d"
+  "/root/repo/src/ml/embedding.cpp" "src/ml/CMakeFiles/nfv_ml.dir/embedding.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/embedding.cpp.o.d"
+  "/root/repo/src/ml/hmm.cpp" "src/ml/CMakeFiles/nfv_ml.dir/hmm.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/hmm.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/nfv_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/loss.cpp" "src/ml/CMakeFiles/nfv_ml.dir/loss.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/loss.cpp.o.d"
+  "/root/repo/src/ml/lstm.cpp" "src/ml/CMakeFiles/nfv_ml.dir/lstm.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/lstm.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/nfv_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/ocsvm.cpp" "src/ml/CMakeFiles/nfv_ml.dir/ocsvm.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/ocsvm.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/ml/CMakeFiles/nfv_ml.dir/optimizer.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/optimizer.cpp.o.d"
+  "/root/repo/src/ml/param.cpp" "src/ml/CMakeFiles/nfv_ml.dir/param.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/param.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/nfv_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/sequence_model.cpp" "src/ml/CMakeFiles/nfv_ml.dir/sequence_model.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/sequence_model.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/nfv_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/som.cpp" "src/ml/CMakeFiles/nfv_ml.dir/som.cpp.o" "gcc" "src/ml/CMakeFiles/nfv_ml.dir/som.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

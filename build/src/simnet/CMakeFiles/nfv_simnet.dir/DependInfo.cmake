@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/anomaly_emitter.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/anomaly_emitter.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/anomaly_emitter.cpp.o.d"
+  "/root/repo/src/simnet/fault_injector.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/fault_injector.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/simnet/fleet.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/fleet.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/fleet.cpp.o.d"
+  "/root/repo/src/simnet/syslog_process.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/syslog_process.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/syslog_process.cpp.o.d"
+  "/root/repo/src/simnet/template_catalog.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/template_catalog.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/template_catalog.cpp.o.d"
+  "/root/repo/src/simnet/ticketing.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/ticketing.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/ticketing.cpp.o.d"
+  "/root/repo/src/simnet/types.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/types.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/types.cpp.o.d"
+  "/root/repo/src/simnet/vpe_profile.cpp" "src/simnet/CMakeFiles/nfv_simnet.dir/vpe_profile.cpp.o" "gcc" "src/simnet/CMakeFiles/nfv_simnet.dir/vpe_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

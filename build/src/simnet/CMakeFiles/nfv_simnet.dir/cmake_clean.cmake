@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_simnet.dir/anomaly_emitter.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/anomaly_emitter.cpp.o.d"
+  "CMakeFiles/nfv_simnet.dir/fault_injector.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/nfv_simnet.dir/fleet.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/fleet.cpp.o.d"
+  "CMakeFiles/nfv_simnet.dir/syslog_process.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/syslog_process.cpp.o.d"
+  "CMakeFiles/nfv_simnet.dir/template_catalog.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/template_catalog.cpp.o.d"
+  "CMakeFiles/nfv_simnet.dir/ticketing.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/ticketing.cpp.o.d"
+  "CMakeFiles/nfv_simnet.dir/types.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/types.cpp.o.d"
+  "CMakeFiles/nfv_simnet.dir/vpe_profile.cpp.o"
+  "CMakeFiles/nfv_simnet.dir/vpe_profile.cpp.o.d"
+  "libnfv_simnet.a"
+  "libnfv_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

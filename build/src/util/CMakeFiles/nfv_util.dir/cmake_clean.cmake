@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_util.dir/check.cpp.o"
+  "CMakeFiles/nfv_util.dir/check.cpp.o.d"
+  "CMakeFiles/nfv_util.dir/rng.cpp.o"
+  "CMakeFiles/nfv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nfv_util.dir/sim_time.cpp.o"
+  "CMakeFiles/nfv_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/nfv_util.dir/stats.cpp.o"
+  "CMakeFiles/nfv_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nfv_util.dir/strings.cpp.o"
+  "CMakeFiles/nfv_util.dir/strings.cpp.o.d"
+  "CMakeFiles/nfv_util.dir/table.cpp.o"
+  "CMakeFiles/nfv_util.dir/table.cpp.o.d"
+  "libnfv_util.a"
+  "libnfv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

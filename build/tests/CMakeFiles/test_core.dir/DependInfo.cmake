@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/detectors_test.cpp" "tests/CMakeFiles/test_core.dir/core/detectors_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/detectors_test.cpp.o.d"
+  "/root/repo/tests/core/integration_test.cpp" "tests/CMakeFiles/test_core.dir/core/integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/mapper_test.cpp" "tests/CMakeFiles/test_core.dir/core/mapper_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mapper_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/parsed_fleet_test.cpp" "tests/CMakeFiles/test_core.dir/core/parsed_fleet_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/parsed_fleet_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/test_core.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/streaming_test.cpp" "tests/CMakeFiles/test_core.dir/core/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/streaming_test.cpp.o.d"
+  "/root/repo/tests/core/vpe_clustering_test.cpp" "tests/CMakeFiles/test_core.dir/core/vpe_clustering_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/vpe_clustering_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logproc/CMakeFiles/nfv_logproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nfv_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/nfv_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

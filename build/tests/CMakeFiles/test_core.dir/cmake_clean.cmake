@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/detectors_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/detectors_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mapper_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mapper_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/parsed_fleet_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/parsed_fleet_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/streaming_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/streaming_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/vpe_clustering_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/vpe_clustering_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

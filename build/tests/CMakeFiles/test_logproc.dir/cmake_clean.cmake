@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logproc.dir/logproc/dataset_test.cpp.o"
+  "CMakeFiles/test_logproc.dir/logproc/dataset_test.cpp.o.d"
+  "CMakeFiles/test_logproc.dir/logproc/signature_tree_test.cpp.o"
+  "CMakeFiles/test_logproc.dir/logproc/signature_tree_test.cpp.o.d"
+  "CMakeFiles/test_logproc.dir/logproc/tokenizer_test.cpp.o"
+  "CMakeFiles/test_logproc.dir/logproc/tokenizer_test.cpp.o.d"
+  "test_logproc"
+  "test_logproc.pdb"
+  "test_logproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_grad.dir/ml/gradient_check_test.cpp.o"
+  "CMakeFiles/test_ml_grad.dir/ml/gradient_check_test.cpp.o.d"
+  "CMakeFiles/test_ml_grad.dir/ml/matrix_test.cpp.o"
+  "CMakeFiles/test_ml_grad.dir/ml/matrix_test.cpp.o.d"
+  "test_ml_grad"
+  "test_ml_grad.pdb"
+  "test_ml_grad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

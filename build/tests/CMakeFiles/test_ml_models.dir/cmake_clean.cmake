@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_models.dir/ml/autoencoder_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/autoencoder_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/hmm_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/hmm_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/kmeans_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/kmeans_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/ocsvm_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/ocsvm_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/optimizer_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/optimizer_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/pca_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/pca_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/sequence_model_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/sequence_model_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/serialize_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/serialize_test.cpp.o.d"
+  "CMakeFiles/test_ml_models.dir/ml/som_test.cpp.o"
+  "CMakeFiles/test_ml_models.dir/ml/som_test.cpp.o.d"
+  "test_ml_models"
+  "test_ml_models.pdb"
+  "test_ml_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

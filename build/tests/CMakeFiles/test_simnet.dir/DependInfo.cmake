@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simnet/anomaly_emitter_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/anomaly_emitter_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/anomaly_emitter_test.cpp.o.d"
+  "/root/repo/tests/simnet/fault_injector_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/fault_injector_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/fault_injector_test.cpp.o.d"
+  "/root/repo/tests/simnet/fleet_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/fleet_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/fleet_test.cpp.o.d"
+  "/root/repo/tests/simnet/syslog_process_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/syslog_process_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/syslog_process_test.cpp.o.d"
+  "/root/repo/tests/simnet/template_catalog_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/template_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/template_catalog_test.cpp.o.d"
+  "/root/repo/tests/simnet/ticketing_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/ticketing_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/ticketing_test.cpp.o.d"
+  "/root/repo/tests/simnet/types_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/types_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/types_test.cpp.o.d"
+  "/root/repo/tests/simnet/vpe_profile_test.cpp" "tests/CMakeFiles/test_simnet.dir/simnet/vpe_profile_test.cpp.o" "gcc" "tests/CMakeFiles/test_simnet.dir/simnet/vpe_profile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logproc/CMakeFiles/nfv_logproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nfv_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/nfv_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

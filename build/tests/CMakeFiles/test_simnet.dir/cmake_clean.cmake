@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/simnet/anomaly_emitter_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/anomaly_emitter_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/fault_injector_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/fault_injector_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/fleet_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/fleet_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/syslog_process_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/syslog_process_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/template_catalog_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/template_catalog_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/ticketing_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/ticketing_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/types_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/types_test.cpp.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/vpe_profile_test.cpp.o"
+  "CMakeFiles/test_simnet.dir/simnet/vpe_profile_test.cpp.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+  "test_simnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

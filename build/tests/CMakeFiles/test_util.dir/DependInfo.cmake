@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/check_test.cpp" "tests/CMakeFiles/test_util.dir/util/check_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/check_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/sim_time_test.cpp" "tests/CMakeFiles/test_util.dir/util/sim_time_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/sim_time_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/test_util.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logproc/CMakeFiles/nfv_logproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nfv_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/nfv_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nfv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvpred.dir/nfvpred_cli.cpp.o"
+  "CMakeFiles/nfvpred.dir/nfvpred_cli.cpp.o.d"
+  "nfvpred"
+  "nfvpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

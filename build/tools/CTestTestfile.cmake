@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/nfvpred")
+set_tests_properties(cli_usage PROPERTIES  PASS_REGULAR_EXPRESSION "usage: nfvpred" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pipeline "/usr/bin/cmake" "-DNFVPRED=/root/repo/build/tools/nfvpred" "-DWORK_DIR=/root/repo/build/tools/cli_test" "-P" "/root/repo/tools/cli_pipeline_test.cmake")
+set_tests_properties(cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
