@@ -12,6 +12,7 @@
 #include "core/metrics.h"
 #include "logproc/dataset.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -103,6 +104,12 @@ int main() {
   const auto fleet = bench::make_bench_fleet();
   Evaluator eval(fleet);
 
+  // Independent model fits fan out on the global pool (NFVPRED_THREADS
+  // override); every evaluation is seeded per call, so the reported
+  // numbers are identical for any thread count.
+  util::ThreadPool& pool = util::global_pool();
+  std::cout << "worker threads: " << pool.size() << "\n\n";
+
   // Groups from the standard clustering.
   util::Rng rng(1);
   const auto clustering =
@@ -132,27 +139,35 @@ int main() {
                       "per-vPE models F"},
                      "Part A — initial training data vs F (test month 3)");
   for (const auto& span : spans) {
-    // Grouped: one model per cluster, members aggregated.
+    // Grouped: one model per cluster, members aggregated. Each group fit
+    // is independent — fan out, then reduce in group order.
+    std::vector<double> group_parts(groups.size(), 0.0);
+    pool.parallel_for(0, groups.size(), [&](std::size_t g) {
+      if (groups[g].empty()) return;
+      group_parts[g] = eval.evaluate(groups[g], anchor - span.span, anchor,
+                                     anchor, test_end);
+    });
     double group_f = 0.0;
     std::size_t group_w = 0;
-    for (const auto& members : groups) {
-      if (members.empty()) continue;
-      group_f += eval.evaluate(members, anchor - span.span, anchor, anchor,
-                               test_end) *
-                 static_cast<double>(members.size());
-      group_w += members.size();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].empty()) continue;
+      group_f += group_parts[g] * static_cast<double>(groups[g].size());
+      group_w += groups[g].size();
     }
     group_f /= static_cast<double>(group_w);
 
     // Per-vPE: every vPE its own model on its own data (average F over a
     // fixed sample of vPEs to bound runtime).
+    const std::size_t sample = 8;
+    std::vector<double> solo_parts(sample, 0.0);
+    pool.parallel_for(0, sample, [&](std::size_t v) {
+      solo_parts[v] = eval.evaluate({static_cast<std::int32_t>(v)},
+                                    anchor - span.span, anchor, anchor,
+                                    test_end);
+    });
     double solo_f = 0.0;
-    const int sample = 8;
-    for (int v = 0; v < sample; ++v) {
-      solo_f += eval.evaluate({v}, anchor - span.span, anchor, anchor,
-                              test_end);
-    }
-    solo_f /= sample;
+    for (double f : solo_parts) solo_f += f;
+    solo_f /= static_cast<double>(sample);
 
     part_a.add_row({span.label, util::fmt_double(group_f, 3),
                     util::fmt_double(solo_f, 3)});
@@ -210,7 +225,8 @@ int main() {
       part_b.add_row({"transfer learning (teacher + fine-tune)", "1 week",
                       util::fmt_double(f, 3)});
     }
-    // Full retrain with increasing data.
+    // Full retrain with increasing data — the three retrains are
+    // independent; fan out and emit rows in span order.
     const struct {
       const char* label;
       Duration span;
@@ -219,12 +235,15 @@ int main() {
         {"1 month", Duration::of_days(30)},
         {"3 months", Duration::of_days(90)},
     };
-    for (const auto& r : retrain) {
-      const double f =
-          eval.evaluate(members, update_start, update_start + r.span,
+    std::vector<double> retrain_f(std::size(retrain), 0.0);
+    pool.parallel_for(0, std::size(retrain), [&](std::size_t r) {
+      retrain_f[r] =
+          eval.evaluate(members, update_start, update_start + retrain[r].span,
                         eval_begin, eval_end);
-      part_b.add_row({"full retrain from scratch", r.label,
-                      util::fmt_double(f, 3)});
+    });
+    for (std::size_t r = 0; r < std::size(retrain); ++r) {
+      part_b.add_row({"full retrain from scratch", retrain[r].label,
+                      util::fmt_double(retrain_f[r], 3)});
     }
     break;  // one group suffices for the comparison
   }

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace nfv::core {
 
@@ -113,6 +114,13 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
             "initial_train_months must leave at least one test month");
   Rng rng(options.seed);
 
+  // Fork-join pool for the per-group / per-vPE fan-out. Determinism for
+  // every thread count holds because (a) each group owns its detector and
+  // an explicitly split RNG stream (seed + 100·(g+1)), (b) every parallel
+  // task writes only its own pre-sized output slot, and (c) per-group
+  // results are collected in group order before any cross-group merge.
+  nfv::util::ThreadPool pool(options.threads);
+
   PipelineResult result;
 
   // --- Customization: group the vPEs. ---
@@ -141,7 +149,7 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
   }
   const std::size_t vocab_initial =
       parsed.vocab_at(options.initial_train_months);
-  for (std::size_t g = 0; g < groups.size(); ++g) {
+  pool.parallel_for(0, groups.size(), [&](std::size_t g) {
     GroupState& group = groups[g];
     if (options.detector == DetectorKind::kLstm) {
       LstmDetectorConfig config =
@@ -161,7 +169,7 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
     std::vector<LogView> views(train_streams.begin(), train_streams.end());
     group.detector->fit(views, vocab_initial);
     calibrate_threshold(group, train_streams, options.threshold_quantile);
-  }
+  });
 
   // --- Rolling monthly evaluation. ---
   result.streams.resize(n);
@@ -173,88 +181,122 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
   }
   std::vector<TicketDetection> raw_detections;
 
+  // Flat (group, member) task list in the canonical group-major order —
+  // the per-vPE scoring passes fan out over this list, and collecting
+  // per-task slots in list order reproduces the serial iteration order.
+  struct MemberTask {
+    std::size_t group;
+    std::int32_t vpe;
+  };
+  std::vector<MemberTask> member_tasks;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::int32_t v : groups[g].members) member_tasks.push_back({g, v});
+  }
+
   for (int month = options.initial_train_months; month < months; ++month) {
     const SimTime month_begin = nfv::util::month_start(month);
     const SimTime month_end = nfv::util::month_start(month + 1);
-    std::vector<MappingResult> month_parts;
 
-    for (GroupState& group : groups) {
-      // The paper's fast adaptation kicks in one week after a software
-      // update: if any member of this group is updated this month, the
-      // remainder of the month is scored by the adapted model.
+    // The paper's fast adaptation kicks in one week after a software
+    // update: if any member of a group is updated this month, the
+    // remainder of the month is scored by the adapted model. Planning is
+    // cheap and stays serial.
+    struct GroupMonthPlan {
       SimTime adapt_at = simnet::never();
+      SimTime phase1_end;
+      bool split_month = false;
       std::vector<std::pair<std::int32_t, SimTime>> updated_members;
+    };
+    std::vector<GroupMonthPlan> plans(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      GroupMonthPlan& plan = plans[g];
       if (options.adapt) {
-        for (std::int32_t v : group.members) {
+        for (std::int32_t v : groups[g].members) {
           const SimTime u =
               trace.update_time_by_vpe[static_cast<std::size_t>(v)];
           if (u >= month_begin && u < month_end) {
-            updated_members.emplace_back(v, u);
-            adapt_at = std::min(adapt_at, u + options.adapt_span);
+            plan.updated_members.emplace_back(v, u);
+            plan.adapt_at = std::min(plan.adapt_at, u + options.adapt_span);
           }
         }
       }
-      const bool split_month =
-          !updated_members.empty() && adapt_at < month_end;
+      plan.split_month =
+          !plan.updated_members.empty() && plan.adapt_at < month_end;
+      plan.phase1_end = plan.split_month ? plan.adapt_at : month_end;
+    }
 
-      // Phase 1: score up to the adaptation point (or the whole month).
-      const SimTime phase1_end = split_month ? adapt_at : month_end;
-      std::vector<std::vector<ScoredEvent>> events_by_member(
-          group.members.size());
-      for (std::size_t mi = 0; mi < group.members.size(); ++mi) {
-        const std::int32_t v = group.members[mi];
-        const std::vector<ParsedLog> logs = logproc::slice_time(
-            parsed.logs_by_vpe[static_cast<std::size_t>(v)], month_begin,
-            phase1_end);
-        events_by_member[mi] = group.detector->score(logs, parsed.vocab());
+    // Phase 1 — parallel per-vPE scoring up to the adaptation point (or
+    // the whole month). Detectors are strictly read-only while scoring;
+    // every task writes only its own slot.
+    std::vector<std::vector<ScoredEvent>> events_by_task(
+        member_tasks.size());
+    pool.parallel_for(0, member_tasks.size(), [&](std::size_t t) {
+      const MemberTask& task = member_tasks[t];
+      const std::vector<ParsedLog> logs = logproc::slice_time(
+          parsed.logs_by_vpe[static_cast<std::size_t>(task.vpe)],
+          month_begin, plans[task.group].phase1_end);
+      events_by_task[t] =
+          groups[task.group].detector->score(logs, parsed.vocab());
+    });
+
+    // Adaptation — parallel per group; the only phase that mutates a
+    // detector, and each group mutates only its own.
+    pool.parallel_for(0, groups.size(), [&](std::size_t g) {
+      const GroupMonthPlan& plan = plans[g];
+      if (!plan.split_month) return;
+      GroupState& group = groups[g];
+      // Adapt on ~1 week of post-update data, then score the rest of the
+      // month with the adapted model.
+      std::vector<std::vector<ParsedLog>> adapt_streams;
+      for (const auto& [v, u] : plan.updated_members) {
+        adapt_streams.push_back(logproc::slice_time(
+            parsed.logs_by_vpe[static_cast<std::size_t>(v)], u,
+            u + options.adapt_span));
       }
+      std::vector<LogView> adapt_views(adapt_streams.begin(),
+                                       adapt_streams.end());
+      group.detector->adapt(adapt_views, parsed.vocab_at(month + 1));
+      // Recalibrate on the adaptation data itself (what operations has).
+      calibrate_threshold(group, adapt_streams, options.threshold_quantile);
+    });
 
-      if (split_month) {
-        // Adapt on ~1 week of post-update data, then score the rest of the
-        // month with the adapted model.
-        std::vector<std::vector<ParsedLog>> adapt_streams;
-        for (const auto& [v, u] : updated_members) {
-          adapt_streams.push_back(logproc::slice_time(
-              parsed.logs_by_vpe[static_cast<std::size_t>(v)], u,
-              u + options.adapt_span));
-        }
-        std::vector<LogView> adapt_views(adapt_streams.begin(),
-                                         adapt_streams.end());
-        group.detector->adapt(adapt_views, parsed.vocab_at(month + 1));
-        // Recalibrate on the adaptation data itself (what operations has).
-        calibrate_threshold(group, adapt_streams,
-                            options.threshold_quantile);
-        for (std::size_t mi = 0; mi < group.members.size(); ++mi) {
-          const std::int32_t v = group.members[mi];
-          const std::vector<ParsedLog> logs = logproc::slice_time(
-              parsed.logs_by_vpe[static_cast<std::size_t>(v)], adapt_at,
-              month_end);
-          const std::vector<ScoredEvent> tail =
-              group.detector->score(logs, parsed.vocab());
-          events_by_member[mi].insert(events_by_member[mi].end(),
-                                      tail.begin(), tail.end());
-        }
-      }
+    // Phase 2 — parallel per-vPE tail scoring for split months, appended
+    // to each task's own slot.
+    pool.parallel_for(0, member_tasks.size(), [&](std::size_t t) {
+      const MemberTask& task = member_tasks[t];
+      const GroupMonthPlan& plan = plans[task.group];
+      if (!plan.split_month) return;
+      const std::vector<ParsedLog> logs = logproc::slice_time(
+          parsed.logs_by_vpe[static_cast<std::size_t>(task.vpe)],
+          plan.adapt_at, month_end);
+      const std::vector<ScoredEvent> tail =
+          groups[task.group].detector->score(logs, parsed.vocab());
+      events_by_task[t].insert(events_by_task[t].end(), tail.begin(),
+                               tail.end());
+    });
 
-      // Detect at the group's operating threshold and map to tickets.
+    // Detect at each group's operating threshold and map to tickets —
+    // parallel per vPE into ordered slots; each vPE appears exactly once,
+    // so the result.streams appends are disjoint.
+    std::vector<MappingResult> month_parts(member_tasks.size());
+    pool.parallel_for(0, member_tasks.size(), [&](std::size_t t) {
+      const MemberTask& task = member_tasks[t];
+      const GroupState& group = groups[task.group];
       const MappingConfig group_mapping = adapt_mapping_for(
           group.detector->granularity(), options.mapping);
-      for (std::size_t mi = 0; mi < group.members.size(); ++mi) {
-        const std::int32_t v = group.members[mi];
-        const std::vector<ScoredEvent>& events = events_by_member[mi];
-        const std::vector<SimTime> clusters =
-            cluster_anomalies(events, group.threshold, group_mapping);
-        const std::vector<simnet::Ticket> tickets =
-            tickets_in_window(trace, v, month_begin, month_end,
-                              options.mapping.predictive_period);
-        month_parts.push_back(
-            map_anomalies(clusters, tickets, v, group_mapping));
-        // Keep the raw scores for threshold sweeps.
-        auto& stream = result.streams[static_cast<std::size_t>(v)];
-        stream.events.insert(stream.events.end(), events.begin(),
-                             events.end());
-      }
-    }
+      const std::vector<ScoredEvent>& events = events_by_task[t];
+      const std::vector<SimTime> clusters =
+          cluster_anomalies(events, group.threshold, group_mapping);
+      const std::vector<simnet::Ticket> tickets =
+          tickets_in_window(trace, task.vpe, month_begin, month_end,
+                            options.mapping.predictive_period);
+      month_parts[t] =
+          map_anomalies(clusters, tickets, task.vpe, group_mapping);
+      // Keep the raw scores for threshold sweeps.
+      auto& stream = result.streams[static_cast<std::size_t>(task.vpe)];
+      stream.events.insert(stream.events.end(), events.begin(),
+                           events.end());
+    });
 
     const MappingResult month_mapping = merge_mappings(month_parts);
     MonthlyMetrics metrics;
@@ -274,10 +316,11 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
                                     month_mapping.anomalies.begin(),
                                     month_mapping.anomalies.end());
 
-    // --- End-of-month model maintenance. ---
+    // --- End-of-month model maintenance (parallel per group). ---
     if (month + 1 >= months) break;  // nothing left to score
     const std::size_t vocab_now = parsed.vocab_at(month + 1);
-    for (GroupState& group : groups) {
+    pool.parallel_for(0, groups.size(), [&](std::size_t g) {
+      GroupState& group = groups[g];
       std::vector<std::vector<ParsedLog>> update_streams;
       for (std::int32_t v : group.members) {
         update_streams.push_back(
@@ -287,10 +330,14 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
                                  update_streams.end());
       group.detector->update(views, vocab_now);
       calibrate_threshold(group, update_streams, options.threshold_quantile);
-    }
+    });
   }
 
   // --- Aggregates. ---
+  result.group_thresholds.reserve(groups.size());
+  for (const GroupState& group : groups) {
+    result.group_thresholds.push_back(group.threshold);
+  }
   result.detections = merge_detections(raw_detections);
   result.mapping.tickets = result.detections;
   result.aggregate = compute_prf(result.mapping);

@@ -42,6 +42,10 @@ struct PipelineOptions {
   nfv::util::Duration adapt_span = nfv::util::Duration::of_days(7);
   /// Operating threshold = this quantile of training-data scores.
   double threshold_quantile = 0.99;
+  /// Worker threads for the per-group / per-vPE fan-out. 1 = serial
+  /// (default); 0 = auto (NFVPRED_THREADS env override, else hardware
+  /// concurrency). Results are bit-identical for every thread count.
+  std::size_t threads = 1;
   std::uint64_t seed = 7;
   /// Optional override of the LSTM detector configuration.
   std::optional<LstmDetectorConfig> lstm_config;
@@ -65,6 +69,8 @@ struct PipelineResult {
   std::vector<TicketDetection> detections;
   /// Aggregate mapping at the operating threshold.
   MappingResult mapping;
+  /// Final per-group operating thresholds, indexed by clustering group.
+  std::vector<double> group_thresholds;
   PrfMetrics aggregate;
   double false_alarms_per_day = 0.0;
   double eval_days = 0.0;

@@ -45,6 +45,17 @@ struct StreamMonitorConfig {
 /// Per-vPE online monitor over a shared detector. The detector is not
 /// owned and may be swapped (e.g. after a monthly update) via
 /// set_detector(); the history window survives the swap.
+///
+/// Concurrency contract: one StreamMonitor is single-threaded, but many
+/// monitors may score against the SAME detector from different threads
+/// concurrently — AnomalyDetector::score() is const and must be free of
+/// hidden mutation (no lazy caches, no RNG draws). What must NOT overlap
+/// with scoring is mutating the detector (fit/update/adapt) or calling
+/// set_detector(): swap models between ingest batches, exactly like the
+/// monthly-update cadence of the batch pipeline. The signature tree is
+/// mutated by ingest() (online template mining) and therefore must be
+/// per-monitor, or ingestion must go through ingest_parsed(). Enforced by
+/// tests/core/streaming_concurrency_test.cpp under TSan.
 class StreamMonitor {
  public:
   using WarningCallback = std::function<void(const StreamWarning&)>;

@@ -1,8 +1,71 @@
 #include "ml/matrix.h"
 
+#include <algorithm>
+
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nfv::ml {
+
+namespace {
+
+/// Minimum multiply-accumulate count before the blocked-parallel kernels
+/// pay for themselves; below this the serial kernels win outright.
+constexpr std::size_t kParallelMinWork = 1u << 16;
+
+/// Parallelize only for large products, only when a multi-thread pool is
+/// available, and never from inside an already parallel region (the
+/// per-group pipeline fan-out owns the threads there).
+bool use_parallel(std::size_t work) {
+  return work >= kParallelMinWork &&
+         !nfv::util::ThreadPool::in_parallel_region() &&
+         nfv::util::global_pool().size() > 1;
+}
+
+/// One row of out = a * b, i-k-j order (streams b and out contiguously).
+inline void matmul_row(const Matrix& a, const Matrix& b, Matrix& out,
+                       std::size_t i) {
+  const float* arow = a.row(i);
+  float* orow = out.row(i);
+  for (std::size_t k = 0; k < a.cols(); ++k) {
+    const float aik = arow[k];
+    if (aik == 0.0f) continue;
+    const float* brow = b.row(k);
+    for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+  }
+}
+
+/// One row of out = a * bᵀ.
+inline void matmul_transb_row(const Matrix& a, const Matrix& b, Matrix& out,
+                              std::size_t i) {
+  const float* arow = a.row(i);
+  float* orow = out.row(i);
+  for (std::size_t j = 0; j < b.rows(); ++j) {
+    const float* brow = b.row(j);
+    float dot = 0.0f;
+    for (std::size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+    orow[j] = dot;
+  }
+}
+
+/// Column block [c0, c1) of out += aᵀ * b. Each out element accumulates in
+/// the same r-ascending order as the serial kernel.
+inline void transa_accumulate_cols(const Matrix& a, const Matrix& b,
+                                   Matrix& out, std::size_t c0,
+                                   std::size_t c1) {
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    const float* brow = b.row(r);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float ark = arow[k];
+      if (ark == 0.0f) continue;
+      float* orow = out.row(k);
+      for (std::size_t c = c0; c < c1; ++c) orow[c] += ark * brow[c];
+    }
+  }
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -47,37 +110,52 @@ double Matrix::squared_norm() const {
   return sum;
 }
 
-void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul_serial(const Matrix& a, const Matrix& b, Matrix& out) {
   NFV_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch: "
                                       << a.cols() << " vs " << b.rows());
   out.resize(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and out rows contiguously.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float aik = arow[k];
-      if (aik == 0.0f) continue;
-      const float* brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-    }
+  for (std::size_t i = 0; i < a.rows(); ++i) matmul_row(a, b, out, i);
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  NFV_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch: "
+                                      << a.cols() << " vs " << b.rows());
+  if (!use_parallel(a.rows() * a.cols() * b.cols())) {
+    matmul_serial(a, b, out);
+    return;
   }
+  out.resize(a.rows(), b.cols());
+  nfv::util::global_pool().parallel_for(
+      0, a.rows(), [&](std::size_t i) { matmul_row(a, b, out, i); });
+}
+
+void matmul_transb_serial(const Matrix& a, const Matrix& b, Matrix& out) {
+  NFV_CHECK(a.cols() == b.cols(), "matmul_transb inner-dimension mismatch: "
+                                      << a.cols() << " vs " << b.cols());
+  out.resize(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) matmul_transb_row(a, b, out, i);
 }
 
 void matmul_transb(const Matrix& a, const Matrix& b, Matrix& out) {
   NFV_CHECK(a.cols() == b.cols(), "matmul_transb inner-dimension mismatch: "
                                       << a.cols() << " vs " << b.cols());
-  out.resize(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.row(j);
-      float dot = 0.0f;
-      for (std::size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
-      orow[j] = dot;
-    }
+  if (!use_parallel(a.rows() * a.cols() * b.rows())) {
+    matmul_transb_serial(a, b, out);
+    return;
   }
+  out.resize(a.rows(), b.rows());
+  nfv::util::global_pool().parallel_for(
+      0, a.rows(), [&](std::size_t i) { matmul_transb_row(a, b, out, i); });
+}
+
+void matmul_transa_accumulate_serial(const Matrix& a, const Matrix& b,
+                                     Matrix& out) {
+  NFV_CHECK(a.rows() == b.rows(),
+            "matmul_transa_accumulate row mismatch: " << a.rows() << " vs "
+                                                      << b.rows());
+  NFV_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
+            "matmul_transa_accumulate output shape mismatch");
+  transa_accumulate_cols(a, b, out, 0, b.cols());
 }
 
 void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -86,16 +164,18 @@ void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
                                                       << b.rows());
   NFV_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
             "matmul_transa_accumulate output shape mismatch");
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row(r);
-    const float* brow = b.row(r);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float ark = arow[k];
-      if (ark == 0.0f) continue;
-      float* orow = out.row(k);
-      for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += ark * brow[c];
-    }
+  if (!use_parallel(a.rows() * a.cols() * b.cols())) {
+    transa_accumulate_cols(a, b, out, 0, b.cols());
+    return;
   }
+  nfv::util::ThreadPool& pool = nfv::util::global_pool();
+  const std::size_t blocks = std::min(b.cols(), pool.size() * 4);
+  const std::size_t block = (b.cols() + blocks - 1) / blocks;
+  pool.parallel_for(0, blocks, [&](std::size_t bi) {
+    const std::size_t c0 = bi * block;
+    const std::size_t c1 = std::min(c0 + block, b.cols());
+    if (c0 < c1) transa_accumulate_cols(a, b, out, c0, c1);
+  });
 }
 
 void add_row_vector(Matrix& m, const Matrix& row) {

@@ -56,16 +56,30 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// out = a (R×K) * b (K×C). `out` is resized and overwritten.
+/// out = a (R×K) * b (K×C). `out` is resized and overwritten. Above a
+/// work threshold the rows are computed in parallel blocks on the global
+/// thread pool (bit-identical to the serial kernel: each output row is an
+/// independent slot computed in the same k-order); inside an already
+/// parallel region the serial kernel is used.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a (R×K) * bᵀ where b is (C×K). The natural layout for y = x·Wᵀ
-/// with weight matrices stored as (out_features × in_features).
+/// with weight matrices stored as (out_features × in_features). Same
+/// row-blocked parallel dispatch as matmul.
 void matmul_transb(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out += aᵀ (K×R stored as R×K) * b (R×C) — i.e. out (K×C) accumulates
 /// gradient contributions Σ_r a[r]ᵀ b[r]. Used for weight gradients.
+/// Parallelized over blocks of output *columns* (each element keeps the
+/// serial r-ascending accumulation order, so results stay bit-identical).
 void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Serial reference kernels: always single-threaded, used by the parallel
+/// dispatchers below the work threshold and by the determinism tests.
+void matmul_serial(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_transb_serial(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_transa_accumulate_serial(const Matrix& a, const Matrix& b,
+                                     Matrix& out);
 
 /// Add a row vector (1×C or length-C matrix) to every row of m.
 void add_row_vector(Matrix& m, const Matrix& row);

@@ -1,0 +1,109 @@
+// Deterministic fork-join parallelism for the per-group training/scoring
+// fan-out and the blocked matrix kernels.
+//
+// Design constraints (see README "Parallel execution & determinism"):
+//  - Results must be bit-identical to the serial path for any thread
+//    count. parallel_for therefore only distributes *indices*; every index
+//    writes to its own pre-sized output slot and no reduction happens
+//    inside the pool. Work is claimed dynamically (atomic chunk counter),
+//    which is safe precisely because outputs are slot-addressed.
+//  - Exceptions propagate deterministically: every index runs exactly
+//    once, and the exception thrown by the *lowest* failing index is
+//    rethrown on the calling thread — the same exception the serial loop
+//    would have surfaced first.
+//  - Nesting is rejected. A parallel_for issued from inside a running
+//    parallel region throws CheckError instead of deadlocking; kernels
+//    that may be reached from inside tasks (e.g. nfv::ml::matmul) consult
+//    in_parallel_region() and fall back to their serial path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nfv::util {
+
+/// Fixed-size fork-join pool. `threads` counts the calling thread: a pool
+/// of size N keeps N−1 workers and the caller participates in every job,
+/// so size 1 means "run inline, spawn nothing" — the serial path.
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves via resolve_threads(0) (NFVPRED_THREADS or
+  /// hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_; }
+
+  /// Run fn(i) exactly once for every i in [begin, end), blocking until
+  /// all indices completed. Deterministic given slot-addressed outputs
+  /// (fn(i) must only write state owned by index i). Throws CheckError if
+  /// called from inside a running parallel region.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Run every task exactly once, blocking until all completed. Same
+  /// determinism/nesting rules as parallel_for.
+  void parallel_invoke(const std::vector<std::function<void()>>& tasks);
+
+  /// True while the current thread is executing inside a multi-threaded
+  /// parallel region (worker thread, or the caller participating in its
+  /// own job). Kernels use this to fall back to serial rather than nest.
+  static bool in_parallel_region();
+
+  /// Resolve a requested thread count: explicit requests win, 0 means
+  /// "auto" = NFVPRED_THREADS if set (and > 0), else hardware
+  /// concurrency, else 1.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+  void run_chunks(const std::function<void(std::size_t)>& fn,
+                  std::size_t end);
+  void record_error(std::size_t index);
+
+  std::size_t threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Serializes whole jobs: concurrent top-level parallel_for calls on the
+  // same pool queue behind each other instead of corrupting the job slot.
+  std::mutex job_mutex_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;           // bumped once per job
+  std::size_t finished_workers_ = 0;  // workers done with current epoch
+  bool stop_ = false;
+
+  // Current job (valid while a job is in flight; guarded by mu_ for
+  // publication, read-only afterwards).
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_end_ = 0;
+  std::size_t job_chunk_ = 1;
+  std::atomic<std::size_t> next_index_{0};
+
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+};
+
+/// Process-wide pool used by kernels that parallelize internally (blocked
+/// matmul) and by tools/benches. Lazily created at resolve_threads(0)
+/// size. Not intended to be resized concurrently with use.
+ThreadPool& global_pool();
+
+/// Replace the global pool with one of the given size (0 = auto). Call
+/// from startup code (CLI flag parsing), not from inside parallel work.
+void set_global_threads(std::size_t threads);
+
+}  // namespace nfv::util

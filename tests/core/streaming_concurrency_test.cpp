@@ -1,0 +1,159 @@
+// The StreamMonitor concurrency contract (src/core/streaming.h): many
+// per-vPE monitors may score against ONE shared detector from different
+// threads, because AnomalyDetector::score() is const with no hidden
+// mutation. This test runs N monitors over one shared LstmDetector from
+// worker threads — interleaved by the scheduler — and asserts that every
+// per-line score and every warning matches a single-threaded replay.
+// Under -DNFVPRED_SANITIZE=thread it also proves the scoring path free of
+// data races.
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/lstm_detector.h"
+#include "logproc/signature_tree.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace nfv::core {
+namespace {
+
+using logproc::ParsedLog;
+using logproc::SignatureTree;
+using nfv::util::SimTime;
+
+constexpr std::size_t kVpes = 4;
+constexpr std::size_t kVocab = 10;     // shapes 8 and 9 never seen in training
+constexpr std::size_t kTrainLen = 500;
+constexpr std::size_t kTestLen = 300;
+constexpr std::int64_t kStepSeconds = 30;
+
+std::string make_line(std::size_t shape, std::size_t salt) {
+  // Distinct head token per shape → distinct template; the trailing salt
+  // becomes a wildcard position inside the template.
+  return "proc" + std::to_string(shape) + " event code " +
+         std::to_string(salt);
+}
+
+/// Prime a tree with every shape in canonical order so all trees assign
+/// identical template ids.
+void prime_tree(SignatureTree& tree) {
+  for (std::size_t shape = 0; shape < kVocab; ++shape) {
+    tree.learn(make_line(shape, 0));
+  }
+}
+
+std::size_t train_shape(std::size_t vpe, std::size_t i) {
+  return (i * 7 + vpe * 3 + i / 31) % 8;  // only shapes 0..7 in training
+}
+
+std::size_t test_shape(std::size_t vpe, std::size_t i) {
+  // Inject pairs of never-seen shapes — adjacent anomalies that must form
+  // ≥2-within-2-minutes warning clusters.
+  if (i % 97 == 50 || i % 97 == 51) return 8 + (vpe % 2);
+  return train_shape(vpe, i);
+}
+
+struct Replay {
+  std::vector<double> scores;
+  std::vector<StreamWarning> warnings;
+};
+
+Replay replay_stream(std::size_t vpe, const AnomalyDetector& detector,
+                     double threshold) {
+  Replay out;
+  SignatureTree tree;  // per-monitor: ingest() mutates it (online mining)
+  prime_tree(tree);
+  StreamMonitorConfig config;
+  config.threshold = threshold;
+  config.window = 4;
+  StreamMonitor monitor(
+      static_cast<std::int32_t>(vpe), &detector, &tree, config,
+      [&out](const StreamWarning& warning) { out.warnings.push_back(warning); });
+  for (std::size_t i = 0; i < kTestLen; ++i) {
+    const SimTime time{static_cast<std::int64_t>(i) * kStepSeconds};
+    out.scores.push_back(
+        monitor.ingest(time, make_line(test_shape(vpe, i), i)));
+  }
+  return out;
+}
+
+TEST(StreamingConcurrencyTest, ParallelMonitorsMatchSerialReplay) {
+  // --- Train one detector, shared (read-only) by all monitors. ---
+  SignatureTree train_tree;
+  prime_tree(train_tree);
+  std::vector<std::vector<ParsedLog>> train_streams(kVpes);
+  for (std::size_t v = 0; v < kVpes; ++v) {
+    for (std::size_t i = 0; i < kTrainLen; ++i) {
+      ParsedLog log;
+      log.time = SimTime{static_cast<std::int64_t>(i) * kStepSeconds};
+      log.template_id = train_tree.learn(make_line(train_shape(v, i), i));
+      train_streams[v].push_back(log);
+    }
+  }
+  LstmDetectorConfig config;
+  config.window = 4;
+  config.embed_dim = 8;
+  config.hidden = 8;
+  config.initial_epochs = 2;
+  config.max_train_windows = 1500;
+  config.oversample = false;
+  LstmDetector detector(config);
+  std::vector<LogView> views(train_streams.begin(), train_streams.end());
+  detector.fit(views, train_tree.size());
+
+  // Operating threshold: high quantile of training scores.
+  std::vector<double> train_scores;
+  for (const auto& stream : train_streams) {
+    for (const ScoredEvent& event :
+         detector.score(stream, train_tree.size())) {
+      train_scores.push_back(event.score);
+    }
+  }
+  ASSERT_FALSE(train_scores.empty());
+  const double threshold = nfv::util::quantile(train_scores, 0.995);
+
+  // --- Single-threaded reference replay. ---
+  std::vector<Replay> serial(kVpes);
+  for (std::size_t v = 0; v < kVpes; ++v) {
+    serial[v] = replay_stream(v, detector, threshold);
+  }
+  // The injected unseen templates must actually fire warnings, otherwise
+  // the comparison below is vacuous.
+  for (std::size_t v = 0; v < kVpes; ++v) {
+    ASSERT_FALSE(serial[v].warnings.empty()) << "vpe " << v;
+  }
+
+  // --- Concurrent run: one monitor per worker thread, shared detector,
+  // ingestion interleaved by the scheduler. ---
+  nfv::util::ThreadPool pool(kVpes);
+  std::vector<Replay> parallel(kVpes);
+  pool.parallel_for(0, kVpes, [&](std::size_t v) {
+    parallel[v] = replay_stream(v, detector, threshold);
+  });
+
+  for (std::size_t v = 0; v < kVpes; ++v) {
+    ASSERT_EQ(serial[v].scores.size(), parallel[v].scores.size());
+    for (std::size_t i = 0; i < serial[v].scores.size(); ++i) {
+      ASSERT_EQ(serial[v].scores[i], parallel[v].scores[i])
+          << "vpe " << v << " line " << i;
+    }
+    ASSERT_EQ(serial[v].warnings.size(), parallel[v].warnings.size())
+        << "vpe " << v;
+    for (std::size_t w = 0; w < serial[v].warnings.size(); ++w) {
+      const StreamWarning& sw = serial[v].warnings[w];
+      const StreamWarning& pw = parallel[v].warnings[w];
+      EXPECT_EQ(sw.vpe, pw.vpe);
+      EXPECT_EQ(sw.time.seconds, pw.time.seconds);
+      EXPECT_EQ(sw.anomaly_count, pw.anomaly_count);
+      EXPECT_EQ(sw.peak_score, pw.peak_score);
+      EXPECT_EQ(sw.trigger_template, pw.trigger_template);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
+# pass over the concurrency-labelled tests (thread pool, parallel-vs-serial
+# pipeline determinism, shared-detector streaming).
+#
+# Usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: build + full ctest ==="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+echo "=== TSan: concurrency label ==="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency
+ctest --test-dir "$ROOT/build-tsan" -L concurrency --output-on-failure
+
+echo "ci.sh: all passes clean"

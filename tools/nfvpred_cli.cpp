@@ -36,6 +36,7 @@
 #include "simnet/fleet.h"
 #include "util/stats.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -91,6 +92,10 @@ void usage() {
       "  mine     --logs FILE [--max N]\n"
       "  train    --logs FILE --model FILE [--window K] [--epochs E]\n"
       "  score    --logs FILE --model FILE [--threshold-quantile Q]\n"
+      "common options:\n"
+      "  --threads N   worker threads for training/scoring kernels\n"
+      "                (default: NFVPRED_THREADS env, else all cores;\n"
+      "                 results are identical for any thread count)\n"
       "log file format: '<epoch-seconds> <syslog message>' per line\n";
 }
 
@@ -256,6 +261,14 @@ int cmd_score(const Args& args) {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    const long threads = args.get_long("threads", 0);
+    if (threads < 0) {
+      std::cerr << "error: --threads must be positive\n";
+      return 1;
+    }
+    if (threads > 0) {
+      util::set_global_threads(static_cast<std::size_t>(threads));
+    }
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "mine") return cmd_mine(args);
     if (args.command == "train") return cmd_train(args);
