@@ -1,0 +1,77 @@
+#include "core/batch_planner.h"
+
+#include "util/check.h"
+
+namespace nfv::core {
+
+BatchPlan plan_windows(std::span<const std::size_t> windows_per_stream,
+                       std::size_t batch_size) {
+  NFV_CHECK(batch_size >= 1, "plan_windows requires batch_size >= 1");
+  BatchPlan plan;
+  plan.batch_size = batch_size;
+  std::size_t total = 0;
+  for (const std::size_t count : windows_per_stream) total += count;
+  plan.slots.reserve(total);
+  for (std::size_t s = 0; s < windows_per_stream.size(); ++s) {
+    for (std::size_t w = 0; w < windows_per_stream[s]; ++w) {
+      plan.slots.push_back({static_cast<std::uint32_t>(s),
+                            static_cast<std::uint32_t>(w)});
+    }
+  }
+  return plan;
+}
+
+BatchedWindowScorer::BatchedWindowScorer(std::size_t batch_size)
+    : batch_size_(batch_size) {
+  NFV_CHECK(batch_size >= 1,
+            "BatchedWindowScorer requires batch_size >= 1");
+}
+
+void BatchedWindowScorer::score(
+    const ml::SequenceModel& model, BatchScoreKind kind,
+    std::span<const std::vector<const ml::SeqExample*>> streams,
+    std::vector<std::vector<double>>& out) {
+  // Gather: flatten every stream's windows into one work queue in
+  // stream-major order (reusing the scorer's buffers).
+  plan_.batch_size = batch_size_;
+  plan_.slots.clear();
+  gathered_.clear();
+  std::size_t total = 0;
+  for (const auto& stream : streams) total += stream.size();
+  plan_.slots.reserve(total);
+  gathered_.reserve(total);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (std::size_t w = 0; w < streams[s].size(); ++w) {
+      plan_.slots.push_back({static_cast<std::uint32_t>(s),
+                             static_cast<std::uint32_t>(w)});
+      gathered_.push_back(streams[s][w]);
+    }
+  }
+
+  out.resize(streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    out[s].resize(streams[s].size());
+  }
+  if (gathered_.empty()) return;
+
+  // Fused forward passes over the flat queue.
+  if (kind == BatchScoreKind::kTargetRank) {
+    flat_ranks_.resize(gathered_.size());
+    model.score_ranks_batched(gathered_, batch_size_, scratch_, flat_ranks_);
+  } else {
+    flat_scores_.resize(gathered_.size());
+    model.score_batched(gathered_, batch_size_, scratch_, flat_scores_);
+  }
+
+  // Scatter: slot i of the queue belongs to exactly one (stream, window)
+  // pair, so writes are disjoint and reproduce the per-stream order.
+  for (std::size_t i = 0; i < plan_.slots.size(); ++i) {
+    const WindowSlot slot = plan_.slots[i];
+    out[slot.stream][slot.window] =
+        kind == BatchScoreKind::kTargetRank
+            ? static_cast<double>(flat_ranks_[i])
+            : -flat_scores_[i];
+  }
+}
+
+}  // namespace nfv::core

@@ -1,0 +1,96 @@
+// Cross-vPE batched inference planner.
+//
+// The deployment story of the paper hinges on cheap, frequent scoring
+// (§5.1 budgets "<1 hour" for model maintenance across 38 vPEs). Scoring
+// one vPE at a time feeds the LSTM tiny batches, so the blocked matmul
+// never sees matrices large enough to amortize dispatch. This planner
+// flattens the scoring windows of *all* streams of a cluster group into
+// one slot-addressed work queue, runs them through the sequence model in
+// large fused batches (hundreds–thousands of rows per timestep GEMM), and
+// scatters the scores back bit-identically to the per-stream order.
+//
+// Determinism contract: every window's forward math is independent of its
+// batch neighbours (per-row embedding gather, per-row GEMM dot products,
+// per-row softmax), so the fused scores are bit-identical to scoring each
+// window alone — for any inference batch size and any thread count.
+// Enforced by tests/core/batch_invariance_test.cpp under TSan.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ml/sequence_model.h"
+
+namespace nfv::core {
+
+/// Default fused inference batch size: large enough that the per-timestep
+/// GEMM clears the blocked-parallel work threshold, small enough that the
+/// scratch matrices stay cache-resident.
+inline constexpr std::size_t kDefaultScoreBatch = 1024;
+
+/// Slot address of one scoring window inside a fused cross-stream batch.
+struct WindowSlot {
+  std::uint32_t stream = 0;  // index of the source stream
+  std::uint32_t window = 0;  // window index within that stream
+};
+
+/// Flattened scoring plan: all (stream, window) slots in stream-major
+/// order — the exact order a serial per-stream loop would visit them — cut
+/// into fused batches of at most `batch_size` slots.
+struct BatchPlan {
+  std::vector<WindowSlot> slots;
+  std::size_t batch_size = kDefaultScoreBatch;
+
+  std::size_t num_batches() const {
+    return slots.empty() ? 0 : (slots.size() + batch_size - 1) / batch_size;
+  }
+  /// Half-open slot range [first, second) of fused batch `b`.
+  std::pair<std::size_t, std::size_t> batch_range(std::size_t b) const {
+    const std::size_t begin = b * batch_size;
+    const std::size_t end = std::min(begin + batch_size, slots.size());
+    return {begin, end};
+  }
+};
+
+/// Build the slot list for streams with the given window counts.
+BatchPlan plan_windows(std::span<const std::size_t> windows_per_stream,
+                       std::size_t batch_size = kDefaultScoreBatch);
+
+/// How a predicted distribution becomes an anomaly score.
+enum class BatchScoreKind : std::uint8_t {
+  kNegLogLikelihood,  // −log p(observed target), the paper's score
+  kTargetRank,        // DeepLog's rank-of-observed-template score
+};
+
+/// Fused cross-stream scorer. Gathers every stream's windows into one
+/// work queue, scores them through the model in fused batches, and
+/// scatters the anomaly scores back into per-stream vectors. All scratch
+/// (gather pointers, flat results, the model's inference buffers) is owned
+/// by the scorer and reused across calls — the inner loop performs no
+/// per-batch allocation. Not thread-safe: use one scorer per thread.
+class BatchedWindowScorer {
+ public:
+  explicit BatchedWindowScorer(std::size_t batch_size = kDefaultScoreBatch);
+
+  std::size_t batch_size() const { return batch_size_; }
+
+  /// Score all windows of all streams: on return `out[s][w]` is the
+  /// anomaly score of window `w` of stream `s` (streams[s][w]), identical
+  /// to what scoring that window alone would produce.
+  void score(const ml::SequenceModel& model, BatchScoreKind kind,
+             std::span<const std::vector<const ml::SeqExample*>> streams,
+             std::vector<std::vector<double>>& out);
+
+ private:
+  std::size_t batch_size_;
+  BatchPlan plan_;
+  std::vector<const ml::SeqExample*> gathered_;
+  std::vector<double> flat_scores_;
+  std::vector<std::size_t> flat_ranks_;
+  ml::SequenceModel::InferenceScratch scratch_;
+};
+
+}  // namespace nfv::core

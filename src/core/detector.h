@@ -62,6 +62,20 @@ class AnomalyDetector {
   virtual std::vector<ScoredEvent> score(LogView logs,
                                          std::size_t vocab) const = 0;
 
+  /// Score several streams at once — one result vector per input stream,
+  /// in order. The default simply loops score(); detectors with a fused
+  /// batched path (LSTM) override it to pack all streams' scoring windows
+  /// into large forward batches. Results MUST be identical to calling
+  /// score() per stream, and the call must remain const/thread-safe under
+  /// the same contract as score().
+  virtual std::vector<std::vector<ScoredEvent>> score_streams(
+      std::span<const LogView> streams, std::size_t vocab) const {
+    std::vector<std::vector<ScoredEvent>> out;
+    out.reserve(streams.size());
+    for (const LogView& logs : streams) out.push_back(score(logs, vocab));
+    return out;
+  }
+
   virtual bool trained() const = 0;
   virtual DetectorKind kind() const = 0;
   virtual EventGranularity granularity() const = 0;

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 
+#include "core/batch_planner.h"
 #include "ml/optimizer.h"
 #include "ml/serialize.h"
 #include "util/check.h"
@@ -50,14 +51,17 @@ void LstmDetector::train_epochs(std::span<const SeqExample> examples,
   optimizer.bind(model_->params());
   std::vector<std::size_t> order(examples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Hoisted out of the batch loop: the pointer buffer (and the model's
+  // input scratch, inside train_batch) is reused for every batch.
+  std::vector<const SeqExample*> batch;
+  batch.reserve(std::min<std::size_t>(config_.batch_size, order.size()));
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     rng_.shuffle(order);
     for (std::size_t start = 0; start < order.size();
          start += config_.batch_size) {
       const std::size_t end =
           std::min(start + config_.batch_size, order.size());
-      std::vector<const SeqExample*> batch;
-      batch.reserve(end - start);
+      batch.clear();
       for (std::size_t i = start; i < end; ++i) {
         batch.push_back(&examples[order[i]]);
       }
@@ -66,29 +70,30 @@ void LstmDetector::train_epochs(std::span<const SeqExample> examples,
   }
 }
 
+void LstmDetector::score_known_windows(
+    std::span<const std::vector<const SeqExample*>> streams,
+    std::vector<std::vector<double>>& scores) const {
+  // One scorer per call: score paths must stay const and thread-safe (the
+  // streaming monitors share a detector across threads), so the scratch
+  // cannot live on the detector. Within the call every fused batch reuses
+  // the scorer's buffers.
+  BatchedWindowScorer scorer(config_.score_batch);
+  const BatchScoreKind kind =
+      config_.score_mode == LstmScoreMode::kTargetRank
+          ? BatchScoreKind::kTargetRank
+          : BatchScoreKind::kNegLogLikelihood;
+  scorer.score(*model_, kind, streams, scores);
+}
+
 std::vector<double> LstmDetector::score_examples(
     std::span<const SeqExample> examples) const {
   NFV_CHECK(trained(), "score_examples before fit");
-  std::vector<double> scores;
-  scores.reserve(examples.size());
-  const std::size_t chunk = 256;
-  for (std::size_t start = 0; start < examples.size(); start += chunk) {
-    const std::size_t end = std::min(start + chunk, examples.size());
-    std::vector<const SeqExample*> batch;
-    batch.reserve(end - start);
-    for (std::size_t i = start; i < end; ++i) batch.push_back(&examples[i]);
-    if (config_.score_mode == LstmScoreMode::kTargetRank) {
-      const std::vector<std::size_t> ranks =
-          model_->score_target_ranks(batch);
-      for (std::size_t rank : ranks) {
-        scores.push_back(static_cast<double>(rank));
-      }
-    } else {
-      const std::vector<double> lls = model_->score_log_likelihood(batch);
-      for (double ll : lls) scores.push_back(-ll);
-    }
-  }
-  return scores;
+  std::vector<std::vector<const SeqExample*>> streams(1);
+  streams[0].reserve(examples.size());
+  for (const SeqExample& ex : examples) streams[0].push_back(&ex);
+  std::vector<std::vector<double>> scores;
+  score_known_windows(streams, scores);
+  return std::move(scores[0]);
 }
 
 void LstmDetector::oversample_refine(std::vector<SeqExample> examples) {
@@ -170,55 +175,65 @@ void LstmDetector::adapt(std::span<const LogView> streams,
 
 std::vector<ScoredEvent> LstmDetector::score(LogView logs,
                                              std::size_t vocab) const {
+  return std::move(score_streams({&logs, 1}, vocab)[0]);
+}
+
+std::vector<std::vector<ScoredEvent>> LstmDetector::score_streams(
+    std::span<const LogView> streams, std::size_t vocab) const {
   NFV_CHECK(trained(), "score before fit");
   (void)vocab;
-  std::vector<ScoredEvent> out;
-  if (logs.size() <= config_.window) return out;
-
   const auto model_vocab = static_cast<std::int32_t>(model_->config().vocab);
-  // Build windows (no gap filtering at scoring time: every log gets a
-  // score if it has k predecessors).
-  std::vector<SeqExample> examples = logproc::build_sequence_examples(
-      logs, config_.window, nfv::util::Duration::of_days(3650));
-  std::vector<const SeqExample*> known;
-  std::vector<std::size_t> known_index;
-  out.resize(examples.size());
-  std::size_t example_index = 0;
-  for (std::size_t i = config_.window; i < logs.size(); ++i, ++example_index) {
-    SeqExample& ex = examples[example_index];
-    out[example_index].time = logs[i].time;
-    bool unknown = ex.target >= model_vocab;
-    for (std::int32_t id : ex.ids) unknown = unknown || id >= model_vocab;
-    if (unknown) {
-      // Templates the model has never seen are maximally surprising.
-      out[example_index].score =
-          config_.score_mode == LstmScoreMode::kTargetRank
-              ? static_cast<double>(model_->config().vocab)
-              : config_.unknown_score;
-    } else {
-      known.push_back(&ex);
-      known_index.push_back(example_index);
+
+  // Gather phase: build every stream's windows and split them into
+  // unknown-template windows (scored immediately with the pessimistic
+  // constant) and model-known windows, remembering each known window's
+  // per-stream slot so the fused scores scatter back in order.
+  std::vector<std::vector<ScoredEvent>> out(streams.size());
+  std::vector<std::vector<SeqExample>> examples(streams.size());
+  std::vector<std::vector<const SeqExample*>> known(streams.size());
+  std::vector<std::vector<std::size_t>> known_index(streams.size());
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    const LogView logs = streams[s];
+    if (logs.size() <= config_.window) continue;
+    // Build windows (no gap filtering at scoring time: every log gets a
+    // score if it has k predecessors).
+    examples[s] = logproc::build_sequence_examples(
+        logs, config_.window, nfv::util::Duration::of_days(3650));
+    out[s].resize(examples[s].size());
+    std::size_t example_index = 0;
+    for (std::size_t i = config_.window; i < logs.size();
+         ++i, ++example_index) {
+      SeqExample& ex = examples[s][example_index];
+      out[s][example_index].time = logs[i].time;
+      bool unknown = ex.target >= model_vocab;
+      for (std::int32_t id : ex.ids) unknown = unknown || id >= model_vocab;
+      if (unknown) {
+        // Templates the model has never seen are maximally surprising.
+        out[s][example_index].score =
+            config_.score_mode == LstmScoreMode::kTargetRank
+                ? static_cast<double>(model_->config().vocab)
+                : config_.unknown_score;
+      } else {
+        known[s].push_back(&ex);
+        known_index[s].push_back(example_index);
+      }
     }
   }
-  const std::size_t chunk = 256;
-  for (std::size_t start = 0; start < known.size(); start += chunk) {
-    const std::size_t end = std::min(start + chunk, known.size());
-    std::vector<const SeqExample*> batch(known.begin() + start,
-                                         known.begin() + end);
-    if (config_.score_mode == LstmScoreMode::kTargetRank) {
-      const std::vector<std::size_t> ranks =
-          model_->score_target_ranks(batch);
-      for (std::size_t i = 0; i < ranks.size(); ++i) {
-        out[known_index[start + i]].score = static_cast<double>(ranks[i]);
-      }
-    } else {
-      const std::vector<double> lls = model_->score_log_likelihood(batch);
-      for (std::size_t i = 0; i < lls.size(); ++i) {
-        out[known_index[start + i]].score = -lls[i];
-      }
+
+  // Fused scoring across all streams, then the slot-addressed scatter.
+  std::vector<std::vector<double>> scores;
+  score_known_windows(known, scores);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (std::size_t i = 0; i < known[s].size(); ++i) {
+      out[s][known_index[s][i]].score = scores[s][i];
     }
   }
   return out;
+}
+
+void LstmDetector::set_score_batch(std::size_t score_batch) {
+  NFV_CHECK(score_batch >= 1, "score_batch must be >= 1");
+  config_.score_batch = score_batch;
 }
 
 void LstmDetector::save(std::ostream& os) const {

@@ -53,6 +53,11 @@ struct LstmDetectorConfig {
   /// Layers frozen during transfer adaptation (embedding is frozen too
   /// whenever this is > 0).
   std::size_t adapt_frozen_layers = 1;
+  /// Fused inference batch size for the batched scoring engine: scoring
+  /// windows (across all streams of a score_streams call) are packed into
+  /// forward batches of at most this many rows. Scores are bit-identical
+  /// for any value ≥ 1; larger batches amortize GEMM dispatch.
+  std::size_t score_batch = 1024;
   std::uint64_t seed = 1234;
   /// Score assigned to events involving templates unseen at training time
   /// (in kTargetRank mode the unknown score is the vocabulary size).
@@ -69,6 +74,17 @@ class LstmDetector final : public AnomalyDetector {
   void adapt(std::span<const LogView> streams, std::size_t vocab) override;
   std::vector<ScoredEvent> score(LogView logs,
                                  std::size_t vocab) const override;
+
+  /// Cross-stream batched scoring: windows from ALL streams are flattened
+  /// into one slot-addressed queue and scored in fused forward batches of
+  /// config().score_batch rows (see core/batch_planner.h). Bit-identical
+  /// to per-stream score() for any batch size and thread count.
+  std::vector<std::vector<ScoredEvent>> score_streams(
+      std::span<const LogView> streams, std::size_t vocab) const override;
+
+  /// Adjust the fused inference batch size (e.g. from the CLI's
+  /// --score-batch flag); scores do not depend on it.
+  void set_score_batch(std::size_t score_batch);
 
   bool trained() const override { return model_.has_value(); }
   DetectorKind kind() const override { return DetectorKind::kLstm; }
@@ -89,6 +105,12 @@ class LstmDetector final : public AnomalyDetector {
   static LstmDetector load(std::istream& is);
 
  private:
+  /// Score windows already known to be inside the model's vocabulary;
+  /// shared by score_streams / score_examples.
+  void score_known_windows(
+      std::span<const std::vector<const ml::SeqExample*>> streams,
+      std::vector<std::vector<double>>& scores) const;
+
   void train_epochs(std::span<const ml::SeqExample> examples,
                     std::size_t epochs, float lr);
   std::vector<ml::SeqExample> prepare_examples(

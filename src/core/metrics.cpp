@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace nfv::core {
 
@@ -63,9 +64,14 @@ std::vector<PrcPoint> precision_recall_curve(
   thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
                    thresholds.end());
 
-  std::vector<PrcPoint> curve;
-  curve.reserve(thresholds.size());
-  for (const double threshold : thresholds) {
+  // The sweep re-clusters and re-maps every stream at every threshold —
+  // embarrassingly parallel over thresholds. Each threshold writes only
+  // its own pre-sized curve slot, so the parallel sweep is bit-identical
+  // to the serial loop for any thread count. Falls back to serial when
+  // called from inside an existing parallel region (no nesting).
+  std::vector<PrcPoint> curve(thresholds.size());
+  const auto eval_threshold = [&](std::size_t i) {
+    const double threshold = thresholds[i];
     std::vector<MappingResult> parts;
     parts.reserve(streams.size());
     for (const VpeScoredStream& stream : streams) {
@@ -83,7 +89,14 @@ std::vector<PrcPoint> precision_recall_curve(
     point.f_measure = prf.f_measure;
     point.false_alarms_per_day =
         days > 0.0 ? static_cast<double>(prf.false_alarms) / days : 0.0;
-    curve.push_back(point);
+    curve[i] = point;
+  };
+  if (nfv::util::ThreadPool::in_parallel_region() ||
+      nfv::util::global_pool().size() <= 1) {
+    for (std::size_t i = 0; i < thresholds.size(); ++i) eval_threshold(i);
+  } else {
+    nfv::util::global_pool().parallel_for(0, thresholds.size(),
+                                          eval_threshold);
   }
   return curve;
 }

@@ -51,18 +51,24 @@ std::vector<ParsedLog> normal_logs(
 }
 
 /// Set the group's operating threshold to a quantile of the detector's
-/// scores on (normal) calibration streams.
+/// scores on (normal) calibration streams. All member streams are scored
+/// in one batched score_streams call.
 void calibrate_threshold(GroupState& group,
                          const std::vector<std::vector<ParsedLog>>& streams,
                          double quantile_q) {
   // Cap calibration work: the quantile is stable well below full coverage.
   constexpr std::size_t kMaxCalibrationLogsPerStream = 3000;
-  std::vector<double> scores;
+  std::vector<LogView> views;
+  views.reserve(streams.size());
   for (const std::vector<ParsedLog>& stream : streams) {
     const std::size_t take =
         std::min(stream.size(), kMaxCalibrationLogsPerStream);
-    const LogView view{stream.data() + (stream.size() - take), take};
-    const std::vector<ScoredEvent> events = group.detector->score(view, 0);
+    views.push_back(LogView{stream.data() + (stream.size() - take), take});
+  }
+  const std::vector<std::vector<ScoredEvent>> events_by_stream =
+      group.detector->score_streams(views, 0);
+  std::vector<double> scores;
+  for (const std::vector<ScoredEvent>& events : events_by_stream) {
     for (const ScoredEvent& event : events) scores.push_back(event.score);
   }
   if (scores.empty()) return;  // keep the previous threshold
@@ -182,16 +188,21 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
   std::vector<TicketDetection> raw_detections;
 
   // Flat (group, member) task list in the canonical group-major order —
-  // the per-vPE scoring passes fan out over this list, and collecting
-  // per-task slots in list order reproduces the serial iteration order.
+  // per-task result slots collected in list order reproduce the serial
+  // iteration order. Because members are appended group-major, group g's
+  // tasks occupy the contiguous range [group_task_begin[g],
+  // group_task_begin[g+1]) — the unit the batched scorer consumes.
   struct MemberTask {
     std::size_t group;
     std::int32_t vpe;
   };
   std::vector<MemberTask> member_tasks;
+  std::vector<std::size_t> group_task_begin(groups.size() + 1, 0);
   for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_task_begin[g] = member_tasks.size();
     for (std::int32_t v : groups[g].members) member_tasks.push_back({g, v});
   }
+  group_task_begin[groups.size()] = member_tasks.size();
 
   for (int month = options.initial_train_months; month < months; ++month) {
     const SimTime month_begin = nfv::util::month_start(month);
@@ -225,18 +236,31 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
       plan.phase1_end = plan.split_month ? plan.adapt_at : month_end;
     }
 
-    // Phase 1 — parallel per-vPE scoring up to the adaptation point (or
-    // the whole month). Detectors are strictly read-only while scoring;
-    // every task writes only its own slot.
+    // Phase 1 — batched per-group scoring up to the adaptation point (or
+    // the whole month): all member streams of a group go through ONE
+    // score_streams call, which packs their windows into fused forward
+    // batches (core/batch_planner.h) instead of scoring window-by-window
+    // per vPE. Detectors are strictly read-only while scoring; every
+    // group writes only its own members' pre-sized slots, so results stay
+    // bit-identical for any thread count and any inference batch size.
     std::vector<std::vector<ScoredEvent>> events_by_task(
         member_tasks.size());
-    pool.parallel_for(0, member_tasks.size(), [&](std::size_t t) {
-      const MemberTask& task = member_tasks[t];
-      const std::vector<ParsedLog> logs = logproc::slice_time(
-          parsed.logs_by_vpe[static_cast<std::size_t>(task.vpe)],
-          month_begin, plans[task.group].phase1_end);
-      events_by_task[t] =
-          groups[task.group].detector->score(logs, parsed.vocab());
+    pool.parallel_for(0, groups.size(), [&](std::size_t g) {
+      const std::size_t t0 = group_task_begin[g];
+      const std::size_t t1 = group_task_begin[g + 1];
+      std::vector<std::vector<ParsedLog>> logs(t1 - t0);
+      for (std::size_t t = t0; t < t1; ++t) {
+        logs[t - t0] = logproc::slice_time(
+            parsed.logs_by_vpe[static_cast<std::size_t>(
+                member_tasks[t].vpe)],
+            month_begin, plans[g].phase1_end);
+      }
+      std::vector<LogView> views(logs.begin(), logs.end());
+      std::vector<std::vector<ScoredEvent>> events =
+          groups[g].detector->score_streams(views, parsed.vocab());
+      for (std::size_t t = t0; t < t1; ++t) {
+        events_by_task[t] = std::move(events[t - t0]);
+      }
     });
 
     // Adaptation — parallel per group; the only phase that mutates a
@@ -260,19 +284,28 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
       calibrate_threshold(group, adapt_streams, options.threshold_quantile);
     });
 
-    // Phase 2 — parallel per-vPE tail scoring for split months, appended
-    // to each task's own slot.
-    pool.parallel_for(0, member_tasks.size(), [&](std::size_t t) {
-      const MemberTask& task = member_tasks[t];
-      const GroupMonthPlan& plan = plans[task.group];
+    // Phase 2 — batched per-group tail scoring for split months, appended
+    // to each member task's own slot.
+    pool.parallel_for(0, groups.size(), [&](std::size_t g) {
+      const GroupMonthPlan& plan = plans[g];
       if (!plan.split_month) return;
-      const std::vector<ParsedLog> logs = logproc::slice_time(
-          parsed.logs_by_vpe[static_cast<std::size_t>(task.vpe)],
-          plan.adapt_at, month_end);
-      const std::vector<ScoredEvent> tail =
-          groups[task.group].detector->score(logs, parsed.vocab());
-      events_by_task[t].insert(events_by_task[t].end(), tail.begin(),
-                               tail.end());
+      const std::size_t t0 = group_task_begin[g];
+      const std::size_t t1 = group_task_begin[g + 1];
+      std::vector<std::vector<ParsedLog>> logs(t1 - t0);
+      for (std::size_t t = t0; t < t1; ++t) {
+        logs[t - t0] = logproc::slice_time(
+            parsed.logs_by_vpe[static_cast<std::size_t>(
+                member_tasks[t].vpe)],
+            plan.adapt_at, month_end);
+      }
+      std::vector<LogView> views(logs.begin(), logs.end());
+      const std::vector<std::vector<ScoredEvent>> tails =
+          groups[g].detector->score_streams(views, parsed.vocab());
+      for (std::size_t t = t0; t < t1; ++t) {
+        const std::vector<ScoredEvent>& tail = tails[t - t0];
+        events_by_task[t].insert(events_by_task[t].end(), tail.begin(),
+                                 tail.end());
+      }
     });
 
     // Detect at each group's operating threshold and map to tickets —

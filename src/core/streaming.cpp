@@ -1,5 +1,7 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace nfv::core {
@@ -37,20 +39,32 @@ double StreamMonitor::ingest(nfv::util::SimTime time,
 }
 
 double StreamMonitor::ingest_parsed(const logproc::ParsedLog& log) {
-  history_.push_back(log);
-  if (history_.size() > config_.window + 1) history_.pop_front();
-  if (history_.size() < config_.window + 1) return 0.0;
+  std::vector<logproc::ParsedLog> window;
+  if (!stage_parsed(log, window)) return 0.0;
 
   // One-window scoring: the detector sees exactly (k history + this log).
-  std::vector<logproc::ParsedLog> window(history_.begin(), history_.end());
   const std::vector<ScoredEvent> events =
       detector_->score(window, tree_->size());
   if (events.empty()) return 0.0;  // document-based detectors need more
   const double score = events.back().score;
-  if (score >= config_.threshold) {
-    track_cluster(log.time, score, log.template_id);
-  }
+  apply_score(log.time, log.template_id, score);
   return score;
+}
+
+bool StreamMonitor::stage_parsed(const logproc::ParsedLog& log,
+                                 std::vector<logproc::ParsedLog>& window) {
+  history_.push_back(log);
+  if (history_.size() > config_.window + 1) history_.pop_front();
+  if (history_.size() < config_.window + 1) return false;
+  window.assign(history_.begin(), history_.end());
+  return true;
+}
+
+void StreamMonitor::apply_score(nfv::util::SimTime time,
+                                std::int32_t template_id, double score) {
+  if (score >= config_.threshold) {
+    track_cluster(time, score, template_id);
+  }
 }
 
 void StreamMonitor::track_cluster(nfv::util::SimTime time, double score,
@@ -78,6 +92,78 @@ void StreamMonitor::track_cluster(nfv::util::SimTime time, double score,
       on_warning_(warning);
     }
   }
+}
+
+StreamMonitorGroup::StreamMonitorGroup(const AnomalyDetector* detector)
+    : detector_(detector) {
+  NFV_CHECK(detector != nullptr, "StreamMonitorGroup requires a detector");
+}
+
+std::size_t StreamMonitorGroup::add(StreamMonitor* monitor) {
+  NFV_CHECK(monitor != nullptr, "cannot add a null monitor");
+  monitors_.push_back(monitor);
+  return monitors_.size() - 1;
+}
+
+void StreamMonitorGroup::ingest(std::size_t shard, nfv::util::SimTime time,
+                                std::string_view raw_line) {
+  NFV_CHECK(shard < monitors_.size(), "unknown shard " << shard);
+  logproc::ParsedLog log;
+  log.time = time;
+  log.template_id = monitors_[shard]->tree().learn(raw_line);
+  ingest_parsed(shard, log);
+}
+
+void StreamMonitorGroup::ingest_parsed(std::size_t shard,
+                                       const logproc::ParsedLog& log) {
+  NFV_CHECK(shard < monitors_.size(), "unknown shard " << shard);
+  PendingEntry entry;
+  entry.shard = shard;
+  entry.time = log.time;
+  entry.template_id = log.template_id;
+  std::vector<logproc::ParsedLog> window;
+  if (monitors_[shard]->stage_parsed(log, window)) {
+    entry.window = windows_.size();
+    windows_.push_back(std::move(window));
+  }
+  entries_.push_back(entry);
+}
+
+std::vector<double> StreamMonitorGroup::flush() {
+  std::vector<double> scores(entries_.size(), 0.0);
+  if (entries_.empty()) return scores;
+
+  if (!windows_.empty()) {
+    // One fused cross-shard batch: every staged window becomes one
+    // single-window stream, and score_streams packs them all into large
+    // forward batches via the batch planner.
+    std::vector<LogView> views(windows_.begin(), windows_.end());
+    // Current template-dictionary size across the shards (the LSTM
+    // detector ignores it; template ids beyond its training vocabulary
+    // already score as maximally surprising).
+    std::size_t vocab = 0;
+    for (StreamMonitor* monitor : monitors_) {
+      vocab = std::max(vocab, monitor->tree().size());
+    }
+    const std::vector<std::vector<ScoredEvent>> events_by_window =
+        detector_->score_streams(views, vocab);
+
+    // Replay in arrival order: identical threshold / cluster tracking to
+    // immediate ingestion.
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const PendingEntry& entry = entries_[i];
+      if (entry.window == PendingEntry::npos) continue;
+      const std::vector<ScoredEvent>& events = events_by_window[entry.window];
+      if (events.empty()) continue;  // document-based detectors need more
+      const double score = events.back().score;
+      scores[i] = score;
+      monitors_[entry.shard]->apply_score(entry.time, entry.template_id,
+                                          score);
+    }
+  }
+  entries_.clear();
+  windows_.clear();
+  return scores;
 }
 
 const char* to_string(OperationalScenario scenario) {

@@ -71,6 +71,25 @@ class StreamMonitor {
   /// Feed an already-parsed event (template id + time).
   double ingest_parsed(const logproc::ParsedLog& log);
 
+  /// Deferred ingestion for micro-batched scoring (StreamMonitorGroup):
+  /// appends the event to the history and, if a full scoring window is
+  /// available, copies it into `window` and returns true. The caller must
+  /// later hand the externally computed score back via apply_score(), in
+  /// staging order — the combination is exactly ingest_parsed() with the
+  /// scoring hoisted out.
+  bool stage_parsed(const logproc::ParsedLog& log,
+                    std::vector<logproc::ParsedLog>& window);
+
+  /// Apply an externally computed anomaly score for a staged window:
+  /// drives the same threshold / warning-cluster tracking as immediate
+  /// ingestion.
+  void apply_score(nfv::util::SimTime time, std::int32_t template_id,
+                   double score);
+
+  /// Online template mining for this monitor's stream (used by the group
+  /// front-end before staging).
+  logproc::SignatureTree& tree() { return *tree_; }
+
   /// Swap in a newer model (monthly update / post-update adaptation).
   void set_detector(const AnomalyDetector* detector);
   void set_threshold(double threshold);
@@ -96,6 +115,57 @@ class StreamMonitor {
   std::int32_t run_trigger_ = -1;
   bool run_reported_ = false;
   std::size_t warnings_raised_ = 0;
+};
+
+/// Micro-batching front-end over a set of per-vPE monitor shards that
+/// share one detector. Ingested lines are staged (template mining and
+/// history tracking happen immediately; scoring is deferred); flush()
+/// then scores ALL staged windows across ALL shards in one fused
+/// cross-stream batch (AnomalyDetector::score_streams → the batch planner
+/// for the LSTM) and replays the per-monitor warning tracking in arrival
+/// order. Scores and warnings are identical to immediate per-line
+/// ingestion; only the GEMM granularity changes.
+///
+/// Concurrency: a group is single-threaded (it serializes its shards'
+/// history/cluster mutations); many groups may share one read-only
+/// detector across threads under the same contract as StreamMonitor.
+class StreamMonitorGroup {
+ public:
+  explicit StreamMonitorGroup(const AnomalyDetector* detector);
+
+  /// Register a monitor shard; returns its shard id. The monitor must
+  /// out-live the group and use the same detector.
+  std::size_t add(StreamMonitor* monitor);
+
+  std::size_t shards() const { return monitors_.size(); }
+  std::size_t pending() const { return entries_.size(); }
+
+  /// Stage one raw line for `shard` (template mined via the shard's tree).
+  void ingest(std::size_t shard, nfv::util::SimTime time,
+              std::string_view raw_line);
+
+  /// Stage one already-parsed event for `shard`.
+  void ingest_parsed(std::size_t shard, const logproc::ParsedLog& log);
+
+  /// Score every staged window in one fused batch and drive the shards'
+  /// warning tracking. Returns the per-line scores in arrival order
+  /// (0 for lines whose history window was still filling).
+  std::vector<double> flush();
+
+ private:
+  struct PendingEntry {
+    std::size_t shard = 0;
+    nfv::util::SimTime time;
+    std::int32_t template_id = -1;
+    // Index into windows_; npos when the history was still filling.
+    std::size_t window = npos;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  };
+
+  const AnomalyDetector* detector_;
+  std::vector<StreamMonitor*> monitors_;
+  std::vector<PendingEntry> entries_;
+  std::vector<std::vector<logproc::ParsedLog>> windows_;
 };
 
 /// §5.3 "Operational findings": the four scenarios a detected condition

@@ -5,8 +5,31 @@
 
 #include "ml/activations.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nfv::ml {
+
+namespace {
+
+/// Row-parallel threshold for the elementwise gate/cell loops. The
+/// sigmoid/tanh evaluations dominate the fused scoring batches (each costs
+/// tens of MACs), so the bar is much lower than the matmul one; rows are
+/// independent, so the parallel split is bit-identical to the serial loop.
+bool use_parallel_rows(std::size_t rows) {
+  return rows >= 64 && !nfv::util::ThreadPool::in_parallel_region() &&
+         nfv::util::global_pool().size() > 1;
+}
+
+template <typename Fn>
+void for_each_row(std::size_t rows, const Fn& fn) {
+  if (use_parallel_rows(rows)) {
+    nfv::util::global_pool().parallel_for(0, rows, fn);
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) fn(r);
+  }
+}
+
+}  // namespace
 
 Lstm::Lstm(std::string name, std::size_t input_size, std::size_t hidden_size,
            nfv::util::Rng& rng)
@@ -34,25 +57,33 @@ void Lstm::compute_gates(const Matrix& input, const Matrix& h_prev,
                 hidden_size_ * sizeof(float));
   }
   matmul_transb(concat_scratch, weight_.value, gates);
-  add_row_vector(gates, bias_.value);
   const std::size_t h = hidden_size_;
-  for (std::size_t r = 0; r < batch; ++r) {
+  const float* bias = bias_.value.row(0);
+  // Bias + activations fused into one row pass (same per-element order as
+  // add_row_vector followed by the activation sweeps).
+  for_each_row(batch, [&](std::size_t r) {
     float* g = gates.row(r);
+    for (std::size_t j = 0; j < 4 * h; ++j) g[j] += bias[j];
     for (std::size_t j = 0; j < h; ++j) g[j] = sigmoid(g[j]);                // i
     for (std::size_t j = h; j < 2 * h; ++j) g[j] = sigmoid(g[j]);            // f
     for (std::size_t j = 2 * h; j < 3 * h; ++j) g[j] = std::tanh(g[j]);      // g
     for (std::size_t j = 3 * h; j < 4 * h; ++j) g[j] = sigmoid(g[j]);        // o
-  }
+  });
 }
 
 const std::vector<Matrix>& Lstm::forward(const std::vector<Matrix>& inputs) {
   NFV_CHECK(!inputs.empty(), "Lstm::forward on empty sequence");
   const std::size_t steps = inputs.size();
   const std::size_t batch = inputs.front().rows();
-  concat_cache_.assign(steps, Matrix());
-  gates_cache_.assign(steps, Matrix());
-  c_cache_.assign(steps, Matrix());
-  h_cache_.assign(steps, Matrix());
+  // Keep the cache matrices alive across batches: every entry is fully
+  // rewritten below, so only the vector *length* needs to match and the
+  // matrices' heap capacity is reused from the previous forward pass.
+  if (concat_cache_.size() != steps) {
+    concat_cache_.assign(steps, Matrix());
+    gates_cache_.assign(steps, Matrix());
+    c_cache_.assign(steps, Matrix());
+    h_cache_.assign(steps, Matrix());
+  }
 
   Matrix h_prev(batch, hidden_size_);
   Matrix c_prev(batch, hidden_size_);
@@ -93,7 +124,7 @@ const std::vector<Matrix>& Lstm::backward(
   const std::size_t batch = h_cache_.front().rows();
   const std::size_t h = hidden_size_;
 
-  grad_inputs_.assign(steps, Matrix());
+  if (grad_inputs_.size() != steps) grad_inputs_.assign(steps, Matrix());
   Matrix dh_next(batch, h);
   Matrix dc_next(batch, h);
   Matrix dgates(batch, 4 * h);
@@ -146,14 +177,20 @@ const std::vector<Matrix>& Lstm::backward(
 }
 
 void Lstm::step(const Matrix& input, LstmState& state) const {
+  Matrix concat;
+  Matrix gates;
+  step(input, state, concat, gates);
+}
+
+void Lstm::step(const Matrix& input, LstmState& state, Matrix& concat_scratch,
+                Matrix& gates_scratch) const {
   const std::size_t batch = input.rows();
   NFV_CHECK(state.h.rows() == batch && state.c.rows() == batch,
             "LstmState batch mismatch");
-  Matrix concat;
-  Matrix gates;
-  compute_gates(input, state.h, concat, gates);
+  compute_gates(input, state.h, concat_scratch, gates_scratch);
+  const Matrix& gates = gates_scratch;
   const std::size_t h = hidden_size_;
-  for (std::size_t r = 0; r < batch; ++r) {
+  for_each_row(batch, [&](std::size_t r) {
     const float* g = gates.row(r);
     float* c = state.c.row(r);
     float* hh = state.h.row(r);
@@ -161,7 +198,7 @@ void Lstm::step(const Matrix& input, LstmState& state) const {
       c[j] = g[h + j] * c[j] + g[j] * g[2 * h + j];
       hh[j] = g[3 * h + j] * std::tanh(c[j]);
     }
-  }
+  });
 }
 
 LstmState Lstm::make_state(std::size_t batch) const {

@@ -42,6 +42,12 @@ class Lstm {
   /// Stateful single-step inference (no caching, no gradients).
   void step(const Matrix& input, LstmState& state) const;
 
+  /// As step(), but with caller-owned scratch matrices so tight scoring
+  /// loops allocate nothing per step (the scratch is resized in place and
+  /// its capacity is reused across calls).
+  void step(const Matrix& input, LstmState& state, Matrix& concat_scratch,
+            Matrix& gates_scratch) const;
+
   /// Zero-initialized state for a given batch size.
   LstmState make_state(std::size_t batch) const;
 

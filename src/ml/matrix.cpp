@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -35,9 +39,11 @@ inline void matmul_row(const Matrix& a, const Matrix& b, Matrix& out,
   }
 }
 
-/// One row of out = a * bᵀ.
-inline void matmul_transb_row(const Matrix& a, const Matrix& b, Matrix& out,
-                              std::size_t i) {
+/// One row of out = a * bᵀ. always_inline so the ISA-targeted wrappers
+/// below compile this body with their own instruction set (and FMA
+/// contraction) instead of calling a baseline copy.
+__attribute__((always_inline)) inline void matmul_transb_row(
+    const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
   const float* arow = a.row(i);
   float* orow = out.row(i);
   for (std::size_t j = 0; j < b.rows(); ++j) {
@@ -46,6 +52,215 @@ inline void matmul_transb_row(const Matrix& a, const Matrix& b, Matrix& out,
     for (std::size_t k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
     orow[j] = dot;
   }
+}
+
+/// Panel width of the packed out = a * bᵀ kernel (output columns per tile).
+constexpr std::size_t kPanelCols = 8;
+
+/// Pack b (the weight matrix of out = a * bᵀ) into 8-row k-major panels:
+/// panel jp holds b rows [8jp, 8jp+8) interleaved as [k][jj], so the inner
+/// product loop reads 8 weights for 8 output columns from one contiguous
+/// 32-byte slot — the layout auto-vectorizes to SIMD with each lane an
+/// independent accumulator chain. Pack cost is O(b.size()) and is
+/// amortized over every row of a, which is exactly what a fused scoring
+/// batch provides and a single-window batch cannot.
+void pack_transb_panels(const Matrix& b, std::vector<float>& packed) {
+  const std::size_t cols = b.cols();
+  const std::size_t panels = b.rows() / kPanelCols;
+  packed.resize(panels * cols * kPanelCols);
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    float* panel = packed.data() + jp * cols * kPanelCols;
+    for (std::size_t k = 0; k < cols; ++k) {
+      for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+        panel[kPanelCols * k + jj] = b.row(kPanelCols * jp + jj)[k];
+      }
+    }
+  }
+}
+
+/// Rows [i0, i1) of out = a * bᵀ with b pre-packed into panels: 4 a-rows ×
+/// one 8-column panel per tile, 32 accumulators. Every acc chain is
+/// accumulated in the same k-ascending order as matmul_transb_row, so
+/// results are bit-identical to the row-at-a-time kernel for any row
+/// blocking and any thread count.
+__attribute__((always_inline)) inline void matmul_transb_rows_packed(
+    const Matrix& a, const Matrix& b, const float* packed, Matrix& out,
+    std::size_t i0, std::size_t i1) {
+  const std::size_t cols = a.cols();
+  const std::size_t jn = b.rows();
+  const std::size_t panels = jn / kPanelCols;
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const float* panel = packed + jp * cols * kPanelCols;
+      float acc0[kPanelCols] = {}, acc1[kPanelCols] = {};
+      float acc2[kPanelCols] = {}, acc3[kPanelCols] = {};
+      for (std::size_t k = 0; k < cols; ++k) {
+        const float* bv = panel + kPanelCols * k;
+        const float av0 = a0[k], av1 = a1[k], av2 = a2[k], av3 = a3[k];
+        for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+          acc0[jj] += av0 * bv[jj];
+          acc1[jj] += av1 * bv[jj];
+          acc2[jj] += av2 * bv[jj];
+          acc3[jj] += av3 * bv[jj];
+        }
+      }
+      float* o0 = out.row(i) + kPanelCols * jp;
+      float* o1 = out.row(i + 1) + kPanelCols * jp;
+      float* o2 = out.row(i + 2) + kPanelCols * jp;
+      float* o3 = out.row(i + 3) + kPanelCols * jp;
+      for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+        o0[jj] = acc0[jj];
+        o1[jj] = acc1[jj];
+        o2[jj] = acc2[jj];
+        o3[jj] = acc3[jj];
+      }
+    }
+    for (std::size_t j = kPanelCols * panels; j < jn; ++j) {
+      const float* brow = b.row(j);
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t k = 0; k < cols; ++k) {
+        const float bk = brow[k];
+        d0 += a0[k] * bk;
+        d1 += a1[k] * bk;
+        d2 += a2[k] * bk;
+        d3 += a3[k] * bk;
+      }
+      out.row(i)[j] = d0;
+      out.row(i + 1)[j] = d1;
+      out.row(i + 2)[j] = d2;
+      out.row(i + 3)[j] = d3;
+    }
+  }
+  for (; i < i1; ++i) matmul_transb_row(a, b, out, i);
+}
+
+/// Minimum a-row count before packing b into panels pays for itself; below
+/// this the plain row kernel is used (a 1-window batch never packs).
+constexpr std::size_t kPackMinRows = 8;
+
+/// Reused pack buffer (packing happens on the calling thread before any
+/// parallel fan-out; workers only read it).
+thread_local std::vector<float> tl_packed_b;
+
+// ISA dispatch for the out = a * bᵀ kernels. Both the single-row reference
+// kernel and the packed batch kernel are cloned for AVX2+FMA, and BOTH
+// take the same runtime branch: every accumulator chain then uses fused
+// multiply-add on every path, so a window scored alone still matches a
+// window scored inside a fused batch bit for bit. (Results may differ
+// between machines with and without FMA — determinism is per-machine, the
+// same guarantee the baseline kernels give.)
+#if defined(__x86_64__) && defined(__GNUC__)
+#define NFV_X86_MULTIVERSION 1
+
+/// One row of out = a * bᵀ with every chain step an explicit fused
+/// multiply-add (`__builtin_fmaf` = one vfmadd instruction under the fma
+/// target). The compiler cannot split or partially contract the chain, so
+/// this is bit-identical to the fmadd lanes of the packed AVX2 kernel.
+__attribute__((always_inline)) inline void transb_row_fma_body(
+    const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
+  const float* arow = a.row(i);
+  float* orow = out.row(i);
+  for (std::size_t j = 0; j < b.rows(); ++j) {
+    const float* brow = b.row(j);
+    float dot = 0.0f;
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      dot = __builtin_fmaf(arow[k], brow[k], dot);
+    }
+    orow[j] = dot;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void matmul_transb_row_fma(
+    const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
+  transb_row_fma_body(a, b, out, i);
+}
+
+/// Hand-vectorized AVX2+FMA packed kernel: one 256-bit fmadd per
+/// (a-row, k) covers a full 8-column panel, so each accumulator lane is
+/// exactly the chain `acc = fma(a[k]*b[k], acc)` in k order — the same
+/// fused operation the contracted scalar row kernel performs.
+__attribute__((target("avx2,fma"))) void matmul_transb_rows_packed_fma(
+    const Matrix& a, const Matrix& b, const float* packed, Matrix& out,
+    std::size_t i0, std::size_t i1) {
+  const std::size_t cols = a.cols();
+  const std::size_t jn = b.rows();
+  const std::size_t panels = jn / kPanelCols;
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const float* panel = packed + jp * cols * kPanelCols;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      for (std::size_t k = 0; k < cols; ++k) {
+        const __m256 bv = _mm256_loadu_ps(panel + kPanelCols * k);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[k]), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[k]), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[k]), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[k]), bv, acc3);
+      }
+      _mm256_storeu_ps(out.row(i) + kPanelCols * jp, acc0);
+      _mm256_storeu_ps(out.row(i + 1) + kPanelCols * jp, acc1);
+      _mm256_storeu_ps(out.row(i + 2) + kPanelCols * jp, acc2);
+      _mm256_storeu_ps(out.row(i + 3) + kPanelCols * jp, acc3);
+    }
+    for (std::size_t j = kPanelCols * panels; j < jn; ++j) {
+      const float* brow = b.row(j);
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t k = 0; k < cols; ++k) {
+        const float bk = brow[k];
+        d0 = __builtin_fmaf(a0[k], bk, d0);
+        d1 = __builtin_fmaf(a1[k], bk, d1);
+        d2 = __builtin_fmaf(a2[k], bk, d2);
+        d3 = __builtin_fmaf(a3[k], bk, d3);
+      }
+      out.row(i)[j] = d0;
+      out.row(i + 1)[j] = d1;
+      out.row(i + 2)[j] = d2;
+      out.row(i + 3)[j] = d3;
+    }
+  }
+  for (; i < i1; ++i) transb_row_fma_body(a, b, out, i);
+}
+
+bool has_avx2_fma() {
+  static const bool value =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return value;
+}
+#endif
+
+void transb_row_dispatch(const Matrix& a, const Matrix& b, Matrix& out,
+                         std::size_t i) {
+#ifdef NFV_X86_MULTIVERSION
+  if (has_avx2_fma()) {
+    matmul_transb_row_fma(a, b, out, i);
+    return;
+  }
+#endif
+  matmul_transb_row(a, b, out, i);
+}
+
+void transb_rows_packed_dispatch(const Matrix& a, const Matrix& b,
+                                 const float* packed, Matrix& out,
+                                 std::size_t i0, std::size_t i1) {
+#ifdef NFV_X86_MULTIVERSION
+  if (has_avx2_fma()) {
+    matmul_transb_rows_packed_fma(a, b, packed, out, i0, i1);
+    return;
+  }
+#endif
+  matmul_transb_rows_packed(a, b, packed, out, i0, i1);
 }
 
 /// Column block [c0, c1) of out += aᵀ * b. Each out element accumulates in
@@ -133,7 +348,14 @@ void matmul_transb_serial(const Matrix& a, const Matrix& b, Matrix& out) {
   NFV_CHECK(a.cols() == b.cols(), "matmul_transb inner-dimension mismatch: "
                                       << a.cols() << " vs " << b.cols());
   out.resize(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) matmul_transb_row(a, b, out, i);
+  if (a.rows() < kPackMinRows) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      transb_row_dispatch(a, b, out, i);
+    }
+    return;
+  }
+  pack_transb_panels(b, tl_packed_b);
+  transb_rows_packed_dispatch(a, b, tl_packed_b.data(), out, 0, a.rows());
 }
 
 void matmul_transb(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -144,8 +366,19 @@ void matmul_transb(const Matrix& a, const Matrix& b, Matrix& out) {
     return;
   }
   out.resize(a.rows(), b.rows());
-  nfv::util::global_pool().parallel_for(
-      0, a.rows(), [&](std::size_t i) { matmul_transb_row(a, b, out, i); });
+  // Pack once on the calling thread; row blocks keep the 4×4 tiling inside
+  // each parallel task. Every task writes only its own rows and every
+  // accumulator chain keeps its k-order, so the result matches the serial
+  // kernel bit for bit regardless of thread count.
+  pack_transb_panels(b, tl_packed_b);
+  const float* packed = tl_packed_b.data();
+  constexpr std::size_t kRowBlock = 16;
+  const std::size_t blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+  nfv::util::global_pool().parallel_for(0, blocks, [&](std::size_t bi) {
+    const std::size_t i0 = bi * kRowBlock;
+    transb_rows_packed_dispatch(a, b, packed, out, i0,
+                                std::min(i0 + kRowBlock, a.rows()));
+  });
 }
 
 void matmul_transa_accumulate_serial(const Matrix& a, const Matrix& b,

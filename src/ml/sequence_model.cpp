@@ -1,5 +1,6 @@
 #include "ml/sequence_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <istream>
@@ -45,14 +46,15 @@ std::vector<Param*> SequenceModel::params() {
 }
 
 void SequenceModel::build_inputs(
-    const std::vector<const SeqExample*>& batch, std::vector<Matrix>& inputs,
+    const SeqExample* const* batch, std::size_t batch_size,
+    std::vector<Matrix>& inputs,
     std::vector<std::vector<std::int32_t>>* ids_steps) const {
   const std::size_t k = config_.window;
-  const std::size_t batch_size = batch.size();
   const std::size_t width =
       config_.embed_dim + (config_.use_dt_feature ? 1 : 0);
-  inputs.assign(k, Matrix());
-  if (ids_steps) ids_steps->assign(k, {});
+  // Reuse, don't reallocate: every matrix entry is fully rewritten below.
+  if (inputs.size() != k) inputs.assign(k, Matrix());
+  if (ids_steps && ids_steps->size() != k) ids_steps->assign(k, {});
   for (std::size_t t = 0; t < k; ++t) {
     Matrix& input = inputs[t];
     input.resize(batch_size, width);
@@ -83,9 +85,10 @@ double SequenceModel::forward_backward(
   const std::size_t k = config_.window;
   const std::size_t batch_size = batch.size();
 
-  std::vector<Matrix> inputs;
-  std::vector<std::vector<std::int32_t>> ids_steps;
-  build_inputs(batch, inputs, &ids_steps);
+  // All scratch lives on the model and is reused batch after batch.
+  std::vector<Matrix>& inputs = train_inputs_;
+  std::vector<std::vector<std::int32_t>>& ids_steps = train_ids_;
+  build_inputs(batch.data(), batch_size, inputs, &ids_steps);
 
   // Forward through the LSTM stack.
   const std::vector<Matrix>* hidden = &lstm_layers_[0].forward(inputs);
@@ -94,14 +97,17 @@ double SequenceModel::forward_backward(
   }
   const Matrix& logits = output_.forward(hidden->back());
 
-  std::vector<std::int32_t> targets(batch_size);
-  for (std::size_t r = 0; r < batch_size; ++r) targets[r] = batch[r]->target;
-  Matrix grad_logits;
-  const double loss = softmax_cross_entropy(logits, targets, grad_logits);
+  train_targets_.resize(batch_size);
+  for (std::size_t r = 0; r < batch_size; ++r) {
+    train_targets_[r] = batch[r]->target;
+  }
+  const double loss =
+      softmax_cross_entropy(logits, train_targets_, train_grad_logits_);
 
   // Backward: dense head, then the LSTM stack top-down.
-  const Matrix& dh_last = output_.backward(grad_logits);
-  std::vector<Matrix> grad_hidden(k);
+  const Matrix& dh_last = output_.backward(train_grad_logits_);
+  std::vector<Matrix>& grad_hidden = train_grad_hidden_;
+  if (grad_hidden.size() != k) grad_hidden.assign(k, Matrix());
   for (std::size_t t = 0; t < k; ++t) {
     grad_hidden[t].resize(batch_size, config_.hidden);
   }
@@ -138,7 +144,7 @@ void SequenceModel::predict(const std::vector<const SeqExample*>& batch,
                             Matrix& probs) const {
   NFV_CHECK(!batch.empty(), "predict on empty batch");
   std::vector<Matrix> inputs;
-  build_inputs(batch, inputs, nullptr);
+  build_inputs(batch.data(), batch.size(), inputs, nullptr);
 
   // Stateful stepping avoids touching the training caches, keeping
   // prediction const and cheap.
@@ -158,6 +164,82 @@ void SequenceModel::predict(const std::vector<const SeqExample*>& batch,
   matmul_transb(states.back().h, output_.weight().value, logits);
   add_row_vector(logits, output_.bias().value);
   softmax(logits, probs);
+}
+
+void SequenceModel::forward_probs(const SeqExample* const* batch,
+                                  std::size_t batch_size,
+                                  InferenceScratch& scratch) const {
+  build_inputs(batch, batch_size, scratch.inputs, nullptr);
+
+  // (Re)shape the recurrent state in place. Matrix::resize zero-fills,
+  // which is exactly the initial state Lstm::make_state would provide,
+  // while reusing the buffers' heap capacity across sub-batches.
+  if (scratch.states.size() != lstm_layers_.size()) {
+    scratch.states.clear();
+    scratch.states.reserve(lstm_layers_.size());
+    for (const Lstm& lstm : lstm_layers_) {
+      scratch.states.push_back(lstm.make_state(batch_size));
+    }
+  } else {
+    for (std::size_t l = 0; l < lstm_layers_.size(); ++l) {
+      scratch.states[l].h.resize(batch_size, config_.hidden);
+      scratch.states[l].c.resize(batch_size, config_.hidden);
+    }
+  }
+
+  for (std::size_t t = 0; t < config_.window; ++t) {
+    const Matrix* x = &scratch.inputs[t];
+    for (std::size_t l = 0; l < lstm_layers_.size(); ++l) {
+      lstm_layers_[l].step(*x, scratch.states[l], scratch.concat,
+                           scratch.gates);
+      x = &scratch.states[l].h;
+    }
+  }
+  matmul_transb(scratch.states.back().h, output_.weight().value,
+                scratch.logits);
+  add_row_vector(scratch.logits, output_.bias().value);
+  softmax(scratch.logits, scratch.probs);
+}
+
+void SequenceModel::score_batched(std::span<const SeqExample* const> batch,
+                                  std::size_t batch_size,
+                                  InferenceScratch& scratch,
+                                  std::span<double> out) const {
+  NFV_CHECK(batch_size >= 1, "score_batched requires batch_size >= 1");
+  NFV_CHECK(out.size() == batch.size(),
+            "score_batched output size " << out.size() << " != batch size "
+                                         << batch.size());
+  for (std::size_t start = 0; start < batch.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, batch.size() - start);
+    forward_probs(batch.data() + start, n, scratch);
+    for (std::size_t r = 0; r < n; ++r) {
+      out[start + r] = log_prob(scratch.probs, r, batch[start + r]->target);
+    }
+  }
+}
+
+void SequenceModel::score_ranks_batched(
+    std::span<const SeqExample* const> batch, std::size_t batch_size,
+    InferenceScratch& scratch, std::span<std::size_t> out) const {
+  NFV_CHECK(batch_size >= 1, "score_ranks_batched requires batch_size >= 1");
+  NFV_CHECK(out.size() == batch.size(),
+            "score_ranks_batched output size "
+                << out.size() << " != batch size " << batch.size());
+  for (std::size_t start = 0; start < batch.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, batch.size() - start);
+    forward_probs(batch.data() + start, n, scratch);
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto target =
+          static_cast<std::size_t>(batch[start + r]->target);
+      NFV_CHECK(target < scratch.probs.cols(), "target outside vocabulary");
+      const float p_target = scratch.probs.at(r, target);
+      std::size_t rank = 0;
+      for (std::size_t c = 0; c < scratch.probs.cols(); ++c) {
+        if (scratch.probs.at(r, c) > p_target) ++rank;
+      }
+      out[start + r] = rank;
+    }
+  }
 }
 
 std::vector<double> SequenceModel::score_log_likelihood(

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "ml/dense.h"
@@ -63,14 +64,44 @@ class SequenceModel {
                Matrix& probs) const;
 
   /// Log-likelihood of each example's observed target under the model.
+  /// Serial reference path for the batched scorer below.
   std::vector<double> score_log_likelihood(
       const std::vector<const SeqExample*>& batch) const;
 
   /// Rank (0-based) of each example's observed target in the predicted
   /// distribution: 0 = most likely next template. DeepLog-style detection
-  /// flags an event whose rank is ≥ k.
+  /// flags an event whose rank is ≥ k. Serial reference path.
   std::vector<std::size_t> score_target_ranks(
       const std::vector<const SeqExample*>& batch) const;
+
+  /// Reusable buffers for the batched scoring path. One scratch belongs to
+  /// exactly one calling thread; reusing it across calls means the fused
+  /// forward loop performs no heap allocation once shapes have stabilized.
+  struct InferenceScratch {
+    std::vector<Matrix> inputs;    // k × (B × input_width)
+    std::vector<LstmState> states; // one per LSTM layer
+    Matrix concat;                 // Lstm::step concat scratch
+    Matrix gates;                  // Lstm::step gate scratch
+    Matrix logits;
+    Matrix probs;
+  };
+
+  /// Batched forward-only scoring: the log-likelihood of each example's
+  /// observed target, processed in fused sub-batches of at most
+  /// `batch_size` rows. Built on Lstm::step/make_state, so no BPTT caches
+  /// are materialized. Every row's arithmetic is independent of its batch
+  /// neighbours (per-row embedding gather, per-row GEMM dot products,
+  /// per-row softmax), so results are bit-identical to
+  /// score_log_likelihood for ANY batch size and any thread count.
+  /// `out.size()` must equal `batch.size()`.
+  void score_batched(std::span<const SeqExample* const> batch,
+                     std::size_t batch_size, InferenceScratch& scratch,
+                     std::span<double> out) const;
+
+  /// As score_batched, but emits target ranks (DeepLog's top-k rule).
+  void score_ranks_batched(std::span<const SeqExample* const> batch,
+                           std::size_t batch_size, InferenceScratch& scratch,
+                           std::span<std::size_t> out) const;
 
   /// Freeze the embedding and the bottom `n` LSTM layers; the remaining
   /// layers (and the output head) stay trainable. Passing 0 unfreezes all.
@@ -86,9 +117,15 @@ class SequenceModel {
 
  private:
   /// Builds per-timestep input matrices from the batch (embedding + Δt).
-  void build_inputs(const std::vector<const SeqExample*>& batch,
+  /// Reuses the capacity of `inputs` (and `ids_steps`) across calls.
+  void build_inputs(const SeqExample* const* batch, std::size_t batch_size,
                     std::vector<Matrix>& inputs,
                     std::vector<std::vector<std::int32_t>>* ids_steps) const;
+
+  /// Forward one fused sub-batch through the stepped (cache-free) LSTM
+  /// stack into scratch.probs.
+  void forward_probs(const SeqExample* const* batch, std::size_t batch_size,
+                     InferenceScratch& scratch) const;
 
   double forward_backward(const std::vector<const SeqExample*>& batch);
 
@@ -96,6 +133,14 @@ class SequenceModel {
   Embedding embedding_;
   std::vector<Lstm> lstm_layers_;
   Dense output_;
+
+  // Training-only scratch reused across train_batch calls (hoisted out of
+  // the per-batch loop; copying a model simply copies the buffers).
+  std::vector<Matrix> train_inputs_;
+  std::vector<std::vector<std::int32_t>> train_ids_;
+  std::vector<std::int32_t> train_targets_;
+  std::vector<Matrix> train_grad_hidden_;
+  Matrix train_grad_logits_;
 };
 
 /// Normalization applied to Δt before it enters the network; exposed for

@@ -1,0 +1,233 @@
+// The batched inference engine's determinism contract: packing scoring
+// windows from many streams into fused forward batches must produce
+// scores bit-identical to window-by-window scoring — for ANY inference
+// batch size and ANY thread count (the per-row forward math never depends
+// on batch neighbours). These tests sweep score_batch ∈ {1, 64, 1024} ×
+// threads ∈ {1, 4} against the window-by-window reference, and prove the
+// StreamMonitorGroup micro-batch flush equivalent to immediate per-line
+// ingestion. Run under -DNFVPRED_SANITIZE=thread via ctest -L concurrency.
+#include "core/batch_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/lstm_detector.h"
+#include "core/streaming.h"
+#include "logproc/dataset.h"
+#include "logproc/signature_tree.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace nfv::core {
+namespace {
+
+using logproc::ParsedLog;
+using nfv::util::SimTime;
+
+constexpr std::size_t kStreams = 3;
+constexpr std::size_t kVocab = 12;      // ids 10, 11 never seen in training
+constexpr std::size_t kTrainVocab = 10;
+constexpr std::size_t kWindow = 4;
+
+std::vector<ParsedLog> make_stream(std::size_t stream, std::size_t length,
+                                   bool with_unknowns) {
+  std::vector<ParsedLog> logs;
+  logs.reserve(length);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    t += 20 + static_cast<std::int64_t>((i * 13 + stream * 7) % 45);
+    std::size_t id = (i * 5 + stream * 3 + i / 17) % kTrainVocab;
+    if (with_unknowns && i % 41 == 19) id = kTrainVocab + (stream % 2);
+    logs.push_back({SimTime{t}, static_cast<std::int32_t>(id)});
+  }
+  return logs;
+}
+
+LstmDetector make_trained_detector(LstmScoreMode mode) {
+  LstmDetectorConfig config;
+  config.window = kWindow;
+  config.embed_dim = 8;
+  config.hidden = 8;
+  config.initial_epochs = 1;
+  config.max_train_windows = 800;
+  config.oversample = false;
+  config.score_mode = mode;
+  LstmDetector detector(config);
+  std::vector<std::vector<ParsedLog>> train(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    train[s] = make_stream(s, 300, /*with_unknowns=*/false);
+  }
+  std::vector<LogView> views(train.begin(), train.end());
+  detector.fit(views, kTrainVocab);
+  return detector;
+}
+
+void expect_identical_events(
+    const std::vector<std::vector<ScoredEvent>>& expected,
+    const std::vector<std::vector<ScoredEvent>>& actual,
+    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (std::size_t s = 0; s < expected.size(); ++s) {
+    ASSERT_EQ(expected[s].size(), actual[s].size()) << label << " stream " << s;
+    for (std::size_t e = 0; e < expected[s].size(); ++e) {
+      ASSERT_EQ(expected[s][e].time.seconds, actual[s][e].time.seconds)
+          << label << " stream " << s << " event " << e;
+      // Bit-identical, not approximately equal.
+      ASSERT_EQ(expected[s][e].score, actual[s][e].score)
+          << label << " stream " << s << " event " << e;
+    }
+  }
+}
+
+TEST(BatchInvarianceTest, ScoresIdenticalForAnyBatchSizeAndThreadCount) {
+  for (const LstmScoreMode mode :
+       {LstmScoreMode::kLogLikelihood, LstmScoreMode::kTargetRank}) {
+    LstmDetector detector = make_trained_detector(mode);
+
+    std::vector<std::vector<ParsedLog>> test_streams(kStreams);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      // Unknown templates exercise the gather/scatter split between
+      // model-scored and constant-scored windows.
+      test_streams[s] = make_stream(s + 10, 200, /*with_unknowns=*/true);
+    }
+    std::vector<LogView> views(test_streams.begin(), test_streams.end());
+
+    // Reference: window-by-window (batch size 1), serial.
+    nfv::util::set_global_threads(1);
+    detector.set_score_batch(1);
+    const std::vector<std::vector<ScoredEvent>> reference =
+        detector.score_streams(views, kVocab);
+    for (const auto& events : reference) ASSERT_FALSE(events.empty());
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      nfv::util::set_global_threads(threads);
+      for (const std::size_t batch :
+           {std::size_t{1}, std::size_t{64}, std::size_t{1024}}) {
+        detector.set_score_batch(batch);
+        const std::vector<std::vector<ScoredEvent>> fused =
+            detector.score_streams(views, kVocab);
+        expect_identical_events(
+            reference, fused,
+            "mode=" + std::to_string(static_cast<int>(mode)) +
+                " batch=" + std::to_string(batch) +
+                " threads=" + std::to_string(threads));
+      }
+    }
+    nfv::util::set_global_threads(0);  // restore auto sizing
+  }
+}
+
+// The fused path must agree with the completely independent serial
+// reference path (SequenceModel::predict) window by window.
+TEST(BatchInvarianceTest, FusedScoresMatchSerialModelReference) {
+  LstmDetector detector = make_trained_detector(LstmScoreMode::kLogLikelihood);
+  const std::vector<ParsedLog> logs =
+      make_stream(42, 150, /*with_unknowns=*/false);
+
+  detector.set_score_batch(1024);
+  const std::vector<ScoredEvent> fused = detector.score(logs, kTrainVocab);
+
+  const std::vector<ml::SeqExample> examples =
+      logproc::build_sequence_examples(logs, kWindow,
+                                       nfv::util::Duration::of_days(3650));
+  ASSERT_EQ(fused.size(), examples.size());
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    const std::vector<double> ll =
+        detector.model().score_log_likelihood({&examples[i]});
+    ASSERT_EQ(fused[i].score, -ll[0]) << "window " << i;
+  }
+}
+
+TEST(BatchInvarianceTest, MonitorGroupFlushMatchesImmediateIngestion) {
+  LstmDetector detector = make_trained_detector(LstmScoreMode::kLogLikelihood);
+
+  std::vector<std::vector<ParsedLog>> test_streams(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    test_streams[s] = make_stream(s + 20, 180, /*with_unknowns=*/true);
+  }
+
+  StreamMonitorConfig config;
+  config.window = kWindow;
+  config.threshold = 5.0;
+  config.min_cluster_size = 2;
+
+  // Immediate per-line ingestion (the reference).
+  std::vector<std::vector<double>> direct_scores(kStreams);
+  std::vector<std::vector<StreamWarning>> direct_warnings(kStreams);
+  std::vector<logproc::SignatureTree> direct_trees(kStreams);
+  {
+    std::vector<StreamMonitor> monitors;
+    monitors.reserve(kStreams);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      monitors.emplace_back(
+          static_cast<std::int32_t>(s), &detector, &direct_trees[s], config,
+          [&direct_warnings, s](const StreamWarning& warning) {
+            direct_warnings[s].push_back(warning);
+          });
+    }
+    for (std::size_t i = 0; i < test_streams[0].size(); ++i) {
+      for (std::size_t s = 0; s < kStreams; ++s) {
+        direct_scores[s].push_back(
+            monitors[s].ingest_parsed(test_streams[s][i]));
+      }
+    }
+  }
+
+  // Micro-batched: stage the same interleaving, flush periodically.
+  std::vector<std::vector<StreamWarning>> group_warnings(kStreams);
+  std::vector<logproc::SignatureTree> group_trees(kStreams);
+  std::vector<StreamMonitor> monitors;
+  monitors.reserve(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    monitors.emplace_back(
+        static_cast<std::int32_t>(s), &detector, &group_trees[s], config,
+        [&group_warnings, s](const StreamWarning& warning) {
+          group_warnings[s].push_back(warning);
+        });
+  }
+  StreamMonitorGroup group(&detector);
+  for (std::size_t s = 0; s < kStreams; ++s) group.add(&monitors[s]);
+
+  std::vector<std::vector<double>> group_scores(kStreams);
+  std::vector<std::size_t> flush_shard_order;
+  const auto drain = [&] {
+    const std::vector<double> scores = group.flush();
+    ASSERT_EQ(scores.size(), flush_shard_order.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      group_scores[flush_shard_order[i]].push_back(scores[i]);
+    }
+    flush_shard_order.clear();
+  };
+  for (std::size_t i = 0; i < test_streams[0].size(); ++i) {
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      group.ingest_parsed(s, test_streams[s][i]);
+      flush_shard_order.push_back(s);
+    }
+    if (i % 17 == 16) drain();  // micro-batch flush cadence
+  }
+  drain();
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    ASSERT_EQ(direct_scores[s].size(), group_scores[s].size());
+    for (std::size_t i = 0; i < direct_scores[s].size(); ++i) {
+      ASSERT_EQ(direct_scores[s][i], group_scores[s][i])
+          << "shard " << s << " line " << i;
+    }
+    ASSERT_EQ(direct_warnings[s].size(), group_warnings[s].size())
+        << "shard " << s;
+    for (std::size_t w = 0; w < direct_warnings[s].size(); ++w) {
+      EXPECT_EQ(direct_warnings[s][w].time.seconds,
+                group_warnings[s][w].time.seconds);
+      EXPECT_EQ(direct_warnings[s][w].anomaly_count,
+                group_warnings[s][w].anomaly_count);
+      EXPECT_EQ(direct_warnings[s][w].peak_score,
+                group_warnings[s][w].peak_score);
+      EXPECT_EQ(direct_warnings[s][w].trigger_template,
+                group_warnings[s][w].trigger_template);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

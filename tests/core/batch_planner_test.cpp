@@ -1,0 +1,121 @@
+#include "core/batch_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/sequence_model.h"
+#include "util/rng.h"
+
+namespace nfv::core {
+namespace {
+
+TEST(BatchPlannerTest, SlotsAreStreamMajorInSerialVisitOrder) {
+  const std::vector<std::size_t> counts = {3, 0, 2, 1};
+  const BatchPlan plan = plan_windows(counts, /*batch_size=*/2);
+  ASSERT_EQ(plan.slots.size(), 6u);
+  const WindowSlot expected[] = {{0, 0}, {0, 1}, {0, 2}, {2, 0}, {2, 1}, {3, 0}};
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    EXPECT_EQ(plan.slots[i].stream, expected[i].stream) << "slot " << i;
+    EXPECT_EQ(plan.slots[i].window, expected[i].window) << "slot " << i;
+  }
+}
+
+TEST(BatchPlannerTest, BatchRangesTileTheSlotListExactly) {
+  const std::vector<std::size_t> counts = {3, 0, 2, 1};
+  const BatchPlan plan = plan_windows(counts, /*batch_size=*/4);
+  ASSERT_EQ(plan.num_batches(), 2u);
+  EXPECT_EQ(plan.batch_range(0), (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(plan.batch_range(1), (std::pair<std::size_t, std::size_t>{4, 6}));
+
+  // Exact multiple: no empty trailing batch.
+  const BatchPlan exact = plan_windows(counts, /*batch_size=*/3);
+  ASSERT_EQ(exact.num_batches(), 2u);
+  EXPECT_EQ(exact.batch_range(1),
+            (std::pair<std::size_t, std::size_t>{3, 6}));
+
+  const BatchPlan empty = plan_windows(std::vector<std::size_t>{0, 0}, 8);
+  EXPECT_TRUE(empty.slots.empty());
+  EXPECT_EQ(empty.num_batches(), 0u);
+}
+
+std::vector<ml::SeqExample> make_examples(std::size_t count,
+                                          std::size_t window,
+                                          std::size_t vocab,
+                                          std::uint64_t seed) {
+  nfv::util::Rng rng(seed);
+  std::vector<ml::SeqExample> examples(count);
+  for (ml::SeqExample& example : examples) {
+    example.ids.resize(window);
+    example.dts.resize(window);
+    for (std::size_t t = 0; t < window; ++t) {
+      example.ids[t] = static_cast<std::int32_t>(rng.uniform_index(vocab));
+      example.dts[t] = static_cast<float>(rng.uniform_index(300));
+    }
+    example.target = static_cast<std::int32_t>(rng.uniform_index(vocab));
+  }
+  return examples;
+}
+
+// Gather/scatter round-trip: scores land in out[stream][window] exactly as
+// scoring each window alone would place them, regardless of how the
+// windows are partitioned into streams or cut into fused batches.
+TEST(BatchPlannerTest, ScorerScattersFusedScoresBackToStreamSlots) {
+  ml::SequenceModelConfig config;
+  config.vocab = 9;
+  config.embed_dim = 6;
+  config.hidden = 6;
+  config.window = 3;
+  nfv::util::Rng rng(7);
+  const ml::SequenceModel model(config, rng);  // untrained weights suffice
+
+  const std::vector<ml::SeqExample> examples =
+      make_examples(23, config.window, config.vocab, 99);
+
+  // Per-window reference through the serial path.
+  std::vector<double> expected_nll;
+  std::vector<double> expected_rank;
+  for (const ml::SeqExample& example : examples) {
+    expected_nll.push_back(-model.score_log_likelihood({&example})[0]);
+    expected_rank.push_back(
+        static_cast<double>(model.score_target_ranks({&example})[0]));
+  }
+
+  // Uneven stream partition, including an empty stream in the middle.
+  const std::size_t cuts[] = {0, 9, 9, 20, 23};
+  std::vector<std::vector<const ml::SeqExample*>> streams;
+  for (std::size_t s = 0; s + 1 < std::size(cuts); ++s) {
+    std::vector<const ml::SeqExample*> stream;
+    for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i) {
+      stream.push_back(&examples[i]);
+    }
+    streams.push_back(std::move(stream));
+  }
+
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{5},
+                                       std::size_t{64}}) {
+    BatchedWindowScorer scorer(batch_size);
+    std::vector<std::vector<double>> nll;
+    scorer.score(model, BatchScoreKind::kNegLogLikelihood, streams, nll);
+    std::vector<std::vector<double>> ranks;
+    scorer.score(model, BatchScoreKind::kTargetRank, streams, ranks);
+
+    ASSERT_EQ(nll.size(), streams.size());
+    ASSERT_EQ(ranks.size(), streams.size());
+    for (std::size_t s = 0; s + 1 < std::size(cuts); ++s) {
+      ASSERT_EQ(nll[s].size(), streams[s].size()) << "stream " << s;
+      ASSERT_EQ(ranks[s].size(), streams[s].size()) << "stream " << s;
+      for (std::size_t w = 0; w < streams[s].size(); ++w) {
+        EXPECT_EQ(nll[s][w], expected_nll[cuts[s] + w])
+            << "batch_size " << batch_size << " stream " << s << " window "
+            << w;
+        EXPECT_EQ(ranks[s][w], expected_rank[cuts[s] + w])
+            << "batch_size " << batch_size << " stream " << s << " window "
+            << w;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
 # pass over the concurrency-labelled tests (thread pool, parallel-vs-serial
-# pipeline determinism, shared-detector streaming).
+# pipeline determinism, shared-detector streaming, and the batched-inference
+# batch-size/thread-count invariance suite).
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail

@@ -96,6 +96,9 @@ void usage() {
       "  --threads N   worker threads for training/scoring kernels\n"
       "                (default: NFVPRED_THREADS env, else all cores;\n"
       "                 results are identical for any thread count)\n"
+      "  --score-batch N  max windows per fused inference batch\n"
+      "                (train/score; default 1024, min 1; scores are\n"
+      "                 identical for any batch size)\n"
       "log file format: '<epoch-seconds> <syslog message>' per line\n";
 }
 
@@ -200,6 +203,14 @@ int cmd_train(const Args& args) {
   config.window = static_cast<std::size_t>(args.get_long("window", 10));
   config.initial_epochs =
       static_cast<std::size_t>(args.get_long("epochs", 4));
+  const long score_batch = args.get_long("score-batch", 0);
+  if (score_batch < 0) {
+    std::cerr << "error: --score-batch must be positive\n";
+    return 1;
+  }
+  if (score_batch > 0) {
+    config.score_batch = static_cast<std::size_t>(score_batch);
+  }
   core::LstmDetector detector(config);
   std::cerr << "training on " << logs.size() << " events ("
             << tree.size() << " templates)...\n";
@@ -223,7 +234,15 @@ int cmd_score(const Args& args) {
     std::cerr << "error: cannot open model file\n";
     return 2;
   }
-  const core::LstmDetector detector = core::LstmDetector::load(model_in);
+  core::LstmDetector detector = core::LstmDetector::load(model_in);
+  const long score_batch = args.get_long("score-batch", 0);
+  if (score_batch < 0) {
+    std::cerr << "error: --score-batch must be positive\n";
+    return 1;
+  }
+  if (score_batch > 0) {
+    detector.set_score_batch(static_cast<std::size_t>(score_batch));
+  }
 
   // Template ids must be assigned consistently with training: the
   // signature tree is rebuilt from the scored file itself (the tree is
