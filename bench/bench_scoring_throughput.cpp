@@ -25,6 +25,7 @@
 
 #include "core/lstm_detector.h"
 #include "logproc/dataset.h"
+#include "ml/matrix.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -215,6 +216,11 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       return run_json_mode(argv[i] + 7);
+    }
+    // Same escape hatch as the NFVPRED_NO_AVX2 environment variable:
+    // score through the reference kernels instead of the AVX2+FMA clones.
+    if (std::strcmp(argv[i], "--no-avx2") == 0) {
+      ml::set_simd_kernels_enabled(false);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -20,6 +20,19 @@ using nfv::util::Rng;
 LstmDetector::LstmDetector(const LstmDetectorConfig& config)
     : config_(config), rng_(config.seed) {}
 
+LstmDetector::LstmDetector(const LstmDetector& other)
+    : config_(other.config_), model_(other.model_), rng_(other.rng_) {}
+
+LstmDetector& LstmDetector::operator=(const LstmDetector& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    model_ = other.model_;
+    rng_ = other.rng_;
+    optimizer_.reset();
+  }
+  return *this;
+}
+
 std::vector<SeqExample> LstmDetector::prepare_examples(
     std::span<const LogView> streams) const {
   std::vector<SeqExample> examples;
@@ -47,8 +60,22 @@ std::vector<SeqExample> LstmDetector::prepare_examples(
 void LstmDetector::train_epochs(std::span<const SeqExample> examples,
                                 std::size_t epochs, float lr) {
   if (examples.empty()) return;
-  ml::Adam optimizer(lr);
-  optimizer.bind(model_->params());
+  // Default path: a fresh Adam per training round (the seed behavior).
+  // Persistent path: one instance lives on the detector and is re-pointed
+  // at the (possibly moved or vocab-grown) parameters each round, keeping
+  // its moment state warm across incremental updates.
+  std::optional<ml::Adam> local_optimizer;
+  ml::Adam* optimizer = nullptr;
+  if (config_.persistent_optimizer) {
+    if (!optimizer_) optimizer_ = std::make_unique<ml::Adam>(lr);
+    optimizer_->set_learning_rate(lr);
+    optimizer_->rebind(model_->params());
+    optimizer = optimizer_.get();
+  } else {
+    local_optimizer.emplace(lr);
+    local_optimizer->bind(model_->params());
+    optimizer = &*local_optimizer;
+  }
   std::vector<std::size_t> order(examples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   // Hoisted out of the batch loop: the pointer buffer (and the model's
@@ -65,7 +92,7 @@ void LstmDetector::train_epochs(std::span<const SeqExample> examples,
       for (std::size_t i = start; i < end; ++i) {
         batch.push_back(&examples[order[i]]);
       }
-      model_->train_batch(batch, optimizer);
+      model_->train_batch(batch, *optimizer);
     }
   }
 }
@@ -140,6 +167,8 @@ void LstmDetector::fit(std::span<const LogView> streams, std::size_t vocab) {
   model_config.window = config_.window;
   Rng init_rng = rng_.fork(1);
   model_.emplace(model_config, init_rng);
+  // A freshly initialized model invalidates any accumulated moment state.
+  optimizer_.reset();
 
   std::vector<SeqExample> examples = prepare_examples(streams);
   train_epochs(examples, config_.initial_epochs, config_.initial_lr);

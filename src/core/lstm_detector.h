@@ -58,6 +58,14 @@ struct LstmDetectorConfig {
   /// forward batches of at most this many rows. Scores are bit-identical
   /// for any value ≥ 1; larger batches amortize GEMM dispatch.
   std::size_t score_batch = 1024;
+  /// Keep one Adam instance alive across fit/update/adapt rounds instead
+  /// of constructing a fresh optimizer inside every train_epochs call.
+  /// With it on, moment estimates accumulated during the initial fit carry
+  /// into the monthly incremental updates (surviving grow_vocab reshapes —
+  /// new rows start with zero moments), so the update steps are already
+  /// warm instead of re-estimating curvature from scratch. Off by default
+  /// to preserve the seed training trajectory exactly.
+  bool persistent_optimizer = false;
   std::uint64_t seed = 1234;
   /// Score assigned to events involving templates unseen at training time
   /// (in kTargetRank mode the unknown score is the vocabulary size).
@@ -68,6 +76,14 @@ struct LstmDetectorConfig {
 class LstmDetector final : public AnomalyDetector {
  public:
   explicit LstmDetector(const LstmDetectorConfig& config = {});
+
+  /// Copying is the teacher → student step of transfer adaptation; the
+  /// persistent optimizer's moment state is per-instance and does not
+  /// follow the copy (the student's next train_epochs starts it fresh).
+  LstmDetector(const LstmDetector& other);
+  LstmDetector& operator=(const LstmDetector& other);
+  LstmDetector(LstmDetector&&) = default;
+  LstmDetector& operator=(LstmDetector&&) = default;
 
   void fit(std::span<const LogView> streams, std::size_t vocab) override;
   void update(std::span<const LogView> streams, std::size_t vocab) override;
@@ -119,6 +135,10 @@ class LstmDetector final : public AnomalyDetector {
 
   LstmDetectorConfig config_;
   std::optional<ml::SequenceModel> model_;
+  /// Lives across train_epochs calls when persistent_optimizer is on;
+  /// train_epochs rebinds it to the model's current parameters each round
+  /// (safe across model moves and grow_vocab — see ml::Adam::rebind).
+  std::unique_ptr<ml::Adam> optimizer_;
   mutable nfv::util::Rng rng_;
 };
 

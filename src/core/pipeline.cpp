@@ -161,6 +161,7 @@ PipelineResult run_pipeline(const simnet::FleetTrace& trace,
       LstmDetectorConfig config =
           options.lstm_config.value_or(LstmDetectorConfig{});
       config.oversample = options.oversample;
+      config.persistent_optimizer = options.persistent_optimizer;
       config.seed = options.seed + 100 * (g + 1);
       group.detector = std::make_unique<LstmDetector>(config);
     } else {

@@ -19,21 +19,28 @@ const Matrix& Dense::forward(const Matrix& input) {
   input_cache_ = input;
   matmul_transb(input, weight_.value, pre_act_);
   add_row_vector(pre_act_, bias_.value);
+  // A linear head (the batch × vocab softmax input, the model's widest
+  // matrix) is returned without the post-activation copy.
+  if (act_ == Activation::kLinear) return pre_act_;
   output_ = pre_act_;
   apply_activation(output_, act_);
   return output_;
 }
 
 const Matrix& Dense::backward(const Matrix& grad_output) {
-  NFV_CHECK(grad_output.rows() == output_.rows() &&
-                grad_output.cols() == output_.cols(),
+  NFV_CHECK(grad_output.rows() == pre_act_.rows() &&
+                grad_output.cols() == pre_act_.cols(),
             "Dense backward shape mismatch");
-  grad_pre_ = grad_output;
-  apply_activation_grad(pre_act_, output_, grad_pre_, act_);
+  const Matrix* grad_pre = &grad_output;
+  if (act_ != Activation::kLinear) {
+    grad_pre_ = grad_output;
+    apply_activation_grad(pre_act_, output_, grad_pre_, act_);
+    grad_pre = &grad_pre_;
+  }
   // dW += grad_preᵀ · input ; db += Σ rows(grad_pre); dx = grad_pre · W.
-  matmul_transa_accumulate(grad_pre_, input_cache_, weight_.grad);
-  sum_rows_accumulate(grad_pre_, bias_.grad);
-  matmul(grad_pre_, weight_.value, grad_input_);
+  matmul_transa_accumulate(*grad_pre, input_cache_, weight_.grad);
+  sum_rows_accumulate(*grad_pre, bias_.grad);
+  matmul(*grad_pre, weight_.value, grad_input_);
   return grad_input_;
 }
 

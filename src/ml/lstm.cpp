@@ -3,6 +3,10 @@
 #include <cmath>
 #include <cstring>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "ml/activations.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -15,8 +19,12 @@ namespace {
 /// sigmoid/tanh evaluations dominate the fused scoring batches (each costs
 /// tens of MACs), so the bar is much lower than the matmul one; rows are
 /// independent, so the parallel split is bit-identical to the serial loop.
+/// Training batches (typically 64 rows) deliberately stay under it — at
+/// that size a fork-join costs more than the row loop, and the training
+/// path gets its parallelism from the chunky per-timestep gradient shards
+/// instead. The fused scoring batches (~1024 rows) are far above it.
 bool use_parallel_rows(std::size_t rows) {
-  return rows >= 64 && !nfv::util::ThreadPool::in_parallel_region() &&
+  return rows >= 256 && !nfv::util::ThreadPool::in_parallel_region() &&
          nfv::util::global_pool().size() > 1;
 }
 
@@ -28,6 +36,154 @@ void for_each_row(std::size_t rows, const Fn& fn) {
     for (std::size_t r = 0; r < rows; ++r) fn(r);
   }
 }
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define NFV_LSTM_SIMD 1
+
+// Vectorized activations for the fused gate/cell row passes, used only in
+// the AVX2+FMA kernel mode (ml::simd_kernels_enabled). exp — and tanh /
+// sigmoid through it — is the classic Cephes single-precision evaluation
+// (range-reduce by ln 2, degree-6 polynomial, scale by 2^n), accurate to
+// ~1e-7 relative. Like FMA contraction in the matmul kernels, this makes
+// the two SIMD modes differ numerically from each other, while each mode
+// stays bit-identical across thread counts: the row split never changes
+// which instructions evaluate a given element.
+
+__attribute__((target("avx2,fma"))) inline __m256 exp256(__m256 x) {
+  x = _mm256_min_ps(x, _mm256_set1_ps(88.3762626647949f));
+  x = _mm256_max_ps(x, _mm256_set1_ps(-88.3762626647949f));
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(x, _mm256_set1_ps(1.44269504088896341f)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  // r = x - n·ln2, with ln2 split in two for extra precision.
+  __m256 r = _mm256_fnmadd_ps(n, _mm256_set1_ps(0.693359375f), x);
+  r = _mm256_fnmadd_ps(n, _mm256_set1_ps(-2.12194440e-4f), r);
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0000001201e-1f));
+  p = _mm256_fmadd_ps(p, _mm256_mul_ps(r, r), r);
+  p = _mm256_add_ps(p, _mm256_set1_ps(1.0f));
+  __m256i bits = _mm256_cvtps_epi32(n);
+  bits = _mm256_add_epi32(bits, _mm256_set1_epi32(127));
+  bits = _mm256_slli_epi32(bits, 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(bits));
+}
+
+__attribute__((target("avx2,fma"))) inline __m256 tanh256(__m256 x) {
+  // tanh(x) = sign(x)·(1 − t)/(1 + t) with t = exp(−2|x|) ∈ (0, 1].
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256 sign = _mm256_and_ps(x, sign_mask);
+  const __m256 ax = _mm256_andnot_ps(sign_mask, x);
+  const __m256 t = exp256(_mm256_mul_ps(ax, _mm256_set1_ps(-2.0f)));
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 y =
+      _mm256_div_ps(_mm256_sub_ps(one, t), _mm256_add_ps(one, t));
+  return _mm256_or_ps(y, sign);
+}
+
+__attribute__((target("avx2,fma"))) inline __m256 sigmoid256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+/// Fused bias + gate activations for one row of [i f g o] pre-activations.
+__attribute__((target("avx2,fma"))) void gate_activation_row_fma(
+    float* g, const float* bias, std::size_t h) {
+  for (std::size_t seg = 0; seg < 4; ++seg) {
+    const std::size_t j1 = (seg + 1) * h;
+    std::size_t j = seg * h;
+    if (seg == 2) {  // candidate gate: tanh
+      for (; j + 8 <= j1; j += 8) {
+        const __m256 v = _mm256_add_ps(_mm256_loadu_ps(g + j),
+                                       _mm256_loadu_ps(bias + j));
+        _mm256_storeu_ps(g + j, tanh256(v));
+      }
+      for (; j < j1; ++j) g[j] = std::tanh(g[j] + bias[j]);
+    } else {  // input / forget / output gates: sigmoid
+      for (; j + 8 <= j1; j += 8) {
+        const __m256 v = _mm256_add_ps(_mm256_loadu_ps(g + j),
+                                       _mm256_loadu_ps(bias + j));
+        _mm256_storeu_ps(g + j, sigmoid256(v));
+      }
+      for (; j < j1; ++j) g[j] = sigmoid(g[j] + bias[j]);
+    }
+  }
+}
+
+/// Fused cell/hidden update for one row: c = f·c_prev + i·g, h = o·tanh(c).
+__attribute__((target("avx2,fma"))) void cell_forward_row_fma(
+    const float* g, const float* cp, float* c, float* hh, std::size_t h) {
+  std::size_t j = 0;
+  for (; j + 8 <= h; j += 8) {
+    const __m256 ig = _mm256_loadu_ps(g + j);
+    const __m256 fg = _mm256_loadu_ps(g + h + j);
+    const __m256 cg = _mm256_loadu_ps(g + 2 * h + j);
+    const __m256 og = _mm256_loadu_ps(g + 3 * h + j);
+    const __m256 cj =
+        _mm256_fmadd_ps(fg, _mm256_loadu_ps(cp + j), _mm256_mul_ps(ig, cg));
+    _mm256_storeu_ps(c + j, cj);
+    _mm256_storeu_ps(hh + j, _mm256_mul_ps(og, tanh256(cj)));
+  }
+  for (; j < h; ++j) {
+    const float cj = __builtin_fmaf(g[h + j], cp[j], g[j] * g[2 * h + j]);
+    c[j] = cj;
+    hh[j] = g[3 * h + j] * std::tanh(cj);
+  }
+}
+
+/// Fused gate-gradient pass for one row of the BPTT recurrence; same math
+/// as the scalar body in Lstm::backward.
+__attribute__((target("avx2,fma"))) void gate_backward_row_fma(
+    const float* g, const float* c, const float* cprev, const float* gh,
+    const float* dhn, float* dcn, float* dg, std::size_t h) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t j = 0;
+  for (; j + 8 <= h; j += 8) {
+    const __m256 ig = _mm256_loadu_ps(g + j);
+    const __m256 fg = _mm256_loadu_ps(g + h + j);
+    const __m256 cg = _mm256_loadu_ps(g + 2 * h + j);
+    const __m256 og = _mm256_loadu_ps(g + 3 * h + j);
+    const __m256 tc = tanh256(_mm256_loadu_ps(c + j));
+    const __m256 dh =
+        _mm256_add_ps(_mm256_loadu_ps(gh + j), _mm256_loadu_ps(dhn + j));
+    const __m256 dc = _mm256_fmadd_ps(_mm256_mul_ps(dh, og),
+                                      _mm256_fnmadd_ps(tc, tc, one),
+                                      _mm256_loadu_ps(dcn + j));
+    const __m256 cp = cprev ? _mm256_loadu_ps(cprev + j)
+                            : _mm256_setzero_ps();
+    const __m256 gi = _mm256_mul_ps(ig, _mm256_sub_ps(one, ig));
+    const __m256 gf = _mm256_mul_ps(fg, _mm256_sub_ps(one, fg));
+    const __m256 gg = _mm256_fnmadd_ps(cg, cg, one);
+    const __m256 go = _mm256_mul_ps(og, _mm256_sub_ps(one, og));
+    _mm256_storeu_ps(dg + j, _mm256_mul_ps(_mm256_mul_ps(dc, cg), gi));
+    _mm256_storeu_ps(dg + h + j, _mm256_mul_ps(_mm256_mul_ps(dc, cp), gf));
+    _mm256_storeu_ps(dg + 2 * h + j,
+                     _mm256_mul_ps(_mm256_mul_ps(dc, ig), gg));
+    _mm256_storeu_ps(dg + 3 * h + j,
+                     _mm256_mul_ps(_mm256_mul_ps(dh, tc), go));
+    _mm256_storeu_ps(dcn + j, _mm256_mul_ps(dc, fg));
+  }
+  for (; j < h; ++j) {
+    const float ig = g[j];
+    const float fg = g[h + j];
+    const float cg = g[2 * h + j];
+    const float og = g[3 * h + j];
+    const float tc = std::tanh(c[j]);
+    const float dh = gh[j] + dhn[j];
+    const float dc = dh * og * (1.0f - tc * tc) + dcn[j];
+    const float cpj = cprev ? cprev[j] : 0.0f;
+    dg[j] = dc * cg * sigmoid_grad_from_output(ig);
+    dg[h + j] = dc * cpj * sigmoid_grad_from_output(fg);
+    dg[2 * h + j] = dc * ig * tanh_grad_from_output(cg);
+    dg[3 * h + j] = dh * tc * sigmoid_grad_from_output(og);
+    dcn[j] = dc * fg;
+  }
+}
+#endif  // NFV_LSTM_SIMD
 
 }  // namespace
 
@@ -61,8 +217,16 @@ void Lstm::compute_gates(const Matrix& input, const Matrix& h_prev,
   const float* bias = bias_.value.row(0);
   // Bias + activations fused into one row pass (same per-element order as
   // add_row_vector followed by the activation sweeps).
+  const bool simd = simd_kernels_enabled();
+  (void)simd;
   for_each_row(batch, [&](std::size_t r) {
     float* g = gates.row(r);
+#ifdef NFV_LSTM_SIMD
+    if (simd) {
+      gate_activation_row_fma(g, bias, h);
+      return;
+    }
+#endif
     for (std::size_t j = 0; j < 4 * h; ++j) g[j] += bias[j];
     for (std::size_t j = 0; j < h; ++j) g[j] = sigmoid(g[j]);                // i
     for (std::size_t j = h; j < 2 * h; ++j) g[j] = sigmoid(g[j]);            // f
@@ -85,21 +249,34 @@ const std::vector<Matrix>& Lstm::forward(const std::vector<Matrix>& inputs) {
     h_cache_.assign(steps, Matrix());
   }
 
-  Matrix h_prev(batch, hidden_size_);
-  Matrix c_prev(batch, hidden_size_);
+  // Point at the previous step's cache entries instead of copying them —
+  // the zero initial state is the only matrix materialized here.
+  Matrix zero_state(batch, hidden_size_);
+  const Matrix* h_prev = &zero_state;
+  const Matrix* c_prev = &zero_state;
   const std::size_t h = hidden_size_;
   for (std::size_t t = 0; t < steps; ++t) {
     NFV_CHECK(inputs[t].rows() == batch, "Lstm batch size varies over time");
-    compute_gates(inputs[t], h_prev, concat_cache_[t], gates_cache_[t]);
+    compute_gates(inputs[t], *h_prev, concat_cache_[t], gates_cache_[t]);
     Matrix& c_t = c_cache_[t];
     Matrix& h_t = h_cache_[t];
     c_t.resize(batch, h);
     h_t.resize(batch, h);
-    for (std::size_t r = 0; r < batch; ++r) {
-      const float* g = gates_cache_[t].row(r);
-      const float* cp = c_prev.row(r);
+    const Matrix& gates = gates_cache_[t];
+    const Matrix& cp_m = *c_prev;
+    const bool simd = simd_kernels_enabled();
+    (void)simd;
+    for_each_row(batch, [&](std::size_t r) {
+      const float* g = gates.row(r);
+      const float* cp = cp_m.row(r);
       float* c = c_t.row(r);
       float* hh = h_t.row(r);
+#ifdef NFV_LSTM_SIMD
+      if (simd) {
+        cell_forward_row_fma(g, cp, c, hh, h);
+        return;
+      }
+#endif
       for (std::size_t j = 0; j < h; ++j) {
         const float ig = g[j];
         const float fg = g[h + j];
@@ -108,9 +285,9 @@ const std::vector<Matrix>& Lstm::forward(const std::vector<Matrix>& inputs) {
         c[j] = fg * cp[j] + ig * cg;
         hh[j] = og * std::tanh(c[j]);
       }
-    }
-    h_prev = h_t;
-    c_prev = c_t;
+    });
+    h_prev = &h_t;
+    c_prev = &c_t;
   }
   return h_cache_;
 }
@@ -125,23 +302,40 @@ const std::vector<Matrix>& Lstm::backward(
   const std::size_t h = hidden_size_;
 
   if (grad_inputs_.size() != steps) grad_inputs_.assign(steps, Matrix());
-  Matrix dh_next(batch, h);
-  Matrix dc_next(batch, h);
-  Matrix dgates(batch, 4 * h);
-  Matrix dconcat;
+  if (dgates_cache_.size() != steps) dgates_cache_.assign(steps, Matrix());
+  dh_next_.resize(batch, h);
+  dc_next_.resize(batch, h);
+  // The dgates × W product recurs every step with the same W; pack it once.
+  pack_matmul_b(weight_.value, packed_weight_);
 
+  // Phase 1 — sequential in t (the dh/dc recurrence), row-parallel within
+  // each step: one fused pass computes all four pre-activation gate
+  // gradients and the carried cell gradient, then the packed product
+  // yields dconcat and the dx / dh split. Every step's dgates stays alive
+  // in dgates_cache_ for the parameter-gradient phase below.
   for (std::size_t ti = steps; ti-- > 0;) {
     const Matrix& gates = gates_cache_[ti];
     const Matrix& c_t = c_cache_[ti];
     const Matrix* c_prev = ti > 0 ? &c_cache_[ti - 1] : nullptr;
+    Matrix& dgates = dgates_cache_[ti];
+    dgates.resize(batch, 4 * h);
 
-    for (std::size_t r = 0; r < batch; ++r) {
+    const bool simd = simd_kernels_enabled();
+    (void)simd;
+    for_each_row(batch, [&](std::size_t r) {
       const float* g = gates.row(r);
       const float* c = c_t.row(r);
       const float* gh = grad_hidden[ti].row(r);
-      float* dhn = dh_next.row(r);
-      float* dcn = dc_next.row(r);
+      float* dhn = dh_next_.row(r);
+      float* dcn = dc_next_.row(r);
       float* dg = dgates.row(r);
+#ifdef NFV_LSTM_SIMD
+      if (simd) {
+        gate_backward_row_fma(g, c, c_prev ? c_prev->row(r) : nullptr, gh,
+                              dhn, dcn, dg, h);
+        return;
+      }
+#endif
       for (std::size_t j = 0; j < h; ++j) {
         const float ig = g[j];
         const float fg = g[h + j];
@@ -158,20 +352,45 @@ const std::vector<Matrix>& Lstm::backward(
         dg[3 * h + j] = dh * tc * sigmoid_grad_from_output(og);      // o
         dcn[j] = dc * fg;  // carried to step t-1
       }
-    }
+    });
 
-    // Parameter gradients and gradient to the concatenated input.
-    matmul_transa_accumulate(dgates, concat_cache_[ti], weight_.grad);
-    sum_rows_accumulate(dgates, bias_.grad);
-    matmul(dgates, weight_.value, dconcat);
+    matmul_packed(dgates, weight_.value, packed_weight_, dconcat_);
 
     Matrix& dx = grad_inputs_[ti];
     dx.resize(batch, input_size_);
     for (std::size_t r = 0; r < batch; ++r) {
-      std::memcpy(dx.row(r), dconcat.row(r), input_size_ * sizeof(float));
-      std::memcpy(dh_next.row(r), dconcat.row(r) + input_size_,
+      std::memcpy(dx.row(r), dconcat_.row(r), input_size_ * sizeof(float));
+      std::memcpy(dh_next_.row(r), dconcat_.row(r) + input_size_,
                   h * sizeof(float));
     }
+  }
+
+  // Phase 2 — parameter gradients. Each timestep's dW/db partial is an
+  // independent product computed from zero (parallel across steps), then
+  // the partials are reduced into the parameter grads in fixed descending
+  // t-order. The same two-phase structure runs at every thread count, so
+  // gradients are bit-identical for any NFVPRED_THREADS.
+  if (dw_partials_.size() != steps) {
+    dw_partials_.assign(steps, Matrix());
+    db_partials_.assign(steps, Matrix());
+  }
+  const auto step_partial = [&](std::size_t t) {
+    Matrix& dw = dw_partials_[t];
+    dw.resize(4 * h, input_size_ + h);
+    matmul_transa_accumulate_serial(dgates_cache_[t], concat_cache_[t], dw);
+    Matrix& db = db_partials_[t];
+    db.resize(1, 4 * h);
+    sum_rows_accumulate(dgates_cache_[t], db);
+  };
+  if (!nfv::util::ThreadPool::in_parallel_region() &&
+      nfv::util::global_pool().size() > 1) {
+    nfv::util::global_pool().parallel_for(0, steps, step_partial);
+  } else {
+    for (std::size_t t = 0; t < steps; ++t) step_partial(t);
+  }
+  for (std::size_t ti = steps; ti-- > 0;) {
+    weight_.grad.add(dw_partials_[ti]);
+    bias_.grad.add(db_partials_[ti]);
   }
   return grad_inputs_;
 }

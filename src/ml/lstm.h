@@ -72,6 +72,19 @@ class Lstm {
   std::vector<Matrix> c_cache_;       // cell states     (B × H)
   std::vector<Matrix> h_cache_;       // hidden states   (B × H)
   std::vector<Matrix> grad_inputs_;
+
+  // Backward-pass scratch, reused across calls so BPTT allocates nothing
+  // in steady state. dgates_cache_ keeps every step's pre-activation gate
+  // gradients alive for the deferred (parallel) weight-gradient phase;
+  // dw_partials_/db_partials_ hold the per-timestep parameter-gradient
+  // partials that are reduced into weight_/bias_ grads in fixed t-order.
+  std::vector<Matrix> dgates_cache_;  // (B × 4H) per step
+  std::vector<Matrix> dw_partials_;   // (4H × (I+H)) per step
+  std::vector<Matrix> db_partials_;   // (1 × 4H) per step
+  Matrix dh_next_;
+  Matrix dc_next_;
+  Matrix dconcat_;
+  std::vector<float> packed_weight_;  // weight_ packed for dgates × W
 };
 
 }  // namespace nfv::ml

@@ -1,6 +1,8 @@
 #include "ml/matrix.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
@@ -14,8 +16,13 @@ namespace nfv::ml {
 namespace {
 
 /// Minimum multiply-accumulate count before the blocked-parallel kernels
-/// pay for themselves; below this the serial kernels win outright.
-constexpr std::size_t kParallelMinWork = 1u << 16;
+/// pay for themselves; below this the serial kernels win outright. Sized
+/// so the per-timestep training GEMMs (a 64-row batch against one layer's
+/// weights is ~4e5 MACs) stay on the calling thread — BPTT parallelizes
+/// across timesteps instead, one fork-join per backward pass rather than
+/// one per step — while the fused scoring batches (~1k rows, several
+/// MMACs) still shard across the pool.
+constexpr std::size_t kParallelMinWork = 1u << 19;
 
 /// Parallelize only for large products, only when a multi-thread pool is
 /// available, and never from inside an already parallel region (the
@@ -26,14 +33,42 @@ bool use_parallel(std::size_t work) {
          nfv::util::global_pool().size() > 1;
 }
 
-/// One row of out = a * b, i-k-j order (streams b and out contiguously).
+#if defined(__x86_64__) && defined(__GNUC__)
+#define NFV_X86_MULTIVERSION 1
+
+bool has_avx2_fma() {
+  static const bool value =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return value;
+}
+#endif
+
+bool default_simd_enabled() {
+#ifdef NFV_X86_MULTIVERSION
+  if (std::getenv("NFVPRED_NO_AVX2") != nullptr) return false;
+  return has_avx2_fma();
+#else
+  return false;
+#endif
+}
+
+/// Read by kernel dispatchers on worker threads; written only from
+/// single-threaded control points (startup, bench/test mode switches).
+/// Atomic so the cross-thread reads are race-free under TSan.
+std::atomic<bool>& simd_flag() {
+  static std::atomic<bool> flag(default_simd_enabled());
+  return flag;
+}
+
+/// One row of out = a * b, i-k-j order (streams b and out contiguously);
+/// out row must start zeroed. Each out element accumulates in k-ascending
+/// order — the same chain every packed/tiled variant below uses.
 inline void matmul_row(const Matrix& a, const Matrix& b, Matrix& out,
                        std::size_t i) {
   const float* arow = a.row(i);
   float* orow = out.row(i);
   for (std::size_t k = 0; k < a.cols(); ++k) {
     const float aik = arow[k];
-    if (aik == 0.0f) continue;
     const float* brow = b.row(k);
     for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
   }
@@ -54,7 +89,7 @@ __attribute__((always_inline)) inline void matmul_transb_row(
   }
 }
 
-/// Panel width of the packed out = a * bᵀ kernel (output columns per tile).
+/// Panel width of the packed kernels (output columns per tile).
 constexpr std::size_t kPanelCols = 8;
 
 /// Pack b (the weight matrix of out = a * bᵀ) into 8-row k-major panels:
@@ -73,6 +108,25 @@ void pack_transb_panels(const Matrix& b, std::vector<float>& packed) {
     for (std::size_t k = 0; k < cols; ++k) {
       for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
         panel[kPanelCols * k + jj] = b.row(kPanelCols * jp + jj)[k];
+      }
+    }
+  }
+}
+
+/// Pack the B operand (K×C) of the *plain* product out = a·b into the
+/// same 8-column k-major panel layout: panel jp holds b columns
+/// [8jp, 8jp+8) interleaved as [k][jj]. Identical consumption pattern to
+/// the transb panels, so the compute kernels mirror each other.
+void pack_matmul_b_panels(const Matrix& b, std::vector<float>& packed) {
+  const std::size_t kn = b.rows();
+  const std::size_t panels = b.cols() / kPanelCols;
+  packed.resize(panels * kn * kPanelCols);
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    float* panel = packed.data() + jp * kn * kPanelCols;
+    for (std::size_t k = 0; k < kn; ++k) {
+      const float* brow = b.row(k) + kPanelCols * jp;
+      for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+        panel[kPanelCols * k + jj] = brow[jj];
       }
     }
   }
@@ -139,6 +193,142 @@ __attribute__((always_inline)) inline void matmul_transb_rows_packed(
   for (; i < i1; ++i) matmul_transb_row(a, b, out, i);
 }
 
+/// Rows [i0, i1) of out = a * b with b pre-packed into 8-column k-major
+/// panels. Same 4-row × 8-column register tiling as the transb kernel;
+/// every out element keeps the k-ascending chain of matmul_row, so the
+/// packed, row-at-a-time, and any row-blocked parallel variants all agree
+/// bit for bit.
+inline void matmul_rows_bpacked(const Matrix& a, const Matrix& b,
+                                const float* packed, Matrix& out,
+                                std::size_t i0, std::size_t i1) {
+  const std::size_t kn = a.cols();
+  const std::size_t cn = b.cols();
+  const std::size_t panels = cn / kPanelCols;
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const float* panel = packed + jp * kn * kPanelCols;
+      float acc0[kPanelCols] = {}, acc1[kPanelCols] = {};
+      float acc2[kPanelCols] = {}, acc3[kPanelCols] = {};
+      for (std::size_t k = 0; k < kn; ++k) {
+        const float* bv = panel + kPanelCols * k;
+        const float av0 = a0[k], av1 = a1[k], av2 = a2[k], av3 = a3[k];
+        for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+          acc0[jj] += av0 * bv[jj];
+          acc1[jj] += av1 * bv[jj];
+          acc2[jj] += av2 * bv[jj];
+          acc3[jj] += av3 * bv[jj];
+        }
+      }
+      float* o0 = out.row(i) + kPanelCols * jp;
+      float* o1 = out.row(i + 1) + kPanelCols * jp;
+      float* o2 = out.row(i + 2) + kPanelCols * jp;
+      float* o3 = out.row(i + 3) + kPanelCols * jp;
+      for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+        o0[jj] = acc0[jj];
+        o1[jj] = acc1[jj];
+        o2[jj] = acc2[jj];
+        o3[jj] = acc3[jj];
+      }
+    }
+    for (std::size_t j = kPanelCols * panels; j < cn; ++j) {
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t k = 0; k < kn; ++k) {
+        const float bk = b.row(k)[j];
+        d0 += a0[k] * bk;
+        d1 += a1[k] * bk;
+        d2 += a2[k] * bk;
+        d3 += a3[k] * bk;
+      }
+      out.row(i)[j] = d0;
+      out.row(i + 1)[j] = d1;
+      out.row(i + 2)[j] = d2;
+      out.row(i + 3)[j] = d3;
+    }
+  }
+  for (; i < i1; ++i) matmul_row(a, b, out, i);
+}
+
+/// Column block [c0, c1) of out += aᵀ * b, register-tiled 4 out-rows × 8
+/// out-columns. Each out element adds a partial sum accumulated from zero
+/// in r-ascending order (then one `out += sum`), so the result is
+/// independent of the k/c tiling and of any column-block parallel split.
+inline void transa_acc_block(const Matrix& a, const Matrix& b, Matrix& out,
+                             std::size_t c0, std::size_t c1) {
+  const std::size_t rn = a.rows();
+  const std::size_t kn = a.cols();
+  std::size_t k = 0;
+  for (; k + 4 <= kn; k += 4) {
+    std::size_t c = c0;
+    for (; c + kPanelCols <= c1; c += kPanelCols) {
+      float acc0[kPanelCols] = {}, acc1[kPanelCols] = {};
+      float acc2[kPanelCols] = {}, acc3[kPanelCols] = {};
+      for (std::size_t r = 0; r < rn; ++r) {
+        const float* ar = a.row(r) + k;
+        const float* bv = b.row(r) + c;
+        const float a0 = ar[0], a1 = ar[1], a2 = ar[2], a3 = ar[3];
+        for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+          acc0[jj] += a0 * bv[jj];
+          acc1[jj] += a1 * bv[jj];
+          acc2[jj] += a2 * bv[jj];
+          acc3[jj] += a3 * bv[jj];
+        }
+      }
+      float* o0 = out.row(k) + c;
+      float* o1 = out.row(k + 1) + c;
+      float* o2 = out.row(k + 2) + c;
+      float* o3 = out.row(k + 3) + c;
+      for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+        o0[jj] += acc0[jj];
+        o1[jj] += acc1[jj];
+        o2[jj] += acc2[jj];
+        o3[jj] += acc3[jj];
+      }
+    }
+    for (; c < c1; ++c) {
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t r = 0; r < rn; ++r) {
+        const float* ar = a.row(r) + k;
+        const float bc = b.row(r)[c];
+        d0 += ar[0] * bc;
+        d1 += ar[1] * bc;
+        d2 += ar[2] * bc;
+        d3 += ar[3] * bc;
+      }
+      out.row(k)[c] += d0;
+      out.row(k + 1)[c] += d1;
+      out.row(k + 2)[c] += d2;
+      out.row(k + 3)[c] += d3;
+    }
+  }
+  for (; k < kn; ++k) {
+    std::size_t c = c0;
+    for (; c + kPanelCols <= c1; c += kPanelCols) {
+      float acc[kPanelCols] = {};
+      for (std::size_t r = 0; r < rn; ++r) {
+        const float ak = a.row(r)[k];
+        const float* bv = b.row(r) + c;
+        for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+          acc[jj] += ak * bv[jj];
+        }
+      }
+      float* orow = out.row(k) + c;
+      for (std::size_t jj = 0; jj < kPanelCols; ++jj) orow[jj] += acc[jj];
+    }
+    for (; c < c1; ++c) {
+      float d = 0.0f;
+      for (std::size_t r = 0; r < rn; ++r) {
+        d += a.row(r)[k] * b.row(r)[c];
+      }
+      out.row(k)[c] += d;
+    }
+  }
+}
+
 /// Minimum a-row count before packing b into panels pays for itself; below
 /// this the plain row kernel is used (a 1-window batch never packs).
 constexpr std::size_t kPackMinRows = 8;
@@ -147,15 +337,16 @@ constexpr std::size_t kPackMinRows = 8;
 /// parallel fan-out; workers only read it).
 thread_local std::vector<float> tl_packed_b;
 
-// ISA dispatch for the out = a * bᵀ kernels. Both the single-row reference
-// kernel and the packed batch kernel are cloned for AVX2+FMA, and BOTH
-// take the same runtime branch: every accumulator chain then uses fused
-// multiply-add on every path, so a window scored alone still matches a
-// window scored inside a fused batch bit for bit. (Results may differ
-// between machines with and without FMA — determinism is per-machine, the
-// same guarantee the baseline kernels give.)
-#if defined(__x86_64__) && defined(__GNUC__)
-#define NFV_X86_MULTIVERSION 1
+// ISA dispatch for the packed kernels. Both the single-row reference
+// kernels and the packed batch kernels are cloned for AVX2+FMA, and ALL
+// take the same runtime branch (simd_kernels_enabled): every accumulator
+// chain then uses fused multiply-add on every path, so a window scored
+// alone still matches a window scored inside a fused batch bit for bit,
+// and a gradient accumulated serially matches any tiled/parallel variant.
+// (Results may differ between machines with and without FMA — and between
+// the default and NFVPRED_NO_AVX2 modes — determinism is per-machine and
+// per-mode, the same guarantee the baseline kernels give.)
+#ifdef NFV_X86_MULTIVERSION
 
 /// One row of out = a * bᵀ with every chain step an explicit fused
 /// multiply-add (`__builtin_fmaf` = one vfmadd instruction under the fma
@@ -178,6 +369,26 @@ __attribute__((always_inline)) inline void transb_row_fma_body(
 __attribute__((target("avx2,fma"))) void matmul_transb_row_fma(
     const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
   transb_row_fma_body(a, b, out, i);
+}
+
+/// One row of out = a * b with explicit fused multiply-adds, the scalar
+/// reference for the packed FMA kernel below.
+__attribute__((always_inline)) inline void matmul_row_fma_body(
+    const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
+  const float* arow = a.row(i);
+  float* orow = out.row(i);
+  for (std::size_t k = 0; k < a.cols(); ++k) {
+    const float aik = arow[k];
+    const float* brow = b.row(k);
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      orow[j] = __builtin_fmaf(aik, brow[j], orow[j]);
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void matmul_row_fma(
+    const Matrix& a, const Matrix& b, Matrix& out, std::size_t i) {
+  matmul_row_fma_body(a, b, out, i);
 }
 
 /// Hand-vectorized AVX2+FMA packed kernel: one 256-bit fmadd per
@@ -233,17 +444,131 @@ __attribute__((target("avx2,fma"))) void matmul_transb_rows_packed_fma(
   for (; i < i1; ++i) transb_row_fma_body(a, b, out, i);
 }
 
-bool has_avx2_fma() {
-  static const bool value =
-      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-  return value;
+/// AVX2+FMA clone of matmul_rows_bpacked (plain out = a·b, packed B).
+__attribute__((target("avx2,fma"))) void matmul_rows_bpacked_fma(
+    const Matrix& a, const Matrix& b, const float* packed, Matrix& out,
+    std::size_t i0, std::size_t i1) {
+  const std::size_t kn = a.cols();
+  const std::size_t cn = b.cols();
+  const std::size_t panels = cn / kPanelCols;
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const float* panel = packed + jp * kn * kPanelCols;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      for (std::size_t k = 0; k < kn; ++k) {
+        const __m256 bv = _mm256_loadu_ps(panel + kPanelCols * k);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[k]), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[k]), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[k]), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[k]), bv, acc3);
+      }
+      _mm256_storeu_ps(out.row(i) + kPanelCols * jp, acc0);
+      _mm256_storeu_ps(out.row(i + 1) + kPanelCols * jp, acc1);
+      _mm256_storeu_ps(out.row(i + 2) + kPanelCols * jp, acc2);
+      _mm256_storeu_ps(out.row(i + 3) + kPanelCols * jp, acc3);
+    }
+    for (std::size_t j = kPanelCols * panels; j < cn; ++j) {
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t k = 0; k < kn; ++k) {
+        const float bk = b.row(k)[j];
+        d0 = __builtin_fmaf(a0[k], bk, d0);
+        d1 = __builtin_fmaf(a1[k], bk, d1);
+        d2 = __builtin_fmaf(a2[k], bk, d2);
+        d3 = __builtin_fmaf(a3[k], bk, d3);
+      }
+      out.row(i)[j] = d0;
+      out.row(i + 1)[j] = d1;
+      out.row(i + 2)[j] = d2;
+      out.row(i + 3)[j] = d3;
+    }
+  }
+  for (; i < i1; ++i) matmul_row_fma_body(a, b, out, i);
+}
+
+/// AVX2+FMA clone of transa_acc_block (weight-gradient accumulation). The
+/// 4×8 register tile becomes four ymm accumulators fed by one broadcast
+/// fmadd per (r, out-row); the final `out += sum` is one vector add per
+/// lane, matching the scalar epilogue exactly.
+__attribute__((target("avx2,fma"))) void transa_acc_block_fma(
+    const Matrix& a, const Matrix& b, Matrix& out, std::size_t c0,
+    std::size_t c1) {
+  const std::size_t rn = a.rows();
+  const std::size_t kn = a.cols();
+  std::size_t k = 0;
+  for (; k + 4 <= kn; k += 4) {
+    std::size_t c = c0;
+    for (; c + kPanelCols <= c1; c += kPanelCols) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      for (std::size_t r = 0; r < rn; ++r) {
+        const float* ar = a.row(r) + k;
+        const __m256 bv = _mm256_loadu_ps(b.row(r) + c);
+        acc0 = _mm256_fmadd_ps(_mm256_set1_ps(ar[0]), bv, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_set1_ps(ar[1]), bv, acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_set1_ps(ar[2]), bv, acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_set1_ps(ar[3]), bv, acc3);
+      }
+      float* o0 = out.row(k) + c;
+      float* o1 = out.row(k + 1) + c;
+      float* o2 = out.row(k + 2) + c;
+      float* o3 = out.row(k + 3) + c;
+      _mm256_storeu_ps(o0, _mm256_add_ps(_mm256_loadu_ps(o0), acc0));
+      _mm256_storeu_ps(o1, _mm256_add_ps(_mm256_loadu_ps(o1), acc1));
+      _mm256_storeu_ps(o2, _mm256_add_ps(_mm256_loadu_ps(o2), acc2));
+      _mm256_storeu_ps(o3, _mm256_add_ps(_mm256_loadu_ps(o3), acc3));
+    }
+    for (; c < c1; ++c) {
+      float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+      for (std::size_t r = 0; r < rn; ++r) {
+        const float* ar = a.row(r) + k;
+        const float bc = b.row(r)[c];
+        d0 = __builtin_fmaf(ar[0], bc, d0);
+        d1 = __builtin_fmaf(ar[1], bc, d1);
+        d2 = __builtin_fmaf(ar[2], bc, d2);
+        d3 = __builtin_fmaf(ar[3], bc, d3);
+      }
+      out.row(k)[c] += d0;
+      out.row(k + 1)[c] += d1;
+      out.row(k + 2)[c] += d2;
+      out.row(k + 3)[c] += d3;
+    }
+  }
+  for (; k < kn; ++k) {
+    std::size_t c = c0;
+    for (; c + kPanelCols <= c1; c += kPanelCols) {
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t r = 0; r < rn; ++r) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(a.row(r)[k]),
+                              _mm256_loadu_ps(b.row(r) + c), acc);
+      }
+      float* orow = out.row(k) + c;
+      _mm256_storeu_ps(orow, _mm256_add_ps(_mm256_loadu_ps(orow), acc));
+    }
+    for (; c < c1; ++c) {
+      float d = 0.0f;
+      for (std::size_t r = 0; r < rn; ++r) {
+        d = __builtin_fmaf(a.row(r)[k], b.row(r)[c], d);
+      }
+      out.row(k)[c] += d;
+    }
+  }
 }
 #endif
 
 void transb_row_dispatch(const Matrix& a, const Matrix& b, Matrix& out,
                          std::size_t i) {
 #ifdef NFV_X86_MULTIVERSION
-  if (has_avx2_fma()) {
+  if (simd_kernels_enabled()) {
     matmul_transb_row_fma(a, b, out, i);
     return;
   }
@@ -255,7 +580,7 @@ void transb_rows_packed_dispatch(const Matrix& a, const Matrix& b,
                                  const float* packed, Matrix& out,
                                  std::size_t i0, std::size_t i1) {
 #ifdef NFV_X86_MULTIVERSION
-  if (has_avx2_fma()) {
+  if (simd_kernels_enabled()) {
     matmul_transb_rows_packed_fma(a, b, packed, out, i0, i1);
     return;
   }
@@ -263,24 +588,54 @@ void transb_rows_packed_dispatch(const Matrix& a, const Matrix& b,
   matmul_transb_rows_packed(a, b, packed, out, i0, i1);
 }
 
-/// Column block [c0, c1) of out += aᵀ * b. Each out element accumulates in
-/// the same r-ascending order as the serial kernel.
-inline void transa_accumulate_cols(const Matrix& a, const Matrix& b,
-                                   Matrix& out, std::size_t c0,
-                                   std::size_t c1) {
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row(r);
-    const float* brow = b.row(r);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float ark = arow[k];
-      if (ark == 0.0f) continue;
-      float* orow = out.row(k);
-      for (std::size_t c = c0; c < c1; ++c) orow[c] += ark * brow[c];
-    }
+void matmul_row_dispatch(const Matrix& a, const Matrix& b, Matrix& out,
+                         std::size_t i) {
+#ifdef NFV_X86_MULTIVERSION
+  if (simd_kernels_enabled()) {
+    matmul_row_fma(a, b, out, i);
+    return;
   }
+#endif
+  matmul_row(a, b, out, i);
+}
+
+void matmul_rows_bpacked_dispatch(const Matrix& a, const Matrix& b,
+                                  const float* packed, Matrix& out,
+                                  std::size_t i0, std::size_t i1) {
+#ifdef NFV_X86_MULTIVERSION
+  if (simd_kernels_enabled()) {
+    matmul_rows_bpacked_fma(a, b, packed, out, i0, i1);
+    return;
+  }
+#endif
+  matmul_rows_bpacked(a, b, packed, out, i0, i1);
+}
+
+void transa_acc_block_dispatch(const Matrix& a, const Matrix& b, Matrix& out,
+                               std::size_t c0, std::size_t c1) {
+#ifdef NFV_X86_MULTIVERSION
+  if (simd_kernels_enabled()) {
+    transa_acc_block_fma(a, b, out, c0, c1);
+    return;
+  }
+#endif
+  transa_acc_block(a, b, out, c0, c1);
 }
 
 }  // namespace
+
+bool simd_kernels_enabled() {
+  return simd_flag().load(std::memory_order_relaxed);
+}
+
+void set_simd_kernels_enabled(bool enabled) {
+#ifdef NFV_X86_MULTIVERSION
+  simd_flag().store(enabled && has_avx2_fma(), std::memory_order_relaxed);
+#else
+  (void)enabled;
+  simd_flag().store(false, std::memory_order_relaxed);
+#endif
+}
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -329,7 +684,14 @@ void matmul_serial(const Matrix& a, const Matrix& b, Matrix& out) {
   NFV_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch: "
                                       << a.cols() << " vs " << b.rows());
   out.resize(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) matmul_row(a, b, out, i);
+  if (a.rows() < kPackMinRows) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      matmul_row_dispatch(a, b, out, i);
+    }
+    return;
+  }
+  pack_matmul_b_panels(b, tl_packed_b);
+  matmul_rows_bpacked_dispatch(a, b, tl_packed_b.data(), out, 0, a.rows());
 }
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -340,8 +702,43 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
     return;
   }
   out.resize(a.rows(), b.cols());
-  nfv::util::global_pool().parallel_for(
-      0, a.rows(), [&](std::size_t i) { matmul_row(a, b, out, i); });
+  // Pack once on the calling thread; row blocks keep the 4×8 tiling inside
+  // each parallel task. Every task writes only its own rows and every
+  // accumulator chain keeps its k-order, so the result matches the serial
+  // kernel bit for bit regardless of thread count.
+  pack_matmul_b_panels(b, tl_packed_b);
+  const float* packed = tl_packed_b.data();
+  constexpr std::size_t kRowBlock = 16;
+  const std::size_t blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+  nfv::util::global_pool().parallel_for(0, blocks, [&](std::size_t bi) {
+    const std::size_t i0 = bi * kRowBlock;
+    matmul_rows_bpacked_dispatch(a, b, packed, out, i0,
+                                 std::min(i0 + kRowBlock, a.rows()));
+  });
+}
+
+void pack_matmul_b(const Matrix& b, std::vector<float>& packed) {
+  pack_matmul_b_panels(b, packed);
+}
+
+void matmul_packed(const Matrix& a, const Matrix& b,
+                   const std::vector<float>& packed, Matrix& out) {
+  NFV_CHECK(a.cols() == b.rows(), "matmul_packed inner-dimension mismatch: "
+                                      << a.cols() << " vs " << b.rows());
+  NFV_CHECK(packed.size() == (b.cols() / kPanelCols) * b.rows() * kPanelCols,
+            "matmul_packed: packed buffer does not match b (repack needed)");
+  out.resize(a.rows(), b.cols());
+  if (!use_parallel(a.rows() * a.cols() * b.cols())) {
+    matmul_rows_bpacked_dispatch(a, b, packed.data(), out, 0, a.rows());
+    return;
+  }
+  constexpr std::size_t kRowBlock = 16;
+  const std::size_t blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+  nfv::util::global_pool().parallel_for(0, blocks, [&](std::size_t bi) {
+    const std::size_t i0 = bi * kRowBlock;
+    matmul_rows_bpacked_dispatch(a, b, packed.data(), out, i0,
+                                 std::min(i0 + kRowBlock, a.rows()));
+  });
 }
 
 void matmul_transb_serial(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -388,7 +785,7 @@ void matmul_transa_accumulate_serial(const Matrix& a, const Matrix& b,
                                                       << b.rows());
   NFV_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
             "matmul_transa_accumulate output shape mismatch");
-  transa_accumulate_cols(a, b, out, 0, b.cols());
+  transa_acc_block_dispatch(a, b, out, 0, b.cols());
 }
 
 void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
@@ -398,7 +795,7 @@ void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   NFV_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
             "matmul_transa_accumulate output shape mismatch");
   if (!use_parallel(a.rows() * a.cols() * b.cols())) {
-    transa_accumulate_cols(a, b, out, 0, b.cols());
+    transa_acc_block_dispatch(a, b, out, 0, b.cols());
     return;
   }
   nfv::util::ThreadPool& pool = nfv::util::global_pool();
@@ -407,7 +804,7 @@ void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   pool.parallel_for(0, blocks, [&](std::size_t bi) {
     const std::size_t c0 = bi * block;
     const std::size_t c1 = std::min(c0 + block, b.cols());
-    if (c0 < c1) transa_accumulate_cols(a, b, out, c0, c1);
+    if (c0 < c1) transa_acc_block_dispatch(a, b, out, c0, c1);
   });
 }
 

@@ -56,12 +56,40 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// Runtime switch for the AVX2+FMA kernel dispatch shared by every packed
+/// kernel in this file (scoring *and* training take the same branch).
+/// Defaults to true when the CPU supports AVX2+FMA and the environment
+/// variable NFVPRED_NO_AVX2 is unset; setting it to false forces the
+/// baseline (unfused) kernels everywhere — the A/B escape hatch used by
+/// the `--no-avx2` bench flags and the determinism tests. Results are
+/// bit-identical across thread counts *within* either mode; the two modes
+/// may differ from each other exactly as two machines with and without
+/// FMA would.
+bool simd_kernels_enabled();
+void set_simd_kernels_enabled(bool enabled);
+
 /// out = a (R×K) * b (K×C). `out` is resized and overwritten. Above a
 /// work threshold the rows are computed in parallel blocks on the global
 /// thread pool (bit-identical to the serial kernel: each output row is an
 /// independent slot computed in the same k-order); inside an already
-/// parallel region the serial kernel is used.
+/// parallel region the serial kernel is used. For R ≥ 8 rows the B
+/// operand is packed into 8-column k-major panels (same layout machinery
+/// as matmul_transb) and a 4-row × 8-column register-tiled kernel is used;
+/// every accumulator chain keeps the k-ascending order, so packed and
+/// row-at-a-time results match bit for bit.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Pack the B operand (K×C) of out = a·b into 8-column k-major panels for
+/// matmul_packed. Pack cost is O(b.size()); pre-packing pays off when the
+/// same B multiplies many A matrices — e.g. the per-timestep
+/// dgates_t × W products of BPTT, which share one weight matrix across
+/// the whole sequence.
+void pack_matmul_b(const Matrix& b, std::vector<float>& packed);
+
+/// out = a·b with `packed` previously produced by pack_matmul_b(b).
+/// Bit-identical to matmul(a, b, out) for any row count and thread count.
+void matmul_packed(const Matrix& a, const Matrix& b,
+                   const std::vector<float>& packed, Matrix& out);
 
 /// out = a (R×K) * bᵀ where b is (C×K). The natural layout for y = x·Wᵀ
 /// with weight matrices stored as (out_features × in_features). Same
@@ -70,8 +98,10 @@ void matmul_transb(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out += aᵀ (K×R stored as R×K) * b (R×C) — i.e. out (K×C) accumulates
 /// gradient contributions Σ_r a[r]ᵀ b[r]. Used for weight gradients.
-/// Parallelized over blocks of output *columns* (each element keeps the
-/// serial r-ascending accumulation order, so results stay bit-identical).
+/// Register-tiled 4-row × 8-column kernel with AVX2+FMA dispatch: each
+/// out element adds a sum accumulated from zero in r-ascending order, so
+/// any tiling and any column-block parallel split produce the same bits.
+/// Parallelized over blocks of output *columns*.
 void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// Serial reference kernels: always single-threaded, used by the parallel

@@ -1,8 +1,11 @@
 #include "ml/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nfv::ml {
 
@@ -53,6 +56,35 @@ void Adam::bind(std::vector<Param*> params) {
   }
 }
 
+void Adam::rebind(std::vector<Param*> params) {
+  if (params_.empty()) {
+    bind(std::move(params));
+    return;
+  }
+  NFV_CHECK(params.size() == m_.size(),
+            "Adam::rebind parameter count changed: " << params.size()
+                                                     << " vs " << m_.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Matrix& value = params[i]->value;
+    if (m_[i].rows() == value.rows() && m_[i].cols() == value.cols()) {
+      continue;
+    }
+    // Shape changed (grow_vocab): keep the moments of surviving weights,
+    // start the new rows/columns from zero like a fresh bind would.
+    Matrix m_new(value.rows(), value.cols());
+    Matrix v_new(value.rows(), value.cols());
+    const std::size_t rn = std::min(m_[i].rows(), m_new.rows());
+    const std::size_t cn = std::min(m_[i].cols(), m_new.cols());
+    for (std::size_t r = 0; r < rn; ++r) {
+      std::memcpy(m_new.row(r), m_[i].row(r), cn * sizeof(float));
+      std::memcpy(v_new.row(r), v_[i].row(r), cn * sizeof(float));
+    }
+    m_[i] = std::move(m_new);
+    v_[i] = std::move(v_new);
+  }
+  params_ = std::move(params);
+}
+
 void Adam::step() {
   NFV_CHECK(!params_.empty(), "Adam::step before bind");
   ++t_;
@@ -71,12 +103,27 @@ void Adam::step() {
     float* g = p.grad.data();
     float* w = p.value.data();
     const std::size_t n = p.value.size();
-    for (std::size_t j = 0; j < n; ++j) {
-      mv[j] = beta1_ * mv[j] + (1.0f - beta1_) * g[j];
-      vv[j] = beta2_ * vv[j] + (1.0f - beta2_) * g[j] * g[j];
-      const float mhat = mv[j] / bias1;
-      const float vhat = vv[j] / bias2;
-      w[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    const auto update = [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        mv[j] = beta1_ * mv[j] + (1.0f - beta1_) * g[j];
+        vv[j] = beta2_ * vv[j] + (1.0f - beta2_) * g[j] * g[j];
+        const float mhat = mv[j] / bias1;
+        const float vhat = vv[j] / bias2;
+        w[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+      }
+    };
+    // Every element's update is independent, so chunking over the pool is
+    // slot-addressed and bit-identical to the serial sweep. Only the big
+    // tensors (embedding table, output head) clear the bar.
+    constexpr std::size_t kChunk = 16384;
+    if (n >= 2 * kChunk && !nfv::util::ThreadPool::in_parallel_region() &&
+        nfv::util::global_pool().size() > 1) {
+      const std::size_t chunks = (n + kChunk - 1) / kChunk;
+      nfv::util::global_pool().parallel_for(0, chunks, [&](std::size_t ci) {
+        update(ci * kChunk, std::min((ci + 1) * kChunk, n));
+      });
+    } else {
+      update(0, n);
     }
     p.zero_grad();
   }

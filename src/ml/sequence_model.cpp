@@ -9,6 +9,7 @@
 #include "ml/loss.h"
 #include "ml/serialize.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nfv::ml {
 
@@ -86,8 +87,8 @@ double SequenceModel::forward_backward(
   const std::size_t batch_size = batch.size();
 
   // All scratch lives on the model and is reused batch after batch.
-  std::vector<Matrix>& inputs = train_inputs_;
-  std::vector<std::vector<std::int32_t>>& ids_steps = train_ids_;
+  std::vector<Matrix>& inputs = train_scratch_.inputs;
+  std::vector<std::vector<std::int32_t>>& ids_steps = train_scratch_.ids;
   build_inputs(batch.data(), batch_size, inputs, &ids_steps);
 
   // Forward through the LSTM stack.
@@ -97,16 +98,16 @@ double SequenceModel::forward_backward(
   }
   const Matrix& logits = output_.forward(hidden->back());
 
-  train_targets_.resize(batch_size);
+  train_scratch_.targets.resize(batch_size);
   for (std::size_t r = 0; r < batch_size; ++r) {
-    train_targets_[r] = batch[r]->target;
+    train_scratch_.targets[r] = batch[r]->target;
   }
-  const double loss =
-      softmax_cross_entropy(logits, train_targets_, train_grad_logits_);
+  const double loss = softmax_cross_entropy(logits, train_scratch_.targets,
+                                            train_scratch_.grad_logits);
 
   // Backward: dense head, then the LSTM stack top-down.
-  const Matrix& dh_last = output_.backward(train_grad_logits_);
-  std::vector<Matrix>& grad_hidden = train_grad_hidden_;
+  const Matrix& dh_last = output_.backward(train_scratch_.grad_logits);
+  std::vector<Matrix>& grad_hidden = train_scratch_.grad_hidden;
   if (grad_hidden.size() != k) grad_hidden.assign(k, Matrix());
   for (std::size_t t = 0; t < k; ++t) {
     grad_hidden[t].resize(batch_size, config_.hidden);
@@ -117,16 +118,39 @@ double SequenceModel::forward_backward(
     grad_below = &lstm_layers_[l].backward(*grad_below);
   }
 
-  // Scatter input gradients back into the embedding table.
+  // Scatter input gradients back into the embedding table, sharded by
+  // destination: each task owns a block of vocab rows and scans every
+  // (t, r) pair for ids landing in its block. A table row therefore
+  // accumulates its contributions in exactly the serial (t, r) order no
+  // matter how many threads run, and no two tasks touch the same row.
   Matrix& table_grad = embedding_.table().grad;
-  for (std::size_t t = 0; t < k; ++t) {
-    const Matrix& dx = (*grad_below)[t];
-    for (std::size_t r = 0; r < batch_size; ++r) {
-      float* grad_row = table_grad.row(
-          static_cast<std::size_t>(ids_steps[t][r]));
-      const float* g = dx.row(r);
-      for (std::size_t c = 0; c < config_.embed_dim; ++c) grad_row[c] += g[c];
+  const std::size_t embed_dim = config_.embed_dim;
+  const auto scatter_rows = [&](std::size_t v0, std::size_t v1) {
+    for (std::size_t t = 0; t < k; ++t) {
+      const Matrix& dx = (*grad_below)[t];
+      const std::int32_t* ids = ids_steps[t].data();
+      for (std::size_t r = 0; r < batch_size; ++r) {
+        const auto id = static_cast<std::size_t>(ids[r]);
+        if (id < v0 || id >= v1) continue;
+        float* grad_row = table_grad.row(id);
+        const float* g = dx.row(r);
+        for (std::size_t c = 0; c < embed_dim; ++c) grad_row[c] += g[c];
+      }
     }
+  };
+  const std::size_t vocab = embedding_.vocab();
+  nfv::util::ThreadPool& pool = nfv::util::global_pool();
+  // Each task rescans all (t, r) pairs, so the fan-out only pays off once
+  // the scatter moves a few hundred KMACs of row additions.
+  if (!nfv::util::ThreadPool::in_parallel_region() && pool.size() > 1 &&
+      k * batch_size * embed_dim >= (1u << 18)) {
+    const std::size_t blocks = std::min(vocab, pool.size() * 2);
+    const std::size_t block = (vocab + blocks - 1) / blocks;
+    pool.parallel_for(0, blocks, [&](std::size_t bi) {
+      scatter_rows(bi * block, std::min((bi + 1) * block, vocab));
+    });
+  } else {
+    scatter_rows(0, vocab);
   }
   return loss;
 }

@@ -103,6 +103,18 @@ class SequenceModel {
                            std::size_t batch_size, InferenceScratch& scratch,
                            std::span<std::size_t> out) const;
 
+  /// Reusable buffers for the training path — the mirror of
+  /// InferenceScratch: once shapes have stabilized,
+  /// forward_backward/train_batch perform no steady-state heap allocation
+  /// (the LSTM layers hold their own BPTT scratch the same way).
+  struct TrainingScratch {
+    std::vector<Matrix> inputs;                  // k × (B × input_width)
+    std::vector<std::vector<std::int32_t>> ids;  // k × B gathered ids
+    std::vector<std::int32_t> targets;           // B
+    std::vector<Matrix> grad_hidden;             // k × (B × hidden)
+    Matrix grad_logits;
+  };
+
   /// Freeze the embedding and the bottom `n` LSTM layers; the remaining
   /// layers (and the output head) stay trainable. Passing 0 unfreezes all.
   void freeze_lower_layers(std::size_t n);
@@ -136,11 +148,7 @@ class SequenceModel {
 
   // Training-only scratch reused across train_batch calls (hoisted out of
   // the per-batch loop; copying a model simply copies the buffers).
-  std::vector<Matrix> train_inputs_;
-  std::vector<std::vector<std::int32_t>> train_ids_;
-  std::vector<std::int32_t> train_targets_;
-  std::vector<Matrix> train_grad_hidden_;
-  Matrix train_grad_logits_;
+  TrainingScratch train_scratch_;
 };
 
 /// Normalization applied to Δt before it enters the network; exposed for

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nfv::simnet {
 
@@ -68,9 +69,21 @@ FleetTrace simulate_fleet(const FleetConfig& config) {
                     std::make_move_iterator(near_miss_logs.begin()),
                     std::make_move_iterator(near_miss_logs.end()));
 
-  // Background syslogs per vPE, then merge in the fault logs.
+  // Background syslogs per vPE, sharded over the thread pool, then merge
+  // in the fault logs. Rng::fork advances the parent generator, so the
+  // per-vPE streams are forked serially in the same order the serial loop
+  // used; after that every task reads shared state and writes only its own
+  // logs_by_vpe slot, so the trace is byte-identical to a single-threaded
+  // build for any thread count.
   trace.logs_by_vpe.resize(trace.profiles.size());
+  std::vector<Rng> vpe_rngs;
+  vpe_rngs.reserve(trace.profiles.size());
   for (const VpeProfile& profile : trace.profiles) {
+    vpe_rngs.push_back(
+        rng.fork(1000 + static_cast<std::uint64_t>(profile.vpe_id)));
+  }
+  const auto generate_vpe = [&](std::size_t p) {
+    const VpeProfile& profile = trace.profiles[p];
     const auto v = static_cast<std::size_t>(profile.vpe_id);
     std::vector<MaintenanceWindow> windows;
     for (const MaintenanceWindow& w : trace.maintenance) {
@@ -78,9 +91,16 @@ FleetTrace simulate_fleet(const FleetConfig& config) {
     }
     SyslogProcess process(&trace.catalog, &profile,
                           trace.update_time_by_vpe[v], config.syslog,
-                          rng.fork(1000 + static_cast<std::uint64_t>(v)));
+                          vpe_rngs[p]);
     trace.logs_by_vpe[v] =
         process.generate(SimTime::epoch(), trace.horizon, windows);
+  };
+  if (!nfv::util::ThreadPool::in_parallel_region() &&
+      nfv::util::global_pool().size() > 1) {
+    nfv::util::global_pool().parallel_for(0, trace.profiles.size(),
+                                          generate_vpe);
+  } else {
+    for (std::size_t p = 0; p < trace.profiles.size(); ++p) generate_vpe(p);
   }
   for (RawLogRecord& rec : fault_logs) {
     if (rec.time >= trace.horizon || rec.time < SimTime::epoch()) continue;

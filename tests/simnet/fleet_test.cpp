@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 #include <algorithm>
 #include <map>
@@ -35,6 +36,37 @@ TEST(Fleet, DeterministicInSeed) {
     EXPECT_EQ(a.tickets[i].category, b.tickets[i].category);
   }
   EXPECT_EQ(a.logs_by_vpe[0][100].text, b.logs_by_vpe[0][100].text);
+}
+
+TEST(Fleet, ShardedTraceByteIdenticalToSerial) {
+  // The per-vPE syslog generation fans out over the thread pool; the trace
+  // must stay byte-identical to the single-threaded build. Full 38-vPE
+  // fleet (the paper's deployment), short horizon to bound runtime.
+  FleetConfig config;
+  config.seed = 37;
+  config.months = 2;
+  config.syslog.gap_scale = 8.0;
+  nfv::util::set_global_threads(1);
+  const FleetTrace serial = simulate_fleet(config);
+  nfv::util::set_global_threads(4);
+  const FleetTrace sharded = simulate_fleet(config);
+  nfv::util::set_global_threads(0);  // back to the environment default
+  ASSERT_EQ(serial.num_vpes(), 38);
+  ASSERT_EQ(serial.logs_by_vpe.size(), sharded.logs_by_vpe.size());
+  for (std::size_t v = 0; v < serial.logs_by_vpe.size(); ++v) {
+    const auto& a = serial.logs_by_vpe[v];
+    const auto& b = sharded.logs_by_vpe[v];
+    ASSERT_EQ(a.size(), b.size()) << "vPE " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].time, b[i].time) << "vPE " << v << " record " << i;
+      ASSERT_EQ(a[i].vpe, b[i].vpe) << "vPE " << v << " record " << i;
+      ASSERT_EQ(a[i].text, b[i].text) << "vPE " << v << " record " << i;
+      ASSERT_EQ(a[i].true_template, b[i].true_template)
+          << "vPE " << v << " record " << i;
+      ASSERT_EQ(a[i].anomalous, b[i].anomalous)
+          << "vPE " << v << " record " << i;
+    }
+  }
 }
 
 TEST(Fleet, DifferentSeedsDiffer) {

@@ -15,6 +15,10 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
+echo "=== training fast path: bench smoke ==="
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_training_throughput
+"$ROOT/build/bench/bench_training_throughput" --smoke
+
 echo "=== TSan: concurrency label ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency

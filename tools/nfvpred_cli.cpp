@@ -91,6 +91,8 @@ void usage() {
       " [--tickets FILE]\n"
       "  mine     --logs FILE [--max N]\n"
       "  train    --logs FILE --model FILE [--window K] [--epochs E]\n"
+      "           [--persistent-optimizer 1]  keep Adam moment state\n"
+      "           across the over-sampling refinement rounds\n"
       "  score    --logs FILE --model FILE [--threshold-quantile Q]\n"
       "common options:\n"
       "  --threads N   worker threads for training/scoring kernels\n"
@@ -203,6 +205,8 @@ int cmd_train(const Args& args) {
   config.window = static_cast<std::size_t>(args.get_long("window", 10));
   config.initial_epochs =
       static_cast<std::size_t>(args.get_long("epochs", 4));
+  config.persistent_optimizer =
+      args.get_long("persistent-optimizer", 0) != 0;
   const long score_batch = args.get_long("score-batch", 0);
   if (score_batch < 0) {
     std::cerr << "error: --score-batch must be positive\n";
