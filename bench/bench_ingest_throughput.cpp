@@ -1,0 +1,302 @@
+// Streaming ingest throughput: serial per-line monitors vs the
+// asynchronous ingest runtime.
+//
+// The paper's deployment vision is a runtime system keeping up with the
+// fleet's live syslog rate (§1). This benchmark replays the same 8-vPE
+// parsed-log firehose through:
+//   - serial: one StreamMonitor per vPE, ingest_parsed per line — the
+//     immediate (unbatched, single-threaded) reference;
+//   - async N: AsyncIngest with N shard workers, micro-batched flushes.
+// Warnings are byte-for-byte identical across all modes (per-vPE merge);
+// only lines/sec changes. On a single-core host the win comes from
+// micro-batching (fused GEMMs), not parallelism — worker counts beyond
+// the core count mostly add scheduling overhead, which this benchmark
+// reports honestly.
+//
+// Modes:
+//   --json FILE   interleaved best-of-7 wall-clock summary (lines/sec for
+//                 serial and async at 1 and 4 workers) → BENCH_ingest.json
+//   --smoke       fast correctness gate for tools/ci.sh: assert the async
+//                 warning stream equals the serial one at 1 and 4 workers
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/async_ingest.h"
+#include "core/lstm_detector.h"
+#include "logproc/signature_tree.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace nfv;
+
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kLinesPerShard = 400;
+constexpr std::size_t kVocab = 32;
+constexpr std::size_t kWindow = 4;
+constexpr double kThreshold = 15.0;
+
+std::vector<logproc::ParsedLog> shard_logs(std::size_t shard) {
+  util::Rng rng(900 + shard);
+  std::vector<logproc::ParsedLog> logs;
+  logs.reserve(kLinesPerShard);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < kLinesPerShard; ++i) {
+    t += static_cast<std::int64_t>(rng.exponential(30.0)) + 1;
+    // Occasional adjacent pairs of unknown templates (id >= model vocab)
+    // so every mode produces real warning clusters to agree on.
+    const bool anomaly = i % 97 == 60 || i % 97 == 61;
+    const std::int32_t id =
+        anomaly ? static_cast<std::int32_t>(kVocab)
+                : static_cast<std::int32_t>(rng.uniform_index(kVocab));
+    logs.push_back({util::SimTime{t}, id});
+  }
+  return logs;
+}
+
+struct Fixture {
+  core::LstmDetector detector;
+  std::vector<std::vector<logproc::ParsedLog>> streams;
+  std::size_t total_lines = 0;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    core::LstmDetectorConfig config;
+    config.window = kWindow;
+    config.embed_dim = 8;
+    config.hidden = 16;
+    config.initial_epochs = 1;
+    config.oversample = false;
+    fx.detector = core::LstmDetector(config);
+    util::Rng rng(7);
+    std::vector<logproc::ParsedLog> train;
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < 3000; ++i) {
+      t += static_cast<std::int64_t>(rng.exponential(30.0)) + 1;
+      train.push_back({util::SimTime{t},
+                       static_cast<std::int32_t>(rng.uniform_index(kVocab))});
+    }
+    const core::LogView view{train};
+    fx.detector.fit({&view, 1}, kVocab);
+    fx.streams.reserve(kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      fx.streams.push_back(shard_logs(s));
+      fx.total_lines += fx.streams.back().size();
+    }
+    return fx;
+  }();
+  return f;
+}
+
+core::StreamMonitorConfig monitor_config() {
+  core::StreamMonitorConfig config;
+  config.threshold = kThreshold;
+  config.window = kWindow;
+  return config;
+}
+
+/// Immediate per-line reference: one monitor per vPE, lines interleaved
+/// across vPEs in arrival order. Returns per-vPE warning streams.
+std::vector<std::vector<core::StreamWarning>> run_serial(const Fixture& f) {
+  std::vector<std::vector<core::StreamWarning>> warnings(kShards);
+  std::vector<logproc::SignatureTree> trees(kShards);
+  std::vector<core::StreamMonitor> monitors;
+  monitors.reserve(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    monitors.emplace_back(static_cast<std::int32_t>(s), &f.detector,
+                          &trees[s], monitor_config(),
+                          [&warnings, s](const core::StreamWarning& warning) {
+                            warnings[s].push_back(warning);
+                          });
+  }
+  for (std::size_t i = 0; i < kLinesPerShard; ++i) {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      monitors[s].ingest_parsed(f.streams[s][i]);
+    }
+  }
+  return warnings;
+}
+
+/// Async runtime: same interleaved firehose submitted from this thread,
+/// scored by `workers` shard workers in micro-batches.
+std::vector<core::StreamWarning> run_async(const Fixture& f,
+                                           std::size_t workers) {
+  core::AsyncIngestConfig config;
+  config.workers = workers;
+  config.flush_batch = 64;
+  config.flush_deadline = std::chrono::microseconds(2000);
+  config.single_producer = true;
+  core::AsyncIngest ingest(&f.detector, config);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ingest.add_shard(static_cast<std::int32_t>(s), monitor_config());
+  }
+  ingest.start();
+  for (std::size_t i = 0; i < kLinesPerShard; ++i) {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      ingest.submit_parsed(s, f.streams[s][i]);
+    }
+  }
+  ingest.flush();
+  ingest.stop();
+  std::vector<core::StreamWarning> drained;
+  ingest.drain_warnings(drained);
+  return core::merge_warnings_by_vpe(std::move(drained));
+}
+
+bool same_warnings(const std::vector<std::vector<core::StreamWarning>>& serial,
+                   const std::vector<core::StreamWarning>& merged,
+                   const std::string& label) {
+  std::size_t total = 0;
+  for (const auto& per_vpe : serial) total += per_vpe.size();
+  if (merged.size() != total) {
+    std::cerr << label << ": warning count " << merged.size()
+              << " != serial " << total << "\n";
+    return false;
+  }
+  std::size_t at = 0;
+  for (const auto& per_vpe : serial) {
+    for (const core::StreamWarning& expected : per_vpe) {
+      const core::StreamWarning& actual = merged[at++];
+      if (actual.vpe != expected.vpe ||
+          actual.time.seconds != expected.time.seconds ||
+          actual.anomaly_count != expected.anomaly_count ||
+          actual.peak_score != expected.peak_score ||
+          actual.trigger_template != expected.trigger_template) {
+        std::cerr << label << ": warning " << (at - 1)
+                  << " diverges from serial replay\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void BM_IngestSerial(benchmark::State& state) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_serial(f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.total_lines));
+}
+BENCHMARK(BM_IngestSerial)->Unit(benchmark::kMillisecond);
+
+void BM_IngestAsync(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_async(f, workers));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.total_lines));
+}
+BENCHMARK(BM_IngestAsync)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+template <typename Fn>
+double timed_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = fn();
+  benchmark::DoNotOptimize(result);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+int run_smoke() {
+  const Fixture& f = fixture();
+  const auto serial = run_serial(f);
+  std::size_t total = 0;
+  for (const auto& per_vpe : serial) total += per_vpe.size();
+  if (total == 0) {
+    std::cerr << "smoke: serial replay produced no warnings (vacuous)\n";
+    return 1;
+  }
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    if (!same_warnings(serial, run_async(f, workers),
+                       "async workers=" + std::to_string(workers))) {
+      return 1;
+    }
+  }
+  std::cerr << "smoke ok: " << total << " warnings identical across serial"
+            << " and async (1 and 4 workers)\n";
+  return 0;
+}
+
+int run_json_mode(const std::string& path) {
+  const Fixture& f = fixture();
+  if (run_smoke() != 0) return 1;  // never report numbers for wrong results
+  const double lines = static_cast<double>(f.total_lines);
+  constexpr std::size_t kReps = 7;
+
+  // Interleave the three modes so a burst of external CPU load cannot
+  // penalize only one of them; keep the best (least-disturbed) rep.
+  double serial_best = 1e300, async1_best = 1e300, async4_best = 1e300;
+  run_serial(f);  // warm-up
+  for (std::size_t r = 0; r < kReps; ++r) {
+    serial_best =
+        std::min(serial_best, timed_seconds([&] { return run_serial(f); }));
+    async1_best =
+        std::min(async1_best, timed_seconds([&] { return run_async(f, 1); }));
+    async4_best =
+        std::min(async4_best, timed_seconds([&] { return run_async(f, 4); }));
+  }
+  const double serial_lps = lines / serial_best;
+  const double async1_lps = lines / async1_best;
+  const double async4_lps = lines / async4_best;
+  std::cerr << "serial=" << serial_lps << " lines/s, async(1)=" << async1_lps
+            << " lines/s (" << async1_lps / serial_lps << "x), async(4)="
+            << async4_lps << " lines/s (" << async4_lps / serial_lps
+            << "x)\n";
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  os << "{\n"
+     << "  \"bench\": \"ingest_throughput\",\n"
+     << "  \"shards\": " << kShards << ",\n"
+     << "  \"lines_per_shard\": " << kLinesPerShard << ",\n"
+     << "  \"total_lines\": " << f.total_lines << ",\n"
+     << "  \"window\": " << kWindow << ",\n"
+     << "  \"flush_batch\": 64,\n"
+     << "  \"results\": [\n"
+     << "    {\"mode\": \"serial\", \"lines_per_sec\": " << serial_lps
+     << "},\n"
+     << "    {\"mode\": \"async\", \"workers\": 1, \"lines_per_sec\": "
+     << async1_lps << ", \"speedup\": " << async1_lps / serial_lps << "},\n"
+     << "    {\"mode\": \"async\", \"workers\": 4, \"lines_per_sec\": "
+     << async4_lps << ", \"speedup\": " << async4_lps / serial_lps << "}\n"
+     << "  ]\n}\n";
+  std::cerr << "wrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return run_smoke();
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return run_json_mode(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return run_json_mode(argv[i] + 7);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

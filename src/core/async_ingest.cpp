@@ -1,0 +1,370 @@
+#include "core/async_ingest.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nfv::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+template <typename Queue>
+struct AsyncIngest::IngestQueueImpl final : AsyncIngest::IngestQueue {
+  explicit IngestQueueImpl(std::size_t capacity) : queue(capacity) {}
+  bool try_push(Item&& item) override { return queue.try_push(std::move(item)); }
+  bool push(Item&& item) override { return queue.push(std::move(item)); }
+  bool try_pop(Item& out) override { return queue.try_pop(out); }
+  void close() override { queue.close(); }
+  Queue queue;
+};
+
+AsyncIngest::AsyncIngest(const AnomalyDetector* detector,
+                         AsyncIngestConfig config)
+    : detector_(detector),
+      config_(config),
+      warning_queue_(config.warning_capacity) {
+  NFV_CHECK(detector != nullptr, "AsyncIngest requires a detector");
+  NFV_CHECK(config_.flush_batch >= 1, "flush_batch must be >= 1");
+  NFV_CHECK(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
+}
+
+AsyncIngest::~AsyncIngest() {
+  if (started_) stop();
+}
+
+std::size_t AsyncIngest::add_shard(std::int32_t vpe,
+                                   StreamMonitorConfig config) {
+  NFV_CHECK(!started_, "add_shard after start()");
+  auto shard = std::make_unique<Shard>();
+  shard->vpe = vpe;
+  shard->tree = std::make_unique<logproc::SignatureTree>();
+  Shard* raw = shard.get();
+  shard->monitor = std::make_unique<StreamMonitor>(
+      vpe, detector_.load(std::memory_order_relaxed), shard->tree.get(),
+      config, [this, raw](const StreamWarning& warning) {
+        publish_warning(raw->worker, warning);
+      });
+  shards_.push_back(std::move(shard));
+  return shards_.size() - 1;
+}
+
+void AsyncIngest::start() {
+  NFV_CHECK(!started_, "start() called twice");
+  NFV_CHECK(!shards_.empty(), "start() with no shards registered");
+  worker_count_ = std::min(
+      nfv::util::ThreadPool::resolve_threads(config_.workers),
+      shards_.size());
+  workers_.reserve(worker_count_);
+  for (std::size_t w = 0; w < worker_count_; ++w) {
+    auto worker = std::make_unique<Worker>();
+    if (config_.single_producer) {
+      worker->queue = std::make_unique<
+          IngestQueueImpl<nfv::util::SpscQueue<Item>>>(config_.queue_capacity);
+    } else {
+      worker->queue = std::make_unique<
+          IngestQueueImpl<nfv::util::MpscQueue<Item>>>(config_.queue_capacity);
+    }
+    workers_.push_back(std::move(worker));
+  }
+  // Static per-vPE sharding: a vPE's lines always flow through the same
+  // worker, which is what keeps per-vPE processing order — and with it
+  // the deterministic warning stream — independent of the worker count.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::size_t w = s % worker_count_;
+    shards_[s]->worker = w;
+    workers_[w]->shard_ids.push_back(s);
+  }
+  started_ = true;
+  threads_.start(worker_count_, [this](std::size_t w) { worker_loop(w); });
+}
+
+void AsyncIngest::push_item(std::size_t shard, Item item) {
+  NFV_CHECK(started_ && !stopped_, "submit outside start()..stop()");
+  NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  lines_submitted_.fetch_add(1, std::memory_order_relaxed);
+  const bool pushed =
+      workers_[shards_[shard]->worker]->queue->push(std::move(item));
+  NFV_CHECK(pushed, "submit raced with stop()");
+}
+
+bool AsyncIngest::try_push_item(std::size_t shard, Item&& item) {
+  NFV_CHECK(started_ && !stopped_, "submit outside start()..stop()");
+  NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  if (!workers_[shards_[shard]->worker]->queue->try_push(std::move(item))) {
+    rejected_submits_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lines_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void AsyncIngest::submit(std::size_t shard, nfv::util::SimTime time,
+                         std::string line) {
+  Item item;
+  item.shard = static_cast<std::uint32_t>(shard);
+  item.raw = true;
+  item.log.time = time;
+  item.line = std::move(line);
+  push_item(shard, std::move(item));
+}
+
+bool AsyncIngest::try_submit(std::size_t shard, nfv::util::SimTime time,
+                             std::string line) {
+  Item item;
+  item.shard = static_cast<std::uint32_t>(shard);
+  item.raw = true;
+  item.log.time = time;
+  item.line = std::move(line);
+  return try_push_item(shard, std::move(item));
+}
+
+void AsyncIngest::submit_parsed(std::size_t shard,
+                                const logproc::ParsedLog& log) {
+  Item item;
+  item.shard = static_cast<std::uint32_t>(shard);
+  item.log = log;
+  push_item(shard, std::move(item));
+}
+
+bool AsyncIngest::try_submit_parsed(std::size_t shard,
+                                    const logproc::ParsedLog& log) {
+  Item item;
+  item.shard = static_cast<std::uint32_t>(shard);
+  item.log = log;
+  return try_push_item(shard, std::move(item));
+}
+
+void AsyncIngest::publish_warning(std::size_t worker,
+                                  const StreamWarning& warning) {
+  warnings_published_.fetch_add(1, std::memory_order_relaxed);
+  Worker& w = *workers_[worker];
+  std::lock_guard<std::mutex> lock(w.overflow_mu);
+  // Once a warning spilled, later ones from this worker must spill too
+  // until the caller drains the buffer — pushing them to the (re-emptied)
+  // queue would reorder them ahead of the spilled ones.
+  if (w.overflowing || !warning_queue_.try_push(warning)) {
+    w.overflow.push_back(warning);
+    w.overflowing = true;
+  }
+}
+
+std::size_t AsyncIngest::drain_warnings(std::vector<StreamWarning>& out) {
+  std::size_t count = pending_warnings_.size();
+  out.insert(out.end(), pending_warnings_.begin(), pending_warnings_.end());
+  pending_warnings_.clear();
+  StreamWarning warning;
+  while (warning_queue_.try_pop(warning)) {
+    out.push_back(warning);
+    ++count;
+  }
+  // Queue drained first, then spillovers: everything in a worker's
+  // overflow buffer was published after everything it managed to queue.
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->overflow_mu);
+    count += worker->overflow.size();
+    out.insert(out.end(), worker->overflow.begin(), worker->overflow.end());
+    worker->overflow.clear();
+    worker->overflowing = false;
+  }
+  return count;
+}
+
+void AsyncIngest::drain_queue_into_pending() {
+  StreamWarning warning;
+  while (warning_queue_.try_pop(warning)) {
+    pending_warnings_.push_back(warning);
+  }
+}
+
+void AsyncIngest::quiesce() {
+  epoch_requested_.fetch_add(1, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  while (parked_ < worker_count_) {
+    parked_cv_.wait_for(lock, std::chrono::microseconds(200));
+    // Keep the warning queue moving so workers flushing their final
+    // micro-batches can't wedge on a full queue + full spill pattern.
+    lock.unlock();
+    drain_queue_into_pending();
+    lock.lock();
+  }
+}
+
+void AsyncIngest::release() {
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    epoch_released_ = epoch_requested_.load(std::memory_order_acquire);
+    parked_ = 0;
+  }
+  released_cv_.notify_all();
+}
+
+void AsyncIngest::flush() {
+  NFV_CHECK(started_, "flush() before start()");
+  if (stopped_) return;
+  quiesce();  // workers only park with empty queues and flushed batches
+  release();
+}
+
+void AsyncIngest::swap_detector(const AnomalyDetector* detector) {
+  NFV_CHECK(detector != nullptr, "detector must not be null");
+  NFV_CHECK(started_, "swap_detector() before start()");
+  NFV_CHECK(!stopped_, "swap_detector() after stop()");
+  quiesce();
+  // Workers are parked between micro-batches: nothing is staged and no
+  // score() call is in flight, so mutating the detector pointers here
+  // honours the read-only-detector contract. Each worker re-reads
+  // detector_ and refreshes its group when it resumes.
+  detector_.store(detector, std::memory_order_release);
+  for (auto& shard : shards_) shard->monitor->set_detector(detector);
+  release();
+}
+
+void AsyncIngest::stop() {
+  if (!started_ || stopped_) return;
+  closed_.store(true, std::memory_order_release);
+  // Close queues first so any producer stuck in a blocking submit fails
+  // fast instead of waiting on workers that are about to exit (workers
+  // still drain every already-queued item before returning).
+  for (auto& worker : workers_) worker->queue->close();
+  // Unpark any worker sitting at a barrier from a concurrent quiesce —
+  // by contract there is none (single control thread), but be safe.
+  release();
+  threads_.join();
+  stopped_ = true;
+  drain_queue_into_pending();
+}
+
+const logproc::SignatureTree& AsyncIngest::tree(std::size_t shard) const {
+  NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  return *shards_[shard]->tree;
+}
+
+logproc::SignatureTree& AsyncIngest::mutable_tree(std::size_t shard) {
+  NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  return *shards_[shard]->tree;
+}
+
+AsyncIngestStats AsyncIngest::stats() const {
+  AsyncIngestStats stats;
+  stats.lines_submitted = lines_submitted_.load(std::memory_order_relaxed);
+  stats.lines_scored = lines_scored_.load(std::memory_order_relaxed);
+  stats.flushes = flushes_.load(std::memory_order_relaxed);
+  stats.warnings_published =
+      warnings_published_.load(std::memory_order_relaxed);
+  stats.rejected_submits = rejected_submits_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void AsyncIngest::worker_loop(std::size_t index) {
+  Worker& worker = *workers_[index];
+
+  // Per-worker micro-batching group over this worker's shards only.
+  const AnomalyDetector* detector = detector_.load(std::memory_order_acquire);
+  StreamMonitorGroup group(detector);
+  std::vector<std::size_t> local_of_shard(shards_.size(), 0);
+  for (const std::size_t s : worker.shard_ids) {
+    local_of_shard[s] = group.add(shards_[s]->monitor.get());
+  }
+
+  std::size_t staged = 0;
+  Clock::time_point batch_start{};
+  std::uint64_t seen_epoch = 0;
+  unsigned idle_round = 0;
+
+  const auto flush_group = [&] {
+    if (staged == 0) return;
+    group.flush();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    lines_scored_.fetch_add(staged, std::memory_order_relaxed);
+    staged = 0;
+  };
+
+  for (;;) {
+    Item item;
+    if (worker.queue->try_pop(item)) {
+      idle_round = 0;
+      if (staged == 0) batch_start = Clock::now();
+      const std::size_t local = local_of_shard[item.shard];
+      if (item.raw) {
+        group.ingest(local, item.log.time, item.line);
+      } else {
+        group.ingest_parsed(local, item.log);
+      }
+      ++staged;
+      if (staged >= config_.flush_batch) flush_group();
+      continue;
+    }
+
+    // Queue momentarily empty: flush a ripe micro-batch (deadline 0 =
+    // flush immediately for minimum latency; batching then only engages
+    // under backlog).
+    if (staged > 0 &&
+        (config_.flush_deadline.count() <= 0 ||
+         Clock::now() - batch_start >= config_.flush_deadline)) {
+      flush_group();
+      continue;
+    }
+
+    // Epoch barrier: park with everything flushed, wait for release,
+    // then refresh the detector (it may have been swapped while parked).
+    const std::uint64_t requested =
+        epoch_requested_.load(std::memory_order_acquire);
+    if (requested != seen_epoch) {
+      flush_group();
+      seen_epoch = requested;
+      {
+        std::unique_lock<std::mutex> lock(barrier_mu_);
+        ++parked_;
+        parked_cv_.notify_all();
+        released_cv_.wait(lock, [&] {
+          return epoch_released_ >= seen_epoch ||
+                 closed_.load(std::memory_order_acquire);
+        });
+      }
+      const AnomalyDetector* current =
+          detector_.load(std::memory_order_acquire);
+      if (current != detector) {
+        detector = current;
+        group.set_detector(detector);
+      }
+      continue;
+    }
+
+    if (closed_.load(std::memory_order_acquire)) {
+      // Drain-and-exit: one final sweep in case items raced the close.
+      while (worker.queue->try_pop(item)) {
+        if (staged == 0) batch_start = Clock::now();
+        const std::size_t local = local_of_shard[item.shard];
+        if (item.raw) {
+          group.ingest(local, item.log.time, item.line);
+        } else {
+          group.ingest_parsed(local, item.log);
+        }
+        ++staged;
+        if (staged >= config_.flush_batch) flush_group();
+      }
+      flush_group();
+      return;
+    }
+
+    nfv::util::queue_detail::backoff(idle_round);
+  }
+}
+
+std::vector<StreamWarning> merge_warnings_by_vpe(
+    std::vector<StreamWarning> warnings) {
+  std::stable_sort(warnings.begin(), warnings.end(),
+                   [](const StreamWarning& a, const StreamWarning& b) {
+                     return a.vpe < b.vpe;
+                   });
+  return warnings;
+}
+
+}  // namespace nfv::core

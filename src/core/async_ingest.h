@@ -1,0 +1,235 @@
+// Asynchronous streaming ingest runtime.
+//
+// The paper's deployment vision is "a runtime predictive analysis system
+// running in parallel with existing reactive monitoring systems" (§1).
+// AsyncIngest is that runtime at production line rates: producer threads
+// hand raw syslog lines (or pre-parsed events) to per-vPE monitor shards
+// over bounded queues; shard workers stage lines into per-worker
+// StreamMonitorGroup micro-batches and flush them through the fused
+// batched scorer on a size-or-deadline trigger; warnings come back over a
+// lock-free MPSC queue the caller drains.
+//
+// Topology and determinism
+// ------------------------
+//   producers --MPSC/SPSC--> worker[shard % workers] --> StreamMonitorGroup
+//                                                          |  flush()
+//   caller  <--- lock-free MPSC warning queue <------------+
+//
+// Every vPE shard is pinned to exactly one worker, and each worker drains
+// its queue FIFO, so a vPE's lines are mined, staged, scored and
+// cluster-tracked in submission order no matter how many workers run.
+// Scores do not depend on micro-batch composition (StreamMonitorGroup
+// captures each shard's vocabulary at stage time and the batched scorer
+// is bit-identical to per-window scoring), so the per-vPE warning stream
+// is byte-for-byte the one a serial StreamMonitor replay produces — for
+// any worker count, flush_batch, or deadline. Only the interleaving of
+// DIFFERENT vPEs' warnings in the drain is scheduling-dependent;
+// merge_warnings_by_vpe() restores a canonical order.
+//
+// Backpressure: submit() blocks when the target worker's queue is full
+// (end-to-end memory is bounded by workers × queue_capacity items);
+// try_submit() instead returns false so the producer can shed load.
+//
+// Detector swap (monthly update / post-update adaptation) uses an epoch
+// barrier: swap_detector() parks every worker between micro-batches
+// (queues drained, groups flushed), installs the new model, and resumes —
+// honoring the read-only-detector contract of src/core/streaming.h.
+//
+// Threading rules: any number of threads may submit (see single_producer
+// for the SPSC fast path), but one designated caller thread owns the
+// control plane — start/flush/swap_detector/stop/drain_warnings — and
+// must not submit concurrently with flush/swap/stop (workers quiesce by
+// draining their queues, which never happens under a firehose).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/streaming.h"
+#include "logproc/signature_tree.h"
+#include "util/mpsc_queue.h"
+#include "util/spsc_queue.h"
+#include "util/thread_pool.h"
+
+namespace nfv::core {
+
+struct AsyncIngestConfig {
+  /// Shard workers; 0 resolves like the thread pool (NFVPRED_THREADS or
+  /// hardware concurrency), then clamps to the shard count.
+  std::size_t workers = 0;
+  /// Bounded capacity of each worker's input queue (rounded up to a power
+  /// of two). Full queue = backpressure.
+  std::size_t queue_capacity = 4096;
+  /// Flush a worker's staged micro-batch once it holds this many lines...
+  std::size_t flush_batch = 64;
+  /// ...or once this much wall-clock time passed since the batch's first
+  /// line while the queue is idle (0 = flush whenever the queue is empty).
+  /// Neither trigger affects scores or warnings, only latency/GEMM size.
+  std::chrono::microseconds flush_deadline{2000};
+  /// Bounded capacity of the warning queue. Overflowing warnings spill
+  /// losslessly (and still in per-vPE order) into per-worker buffers, so
+  /// an undrained caller never blocks or crashes the workers.
+  std::size_t warning_capacity = 4096;
+  /// Promise that exactly one thread submits: per-worker routing then
+  /// uses the cheaper wait-free SPSC ring instead of the MPSC ring.
+  bool single_producer = false;
+};
+
+struct AsyncIngestStats {
+  std::uint64_t lines_submitted = 0;
+  std::uint64_t lines_scored = 0;  // lines that went through a flush
+  std::uint64_t flushes = 0;
+  std::uint64_t warnings_published = 0;
+  std::uint64_t rejected_submits = 0;  // failed try_submit calls
+};
+
+class AsyncIngest {
+ public:
+  explicit AsyncIngest(const AnomalyDetector* detector,
+                       AsyncIngestConfig config = {});
+  ~AsyncIngest();
+
+  AsyncIngest(const AsyncIngest&) = delete;
+  AsyncIngest& operator=(const AsyncIngest&) = delete;
+
+  /// Register a per-vPE shard (its own signature tree + StreamMonitor)
+  /// before start(); returns the shard id used by submit().
+  std::size_t add_shard(std::int32_t vpe, StreamMonitorConfig config);
+
+  /// Launch the shard workers. add_shard() is frozen from here on.
+  void start();
+  bool started() const { return started_; }
+
+  /// Route one raw syslog line to `shard` (template mined online by that
+  /// shard's worker). Blocks while the worker's queue is full; the line
+  /// is never dropped. Producer threads only.
+  void submit(std::size_t shard, nfv::util::SimTime time, std::string line);
+  /// Non-blocking variant: false (and counted in stats) when the worker's
+  /// queue is full — the caller decides whether to retry, buffer or shed.
+  bool try_submit(std::size_t shard, nfv::util::SimTime time,
+                  std::string line);
+
+  /// Pre-parsed variants of the above.
+  void submit_parsed(std::size_t shard, const logproc::ParsedLog& log);
+  bool try_submit_parsed(std::size_t shard, const logproc::ParsedLog& log);
+
+  /// Move every published warning into `out` (appended); returns how many.
+  /// Warnings from one vPE arrive in emission order; across vPEs the
+  /// interleaving follows scheduling. Caller thread only.
+  std::size_t drain_warnings(std::vector<StreamWarning>& out);
+
+  /// Barrier: returns once every line submitted so far has been scored
+  /// and every staged micro-batch flushed. Requires producers to be
+  /// quiet for the duration of the call. Caller thread only.
+  void flush();
+
+  /// Epoch barrier + model swap: quiesces all workers between
+  /// micro-batches (implies flush()), swaps the detector on every shard
+  /// monitor and worker group, and resumes. Caller thread only.
+  void swap_detector(const AnomalyDetector* detector);
+
+  /// Final flush, worker shutdown, join. Idempotent; also run by the
+  /// destructor. Pending warnings stay drainable afterwards.
+  void stop();
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t workers() const { return worker_count_; }
+  /// The shard's online-mined template dictionary. Do not call while
+  /// workers may be ingesting raw lines for this shard (quiesce first).
+  const logproc::SignatureTree& tree(std::size_t shard) const;
+  /// Mutable access for pre-seeding templates (canonical id priming)
+  /// before start() — or while quiesced, under the same rule as above.
+  logproc::SignatureTree& mutable_tree(std::size_t shard);
+  AsyncIngestStats stats() const;
+
+ private:
+  struct Item {
+    std::uint32_t shard = 0;
+    bool raw = false;
+    logproc::ParsedLog log;  // time doubles as the raw line's timestamp
+    std::string line;
+  };
+
+  // Uniform facade over the two ring-buffer flavours so the worker loop
+  // is written once (virtual dispatch is noise next to scoring work).
+  struct IngestQueue {
+    virtual ~IngestQueue() = default;
+    virtual bool try_push(Item&& item) = 0;
+    virtual bool push(Item&& item) = 0;
+    virtual bool try_pop(Item& out) = 0;
+    virtual void close() = 0;
+  };
+  template <typename Queue>
+  struct IngestQueueImpl;
+
+  struct Shard {
+    std::int32_t vpe = -1;
+    std::size_t worker = 0;
+    std::unique_ptr<logproc::SignatureTree> tree;
+    std::unique_ptr<StreamMonitor> monitor;
+  };
+
+  struct Worker {
+    std::unique_ptr<IngestQueue> queue;
+    std::vector<std::size_t> shard_ids;
+    // Lossless spillover for warnings that found the warning queue full;
+    // a worker keeps spilling until the caller drains the buffer, so
+    // per-vPE warning order survives overflow.
+    std::mutex overflow_mu;
+    std::vector<StreamWarning> overflow;
+    bool overflowing = false;  // guarded by overflow_mu
+  };
+
+  void worker_loop(std::size_t index);
+  void publish_warning(std::size_t worker, const StreamWarning& warning);
+  void push_item(std::size_t shard, Item item);
+  bool try_push_item(std::size_t shard, Item&& item);
+  void quiesce();
+  void release();
+  void drain_queue_into_pending();
+
+  std::atomic<const AnomalyDetector*> detector_;
+  AsyncIngestConfig config_;
+  std::size_t worker_count_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  nfv::util::ServiceThreads threads_;
+
+  nfv::util::MpscQueue<StreamWarning> warning_queue_;
+  std::vector<StreamWarning> pending_warnings_;  // caller thread only
+
+  // Epoch barrier (quiesce/release) + shutdown flag.
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> epoch_requested_{0};
+  std::mutex barrier_mu_;
+  std::condition_variable parked_cv_;    // worker -> caller
+  std::condition_variable released_cv_;  // caller -> worker
+  std::uint64_t epoch_released_ = 0;     // guarded by barrier_mu_
+  std::size_t parked_ = 0;               // guarded by barrier_mu_
+
+  // Stats.
+  std::atomic<std::uint64_t> lines_submitted_{0};
+  std::atomic<std::uint64_t> lines_scored_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> warnings_published_{0};
+  std::atomic<std::uint64_t> rejected_submits_{0};
+};
+
+/// Canonical deterministic order for a drained warning batch: stable
+/// partition by vPE (per-vPE emission order untouched). Concatenating the
+/// per-vPE serial warning streams in ascending vPE order yields exactly
+/// this — the "per-vPE merge" the determinism tests compare against.
+std::vector<StreamWarning> merge_warnings_by_vpe(
+    std::vector<StreamWarning> warnings);
+
+}  // namespace nfv::core

@@ -39,12 +39,13 @@ double StreamMonitor::ingest(nfv::util::SimTime time,
 }
 
 double StreamMonitor::ingest_parsed(const logproc::ParsedLog& log) {
-  std::vector<logproc::ParsedLog> window;
-  if (!stage_parsed(log, window)) return 0.0;
+  // scratch_window_ is a member so steady-state per-line ingestion reuses
+  // its capacity instead of allocating a fresh window vector every line.
+  if (!stage_parsed(log, scratch_window_)) return 0.0;
 
   // One-window scoring: the detector sees exactly (k history + this log).
   const std::vector<ScoredEvent> events =
-      detector_->score(window, tree_->size());
+      detector_->score(scratch_window_, tree_->size());
   if (events.empty()) return 0.0;  // document-based detectors need more
   const double score = events.back().score;
   apply_score(log.time, log.template_id, score);
@@ -69,24 +70,36 @@ void StreamMonitor::apply_score(nfv::util::SimTime time,
 
 void StreamMonitor::track_cluster(nfv::util::SimTime time, double score,
                                   std::int32_t template_id) {
-  if (!run_times_.empty() &&
-      time - run_times_.back() > config_.cluster_span) {
-    run_times_.clear();
+  // Ordering contract (see ingest()): timestamps regressing below the
+  // run's latest anomaly are clamped to it. Without the clamp a single
+  // out-of-order line would become the gap reference for the NEXT
+  // in-order anomaly, whose (in-order) timestamp could then look more
+  // than cluster_span away — spuriously splitting a live cluster — and
+  // with an unsigned Duration representation the negative gap itself
+  // would underflow. SimTime/Duration are signed int64 seconds, so the
+  // subtraction is well-defined; the clamp removes the semantic hazard.
+  if (run_count_ > 0 && time < run_last_) time = run_last_;
+  if (run_count_ > 0 && time - run_last_ > config_.cluster_span) {
+    run_count_ = 0;
     run_peak_ = 0.0;
     run_trigger_ = -1;
     run_reported_ = false;
   }
-  if (run_times_.empty()) run_trigger_ = template_id;
-  run_times_.push_back(time);
+  if (run_count_ == 0) {
+    run_trigger_ = template_id;
+    run_first_ = time;
+  }
+  run_last_ = time;
+  ++run_count_;
   run_peak_ = std::max(run_peak_, score);
-  if (!run_reported_ && run_times_.size() >= config_.min_cluster_size) {
+  if (!run_reported_ && run_count_ >= config_.min_cluster_size) {
     run_reported_ = true;
     ++warnings_raised_;
     if (on_warning_) {
       StreamWarning warning;
       warning.vpe = vpe_;
-      warning.time = run_times_.front();
-      warning.anomaly_count = run_times_.size();
+      warning.time = run_first_;
+      warning.anomaly_count = run_count_;
       warning.peak_score = run_peak_;
       warning.trigger_template = run_trigger_;
       on_warning_(warning);
@@ -105,6 +118,13 @@ std::size_t StreamMonitorGroup::add(StreamMonitor* monitor) {
   return monitors_.size() - 1;
 }
 
+void StreamMonitorGroup::set_detector(const AnomalyDetector* detector) {
+  NFV_CHECK(detector != nullptr, "detector must not be null");
+  NFV_CHECK(entries_.empty(),
+            "detector swap with staged entries pending; flush() first");
+  detector_ = detector;
+}
+
 void StreamMonitorGroup::ingest(std::size_t shard, nfv::util::SimTime time,
                                 std::string_view raw_line) {
   NFV_CHECK(shard < monitors_.size(), "unknown shard " << shard);
@@ -121,6 +141,9 @@ void StreamMonitorGroup::ingest_parsed(std::size_t shard,
   entry.shard = shard;
   entry.time = log.time;
   entry.template_id = log.template_id;
+  // Captured AFTER any online mining for this line, matching the
+  // tree_->size() an immediate ingest_parsed() would score with.
+  entry.vocab = monitors_[shard]->tree().size();
   std::vector<logproc::ParsedLog> window;
   if (monitors_[shard]->stage_parsed(log, window)) {
     entry.window = windows_.size();
@@ -134,28 +157,48 @@ std::vector<double> StreamMonitorGroup::flush() {
   if (entries_.empty()) return scores;
 
   if (!windows_.empty()) {
-    // One fused cross-shard batch: every staged window becomes one
-    // single-window stream, and score_streams packs them all into large
-    // forward batches via the batch planner.
-    std::vector<LogView> views(windows_.begin(), windows_.end());
-    // Current template-dictionary size across the shards (the LSTM
-    // detector ignores it; template ids beyond its training vocabulary
-    // already score as maximally surprising).
-    std::size_t vocab = 0;
-    for (StreamMonitor* monitor : monitors_) {
-      vocab = std::max(vocab, monitor->tree().size());
+    // Fused cross-shard batches: every staged window becomes one
+    // single-window stream, and score_streams packs them into large
+    // forward batches via the batch planner. Windows are bucketed by the
+    // vocabulary captured at stage time: immediate ingestion passes each
+    // shard's OWN tree size at that moment, never the max across shards,
+    // and the "scores are identical" contract above requires batching to
+    // preserve that. In steady state the vocabulary is stable, so this is
+    // one bucket — one fused batch — per flush.
+    std::vector<double> window_score(windows_.size(), 0.0);
+    std::vector<char> window_scored(windows_.size(), 0);
+    std::vector<std::size_t> vocabs;  // distinct, first-appearance order
+    std::vector<std::vector<std::size_t>> buckets;
+    for (const PendingEntry& entry : entries_) {
+      if (entry.window == PendingEntry::npos) continue;
+      std::size_t b = 0;
+      while (b < vocabs.size() && vocabs[b] != entry.vocab) ++b;
+      if (b == vocabs.size()) {
+        vocabs.push_back(entry.vocab);
+        buckets.emplace_back();
+      }
+      buckets[b].push_back(entry.window);
     }
-    const std::vector<std::vector<ScoredEvent>> events_by_window =
-        detector_->score_streams(views, vocab);
+    for (std::size_t b = 0; b < vocabs.size(); ++b) {
+      std::vector<LogView> views;
+      views.reserve(buckets[b].size());
+      for (std::size_t w : buckets[b]) views.emplace_back(windows_[w]);
+      const std::vector<std::vector<ScoredEvent>> events_by_window =
+          detector_->score_streams(views, vocabs[b]);
+      for (std::size_t j = 0; j < buckets[b].size(); ++j) {
+        if (events_by_window[j].empty()) continue;  // document detectors
+        window_score[buckets[b][j]] = events_by_window[j].back().score;
+        window_scored[buckets[b][j]] = 1;
+      }
+    }
 
     // Replay in arrival order: identical threshold / cluster tracking to
     // immediate ingestion.
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const PendingEntry& entry = entries_[i];
       if (entry.window == PendingEntry::npos) continue;
-      const std::vector<ScoredEvent>& events = events_by_window[entry.window];
-      if (events.empty()) continue;  // document-based detectors need more
-      const double score = events.back().score;
+      if (!window_scored[entry.window]) continue;
+      const double score = window_score[entry.window];
       scores[i] = score;
       monitors_[entry.shard]->apply_score(entry.time, entry.template_id,
                                           score);

@@ -66,9 +66,18 @@ class StreamMonitor {
 
   /// Feed one raw syslog line. Returns the anomaly score assigned to this
   /// line (0 while the history window is still filling).
+  ///
+  /// Ordering contract: a monitor expects per-vPE timestamps to be
+  /// non-decreasing (syslog emission order). A line whose timestamp
+  /// regresses below the latest anomaly already tracked is still scored,
+  /// but for cluster purposes its time is clamped to that latest time —
+  /// a clock blip can therefore neither spuriously split an active
+  /// anomaly run (by making the *next* in-order gap look larger than it
+  /// was) nor rewind a cluster's first-anomaly time.
   double ingest(nfv::util::SimTime time, std::string_view raw_line);
 
-  /// Feed an already-parsed event (template id + time).
+  /// Feed an already-parsed event (template id + time). Same ordering
+  /// contract as ingest().
   double ingest_parsed(const logproc::ParsedLog& log);
 
   /// Deferred ingestion for micro-batched scoring (StreamMonitorGroup):
@@ -96,6 +105,8 @@ class StreamMonitor {
 
   std::int32_t vpe() const { return vpe_; }
   std::size_t warnings_raised() const { return warnings_raised_; }
+  /// Anomalies in the current (possibly still-growing) cluster run.
+  std::size_t run_length() const { return run_count_; }
   const StreamMonitorConfig& config() const { return config_; }
 
  private:
@@ -109,8 +120,14 @@ class StreamMonitor {
   WarningCallback on_warning_;
 
   std::deque<logproc::ParsedLog> history_;  // last `window`+1 events
-  // Current anomaly run (cluster candidate).
-  std::vector<nfv::util::SimTime> run_times_;
+  std::vector<logproc::ParsedLog> scratch_window_;  // ingest_parsed scratch
+  // Current anomaly run (cluster candidate). Deliberately O(1): a
+  // sustained anomaly storm grows the run for as long as it lasts, and
+  // the emitted warning only needs the run's first time, size, peak and
+  // trigger — never the full list of member times.
+  nfv::util::SimTime run_first_;
+  nfv::util::SimTime run_last_;
+  std::size_t run_count_ = 0;
   double run_peak_ = 0.0;
   std::int32_t run_trigger_ = -1;
   bool run_reported_ = false;
@@ -140,6 +157,14 @@ class StreamMonitorGroup {
   std::size_t shards() const { return monitors_.size(); }
   std::size_t pending() const { return entries_.size(); }
 
+  /// Swap in a newer model for subsequent flushes (and nothing staged may
+  /// be pending across the swap — callers quiesce exactly like the
+  /// monthly-update cadence). Does not touch the shards' own detector
+  /// pointers; a front-end that also uses immediate ingestion must swap
+  /// those itself.
+  void set_detector(const AnomalyDetector* detector);
+  const AnomalyDetector* detector() const { return detector_; }
+
   /// Stage one raw line for `shard` (template mined via the shard's tree).
   void ingest(std::size_t shard, nfv::util::SimTime time,
               std::string_view raw_line);
@@ -157,6 +182,11 @@ class StreamMonitorGroup {
     std::size_t shard = 0;
     nfv::util::SimTime time;
     std::int32_t template_id = -1;
+    // The shard's OWN template-dictionary size when this line was staged
+    // — exactly what immediate ingestion would have passed to score().
+    // Captured per entry because the tree may grow between staging and
+    // flush, and shards' trees differ in size.
+    std::size_t vocab = 0;
     // Index into windows_; npos when the history was still filling.
     std::size_t window = npos;
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);

@@ -1,0 +1,150 @@
+// Bounded single-producer/single-consumer ring buffer.
+//
+// The async ingest front-end routes syslog lines from ONE producer thread
+// to ONE shard-worker thread; this queue is that edge in its cheapest
+// form: a power-of-two ring indexed by two monotonically increasing
+// counters, the producer owning the tail and the consumer owning the
+// head. No locks, no CAS — a push is one relaxed load, one store, one
+// release store; cached counter copies keep the hot path free of
+// cross-core traffic until the ring actually looks full/empty.
+//
+// Backpressure modes:
+//  - try_push/try_pop never block: try_push returns false when the ring
+//    is full (or closed) so the producer can shed or buffer load;
+//  - push/pop block with a yield/sleep backoff until space/data arrives,
+//    bounding producer memory at `capacity()` items end-to-end.
+//
+// close() wakes blocked peers: push fails once closed; pop keeps draining
+// until the ring is empty and only then reports exhaustion. A close
+// issued after a producer's final push is therefore lossless: the
+// consumer always observes every pushed item first (the closed_ store is
+// sequenced after the pushes and pop re-checks the ring after seeing it).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nfv::util {
+
+namespace queue_detail {
+
+/// Shared wait strategy for the ring buffers: spin briefly, then yield,
+/// then sleep — single-core friendly (the peer thread needs the CPU to
+/// make the awaited progress).
+inline void backoff(unsigned& round) {
+  if (round < 8) {
+    // brief spin
+  } else if (round < 64) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ++round;
+}
+
+inline std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace queue_detail
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (min 2).
+  explicit SpscQueue(std::size_t capacity)
+      : cells_(queue_detail::round_up_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(cells_.size() - 1) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return cells_.size(); }
+
+  /// Approximate number of queued items (exact when quiescent).
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  /// Producer only. False when the ring is full or the queue is closed —
+  /// and then `value` is NOT consumed (an rvalue argument is only moved
+  /// from on success), so blocking wrappers can safely retry with it.
+  bool try_push(T&& value) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == cells_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == cells_.size()) return false;
+    }
+    cells_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  bool try_push(const T& value) {
+    T copy(value);
+    return try_push(std::move(copy));
+  }
+
+  /// Producer only. Blocks until space is available; false if the queue
+  /// was closed before the item could be enqueued.
+  bool push(T value) {
+    unsigned round = 0;
+    while (!try_push(std::move(value))) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      queue_detail::backoff(round);
+    }
+    return true;
+  }
+
+  /// Consumer only. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(cells_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Blocks until an item arrives; false only when the
+  /// queue is closed AND fully drained.
+  bool pop(T& out) {
+    unsigned round = 0;
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // The close happened-before this load; one final check catches
+        // items pushed just before the close.
+        return try_pop(out);
+      }
+      queue_detail::backoff(round);
+    }
+  }
+
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  std::vector<T> cells_;
+  const std::size_t mask_;
+  // Producer and consumer counters on separate cache lines; each side
+  // additionally caches the other's counter to avoid re-reading it while
+  // the ring is known non-full/non-empty.
+  alignas(64) std::atomic<std::size_t> head_{0};  // next pop slot
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next push slot
+  alignas(64) std::size_t cached_head_ = 0;       // producer-local
+  alignas(64) std::size_t cached_tail_ = 0;       // consumer-local
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace nfv::util

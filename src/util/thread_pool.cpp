@@ -19,6 +19,39 @@ thread_local bool tl_in_parallel_region = false;
 
 bool ThreadPool::in_parallel_region() { return tl_in_parallel_region; }
 
+ThreadPool::ScopedRegion::ScopedRegion() : previous_(tl_in_parallel_region) {
+  tl_in_parallel_region = true;
+}
+
+ThreadPool::ScopedRegion::~ScopedRegion() {
+  tl_in_parallel_region = previous_;
+}
+
+void ServiceThreads::start(std::size_t count,
+                           std::function<void(std::size_t)> fn,
+                           bool serial_kernels) {
+  NFV_CHECK(threads_.empty(), "ServiceThreads already started");
+  NFV_CHECK(fn != nullptr, "ServiceThreads requires a loop function");
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([fn, i, serial_kernels] {
+      if (serial_kernels) {
+        ThreadPool::ScopedRegion region;
+        fn(i);
+      } else {
+        fn(i);
+      }
+    });
+  }
+}
+
+void ServiceThreads::join() {
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   if (requested != 0) return requested;
   if (const char* env = std::getenv("NFVPRED_THREADS")) {

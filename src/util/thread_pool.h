@@ -60,6 +60,23 @@ class ThreadPool {
   /// own job). Kernels use this to fall back to serial rather than nest.
   static bool in_parallel_region();
 
+  /// RAII marker declaring the current thread part of a parallel region.
+  /// Long-running service threads (async ingest shard workers) install
+  /// one so every ml kernel underneath takes its serial path instead of
+  /// contending for the global fork-join pool — N service threads doing
+  /// serial work beat N threads queueing behind one pool. Restores the
+  /// previous state on destruction, so nesting is harmless.
+  class ScopedRegion {
+   public:
+    ScopedRegion();
+    ~ScopedRegion();
+    ScopedRegion(const ScopedRegion&) = delete;
+    ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+   private:
+    bool previous_;
+  };
+
   /// Resolve a requested thread count: explicit requests win, 0 means
   /// "auto" = NFVPRED_THREADS if set (and > 0), else hardware
   /// concurrency, else 1.
@@ -95,6 +112,37 @@ class ThreadPool {
   std::mutex error_mu_;
   std::exception_ptr error_;
   std::size_t error_index_ = 0;
+};
+
+/// Owned long-running threads for service-style work (queue-draining
+/// shard workers), complementing ThreadPool's fork-join jobs: fork-join
+/// workers must never block indefinitely, while a service loop runs for
+/// the lifetime of a runtime object. Each thread runs fn(index) exactly
+/// once; join() (or destruction) blocks until every loop returns — the
+/// caller is responsible for signalling its loops to exit first (e.g. by
+/// closing their input queues). When `serial_kernels` is set (the
+/// default), each thread holds a ThreadPool::ScopedRegion for its entire
+/// run, pinning all ml kernels underneath to their serial paths.
+class ServiceThreads {
+ public:
+  ServiceThreads() = default;
+  ~ServiceThreads() { join(); }
+
+  ServiceThreads(const ServiceThreads&) = delete;
+  ServiceThreads& operator=(const ServiceThreads&) = delete;
+
+  /// Spawn `count` threads running fn(0..count-1). May only be called on
+  /// an empty (never-started or joined) instance.
+  void start(std::size_t count, std::function<void(std::size_t)> fn,
+             bool serial_kernels = true);
+
+  /// Block until all loops return. Idempotent.
+  void join();
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
 };
 
 /// Process-wide pool used by kernels that parallelize internally (blocked

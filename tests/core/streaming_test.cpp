@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
+#include "core/feature_detectors.h"
 #include "core/lstm_detector.h"
 #include "util/check.h"
 
@@ -188,6 +190,285 @@ TEST_F(StreamingFixture, SaveLoadRoundTripScoresIdentically) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_NEAR(a[i].score, b[i].score, 1e-9);
   }
+}
+
+// Scoring stub whose score encodes the vocabulary it was handed:
+// score = vocab * 1000 + template id of the scored line. Any group/batch
+// plumbing that passes the wrong shard's vocabulary (e.g. the max across
+// shards) produces a visibly different score.
+class FakeVocabDetector final : public AnomalyDetector {
+ public:
+  void fit(std::span<const LogView>, std::size_t) override {}
+  void update(std::span<const LogView>, std::size_t) override {}
+  void adapt(std::span<const LogView>, std::size_t) override {}
+  std::vector<ScoredEvent> score(LogView logs,
+                                 std::size_t vocab) const override {
+    std::vector<ScoredEvent> events;
+    if (logs.empty()) return events;
+    events.push_back({logs.back().time,
+                      static_cast<double>(vocab) * 1000.0 +
+                          static_cast<double>(logs.back().template_id)});
+    return events;
+  }
+  bool trained() const override { return true; }
+  DetectorKind kind() const override { return DetectorKind::kLstm; }
+  EventGranularity granularity() const override {
+    return EventGranularity::kPerLog;
+  }
+};
+
+// Letters-only head token (digit-bearing tokens are masked to wildcards,
+// which would merge all shapes into one template): shape 0 -> "a",
+// 1 -> "b", ..., 26 -> "aa", ...
+std::string shape_line(std::size_t shape, std::size_t salt) {
+  return std::string(1 + shape / 26,
+                     static_cast<char>('a' + shape % 26)) +
+         " notice seq " + std::to_string(salt);
+}
+
+// Regression: StreamMonitorGroup::flush() must score each staged window
+// with the owning shard's OWN vocabulary captured at stage time — not one
+// tree size shared across shards (the old code used the max), and not the
+// size the tree happens to have by flush time after later lines mined new
+// templates.
+TEST(StreamMonitorGroupVocab, FlushUsesPerShardVocabularyAtStageTime) {
+  FakeVocabDetector detector;
+  StreamMonitorConfig config;
+  config.window = 2;
+  config.threshold = 1e12;  // scoring only; warnings not under test here
+
+  // Shard trees of deliberately different sizes (3 vs 7 templates).
+  const auto prime = [](logproc::SignatureTree& tree, std::size_t shapes) {
+    for (std::size_t s = 0; s < shapes; ++s) tree.learn(shape_line(s, 0));
+  };
+  const auto run = [&](bool immediate) {
+    std::vector<logproc::SignatureTree> trees(2);
+    prime(trees[0], 3);
+    prime(trees[1], 7);
+    std::vector<StreamMonitor> monitors;
+    monitors.reserve(2);
+    for (std::size_t s = 0; s < 2; ++s) {
+      monitors.emplace_back(static_cast<std::int32_t>(s), &detector,
+                            &trees[s], config, nullptr);
+    }
+    StreamMonitorGroup group(&detector);
+    for (auto& monitor : monitors) group.add(&monitor);
+
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t s = 0; s < 2; ++s) {
+        // Line 5 mines a NEW template on each shard, growing the tree
+        // mid-batch — later flushed windows must still see the vocabulary
+        // their line was staged under.
+        const std::size_t shape = (i == 5) ? 20 + s : i % 3;
+        const nfv::util::SimTime time{static_cast<std::int64_t>(i) * 60};
+        if (immediate) {
+          scores.push_back(monitors[s].ingest(time, shape_line(shape, i)));
+        } else {
+          group.ingest(s, time, shape_line(shape, i));
+        }
+      }
+    }
+    if (!immediate) return group.flush();
+    return scores;
+  };
+
+  const std::vector<double> immediate = run(true);
+  const std::vector<double> batched = run(false);
+  ASSERT_EQ(immediate.size(), batched.size());
+  for (std::size_t i = 0; i < immediate.size(); ++i) {
+    ASSERT_EQ(immediate[i], batched[i]) << "line " << i;
+  }
+  // Non-vacuity: the two shards really scored under different
+  // vocabularies (a max-across-shards flush would have equalized them).
+  ASSERT_GE(batched.size(), 6u);
+  EXPECT_NE(batched[4], batched[5]);  // line 2: shard 0 vs shard 1
+}
+
+// Batched-vs-immediate parity for a DOCUMENT-based detector: with
+// doc_size == window + 1 every staged window is exactly one TF-IDF
+// document, so the group flush must reproduce immediate ingestion's
+// reconstruction-error scores bit-for-bit.
+TEST(StreamMonitorGroupVocab, DocumentDetectorFlushMatchesImmediate) {
+  AutoencoderDetectorConfig ae_config;
+  ae_config.doc_size = 5;
+  ae_config.encoder = {8, 4};
+  ae_config.initial_epochs = 3;
+  AutoencoderDetector detector(ae_config);
+  std::vector<ParsedLog> train;
+  for (std::size_t i = 0; i < 400; ++i) {
+    train.push_back(
+        {SimTime{static_cast<std::int64_t>(i) * 60},
+         static_cast<std::int32_t>(i % 6)});
+  }
+  const LogView view{train};
+  detector.fit({&view, 1}, 8);
+
+  StreamMonitorConfig config;
+  config.window = 4;  // window + 1 == doc_size
+  config.threshold = 1e12;
+
+  std::vector<ParsedLog> test;
+  for (std::size_t i = 0; i < 120; ++i) {
+    const std::int32_t id =
+        (i % 37 == 11) ? 7 : static_cast<std::int32_t>(i % 6);
+    test.push_back({SimTime{500000 + static_cast<std::int64_t>(i) * 60}, id});
+  }
+
+  logproc::SignatureTree direct_tree;
+  StreamMonitor direct(0, &detector, &direct_tree, config, nullptr);
+  std::vector<double> immediate;
+  for (const ParsedLog& log : test) {
+    immediate.push_back(direct.ingest_parsed(log));
+  }
+
+  logproc::SignatureTree group_tree;
+  StreamMonitor shard(0, &detector, &group_tree, config, nullptr);
+  StreamMonitorGroup group(&detector);
+  group.add(&shard);
+  std::vector<double> batched;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    group.ingest_parsed(0, test[i]);
+    if (i % 13 == 12) {
+      for (double score : group.flush()) batched.push_back(score);
+    }
+  }
+  for (double score : group.flush()) batched.push_back(score);
+
+  ASSERT_EQ(immediate.size(), batched.size());
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < immediate.size(); ++i) {
+    ASSERT_EQ(immediate[i], batched[i]) << "line " << i;
+    any_nonzero = any_nonzero || immediate[i] != 0.0;
+  }
+  EXPECT_TRUE(any_nonzero) << "vacuous parity: no window ever scored";
+}
+
+// Regression: a sustained anomaly storm must not grow monitor state. The
+// cluster tracker keeps only {first, last, count, peak, trigger} — this
+// pins the behavior that representation must still deliver: one warning
+// at the cluster's FIRST anomaly, a live run length equal to the storm,
+// and no re-warning while the run continues.
+TEST(StreamMonitorCluster, AnomalyStormKeepsConstantStateAndOneWarning) {
+  FakeVocabDetector detector;
+  logproc::SignatureTree tree;
+  StreamMonitorConfig config;
+  config.threshold = 10.0;
+  std::vector<StreamWarning> warnings;
+  StreamMonitor monitor(7, &detector, &tree, config,
+                        [&](const StreamWarning& w) { warnings.push_back(w); });
+
+  constexpr std::size_t kStorm = 200000;  // hours of back-to-back anomalies
+  for (std::size_t i = 0; i < kStorm; ++i) {
+    monitor.apply_score(SimTime{static_cast<std::int64_t>(i)},
+                        static_cast<std::int32_t>(3 + i % 2), 50.0 + i % 5);
+  }
+  EXPECT_EQ(monitor.run_length(), kStorm);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].vpe, 7);
+  EXPECT_EQ(warnings[0].time.seconds, 0);       // first anomaly of the run
+  EXPECT_EQ(warnings[0].trigger_template, 3);   // template of that anomaly
+  EXPECT_EQ(warnings[0].anomaly_count, config.min_cluster_size);
+}
+
+// Regression: an out-of-order timestamp inside a live anomaly run is
+// clamped to the run's latest time. Without the clamp the regressed time
+// becomes the gap reference, the next in-order anomaly looks > span away,
+// and one real cluster is reported as two.
+TEST(StreamMonitorCluster, OutOfOrderTimestampDoesNotSplitCluster) {
+  FakeVocabDetector detector;
+  logproc::SignatureTree tree;
+  StreamMonitorConfig config;
+  config.threshold = 10.0;  // span: 2 minutes
+  std::vector<StreamWarning> warnings;
+  StreamMonitor monitor(0, &detector, &tree, config,
+                        [&](const StreamWarning& w) { warnings.push_back(w); });
+
+  monitor.apply_score(SimTime{1000}, 5, 40.0);
+  monitor.apply_score(SimTime{400}, 6, 40.0);   // clock blip, 10 min "ago"
+  monitor.apply_score(SimTime{1020}, 7, 40.0);  // in-order again
+  monitor.apply_score(SimTime{1040}, 8, 40.0);
+
+  EXPECT_EQ(monitor.run_length(), 4u);  // one run, never split
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].time.seconds, 1000);  // not rewound to 400
+  EXPECT_EQ(warnings[0].trigger_template, 5);
+}
+
+TEST(StreamMonitorGroupEdgeCases, FlushWithEntriesButNoFullWindows) {
+  FakeVocabDetector detector;
+  logproc::SignatureTree tree;
+  StreamMonitorConfig config;
+  config.window = 4;
+  StreamMonitor monitor(0, &detector, &tree, config, nullptr);
+  StreamMonitorGroup group(&detector);
+  group.add(&monitor);
+
+  // Three lines < window+1: everything staged, nothing scoreable.
+  for (std::int64_t i = 0; i < 3; ++i) {
+    group.ingest_parsed(0, {SimTime{i * 60}, 1});
+  }
+  EXPECT_EQ(group.pending(), 3u);
+  const std::vector<double> scores = group.flush();
+  ASSERT_EQ(scores.size(), 3u);
+  for (double score : scores) EXPECT_EQ(score, 0.0);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(StreamMonitorGroupEdgeCases, NeverFillingShardScoresZeroAlongside) {
+  FakeVocabDetector detector;
+  std::vector<logproc::SignatureTree> trees(2);
+  StreamMonitorConfig config;
+  config.window = 2;
+  config.threshold = 1e12;
+  StreamMonitor busy(0, &detector, &trees[0], config, nullptr);
+  StreamMonitor sparse(1, &detector, &trees[1], config, nullptr);
+  StreamMonitorGroup group(&detector);
+  group.add(&busy);
+  group.add(&sparse);
+
+  for (std::int64_t i = 0; i < 8; ++i) {
+    group.ingest_parsed(0, {SimTime{i * 60}, static_cast<std::int32_t>(i)});
+  }
+  group.ingest_parsed(1, {SimTime{0}, 9});  // its window never fills
+  const std::vector<double> scores = group.flush();
+  ASSERT_EQ(scores.size(), 9u);
+  EXPECT_EQ(scores.back(), 0.0);  // the sparse shard's only line
+  // The busy shard still scored normally once its window filled.
+  std::size_t scored = 0;
+  for (std::size_t i = 0; i + 1 < scores.size(); ++i) {
+    if (scores[i] != 0.0) ++scored;
+  }
+  EXPECT_EQ(scored, 8u - config.window);
+}
+
+TEST(StreamMonitorGroupEdgeCases, RepeatedFlushIsIdempotent) {
+  FakeVocabDetector detector;
+  logproc::SignatureTree tree;
+  StreamMonitorConfig config;
+  config.window = 2;
+  config.threshold = 1.0;  // every scored line is an "anomaly"
+  std::vector<StreamWarning> warnings;
+  StreamMonitor monitor(0, &detector, &tree, config,
+                        [&](const StreamWarning& w) { warnings.push_back(w); });
+  StreamMonitorGroup group(&detector);
+  group.add(&monitor);
+
+  for (std::int64_t i = 0; i < 6; ++i) {
+    group.ingest_parsed(0, {SimTime{i * 30}, 2});
+  }
+  const std::vector<double> first = group.flush();
+  EXPECT_EQ(first.size(), 6u);
+  const std::size_t warned = warnings.size();
+  EXPECT_EQ(warned, 1u);
+
+  // Nothing staged: further flushes are no-ops — no scores re-emitted, no
+  // warnings re-raised, cluster state untouched.
+  const std::size_t run = monitor.run_length();
+  EXPECT_TRUE(group.flush().empty());
+  EXPECT_TRUE(group.flush().empty());
+  EXPECT_EQ(warnings.size(), warned);
+  EXPECT_EQ(monitor.run_length(), run);
 }
 
 TEST_F(StreamingFixture, TargetRankModeOrdersLikeDeepLog) {

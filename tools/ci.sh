@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
-# pass over the concurrency-labelled tests (thread pool, parallel-vs-serial
-# pipeline determinism, shared-detector streaming, and the batched-inference
+# pass over the concurrency-labelled tests (thread pool, lock-free queues,
+# parallel-vs-serial pipeline determinism, shared-detector streaming, the
+# async-ingest determinism/backpressure suite, and the batched-inference
 # batch-size/thread-count invariance suite).
 #
 # Usage: tools/ci.sh [jobs]
@@ -18,6 +19,10 @@ ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 echo "=== training fast path: bench smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_training_throughput
 "$ROOT/build/bench/bench_training_throughput" --smoke
+
+echo "=== async ingest: serial-equivalence smoke ==="
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_ingest_throughput
+"$ROOT/build/bench/bench_ingest_throughput" --smoke
 
 echo "=== TSan: concurrency label ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread

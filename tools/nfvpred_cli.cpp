@@ -21,6 +21,7 @@
 //       signatures (clusters of >=2 anomalies within 2 minutes).
 //
 // Exit codes: 0 ok, 1 usage error, 2 runtime failure.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/async_ingest.h"
 #include "core/lstm_detector.h"
 #include "core/mapper.h"
 #include "core/parsed_fleet.h"
@@ -94,6 +96,13 @@ void usage() {
       "           [--persistent-optimizer 1]  keep Adam moment state\n"
       "           across the over-sampling refinement rounds\n"
       "  score    --logs FILE --model FILE [--threshold-quantile Q]\n"
+      "           [--async-ingest 1]    replay the file through the\n"
+      "           asynchronous streaming ingest runtime (per-line warning\n"
+      "           rule; identical warnings for any worker count)\n"
+      "           [--ingest-workers N]  shard workers (default: auto)\n"
+      "           [--flush-batch N]     micro-batch size (default 64)\n"
+      "           [--flush-deadline US] micro-batch deadline in\n"
+      "           microseconds (default 2000; 0 = immediate)\n"
       "common options:\n"
       "  --threads N   worker threads for training/scoring kernels\n"
       "                (default: NFVPRED_THREADS env, else all cores;\n"
@@ -267,6 +276,47 @@ int cmd_score(const Args& args) {
   for (const auto& e : events) scores.push_back(e.score);
   const double q = args.get_double("threshold-quantile", 0.99);
   const double threshold = util::quantile(scores, q);
+
+  if (args.get_long("async-ingest", 0) != 0) {
+    // Streaming replay: raw lines flow through the asynchronous ingest
+    // runtime (online template mining + micro-batched scoring + the
+    // >=2-anomalies-within-minutes warning rule). The threshold comes
+    // from the batch calibration above; warnings are deterministic for
+    // any worker count / flush batch / deadline.
+    core::AsyncIngestConfig ingest_config;
+    ingest_config.workers =
+        static_cast<std::size_t>(args.get_long("ingest-workers", 0));
+    ingest_config.flush_batch =
+        static_cast<std::size_t>(args.get_long("flush-batch", 64));
+    ingest_config.flush_deadline =
+        std::chrono::microseconds(args.get_long("flush-deadline", 2000));
+    ingest_config.single_producer = true;
+    core::AsyncIngest ingest(&detector, ingest_config);
+    core::StreamMonitorConfig monitor_config;
+    monitor_config.threshold = threshold;
+    monitor_config.window = detector.config().window;
+    const std::size_t shard = ingest.add_shard(0, monitor_config);
+    ingest.start();
+    for (const auto& line : lines) {
+      ingest.submit(shard, line.time, line.text);
+    }
+    ingest.flush();
+    ingest.stop();
+    std::vector<core::StreamWarning> warnings;
+    ingest.drain_warnings(warnings);
+    const core::AsyncIngestStats stats = ingest.stats();
+    std::cout << "async ingest: " << stats.lines_scored << " lines over "
+              << ingest.workers() << " worker(s); threshold " << threshold
+              << " (q=" << q << ")\n";
+    std::cout << warnings.size() << " warning signature(s):\n";
+    for (const auto& warning : warnings) {
+      std::cout << "  t=" << warning.time.seconds
+                << " anomalies=" << warning.anomaly_count
+                << " peak=" << warning.peak_score << "\n";
+    }
+    return 0;
+  }
+
   core::MappingConfig mapping;
   const auto clusters = core::cluster_anomalies(events, threshold, mapping);
 
