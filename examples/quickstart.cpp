@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   std::cout << "Sample mined templates:\n";
   for (std::size_t i = 0; i < parsed.tree.size() && i < 5; ++i) {
     std::cout << "  [" << i << "] "
-              << parsed.tree.signatures()[i].pattern() << "\n";
+              << parsed.tree.pattern(static_cast<std::int32_t>(i)) << "\n";
   }
   std::cout << "\n";
 

@@ -85,10 +85,7 @@ int main(int argc, char** argv) {
                   << util::fmt_double(warning.peak_score, 1)
                   << "  trigger template #" << warning.trigger_template
                   << ": "
-                  << tree.signatures()[static_cast<std::size_t>(
-                                           warning.trigger_template)]
-                         .pattern()
-                  << "\n";
+                  << tree.pattern(warning.trigger_template) << "\n";
       });
 
   for (const auto& rec : raw) {

@@ -41,7 +41,7 @@ int main() {
   util::Table mined({"id", "hits", "template"}, "mined signatures");
   for (const auto& sig : tree.signatures()) {
     mined.add_row({std::to_string(sig.id), std::to_string(sig.match_count),
-                   sig.pattern()});
+                   tree.pattern(sig.id)});
   }
   mined.print(std::cout);
 

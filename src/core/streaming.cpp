@@ -144,10 +144,10 @@ void StreamMonitorGroup::ingest_parsed(std::size_t shard,
   // Captured AFTER any online mining for this line, matching the
   // tree_->size() an immediate ingest_parsed() would score with.
   entry.vocab = monitors_[shard]->tree().size();
-  std::vector<logproc::ParsedLog> window;
-  if (monitors_[shard]->stage_parsed(log, window)) {
-    entry.window = windows_.size();
-    windows_.push_back(std::move(window));
+  if (windows_used_ == windows_.size()) windows_.emplace_back();
+  if (monitors_[shard]->stage_parsed(log, windows_[windows_used_])) {
+    entry.window = windows_used_;
+    ++windows_used_;
   }
   entries_.push_back(entry);
 }
@@ -156,7 +156,7 @@ std::vector<double> StreamMonitorGroup::flush() {
   std::vector<double> scores(entries_.size(), 0.0);
   if (entries_.empty()) return scores;
 
-  if (!windows_.empty()) {
+  if (windows_used_ > 0) {
     // Fused cross-shard batches: every staged window becomes one
     // single-window stream, and score_streams packs them into large
     // forward batches via the batch planner. Windows are bucketed by the
@@ -165,30 +165,30 @@ std::vector<double> StreamMonitorGroup::flush() {
     // and the "scores are identical" contract above requires batching to
     // preserve that. In steady state the vocabulary is stable, so this is
     // one bucket — one fused batch — per flush.
-    std::vector<double> window_score(windows_.size(), 0.0);
-    std::vector<char> window_scored(windows_.size(), 0);
-    std::vector<std::size_t> vocabs;  // distinct, first-appearance order
-    std::vector<std::vector<std::size_t>> buckets;
+    window_score_.assign(windows_used_, 0.0);
+    window_scored_.assign(windows_used_, 0);
+    vocabs_.clear();
     for (const PendingEntry& entry : entries_) {
       if (entry.window == PendingEntry::npos) continue;
       std::size_t b = 0;
-      while (b < vocabs.size() && vocabs[b] != entry.vocab) ++b;
-      if (b == vocabs.size()) {
-        vocabs.push_back(entry.vocab);
-        buckets.emplace_back();
+      while (b < vocabs_.size() && vocabs_[b] != entry.vocab) ++b;
+      if (b == vocabs_.size()) {
+        vocabs_.push_back(entry.vocab);
+        if (b == buckets_.size()) buckets_.emplace_back();
+        buckets_[b].clear();
       }
-      buckets[b].push_back(entry.window);
+      buckets_[b].push_back(entry.window);
     }
-    for (std::size_t b = 0; b < vocabs.size(); ++b) {
-      std::vector<LogView> views;
-      views.reserve(buckets[b].size());
-      for (std::size_t w : buckets[b]) views.emplace_back(windows_[w]);
+    for (std::size_t b = 0; b < vocabs_.size(); ++b) {
+      views_.clear();
+      views_.reserve(buckets_[b].size());
+      for (std::size_t w : buckets_[b]) views_.emplace_back(windows_[w]);
       const std::vector<std::vector<ScoredEvent>> events_by_window =
-          detector_->score_streams(views, vocabs[b]);
-      for (std::size_t j = 0; j < buckets[b].size(); ++j) {
+          detector_->score_streams(views_, vocabs_[b]);
+      for (std::size_t j = 0; j < buckets_[b].size(); ++j) {
         if (events_by_window[j].empty()) continue;  // document detectors
-        window_score[buckets[b][j]] = events_by_window[j].back().score;
-        window_scored[buckets[b][j]] = 1;
+        window_score_[buckets_[b][j]] = events_by_window[j].back().score;
+        window_scored_[buckets_[b][j]] = 1;
       }
     }
 
@@ -197,15 +197,15 @@ std::vector<double> StreamMonitorGroup::flush() {
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const PendingEntry& entry = entries_[i];
       if (entry.window == PendingEntry::npos) continue;
-      if (!window_scored[entry.window]) continue;
-      const double score = window_score[entry.window];
+      if (!window_scored_[entry.window]) continue;
+      const double score = window_score_[entry.window];
       scores[i] = score;
       monitors_[entry.shard]->apply_score(entry.time, entry.template_id,
                                           score);
     }
   }
   entries_.clear();
-  windows_.clear();
+  windows_used_ = 0;
   return scores;
 }
 

@@ -195,7 +195,19 @@ class StreamMonitorGroup {
   const AnomalyDetector* detector_;
   std::vector<StreamMonitor*> monitors_;
   std::vector<PendingEntry> entries_;
+  // Staged scoring windows. Slots are recycled across flushes: windows_
+  // never shrinks and windows_used_ marks the live prefix, so steady-state
+  // staging reassigns into a warm slot instead of allocating a fresh
+  // window vector per ingested line.
   std::vector<std::vector<logproc::ParsedLog>> windows_;
+  std::size_t windows_used_ = 0;
+  // flush() scratch, hoisted so a steady-state flush cycle only allocates
+  // the score vector it returns.
+  std::vector<double> window_score_;
+  std::vector<char> window_scored_;
+  std::vector<std::size_t> vocabs_;  // distinct, first-appearance order
+  std::vector<std::vector<std::size_t>> buckets_;
+  std::vector<LogView> views_;
 };
 
 /// §5.3 "Operational findings": the four scenarios a detected condition

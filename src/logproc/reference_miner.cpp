@@ -1,0 +1,122 @@
+#include "logproc/reference_miner.h"
+
+#include <functional>
+
+#include "logproc/signature_tree.h"
+#include "logproc/tokenizer.h"
+#include "util/check.h"
+
+namespace nfv::logproc {
+
+std::string ReferenceSignature::pattern() const {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::size_t ReferenceSignatureTree::KeyHash::operator()(const Key& k) const {
+  return std::hash<std::size_t>{}(k.token_count) * 1315423911u ^
+         std::hash<std::string>{}(k.head);
+}
+
+ReferenceSignatureTree::ReferenceSignatureTree()
+    : ReferenceSignatureTree(SignatureTreeConfig{}) {}
+
+ReferenceSignatureTree::ReferenceSignatureTree(
+    const SignatureTreeConfig& config)
+    : merge_threshold_(config.merge_threshold),
+      max_signatures_(config.max_signatures) {
+  NFV_CHECK(config.merge_threshold > 0.0 && config.merge_threshold <= 1.0,
+            "merge_threshold must be in (0, 1]");
+  NFV_CHECK(config.max_signatures > 0, "max_signatures must be positive");
+}
+
+double ReferenceSignatureTree::similarity(
+    const std::vector<std::string>& sig_tokens,
+    const std::vector<std::string>& line_tokens) {
+  if (sig_tokens.size() != line_tokens.size()) return 0.0;
+  if (sig_tokens.empty()) return 1.0;
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < sig_tokens.size(); ++i) {
+    if (sig_tokens[i] == kWildcard || sig_tokens[i] == line_tokens[i]) {
+      ++matched;
+    }
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(sig_tokens.size());
+}
+
+const ReferenceSignatureTree::Leaf* ReferenceSignatureTree::find_leaf(
+    const Key& key) const {
+  const auto it = leaves_.find(key);
+  return it == leaves_.end() ? nullptr : &it->second;
+}
+
+std::int32_t ReferenceSignatureTree::best_in_leaf(
+    const Leaf& leaf, const std::vector<std::string>& tokens,
+    double* best_score) const {
+  std::int32_t best_id = -1;
+  double best = 0.0;
+  for (const std::int32_t id : leaf.signature_ids) {
+    const double score =
+        similarity(signatures_[static_cast<std::size_t>(id)].tokens, tokens);
+    if (score > best) {
+      best = score;
+      best_id = id;
+    }
+  }
+  if (best_score) *best_score = best;
+  return best_id;
+}
+
+std::int32_t ReferenceSignatureTree::learn(std::string_view line) {
+  std::vector<std::string> tokens = tokenize_masked(line);
+  if (tokens.empty()) tokens.push_back("<empty>");
+  const Key key{tokens.size(),
+                tokens.front() == kWildcard ? std::string() : tokens.front()};
+  Leaf& leaf = leaves_[key];
+
+  double best_score = 0.0;
+  const std::int32_t best_id = best_in_leaf(leaf, tokens, &best_score);
+  const bool at_capacity = signatures_.size() >= max_signatures_;
+  if (best_id >= 0 &&
+      (best_score >= merge_threshold_ || at_capacity)) {
+    ReferenceSignature& sig = signatures_[static_cast<std::size_t>(best_id)];
+    // Generalize: disagreeing positions become wildcards.
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (sig.tokens[i] != kWildcard && sig.tokens[i] != tokens[i]) {
+        sig.tokens[i] = std::string(kWildcard);
+      }
+    }
+    ++sig.match_count;
+    return best_id;
+  }
+
+  // At capacity with no shape-compatible signature to fall back on the cap
+  // is soft: a genuinely new line shape still gets a template, since losing
+  // events entirely would corrupt the sequence model's input stream.
+  ReferenceSignature sig;
+  sig.id = static_cast<std::int32_t>(signatures_.size());
+  sig.tokens = std::move(tokens);
+  sig.match_count = 1;
+  leaf.signature_ids.push_back(sig.id);
+  signatures_.push_back(std::move(sig));
+  return signatures_.back().id;
+}
+
+std::int32_t ReferenceSignatureTree::match(std::string_view line) const {
+  std::vector<std::string> tokens = tokenize_masked(line);
+  if (tokens.empty()) tokens.push_back("<empty>");
+  const Key key{tokens.size(),
+                tokens.front() == kWildcard ? std::string() : tokens.front()};
+  const Leaf* leaf = find_leaf(key);
+  if (!leaf) return -1;
+  double best_score = 0.0;
+  const std::int32_t best_id = best_in_leaf(*leaf, tokens, &best_score);
+  return best_score >= merge_threshold_ ? best_id : -1;
+}
+
+}  // namespace nfv::logproc

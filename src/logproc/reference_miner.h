@@ -1,0 +1,79 @@
+// Seed-behavior reference template miner.
+//
+// This is the original (pre-fast-path) SignatureTree implementation kept
+// verbatim: per-line std::string tokens via the allocating tokenize_masked
+// tier, string-keyed leaf lookup, and string-compare similarity. It exists
+// for the same reason the serial GEMM kernels do — as the behavioral
+// reference the optimized path is pinned against: the equivalence suite
+// and bench_parsing_throughput --smoke replay full fleet traces through
+// both miners and require identical template-id sequences, patterns, and
+// match counts. Never use it on a hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace nfv::logproc {
+
+/// A learned template in the reference miner (string tokens; tokens equal
+/// to kWildcard match anything).
+struct ReferenceSignature {
+  std::int32_t id = -1;
+  std::vector<std::string> tokens;
+  std::uint64_t match_count = 0;
+
+  /// Human-readable pattern, e.g. "SNMP_TRAP_LINK_DOWN ifIndex <*> ...".
+  std::string pattern() const;
+};
+
+struct SignatureTreeConfig;  // shared with the fast path (signature_tree.h)
+
+/// Seed-behavior online template miner. Same semantics as SignatureTree;
+/// see signature_tree.h for the API contract.
+class ReferenceSignatureTree {
+ public:
+  ReferenceSignatureTree();
+  explicit ReferenceSignatureTree(const SignatureTreeConfig& config);
+
+  std::int32_t learn(std::string_view line);
+  std::int32_t match(std::string_view line) const;
+
+  const std::vector<ReferenceSignature>& signatures() const {
+    return signatures_;
+  }
+  std::size_t size() const { return signatures_.size(); }
+
+ private:
+  struct Leaf {
+    std::vector<std::int32_t> signature_ids;
+  };
+
+  /// Grouping key: token count + first non-variable token (empty if the
+  /// first token is variable).
+  struct Key {
+    std::size_t token_count;
+    std::string head;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  static double similarity(const std::vector<std::string>& sig_tokens,
+                           const std::vector<std::string>& line_tokens);
+
+  const Leaf* find_leaf(const Key& key) const;
+  std::int32_t best_in_leaf(const Leaf& leaf,
+                            const std::vector<std::string>& tokens,
+                            double* best_score) const;
+
+  double merge_threshold_;
+  std::size_t max_signatures_;
+  std::vector<ReferenceSignature> signatures_;
+  std::unordered_map<Key, Leaf, KeyHash> leaves_;
+};
+
+}  // namespace nfv::logproc

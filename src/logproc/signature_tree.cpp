@@ -1,114 +1,172 @@
 #include "logproc/signature_tree.h"
 
-#include <functional>
-
 #include "logproc/tokenizer.h"
 #include "util/check.h"
 
 namespace nfv::logproc {
 
-std::string Signature::pattern() const {
+namespace {
+
+/// Id of the "<empty>" placeholder token (interned right after the
+/// wildcard in the constructor, so it is always 1).
+constexpr std::uint32_t kEmptyTokenId = 1;
+
+}  // namespace
+
+std::size_t SignatureTree::LeafKeyHash::operator()(std::uint64_t key) const {
+  // splitmix64 finalizer; libstdc++'s identity hash would feed strided
+  // (count << 32 | head) keys straight into the bucket index.
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ull;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBull;
+  key ^= key >> 31;
+  return static_cast<std::size_t>(key);
+}
+
+SignatureTree::SignatureTree(SignatureTreeConfig config) : config_(config) {
+  NFV_CHECK(config.merge_threshold > 0.0 && config.merge_threshold <= 1.0,
+            "merge_threshold must be in (0, 1]");
+  NFV_CHECK(config.max_signatures > 0, "max_signatures must be positive");
+  const std::uint32_t wildcard = interner_.intern(kWildcard);
+  NFV_CHECK(wildcard == kWildcardTokenId, "wildcard must intern to id 0");
+  const std::uint32_t empty = interner_.intern("<empty>");
+  NFV_CHECK(empty == kEmptyTokenId, "<empty> must intern to id 1");
+}
+
+std::string SignatureTree::pattern(std::int32_t id) const {
+  NFV_CHECK(id >= 0 && static_cast<std::size_t>(id) < signatures_.size(),
+            "pattern(): unknown template id " << id);
+  const Signature& sig = signatures_[static_cast<std::size_t>(id)];
   std::string out;
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
+  for (std::size_t i = 0; i < sig.tokens.size(); ++i) {
     if (i > 0) out += ' ';
-    out += tokens[i];
+    out += token_text(sig.tokens[i]);
   }
   return out;
 }
 
-std::size_t SignatureTree::KeyHash::operator()(const Key& k) const {
-  return std::hash<std::size_t>{}(k.token_count) * 1315423911u ^
-         std::hash<std::string>{}(k.head);
+std::uint32_t SignatureTree::head_id() const {
+  // Masked-head equivalence classes of the reference miner's (count, head
+  // string) key: a variable first token shares the wildcard bucket, an
+  // empty line heads its own "<empty>" bucket.
+  if (spans_.empty()) return kEmptyTokenId;
+  if (variable_[0]) return kWildcardTokenId;
+  return interner_.find(spans_[0]);
 }
 
-SignatureTree::SignatureTree(SignatureTreeConfig config)
-    : config_(config) {
-  NFV_CHECK(config.merge_threshold > 0.0 && config.merge_threshold <= 1.0,
-            "merge_threshold must be in (0, 1]");
-  NFV_CHECK(config.max_signatures > 0, "max_signatures must be positive");
-}
-
-double SignatureTree::similarity(const std::vector<std::string>& sig_tokens,
-                                 const std::vector<std::string>& line_tokens) {
-  if (sig_tokens.size() != line_tokens.size()) return 0.0;
-  if (sig_tokens.empty()) return 1.0;
+double SignatureTree::similarity_to_line(const Signature& sig) const {
+  // Same-count is guaranteed by the leaf key, but keep the guard so a
+  // corrupt tree degrades to "no match" instead of out-of-bounds reads.
+  const std::size_t n = line_token_count();
+  if (sig.tokens.size() != n) return 0.0;
+  if (spans_.empty()) {
+    // Placeholder line "<empty>": matches a wildcard or itself.
+    return sig.tokens[0] == kWildcardTokenId ||
+                   sig.tokens[0] == kEmptyTokenId
+               ? 1.0
+               : 0.0;
+  }
+  // A position matches when the signature holds the wildcard there, or
+  // when its interned text equals the line's span (a variable line token
+  // is masked to "<*>" in the reference miner, so it can only match a
+  // wildcard). Comparing text in place keeps the per-line interner
+  // traffic to the single head probe.
   std::size_t matched = 0;
-  for (std::size_t i = 0; i < sig_tokens.size(); ++i) {
-    if (sig_tokens[i] == kWildcard || sig_tokens[i] == line_tokens[i]) {
-      ++matched;
-    }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t t = sig.tokens[i];
+    matched += static_cast<std::size_t>(
+        t == kWildcardTokenId ||
+        (variable_[i] == 0 && interner_.view(t) == spans_[i]));
   }
-  return static_cast<double>(matched) /
-         static_cast<double>(sig_tokens.size());
+  return static_cast<double>(matched) / static_cast<double>(n);
 }
 
-const SignatureTree::Leaf* SignatureTree::find_leaf(const Key& key) const {
+SignatureTree::BestMatch SignatureTree::find_best(std::uint32_t head) const {
+  BestMatch best;
+  if (head == util::StringInterner::kNotFound) return best;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(line_token_count()) << 32) | head;
   const auto it = leaves_.find(key);
-  return it == leaves_.end() ? nullptr : &it->second;
-}
-
-std::int32_t SignatureTree::best_in_leaf(
-    const Leaf& leaf, const std::vector<std::string>& tokens,
-    double* best_score) const {
-  std::int32_t best_id = -1;
-  double best = 0.0;
-  for (const std::int32_t id : leaf.signature_ids) {
+  if (it == leaves_.end()) return best;
+  for (const std::int32_t id : it->second.signature_ids) {
     const double score =
-        similarity(signatures_[static_cast<std::size_t>(id)].tokens, tokens);
-    if (score > best) {
-      best = score;
-      best_id = id;
+        similarity_to_line(signatures_[static_cast<std::size_t>(id)]);
+    if (score > best.score) {
+      best.score = score;
+      best.id = id;
     }
   }
-  if (best_score) *best_score = best;
-  return best_id;
+  return best;
 }
 
 std::int32_t SignatureTree::learn(std::string_view line) {
-  std::vector<std::string> tokens = tokenize_masked(line);
-  if (tokens.empty()) tokens.push_back("<empty>");
-  const Key key{tokens.size(),
-                tokens.front() == kWildcard ? std::string() : tokens.front()};
-  Leaf& leaf = leaves_[key];
+  tokenize_spans(line, spans_, variable_);
+  const std::uint32_t head = head_id();
 
-  double best_score = 0.0;
-  const std::int32_t best_id = best_in_leaf(leaf, tokens, &best_score);
+  const BestMatch best = find_best(head);
   const bool at_capacity = signatures_.size() >= config_.max_signatures;
-  if (best_id >= 0 &&
-      (best_score >= config_.merge_threshold || at_capacity)) {
-    Signature& sig = signatures_[static_cast<std::size_t>(best_id)];
-    // Generalize: disagreeing positions become wildcards.
-    for (std::size_t i = 0; i < tokens.size(); ++i) {
-      if (sig.tokens[i] != kWildcard && sig.tokens[i] != tokens[i]) {
-        sig.tokens[i] = std::string(kWildcard);
+  if (best.id >= 0 &&
+      (best.score >= config_.merge_threshold || at_capacity)) {
+    Signature& sig = signatures_[static_cast<std::size_t>(best.id)];
+    // Generalize: disagreeing positions become wildcards — the same
+    // predicate similarity_to_line() counted as a mismatch. A perfect
+    // score means no position disagreed, so the pass would be a no-op;
+    // skipping it removes the second text-compare walk from the
+    // steady-state path (a warm template has already generalized every
+    // variable position to a wildcard).
+    if (best.score == 1.0) {
+      // nothing to generalize
+    } else if (spans_.empty()) {
+      if (sig.tokens[0] != kWildcardTokenId &&
+          sig.tokens[0] != kEmptyTokenId) {
+        sig.tokens[0] = kWildcardTokenId;
+      }
+    } else {
+      for (std::size_t i = 0; i < spans_.size(); ++i) {
+        const std::uint32_t t = sig.tokens[i];
+        if (t != kWildcardTokenId &&
+            (variable_[i] != 0 || interner_.view(t) != spans_[i])) {
+          sig.tokens[i] = kWildcardTokenId;
+        }
       }
     }
     ++sig.match_count;
-    return best_id;
+    return best.id;
   }
 
   // At capacity with no shape-compatible signature to fall back on the cap
   // is soft: a genuinely new line shape still gets a template, since losing
   // events entirely would corrupt the sequence model's input stream.
+  // Only here — template discovery, not the steady state — are the line's
+  // stable tokens interned and its id sequence materialized.
+  line_ids_.clear();
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    line_ids_.push_back(variable_[i] != 0 ? kWildcardTokenId
+                                          : interner_.intern(spans_[i]));
+  }
+  if (line_ids_.empty()) line_ids_.push_back(kEmptyTokenId);
+
   Signature sig;
   sig.id = static_cast<std::int32_t>(signatures_.size());
-  sig.tokens = std::move(tokens);
+  sig.tokens = line_ids_;
   sig.match_count = 1;
-  leaf.signature_ids.push_back(sig.id);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(line_ids_.size()) << 32) |
+      line_ids_.front();
+  leaves_[key].signature_ids.push_back(sig.id);
   signatures_.push_back(std::move(sig));
   return signatures_.back().id;
 }
 
 std::int32_t SignatureTree::match(std::string_view line) const {
-  std::vector<std::string> tokens = tokenize_masked(line);
-  if (tokens.empty()) tokens.push_back("<empty>");
-  const Key key{tokens.size(),
-                tokens.front() == kWildcard ? std::string() : tokens.front()};
-  const Leaf* leaf = find_leaf(key);
-  if (!leaf) return -1;
-  double best_score = 0.0;
-  const std::int32_t best_id = best_in_leaf(*leaf, tokens, &best_score);
-  return best_score >= config_.merge_threshold ? best_id : -1;
+  // Read-only: an unseen head resolves to kNotFound (no leaf can hold it),
+  // and unseen stable tokens elsewhere simply fail every text comparison —
+  // exactly like an unseen string in the reference miner. Nothing is
+  // interned.
+  tokenize_spans(line, spans_, variable_);
+  const BestMatch best = find_best(head_id());
+  return best.score >= config_.merge_threshold ? best.id : -1;
 }
 
 }  // namespace nfv::logproc

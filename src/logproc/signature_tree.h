@@ -7,6 +7,29 @@
 // fields. The tree is keyed by (token count, first stable token) with leaf
 // groups merged by token-wise similarity; positions that disagree across
 // merged messages become wildcards.
+//
+// Fast-path representation (zero allocation in steady state): every stable
+// token of a SIGNATURE is interned once into a per-tree
+// util::StringInterner, and a Signature stores u32 token ids
+// (kWildcardTokenId matches anything). The per-line front end — one-pass
+// span tokenization, a single head-token interner probe, and a
+// (token count, head id) leaf lookup — never materializes a std::string,
+// and candidate scoring compares each signature token's interned text
+// against the line's spans in place, so a warm line touches the interner
+// exactly once (its head); line token ids are only built (and new tokens
+// interned) when a genuinely new signature is created.
+// Mined template ids are bit-identical to ReferenceSignatureTree (the seed
+// implementation); tests/logproc/miner_equivalence_test.cpp and
+// bench_parsing_throughput --smoke replay full fleet traces through both.
+//
+// Thread-safety / ownership: a SignatureTree owns its interner and its
+// tokenization scratch outright, and BOTH learn() and match() use that
+// scratch — a tree instance is strictly single-threaded, even for
+// read-only matching. StreamMonitor therefore keeps one tree per monitor
+// (per vPE), exactly as the streaming contract already required; sharing
+// one tree across threads is only sound when every access is externally
+// serialized. Copying a tree deep-copies the interner, so copies are
+// fully independent.
 #pragma once
 
 #include <cstdint>
@@ -15,16 +38,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/interner.h"
+
 namespace nfv::logproc {
 
-/// A learned message template. Tokens equal to kWildcard match anything.
+/// Token id reserved for the wildcard marker "<*>" (always interned first).
+inline constexpr std::uint32_t kWildcardTokenId = 0;
+
+/// A learned message template over interned token ids. Positions equal to
+/// kWildcardTokenId match anything. Token text is owned by the tree's
+/// interner: render with SignatureTree::pattern()/token_text().
 struct Signature {
   std::int32_t id = -1;
-  std::vector<std::string> tokens;
+  std::vector<std::uint32_t> tokens;
   std::uint64_t match_count = 0;
-
-  /// Human-readable pattern, e.g. "SNMP_TRAP_LINK_DOWN ifIndex <*> ...".
-  std::string pattern() const;
 };
 
 struct SignatureTreeConfig {
@@ -41,7 +68,8 @@ struct SignatureTreeConfig {
 };
 
 /// Online template miner. learn() both matches and updates the template
-/// set; match() is read-only. Template ids are dense and stable: ids are
+/// set; match() is read-only (it still uses per-tree scratch — see the
+/// thread-safety note above). Template ids are dense and stable: ids are
 /// never reused or renumbered, so they can serve directly as the LSTM
 /// vocabulary.
 class SignatureTree {
@@ -49,43 +77,77 @@ class SignatureTree {
   explicit SignatureTree(SignatureTreeConfig config = {});
 
   /// Match the line, creating or generalizing a signature as needed.
-  /// Returns the template id.
+  /// Returns the template id. Zero heap allocation in steady state (warm
+  /// tree, previously-seen stable tokens).
   std::int32_t learn(std::string_view line);
 
   /// Read-only best match; returns -1 if nothing clears the threshold.
+  /// Zero heap allocation in steady state.
   std::int32_t match(std::string_view line) const;
 
   const std::vector<Signature>& signatures() const { return signatures_; }
   std::size_t size() const { return signatures_.size(); }
   const SignatureTreeConfig& config() const { return config_; }
 
+  /// Text of one interned token id ("<*>" for kWildcardTokenId). The view
+  /// is invalidated by the next learn() that admits a new token.
+  std::string_view token_text(std::uint32_t token_id) const {
+    return interner_.view(token_id);
+  }
+
+  /// Human-readable pattern for a template id, e.g.
+  /// "SNMP_TRAP_LINK_DOWN ifIndex <*> ...".
+  std::string pattern(std::int32_t id) const;
+
  private:
   struct Leaf {
     std::vector<std::int32_t> signature_ids;
   };
 
-  /// Grouping key: token count + first non-variable token (empty if the
-  /// first token is variable).
-  struct Key {
-    std::size_t token_count;
-    std::string head;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
+  /// splitmix64 over the packed (token count, head id) leaf key, so the
+  /// per-line leaf probe hashes two integers instead of a std::string.
+  struct LeafKeyHash {
+    std::size_t operator()(std::uint64_t key) const;
   };
 
-  static double similarity(const std::vector<std::string>& sig_tokens,
-                           const std::vector<std::string>& line_tokens);
+  /// Result of the shared tokenize→leaf-lookup→best-candidate walk.
+  struct BestMatch {
+    std::int32_t id = -1;
+    double score = 0.0;
+  };
 
-  const Leaf* find_leaf(const Key& key) const;
-  std::int32_t best_in_leaf(const Leaf& leaf,
-                            const std::vector<std::string>& tokens,
-                            double* best_score) const;
+  /// Token count of the tokenized line in scratch ("<empty>" placeholder
+  /// counts as one token, matching the reference miner).
+  std::size_t line_token_count() const {
+    return spans_.empty() ? 1 : spans_.size();
+  }
+
+  /// Interner id of the line's leaf head: kWildcardTokenId for a variable
+  /// first token, kNotFound when the head was never interned (in which
+  /// case no leaf can contain it).
+  std::uint32_t head_id() const;
+
+  /// Fraction of positions where `sig` matches the tokenized line in
+  /// scratch: wildcard signature positions match anything; stable
+  /// positions compare the signature token's interned text against the
+  /// line's span in place (a variable line token only matches a wildcard).
+  double similarity_to_line(const Signature& sig) const;
+
+  /// Shared by learn() and match(): probe the leaf for (count, head) and
+  /// scan its candidates for the best similarity score (first-best wins,
+  /// in signature creation order — identical to the reference miner).
+  BestMatch find_best(std::uint32_t head) const;
 
   SignatureTreeConfig config_;
+  util::StringInterner interner_;  // token text, owned by this tree
   std::vector<Signature> signatures_;
-  std::unordered_map<Key, Leaf, KeyHash> leaves_;
+  std::unordered_map<std::uint64_t, Leaf, LeafKeyHash> leaves_;
+  // Per-tree tokenization scratch, reused across learn()/match() calls so
+  // the steady state allocates nothing. mutable: match() is logically
+  // const but still owns the scratch (single-threaded contract above).
+  mutable std::vector<std::string_view> spans_;
+  mutable std::vector<unsigned char> variable_;
+  std::vector<std::uint32_t> line_ids_;  // new-signature path only
 };
 
 }  // namespace nfv::logproc

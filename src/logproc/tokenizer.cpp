@@ -1,6 +1,10 @@
 #include "logproc/tokenizer.h"
 
+#include <bit>
 #include <cctype>
+#include <cstring>
+
+#include <immintrin.h>
 
 #include "util/strings.h"
 
@@ -12,6 +16,166 @@ bool is_variable_token(std::string_view token) {
   // IPs, interface units ("ge-0/0/1.100"), hex ids, timestamps.
   return nfv::util::contains_digit(token);
 }
+
+namespace {
+
+using token_detail::kCharClass;
+using token_detail::kSpace;
+
+/// Trim non-separator whitespace from the run's ends and emit it. Trimmed
+/// characters are never digits, so `has_digit` stays valid for the
+/// trimmed span — same argument as the scalar scan.
+inline void emit_span(const char* data, std::size_t begin, std::size_t end,
+                      bool has_digit,
+                      std::vector<std::string_view>& tokens,
+                      std::vector<unsigned char>& variable) {
+  while (begin < end &&
+         (kCharClass[static_cast<unsigned char>(data[begin])] & kSpace)) {
+    ++begin;
+  }
+  while (end > begin &&
+         (kCharClass[static_cast<unsigned char>(data[end - 1])] & kSpace)) {
+    --end;
+  }
+  if (begin < end) {
+    tokens.emplace_back(data + begin, end - begin);
+    variable.push_back(has_digit ? 1 : 0);
+  }
+}
+
+// AVX2 kernel: classify 32 bytes at once into separator/digit bitmasks
+// via the nibble-LUT technique (two vpshufb lookups ANDed together: a
+// character belongs to a class iff its low-nibble entry and high-nibble
+// entry share a group bit). Token runs are then maximal 1-runs of the
+// inverted separator mask, extracted with bit scans; trimming and
+// emission reuse the scalar helpers, so the spans are byte-for-byte the
+// scalar scan's. Group bits (one per (high nibble, class) pair so no two
+// classes collide):
+//   0x01 tab          (sep)   0x02 \n \v \f \r  (plain whitespace)
+//   0x04 space        (sep)   0x08 " ( ) ,      (sep)
+//   0x10 ; =          (sep)   0x20 0-9          (digit)
+//   0x40 [ ]          (sep)
+constexpr char kSepGroups = 0x01 | 0x04 | 0x08 | 0x10 | 0x40;
+constexpr char kDigitGroup = 0x20;
+
+struct ChunkMasks {
+  std::uint32_t token = 0;  // 1 = non-separator byte
+  std::uint32_t digit = 0;  // 1 = ASCII digit
+};
+
+__attribute__((target("avx2"))) inline ChunkMasks classify32(__m256i bytes) {
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(bytes, nib);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi16(bytes, 4), nib);
+  const __m256i lut_lo = _mm256_setr_epi8(
+      0x24, 0x20, 0x28, 0x20, 0x20, 0x20, 0x20, 0x20, 0x28, 0x29, 0x02,
+      0x52, 0x0A, 0x52, 0x00, 0x00, 0x24, 0x20, 0x28, 0x20, 0x20, 0x20,
+      0x20, 0x20, 0x28, 0x29, 0x02, 0x52, 0x0A, 0x52, 0x00, 0x00);
+  const __m256i lut_hi = _mm256_setr_epi8(
+      0x03, 0x00, 0x0C, 0x30, 0x00, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x0C, 0x30, 0x00, 0x40,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00);
+  const __m256i cls = _mm256_and_si256(_mm256_shuffle_epi8(lut_lo, lo),
+                                       _mm256_shuffle_epi8(lut_hi, hi));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i not_sep = _mm256_cmpeq_epi8(
+      _mm256_and_si256(cls, _mm256_set1_epi8(kSepGroups)), zero);
+  const __m256i not_digit = _mm256_cmpeq_epi8(
+      _mm256_and_si256(cls, _mm256_set1_epi8(kDigitGroup)), zero);
+  ChunkMasks m;
+  m.token = static_cast<std::uint32_t>(_mm256_movemask_epi8(not_sep));
+  m.digit = ~static_cast<std::uint32_t>(_mm256_movemask_epi8(not_digit));
+  return m;
+}
+
+inline std::uint32_t low_bits(unsigned count) {
+  return count >= 32 ? ~0u : (1u << count) - 1u;
+}
+
+__attribute__((target("avx2"))) void tokenize_spans_avx2(
+    std::string_view line, std::vector<std::string_view>& tokens,
+    std::vector<unsigned char>& variable) {
+  const char* data = line.data();
+  const std::size_t n = line.size();
+  std::size_t token_begin = 0;
+  bool in_token = false;
+  bool has_digit = false;
+  for (std::size_t base = 0; base < n; base += 32) {
+    const std::size_t remain = n - base;
+    __m256i bytes;
+    if (remain >= 32) {
+      bytes = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(data + base));
+    } else {
+      // Pad the tail with a separator so runs end at the line end.
+      alignas(32) char buf[32];
+      std::memset(buf, ' ', sizeof(buf));
+      std::memcpy(buf, data + base, remain);
+      bytes = _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+    }
+    const ChunkMasks cm = classify32(bytes);
+    std::uint32_t m = cm.token;
+
+    if (in_token) {
+      if (m & 1u) {
+        // The open token continues into this chunk.
+        const unsigned len = static_cast<unsigned>(std::countr_one(m));
+        has_digit = has_digit || (cm.digit & low_bits(len)) != 0;
+        if (len == 32) continue;  // spans the whole chunk
+        emit_span(data, token_begin, base + len, has_digit, tokens,
+                  variable);
+        m &= ~low_bits(len);
+      } else {
+        emit_span(data, token_begin, base, has_digit, tokens, variable);
+      }
+      in_token = false;
+    }
+
+    while (m != 0) {
+      const unsigned start = static_cast<unsigned>(std::countr_zero(m));
+      const unsigned len =
+          static_cast<unsigned>(std::countr_one(m >> start));
+      const std::uint32_t run = low_bits(len) << start;
+      const bool digit = (cm.digit & run) != 0;
+      if (start + len == 32) {
+        // Run touches the chunk edge: leave it open for the next chunk
+        // (or the post-loop flush when this was the last one).
+        in_token = true;
+        token_begin = base + start;
+        has_digit = digit;
+        break;
+      }
+      emit_span(data, base + start, base + start + len, digit, tokens,
+                variable);
+      m &= ~run;
+    }
+  }
+  if (in_token) emit_span(data, token_begin, n, has_digit, tokens, variable);
+}
+
+}  // namespace
+
+void tokenize_spans(std::string_view line,
+                    std::vector<std::string_view>& tokens,
+                    std::vector<unsigned char>& variable) {
+  tokens.clear();
+  variable.clear();
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2 && line.size() >= 16) {
+    tokenize_spans_avx2(line, tokens, variable);
+    return;
+  }
+  for_each_token(line, [&](std::string_view token, bool is_variable) {
+    tokens.push_back(token);
+    variable.push_back(is_variable ? 1 : 0);
+  });
+}
+
+// The allocating tier below is deliberately kept as the seed
+// implementation (util::split + trim + per-token std::string): it is the
+// behavioral reference the span tokenizer is tested against, and the only
+// tier reachable from ReferenceSignatureTree.
 
 std::vector<std::string> tokenize(std::string_view line) {
   std::vector<std::string> out;

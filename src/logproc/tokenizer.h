@@ -5,8 +5,22 @@
 // interface names with indices, hex ids...). Variable tokens are rewritten
 // to the wildcard marker so that the signature tree (template miner) sees
 // stable structure.
+//
+// Two tiers:
+//  - for_each_token() / tokenize_spans(): the zero-allocation fast path —
+//    one table-driven pass over the line emitting string_view spans plus
+//    an inline is-variable flag. This is what the signature tree's hot
+//    loop uses. tokenize_spans() additionally carries an AVX2 kernel
+//    (nibble-LUT byte classification into separator/digit bitmasks, token
+//    runs extracted with bit scans) selected at runtime, emitting exactly
+//    the same spans as the scalar scan.
+//  - tokenize() / tokenize_masked(): the original allocating API, kept
+//    bit-for-bit as the behavioral reference (tests assert the span
+//    tokenizer agrees with it on every line).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,12 +34,91 @@ inline constexpr std::string_view kWildcard = "<*>";
 /// digit, or is a bare punctuation-delimited value like an IP or hex id.
 bool is_variable_token(std::string_view token);
 
-/// Tokenize one syslog message body. Splits on whitespace and the
-/// separators ,;=()[] while keeping ':' inside tokens (interface names such
-/// as "ge-0/0/1" and IPv6 addresses stay single tokens).
+namespace token_detail {
+
+inline constexpr unsigned char kSep = 1;    // hard separator
+inline constexpr unsigned char kSpace = 2;  // ASCII whitespace (trimmed)
+inline constexpr unsigned char kDigit = 4;  // marks variable tokens
+
+inline constexpr std::array<unsigned char, 256> kCharClass = [] {
+  std::array<unsigned char, 256> table{};
+  for (const char c : std::string_view(" \t,;=()[]\"")) {
+    table[static_cast<unsigned char>(c)] |= kSep;
+  }
+  for (const char c : std::string_view(" \t\n\v\f\r")) {
+    table[static_cast<unsigned char>(c)] |= kSpace;
+  }
+  for (char c = '0'; c <= '9'; ++c) {
+    table[static_cast<unsigned char>(c)] |= kDigit;
+  }
+  return table;
+}();
+
+}  // namespace token_detail
+
+/// One-pass span tokenizer: invokes fn(token, is_variable) for each token,
+/// where `token` is a view into `line`. Splits on whitespace and the
+/// separators ,;=()[]" while keeping ':' inside tokens (interface names
+/// such as "ge-0/0/1" and IPv6 addresses stay single tokens); pieces are
+/// trimmed of ASCII whitespace and empty pieces are dropped — exactly the
+/// tokens of tokenize(), with is_variable == is_variable_token(token),
+/// but with zero heap allocation.
+template <typename Fn>
+inline void for_each_token(std::string_view line, Fn&& fn) {
+  using token_detail::kCharClass;
+  const char* data = line.data();
+  const std::size_t n = line.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    unsigned char cls = kCharClass[static_cast<unsigned char>(data[pos])];
+    if (cls & token_detail::kSep) {
+      ++pos;
+      continue;
+    }
+    const std::size_t piece_begin = pos;
+    unsigned char seen = 0;
+    do {
+      seen |= cls;
+      ++pos;
+      if (pos >= n) break;
+      cls = kCharClass[static_cast<unsigned char>(data[pos])];
+    } while (!(cls & token_detail::kSep));
+    // Trim non-separator whitespace (\n \v \f \r) from both ends. Trimmed
+    // characters are never digits, so `seen` stays valid for the trimmed
+    // span.
+    std::size_t begin = piece_begin;
+    std::size_t end = pos;
+    while (begin < end && (kCharClass[static_cast<unsigned char>(
+                               data[begin])] &
+                           token_detail::kSpace)) {
+      ++begin;
+    }
+    while (end > begin && (kCharClass[static_cast<unsigned char>(
+                               data[end - 1])] &
+                           token_detail::kSpace)) {
+      --end;
+    }
+    if (begin < end) {
+      fn(std::string_view(data + begin, end - begin),
+         (seen & token_detail::kDigit) != 0);
+    }
+  }
+}
+
+/// Span tokenization into reusable output vectors: tokens[i] views into
+/// `line`, variable[i] != 0 iff tokens[i] is a variable field. Clears and
+/// refills both vectors, reusing their capacity (no allocation once warm).
+void tokenize_spans(std::string_view line,
+                    std::vector<std::string_view>& tokens,
+                    std::vector<unsigned char>& variable);
+
+/// Tokenize one syslog message body (allocating reference tier). Splits on
+/// whitespace and the separators ,;=()[] while keeping ':' inside tokens
+/// (interface names such as "ge-0/0/1" and IPv6 addresses stay single
+/// tokens).
 std::vector<std::string> tokenize(std::string_view line);
 
-/// Tokenize and replace variable tokens with kWildcard.
+/// Tokenize and replace variable tokens with kWildcard (reference tier).
 std::vector<std::string> tokenize_masked(std::string_view line);
 
 }  // namespace nfv::logproc

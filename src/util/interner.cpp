@@ -1,0 +1,112 @@
+#include "util/interner.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace nfv::util {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 64;  // power of two
+constexpr std::uint64_t kSeed = 0x9E3779B97F4A7C15ull;
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: cheap and well-distributed for short keys.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+inline std::uint64_t load64(const char* p, std::size_t n) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, n);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t StringInterner::hash_bytes(std::string_view text) {
+  // Unaligned 8-byte chunks folded with multiply-xor; syslog tokens are
+  // short (typically <= 16 bytes) so this is one or two rounds.
+  std::uint64_t h = kSeed ^ (static_cast<std::uint64_t>(text.size()) << 1);
+  const char* p = text.data();
+  std::size_t n = text.size();
+  while (n >= 8) {
+    h = mix64(h ^ load64(p, 8));
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) h = mix64(h ^ load64(p, n));
+  return h;
+}
+
+StringInterner::StringInterner() : slots_(kInitialSlots, 0) {
+  mask_ = kInitialSlots - 1;
+}
+
+std::uint32_t StringInterner::find(std::string_view text) const {
+  return find_hashed(text, hash_bytes(text));
+}
+
+std::uint32_t StringInterner::find_hashed(std::string_view text,
+                                          std::uint64_t hash) const {
+  std::size_t slot = static_cast<std::size_t>(hash) & mask_;
+  while (true) {
+    const std::uint32_t stored = slots_[slot];
+    if (stored == 0) return kNotFound;
+    const std::uint32_t id = stored - 1;
+    if (hashes_[id] == hash && equals(id, text)) return id;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+std::uint32_t StringInterner::intern(std::string_view text) {
+  return intern_hashed(text, hash_bytes(text));
+}
+
+std::uint32_t StringInterner::intern_hashed(std::string_view text,
+                                            std::uint64_t hash) {
+  std::size_t slot = static_cast<std::size_t>(hash) & mask_;
+  while (true) {
+    const std::uint32_t stored = slots_[slot];
+    if (stored == 0) break;
+    const std::uint32_t id = stored - 1;
+    if (hashes_[id] == hash && equals(id, text)) return id;
+    slot = (slot + 1) & mask_;
+  }
+
+  NFV_CHECK(entries_.size() < kNotFound, "interner id space exhausted");
+  NFV_CHECK(arena_.size() + text.size() <= 0xFFFFFFFFull,
+            "interner arena exceeds 4 GiB");
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  Entry entry;
+  entry.offset = static_cast<std::uint32_t>(arena_.size());
+  entry.length = static_cast<std::uint32_t>(text.size());
+  arena_.insert(arena_.end(), text.begin(), text.end());
+  entries_.push_back(entry);
+  hashes_.push_back(hash);
+  slots_[slot] = id + 1;
+
+  // Keep load factor under ~0.75 so probe chains stay short.
+  if ((entries_.size() + 1) * 4 > slots_.size() * 3) grow_table();
+  return id;
+}
+
+void StringInterner::grow_table() {
+  const std::size_t new_size = slots_.size() * 2;
+  std::vector<std::uint32_t> fresh(new_size, 0);
+  const std::size_t new_mask = new_size - 1;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    std::size_t slot = static_cast<std::size_t>(hashes_[id]) & new_mask;
+    while (fresh[slot] != 0) slot = (slot + 1) & new_mask;
+    fresh[slot] = id + 1;
+  }
+  slots_ = std::move(fresh);
+  mask_ = new_mask;
+}
+
+}  // namespace nfv::util

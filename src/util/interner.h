@@ -1,0 +1,77 @@
+// Append-only string interner: string_view -> dense u32 id.
+//
+// Built for the template-mining fast path: the signature tree interns every
+// stable syslog token once and thereafter works on u32 ids, so the per-line
+// hot loop never materializes a std::string. Design constraints that shape
+// the implementation:
+//
+//  - Ids are dense (0, 1, 2, ...) in first-intern order and never change.
+//  - Lookups are allocation-free; intern() only allocates when it actually
+//    admits a new string (arena growth / table rehash), so a warm interner
+//    is zero-allocation in steady state.
+//  - Value semantics: the arena stores (offset, length) entries into one
+//    contiguous byte buffer, never pointers, so the interner can be copied
+//    and moved freely and views are computed on demand.
+//
+// Not thread-safe: callers own synchronization (the signature tree keeps
+// one interner per tree, and trees are single-threaded by contract).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace nfv::util {
+
+class StringInterner {
+ public:
+  /// Returned by find() when the string has never been interned.
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+
+  StringInterner();
+
+  /// Id for `text`, interning it if new. Ids are dense and stable.
+  std::uint32_t intern(std::string_view text);
+
+  /// Id for `text` if already interned, else kNotFound. Never mutates.
+  std::uint32_t find(std::string_view text) const;
+
+  /// The interned bytes for an id. The view is invalidated by the next
+  /// intern() that grows the arena — consume it before interning again.
+  std::string_view view(std::uint32_t id) const {
+    const Entry& e = entries_[id];
+    return std::string_view(arena_.data() + e.offset, e.length);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// 64-bit string hash used internally; exposed so callers that already
+  /// scanned the bytes can avoid a second pass (see find_hashed()).
+  static std::uint64_t hash_bytes(std::string_view text);
+
+  /// find()/intern() with a caller-precomputed hash_bytes() value.
+  std::uint32_t find_hashed(std::string_view text, std::uint64_t hash) const;
+  std::uint32_t intern_hashed(std::string_view text, std::uint64_t hash);
+
+ private:
+  struct Entry {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  bool equals(std::uint32_t id, std::string_view text) const {
+    const Entry& e = entries_[id];
+    return e.length == text.size() &&
+           std::string_view(arena_.data() + e.offset, e.length) == text;
+  }
+
+  void grow_table();
+
+  std::vector<char> arena_;            // all interned bytes, back to back
+  std::vector<Entry> entries_;         // id -> span within arena_
+  std::vector<std::uint64_t> hashes_;  // id -> hash_bytes(view(id))
+  std::vector<std::uint32_t> slots_;   // open addressing; id+1, 0 = empty
+  std::size_t mask_ = 0;               // slots_.size() - 1 (power of two)
+};
+
+}  // namespace nfv::util

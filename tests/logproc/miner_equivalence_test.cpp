@@ -1,0 +1,123 @@
+// Equivalence regression: the fast-path SignatureTree must mine EXACTLY
+// what the seed implementation (ReferenceSignatureTree) mines — identical
+// template-id sequences, signature patterns, and match counts — on a full
+// multi-vPE simulated fleet trace. This is the determinism contract that
+// lets the interned representation replace the string miner everywhere,
+// including the ML vocabulary it feeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "logproc/reference_miner.h"
+#include "logproc/signature_tree.h"
+#include "simnet/fleet.h"
+
+namespace nfv::logproc {
+namespace {
+
+/// All raw lines of a small multi-vPE fleet trace in global time order
+/// (the order parse_fleet feeds its shared tree), tagged with their vPE.
+/// Lines are owned copies: the trace itself is a function local.
+struct TraceLines {
+  std::vector<std::string> lines;
+  std::vector<std::size_t> vpe;
+};
+
+TraceLines fleet_lines() {
+  const simnet::FleetTrace trace =
+      simnet::simulate_fleet(simnet::small_fleet_config(20260807));
+
+  TraceLines out;
+  const std::size_t n = trace.logs_by_vpe.size();
+  std::vector<std::size_t> cursor(n, 0);
+  while (true) {
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (cursor[v] >= trace.logs_by_vpe[v].size()) continue;
+      if (best == n || trace.logs_by_vpe[v][cursor[v]].time <
+                           trace.logs_by_vpe[best][cursor[best]].time) {
+        best = v;
+      }
+    }
+    if (best == n) break;
+    out.lines.push_back(trace.logs_by_vpe[best][cursor[best]].text);
+    out.vpe.push_back(best);
+    ++cursor[best];
+  }
+  return out;
+}
+
+void expect_trees_identical(const ReferenceSignatureTree& reference,
+                            const SignatureTree& fast) {
+  ASSERT_EQ(reference.size(), fast.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const ReferenceSignature& ref_sig = reference.signatures()[i];
+    const Signature& fast_sig = fast.signatures()[i];
+    ASSERT_EQ(ref_sig.id, fast_sig.id);
+    ASSERT_EQ(ref_sig.match_count, fast_sig.match_count) << "template " << i;
+    ASSERT_EQ(ref_sig.pattern(), fast.pattern(fast_sig.id))
+        << "template " << i;
+  }
+}
+
+void replay_and_compare(const std::vector<std::string>& lines,
+                        SignatureTreeConfig config) {
+  ReferenceSignatureTree reference(config);
+  SignatureTree fast(config);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::int32_t ref_id = reference.learn(lines[i]);
+    const std::int32_t fast_id = fast.learn(lines[i]);
+    ASSERT_EQ(ref_id, fast_id) << "line " << i << ": " << lines[i];
+  }
+  expect_trees_identical(reference, fast);
+  // Read-only matching agrees too, including lines with unseen tokens.
+  for (std::size_t i = 0; i < lines.size(); i += 7) {
+    ASSERT_EQ(reference.match(lines[i]), fast.match(lines[i]))
+        << "line " << i;
+  }
+  ASSERT_EQ(reference.match("utterly novel shape never mined before"),
+            fast.match("utterly novel shape never mined before"));
+}
+
+TEST(MinerEquivalence, SharedTreeOverMergedFleetTrace) {
+  const TraceLines trace = fleet_lines();
+  ASSERT_GT(trace.lines.size(), 1000u);  // non-vacuous
+  replay_and_compare(trace.lines, SignatureTreeConfig{});
+}
+
+TEST(MinerEquivalence, StricterMergeThreshold) {
+  const TraceLines trace = fleet_lines();
+  SignatureTreeConfig config;
+  config.merge_threshold = 0.9;
+  replay_and_compare(trace.lines, config);
+}
+
+TEST(MinerEquivalence, TinySignatureCapExercisesReusePath) {
+  const TraceLines trace = fleet_lines();
+  SignatureTreeConfig config;
+  config.max_signatures = 8;  // constant capacity pressure
+  replay_and_compare(trace.lines, config);
+}
+
+// Per-vPE trees, exactly how StreamMonitor owns its miners: each vPE's
+// stream goes through its own reference/fast pair.
+TEST(MinerEquivalence, PerVpeTreesMatchStreamMonitorUsage) {
+  const TraceLines trace = fleet_lines();
+  std::size_t vpes = 0;
+  for (const std::size_t v : trace.vpe) vpes = std::max(vpes, v + 1);
+  std::vector<ReferenceSignatureTree> reference(vpes);
+  std::vector<SignatureTree> fast(vpes);
+  for (std::size_t i = 0; i < trace.lines.size(); ++i) {
+    const std::size_t v = trace.vpe[i];
+    ASSERT_EQ(reference[v].learn(trace.lines[i]),
+              fast[v].learn(trace.lines[i]))
+        << "line " << i;
+  }
+  for (std::size_t v = 0; v < vpes; ++v) {
+    expect_trees_identical(reference[v], fast[v]);
+  }
+}
+
+}  // namespace
+}  // namespace nfv::logproc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "logproc/tokenizer.h"
 #include "util/check.h"
 
@@ -31,9 +33,10 @@ TEST(SignatureTree, GeneralizesDisagreeingPositions) {
   ASSERT_EQ(tree.size(), 1u);
   const auto& sig = tree.signatures()[0];
   // Position 2 disagreed → wildcard; others survive.
-  EXPECT_EQ(sig.tokens[0], "session");
-  EXPECT_EQ(sig.tokens[2], kWildcard);
-  EXPECT_EQ(sig.tokens[3], "established");
+  EXPECT_EQ(tree.token_text(sig.tokens[0]), "session");
+  EXPECT_EQ(sig.tokens[2], kWildcardTokenId);
+  EXPECT_EQ(tree.token_text(sig.tokens[3]), "established");
+  EXPECT_EQ(tree.pattern(0), "session to <*> established cleanly");
 }
 
 TEST(SignatureTree, MatchCountsAccumulate) {
@@ -61,6 +64,18 @@ TEST(SignatureTree, MatchIsReadOnly) {
   EXPECT_EQ(tree.size(), before);
 }
 
+TEST(SignatureTree, MatchToleratesUnseenStableTokens) {
+  SignatureTree tree;
+  const auto id = tree.learn("alpha beta gamma delta epsilon");
+  // Two unseen stable tokens: similarity 3/5 = 0.6 still clears the
+  // default threshold; the unseen tokens must not be interned.
+  EXPECT_EQ(tree.match("alpha beta gamma newword otherword"), id);
+  EXPECT_EQ(tree.match("alpha newone newtwo newthree newfour"), -1);
+  // learn() after the matches behaves as if they never happened.
+  EXPECT_EQ(tree.learn("alpha beta gamma delta epsilon"), id);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
 TEST(SignatureTree, IdsAreDenseAndStable) {
   SignatureTree tree;
   const auto a = tree.learn("message one alpha");
@@ -77,6 +92,7 @@ TEST(SignatureTree, EmptyLineHandled) {
   const auto id = tree.learn("");
   EXPECT_GE(id, 0);
   EXPECT_EQ(tree.learn(""), id);
+  EXPECT_EQ(tree.pattern(id), "<empty>");
 }
 
 TEST(SignatureTree, MergeThresholdControlsSplitting) {
@@ -117,6 +133,47 @@ TEST(SignatureTree, CapStillAdmitsNewShapes) {
   EXPECT_GE(b, 1);  // soft cap: new shape still gets a template
 }
 
+// Drive the tree past the default 4096 soft cap: ids must stay dense and
+// stable, and once at capacity the closest shape-compatible signature is
+// reused for lines below the merge threshold.
+TEST(SignatureTree, DefaultCapKeepsIdsDenseAndReusePathFires) {
+  SignatureTree tree;  // default max_signatures = 4096
+  const std::size_t over = tree.config().max_signatures + 104;
+
+  // Distinct letter-only heads → each line is a genuinely new shape no
+  // existing signature can absorb, so the soft cap admits all of them.
+  const auto head = [](std::size_t i) {
+    std::string h = "hdr";
+    for (int k = 0; k < 3; ++k) {
+      h += static_cast<char>('a' + i % 26);
+      i /= 26;
+    }
+    return h;
+  };
+  std::vector<std::int32_t> first_ids;
+  first_ids.reserve(over);
+  for (std::size_t i = 0; i < over; ++i) {
+    first_ids.push_back(tree.learn(head(i) + " alpha beta"));
+  }
+  ASSERT_EQ(tree.size(), over);
+  for (std::size_t i = 0; i < over; ++i) {
+    // Dense, stable ids in discovery order.
+    ASSERT_EQ(first_ids[i], static_cast<std::int32_t>(i));
+    ASSERT_EQ(tree.signatures()[i].id, static_cast<std::int32_t>(i));
+  }
+
+  // At capacity, a shape-compatible line below the merge threshold reuses
+  // the closest existing signature instead of minting a new id...
+  const auto reused = tree.learn(head(0) + " omega psi");
+  EXPECT_EQ(reused, first_ids[0]);
+  EXPECT_EQ(tree.size(), over);
+  EXPECT_EQ(tree.signatures()[0].match_count, 2u);
+  // ...its disagreeing positions generalize to wildcards...
+  EXPECT_EQ(tree.pattern(0), head(0) + " <*> <*>");
+  // ...and re-learning any earlier line still returns its stable id.
+  EXPECT_EQ(tree.learn(head(7) + " alpha beta"), first_ids[7]);
+}
+
 TEST(SignatureTree, RejectsBadConfig) {
   SignatureTreeConfig bad;
   bad.merge_threshold = 0.0;
@@ -126,10 +183,10 @@ TEST(SignatureTree, RejectsBadConfig) {
   EXPECT_THROW(SignatureTree{bad2}, nfv::util::CheckError);
 }
 
-TEST(Signature, PatternRendering) {
+TEST(SignatureTree, PatternRendering) {
   SignatureTree tree;
   tree.learn("peer 10.0.0.1 down");
-  EXPECT_EQ(tree.signatures()[0].pattern(), "peer <*> down");
+  EXPECT_EQ(tree.pattern(0), "peer <*> down");
 }
 
 TEST(SignatureTree, VariableFirstTokenGroupsByEmptyHead) {
@@ -137,6 +194,18 @@ TEST(SignatureTree, VariableFirstTokenGroupsByEmptyHead) {
   const auto a = tree.learn("42 widgets processed ok");
   const auto b = tree.learn("77 widgets processed ok");
   EXPECT_EQ(a, b);
+}
+
+TEST(SignatureTree, CopiesAreIndependent) {
+  SignatureTree tree;
+  tree.learn("peer 10.0.0.1 down");
+  SignatureTree copy = tree;
+  copy.learn("utterly new shape with extra tokens here");
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+  // The copy's interner is its own: the original still renders correctly.
+  EXPECT_EQ(tree.pattern(0), "peer <*> down");
+  EXPECT_EQ(copy.pattern(0), "peer <*> down");
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
 namespace nfv::logproc {
 namespace {
 
@@ -49,6 +54,168 @@ TEST(TokenizeMasked, ReplacesVariableFields) {
 TEST(TokenizeMasked, StableTokensUntouched) {
   const auto tokens = tokenize_masked("BGP keepalive exchange completed");
   for (const auto& t : tokens) EXPECT_NE(t, kWildcard);
+}
+
+// --- Span tokenizer: must agree with the allocating reference tier on
+// every line, token for token, including the is-variable classification.
+
+void expect_spans_match_reference(std::string_view line) {
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans(line, spans, variable);
+  const std::vector<std::string> reference = tokenize(line);
+  ASSERT_EQ(spans.size(), reference.size()) << "line: " << line;
+  ASSERT_EQ(variable.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(spans[i], reference[i]) << "token " << i;
+    EXPECT_EQ(variable[i] != 0, is_variable_token(reference[i]))
+        << "token " << i << " = " << reference[i];
+    // Spans must view into the original line, not copies.
+    EXPECT_GE(spans[i].data(), line.data());
+    EXPECT_LE(spans[i].data() + spans[i].size(), line.data() + line.size());
+  }
+}
+
+TEST(TokenizeSpans, AgreesWithReferenceOnTypicalLines) {
+  expect_spans_match_reference(
+      "rpd[1234]: peer 10.0.0.1 (AS 65000) down");
+  expect_spans_match_reference(
+      "mib2d[901]: SNMP_TRAP_LINK_DOWN: ifIndex 531, ifAdminStatus up(1), "
+      "ifOperStatus down(2), ifName ge-0/0/17");
+  expect_spans_match_reference("BGP keepalive exchange completed");
+}
+
+TEST(TokenizeSpans, EmptyLine) {
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans("", spans, variable);
+  EXPECT_TRUE(spans.empty());
+  EXPECT_TRUE(variable.empty());
+  // Reuse clears previous content.
+  tokenize_spans("alpha beta", spans, variable);
+  ASSERT_EQ(spans.size(), 2u);
+  tokenize_spans("", spans, variable);
+  EXPECT_TRUE(spans.empty());
+  EXPECT_TRUE(variable.empty());
+}
+
+TEST(TokenizeSpans, AllSeparatorLine) {
+  expect_spans_match_reference("[]();;,,== \t \"\"");
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans("[]();;,,== \t \"\"", spans, variable);
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(TokenizeSpans, Ipv6AddressStaysOneVariableToken) {
+  const std::string line = "bgp neighbor 2001:db8:0:1::17 is unreachable";
+  expect_spans_match_reference(line);
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans(line, spans, variable);
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans[2], "2001:db8:0:1::17");  // ':' kept inside tokens
+  EXPECT_NE(variable[2], 0);                // digits → variable
+}
+
+TEST(TokenizeSpans, HexIdsAreVariableBareHexWordsAreNot) {
+  const std::string line = "session 0xdeadbeef cookie feedface dropped";
+  expect_spans_match_reference(line);
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans(line, spans, variable);
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_NE(variable[1], 0);  // 0xdeadbeef contains a digit
+  // All-letter hex words carry no digit — the digit heuristic (pinned
+  // seed behavior) leaves them stable.
+  EXPECT_EQ(variable[3], 0);
+}
+
+TEST(TokenizeSpans, InterfaceUnitStaysOneVariableToken) {
+  const std::string line = "input error on interface ge-0/0/1.100 cleared";
+  expect_spans_match_reference(line);
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans(line, spans, variable);
+  ASSERT_EQ(spans.size(), 6u);
+  EXPECT_EQ(spans[4], "ge-0/0/1.100");
+  EXPECT_NE(variable[4], 0);
+}
+
+TEST(TokenizeSpans, VeryLongLine) {
+  // > 4 KiB: alternating stable words and counters, one giant token at
+  // the end.
+  std::string line;
+  for (int i = 0; i < 300; ++i) {
+    line += "interface ge-0/0/";
+    line += std::to_string(i);
+    line += " flapped ";
+  }
+  line += std::string(512, 'x');  // 512-char stable token
+  ASSERT_GT(line.size(), 4096u);
+  expect_spans_match_reference(line);
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans(line, spans, variable);
+  ASSERT_EQ(spans.size(), 901u);  // 300 * 3 + 1
+  EXPECT_EQ(spans.back().size(), 512u);
+  EXPECT_EQ(variable.back(), 0);
+}
+
+TEST(TokenizeSpans, Utf8BytesStayInTokens) {
+  // Multi-byte UTF-8 sequences are opaque non-separator bytes: they never
+  // split a token and never count as digits.
+  const std::string line = "température élevée fpc2 夏 34°C";
+  expect_spans_match_reference(line);
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans(line, spans, variable);
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans[0], "température");
+  EXPECT_EQ(variable[0], 0);
+  EXPECT_EQ(spans[3], "夏");
+  EXPECT_NE(variable[2], 0);  // fpc2
+  EXPECT_NE(variable[4], 0);  // 34°C
+}
+
+// Differential fuzz: random lines over an adversarial alphabet (all
+// separators, all whitespace, digits, letters, high/UTF-8 bytes), with
+// lengths straddling the AVX2 kernel's 32-byte chunk boundaries and its
+// 16-byte dispatch threshold, must tokenize identically to the reference.
+TEST(TokenizeSpans, RandomLinesAgreeWithReference) {
+  const std::string_view alphabet =
+      " \t,;=()[]\"\n\v\f\r0123456789abcXYZ:/.-<*>\x80\xC3\xA9";
+  nfv::util::Rng rng(20260807);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = rng.uniform_index(96);  // 0..95: crosses 32/64
+    std::string line;
+    line.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      line += alphabet[rng.uniform_index(alphabet.size())];
+    }
+    expect_spans_match_reference(line);
+    if (HasFatalFailure()) {
+      ADD_FAILURE() << "failing line (" << line.size()
+                    << " bytes): " << line;
+      return;
+    }
+  }
+}
+
+TEST(TokenizeSpans, TrimsNonSeparatorWhitespace) {
+  // \n \r \v \f are whitespace but not separators: trimmed at token
+  // edges, kept verbatim inside a token (pinned seed behavior).
+  expect_spans_match_reference("alpha\n beta\r \vgamma\f");
+  expect_spans_match_reference("foo\rbar");
+  std::vector<std::string_view> spans;
+  std::vector<unsigned char> variable;
+  tokenize_spans("alpha\n beta\r", spans, variable);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], "alpha");
+  EXPECT_EQ(spans[1], "beta");
+  tokenize_spans("foo\rbar", spans, variable);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], "foo\rbar");
 }
 
 }  // namespace

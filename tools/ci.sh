@@ -24,6 +24,16 @@ echo "=== async ingest: serial-equivalence smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_ingest_throughput
 "$ROOT/build/bench/bench_ingest_throughput" --smoke
 
+echo "=== template mining: fast-path equivalence smoke ==="
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_parsing_throughput
+"$ROOT/build/bench/bench_parsing_throughput" --smoke
+
+echo "=== ASan: logproc fast path (interner, AVX2 tokenizer, alloc hook) ==="
+cmake -B "$ROOT/build-asan" -S "$ROOT" -DNFVPRED_SANITIZE=address
+cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_logproc --target test_logproc_alloc
+"$ROOT/build-asan/tests/test_logproc"
+"$ROOT/build-asan/tests/test_logproc_alloc"
+
 echo "=== TSan: concurrency label ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency

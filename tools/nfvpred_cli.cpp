@@ -197,7 +197,7 @@ int cmd_mine(const Args& args) {
   for (const auto& sig : tree.signatures()) {
     if (static_cast<std::size_t>(sig.id) >= max_shown) break;
     std::cout << "[" << sig.id << "] x" << sig.match_count << "  "
-              << sig.pattern() << "\n";
+              << tree.pattern(sig.id) << "\n";
   }
   return 0;
 }
