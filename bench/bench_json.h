@@ -1,0 +1,36 @@
+// Shared JSON output path for the bench binaries: every BENCH_*.json
+// file is built with the project's structural JsonWriter (src/util/json.h)
+// instead of hand-rolled string pasting, so escaping and number
+// formatting are uniform across benches and the runtime stats dump —
+// and everything round-trips through util::json_parse (pinned by
+// tests/util/json_test.cpp).
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/json.h"
+
+namespace nfv::bench {
+
+/// Write a completed JSON document to `path`. Returns false (with a
+/// message on stderr) when the file cannot be opened or the writer's
+/// structure was left unbalanced.
+inline bool write_json_file(const std::string& path,
+                            const nfv::util::JsonWriter& writer) {
+  if (!writer.complete()) {
+    std::cerr << "json writer incomplete for " << path << "\n";
+    return false;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  os << writer.str() << "\n";
+  std::cerr << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace nfv::bench

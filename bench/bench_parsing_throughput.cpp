@@ -22,11 +22,11 @@
 
 #include <chrono>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/streaming.h"
 #include "logproc/reference_miner.h"
 #include "logproc/signature_tree.h"
@@ -320,36 +320,30 @@ int run_json_mode(const std::string& path) {
             << "ingest: ref=" << lps(ingest_ref) << " fast=" << lps(ingest_fst)
             << " lines/s (" << ingest_ref / ingest_fst << "x)\n";
 
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot open " << path << "\n";
-    return 1;
-  }
-  os << "{\n"
-     << "  \"bench\": \"parsing_throughput\",\n"
-     << "  \"total_lines\": " << f.lines.size() << ",\n"
-     << "  \"templates\": " << warm_fast.size() << ",\n"
-     << "  \"window\": " << kWindow << ",\n"
-     << "  \"threads\": 1,\n"
-     << "  \"results\": [\n"
-     << "    {\"mode\": \"learn_cold\", \"miner\": \"reference\", "
-     << "\"lines_per_sec\": " << lps(learn_ref) << "},\n"
-     << "    {\"mode\": \"learn_cold\", \"miner\": \"fast\", "
-     << "\"lines_per_sec\": " << lps(learn_fast)
-     << ", \"speedup\": " << learn_ref / learn_fast << "},\n"
-     << "    {\"mode\": \"match_warm\", \"miner\": \"reference\", "
-     << "\"lines_per_sec\": " << lps(match_ref) << "},\n"
-     << "    {\"mode\": \"match_warm\", \"miner\": \"fast\", "
-     << "\"lines_per_sec\": " << lps(match_fast)
-     << ", \"speedup\": " << match_ref / match_fast << "},\n"
-     << "    {\"mode\": \"ingest_warm\", \"miner\": \"reference\", "
-     << "\"lines_per_sec\": " << lps(ingest_ref) << "},\n"
-     << "    {\"mode\": \"ingest_warm\", \"miner\": \"fast\", "
-     << "\"lines_per_sec\": " << lps(ingest_fst)
-     << ", \"speedup\": " << ingest_ref / ingest_fst << "}\n"
-     << "  ]\n}\n";
-  std::cerr << "wrote " << path << "\n";
-  return 0;
+  nfv::util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "parsing_throughput");
+  w.kv("total_lines", f.lines.size());
+  w.kv("templates", warm_fast.size());
+  w.kv("window", kWindow);
+  w.kv("threads", 1);
+  w.key("results").begin_array();
+  const auto row = [&w, &lps](const char* mode, const char* miner,
+                              double seconds, double ref_seconds) {
+    w.begin_object().kv("mode", mode).kv("miner", miner);
+    w.kv("lines_per_sec", lps(seconds));
+    if (ref_seconds > 0.0) w.kv("speedup", ref_seconds / seconds);
+    w.end_object();
+  };
+  row("learn_cold", "reference", learn_ref, 0.0);
+  row("learn_cold", "fast", learn_fast, learn_ref);
+  row("match_warm", "reference", match_ref, 0.0);
+  row("match_warm", "fast", match_fast, match_ref);
+  row("ingest_warm", "reference", ingest_ref, 0.0);
+  row("ingest_warm", "fast", ingest_fst, ingest_ref);
+  w.end_array();
+  w.end_object();
+  return bench::write_json_file(path, w) ? 0 : 1;
 }
 
 }  // namespace

@@ -18,11 +18,11 @@
 
 #include <chrono>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/lstm_detector.h"
 #include "logproc/dataset.h"
 #include "ml/matrix.h"
@@ -181,30 +181,26 @@ int run_json_mode(const std::string& path) {
   }
   util::set_global_threads(0);
 
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot open " << path << "\n";
-    return 1;
+  nfv::util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "scoring_throughput");
+  w.kv("streams", kStreams);
+  w.kv("stream_length", kStreamLen);
+  w.kv("window", f.window);
+  w.kv("total_windows", f.total_windows);
+  w.kv("score_batch", f.detector.config().score_batch);
+  w.key("results").begin_array();
+  for (const Row& row : rows) {
+    w.begin_object()
+        .kv("threads", row.threads)
+        .kv("window_by_window_windows_per_sec", row.wbw_wps)
+        .kv("batched_windows_per_sec", row.batched_wps)
+        .kv("speedup", row.batched_wps / row.wbw_wps);
+    w.end_object();
   }
-  os << "{\n"
-     << "  \"bench\": \"scoring_throughput\",\n"
-     << "  \"streams\": " << kStreams << ",\n"
-     << "  \"stream_length\": " << kStreamLen << ",\n"
-     << "  \"window\": " << f.window << ",\n"
-     << "  \"total_windows\": " << f.total_windows << ",\n"
-     << "  \"score_batch\": " << f.detector.config().score_batch << ",\n"
-     << "  \"results\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    os << "    {\"threads\": " << row.threads
-       << ", \"window_by_window_windows_per_sec\": " << row.wbw_wps
-       << ", \"batched_windows_per_sec\": " << row.batched_wps
-       << ", \"speedup\": " << row.batched_wps / row.wbw_wps << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
-  std::cerr << "wrote " << path << "\n";
-  return 0;
+  w.end_array();
+  w.end_object();
+  return bench::write_json_file(path, w) ? 0 : 1;
 }
 
 }  // namespace

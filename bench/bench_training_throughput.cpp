@@ -24,11 +24,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "ml/matrix.h"
 #include "ml/optimizer.h"
 #include "ml/sequence_model.h"
@@ -184,29 +184,26 @@ int run_json_mode(const std::string& path) {
     std::cerr << "\n";
   }
 
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot open " << path << "\n";
-    return 1;
-  }
-  os << "{\n"
-     << "  \"bench\": \"training_throughput\",\n"
-     << "  \"examples\": " << examples.size() << ",\n"
-     << "  \"batch_size\": " << kBatch << ",\n"
-     << "  \"window\": " << model_config().window << ",\n"
-     << "  \"vocab\": " << kVocab << ",\n"
-     << "  \"results\": [\n";
+  nfv::util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "training_throughput");
+  w.kv("examples", examples.size());
+  w.kv("batch_size", kBatch);
+  w.kv("window", model_config().window);
+  w.kv("vocab", kVocab);
+  w.key("results").begin_array();
   for (std::size_t i = 0; i < std::size(kRegimes); ++i) {
-    os << "    {\"mode\": \"" << kRegimes[i].name
-       << "\", \"threads\": " << kRegimes[i].threads << ", \"simd\": "
-       << (kRegimes[i].simd ? "true" : "false")
-       << ", \"examples_per_sec\": " << eps[i]
-       << ", \"speedup_vs_serial\": " << eps[i] / eps[0] << "}"
-       << (i + 1 < std::size(kRegimes) ? "," : "") << "\n";
+    w.begin_object()
+        .kv("mode", kRegimes[i].name)
+        .kv("threads", kRegimes[i].threads)
+        .kv("simd", kRegimes[i].simd)
+        .kv("examples_per_sec", eps[i])
+        .kv("speedup_vs_serial", eps[i] / eps[0]);
+    w.end_object();
   }
-  os << "  ]\n}\n";
-  std::cerr << "wrote " << path << "\n";
-  return 0;
+  w.end_array();
+  w.end_object();
+  return bench::write_json_file(path, w) ? 0 : 1;
 }
 
 /// ~2 s CI smoke: every regime runs one short pass (losses must be

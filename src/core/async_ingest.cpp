@@ -13,6 +13,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 template <typename Queue>
@@ -22,6 +29,9 @@ struct AsyncIngest::IngestQueueImpl final : AsyncIngest::IngestQueue {
   bool push(Item&& item) override { return queue.push(std::move(item)); }
   bool try_pop(Item& out) override { return queue.try_pop(out); }
   void close() override { queue.close(); }
+  std::size_t depth() const override { return queue.depth(); }
+  std::size_t capacity() const override { return queue.capacity(); }
+  std::uint64_t stall_count() const override { return queue.stall_count(); }
   Queue queue;
 };
 
@@ -44,6 +54,7 @@ std::size_t AsyncIngest::add_shard(std::int32_t vpe,
   NFV_CHECK(!started_, "add_shard after start()");
   auto shard = std::make_unique<Shard>();
   shard->vpe = vpe;
+  shard->index = shards_.size();
   shard->tree = std::make_unique<logproc::SignatureTree>();
   Shard* raw = shard.get();
   shard->monitor = std::make_unique<StreamMonitor>(
@@ -88,6 +99,7 @@ void AsyncIngest::start() {
 void AsyncIngest::push_item(std::size_t shard, Item item) {
   NFV_CHECK(started_ && !stopped_, "submit outside start()..stop()");
   NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  if (config_.instrument) item.enqueue_ns = now_ns();
   lines_submitted_.fetch_add(1, std::memory_order_relaxed);
   const bool pushed =
       workers_[shards_[shard]->worker]->queue->push(std::move(item));
@@ -97,6 +109,7 @@ void AsyncIngest::push_item(std::size_t shard, Item item) {
 bool AsyncIngest::try_push_item(std::size_t shard, Item&& item) {
   NFV_CHECK(started_ && !stopped_, "submit outside start()..stop()");
   NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  if (config_.instrument) item.enqueue_ns = now_ns();
   if (!workers_[shards_[shard]->worker]->queue->try_push(std::move(item))) {
     rejected_submits_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -262,43 +275,283 @@ AsyncIngestStats AsyncIngest::stats() const {
   return stats;
 }
 
+void AsyncIngest::enqueue_command(std::size_t shard, ShardCommand::Kind kind) {
+  NFV_CHECK(started_ && !stopped_, "control command outside start()..stop()");
+  NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  Worker& worker = *workers_[shards_[shard]->worker];
+  // Raise the gauge BEFORE the push: a worker that pops the command can
+  // only ever observe pending >= 1, so wait_commands() never reports done
+  // while a command is still in flight.
+  worker.commands_pending.fetch_add(1, std::memory_order_release);
+  ShardCommand cmd;
+  cmd.kind = kind;
+  cmd.shard = static_cast<std::uint32_t>(shard);
+  const bool pushed = worker.commands.push(cmd);
+  NFV_CHECK(pushed, "command mailbox closed");  // never closed in practice
+}
+
+void AsyncIngest::pause_shard(std::size_t shard) {
+  enqueue_command(shard, ShardCommand::Kind::kPause);
+}
+
+void AsyncIngest::resume_shard(std::size_t shard) {
+  enqueue_command(shard, ShardCommand::Kind::kResume);
+}
+
+void AsyncIngest::wait_commands() {
+  NFV_CHECK(started_, "wait_commands() before start()");
+  unsigned round = 0;
+  for (;;) {
+    bool pending = false;
+    for (const auto& worker : workers_) {
+      if (worker->commands_pending.load(std::memory_order_acquire) != 0) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) return;
+    nfv::util::queue_detail::backoff(round);
+  }
+}
+
+bool AsyncIngest::shard_paused(std::size_t shard) const {
+  NFV_CHECK(shard < shards_.size(), "unknown shard " << shard);
+  return shards_[shard]->pub_paused.load(std::memory_order_acquire);
+}
+
+RuntimeStatsSnapshot AsyncIngest::snapshot() const {
+  RuntimeStatsSnapshot snap;
+  const AsyncIngestStats totals = stats();
+  snap.totals.lines_submitted = totals.lines_submitted;
+  snap.totals.lines_scored = totals.lines_scored;
+  snap.totals.flushes = totals.flushes;
+  snap.totals.warnings_published = totals.warnings_published;
+  snap.totals.rejected_submits = totals.rejected_submits;
+
+  snap.shards.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    snap.shards[s].shard = s;
+    snap.shards[s].vpe = shards_[s]->vpe;
+    snap.shards[s].worker = shards_[s]->worker;
+  }
+
+  const auto read_shard_slots = [&](std::size_t s) {
+    ShardStatsSnapshot& sh = snap.shards[s];
+    const Shard& shard = *shards_[s];
+    sh.paused = shard.pub_paused.load(std::memory_order_relaxed);
+    sh.lines = shard.pub_lines.load(std::memory_order_relaxed);
+    sh.warnings = shard.pub_warnings.load(std::memory_order_relaxed);
+    sh.held = shard.pub_held.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      sh.latency.buckets[i] =
+          shard.pub_latency[i].load(std::memory_order_relaxed);
+    }
+  };
+
+  snap.workers.resize(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const Worker& worker = *workers_[w];
+    WorkerStatsSnapshot& ws = snap.workers[w];
+    ws.worker = w;
+    // Seqlock read of this worker's published cut (its slot + its shards'
+    // slots): retry while a publish is in progress or completed between
+    // our two fence-separated seq reads. After stop() the final publish
+    // happened-before the join, so this converges on the first pass.
+    unsigned round = 0;
+    for (;;) {
+      const std::uint64_t s1 = worker.stat_seq.load(std::memory_order_acquire);
+      if ((s1 & 1) == 0) {
+        ws.epoch = worker.stat_epoch.load(std::memory_order_relaxed);
+        ws.lines = worker.stat_lines.load(std::memory_order_relaxed);
+        ws.flushes = worker.stat_flushes.load(std::memory_order_relaxed);
+        for (const std::size_t s : worker.shard_ids) read_shard_slots(s);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (worker.stat_seq.load(std::memory_order_relaxed) == s1) break;
+      }
+      nfv::util::queue_detail::backoff(round);
+    }
+    ws.queue.depth = worker.queue->depth();
+    ws.queue.capacity = worker.queue->capacity();
+    ws.queue.stalls = worker.queue->stall_count();
+  }
+  if (workers_.empty()) {
+    // Before start(): no writers exist, the slots are all zero.
+    for (std::size_t s = 0; s < shards_.size(); ++s) read_shard_slots(s);
+  }
+
+  snap.warning_queue.depth = warning_queue_.depth();
+  snap.warning_queue.capacity = warning_queue_.capacity();
+  snap.warning_queue.stalls = warning_queue_.stall_count();
+  return snap;
+}
+
 void AsyncIngest::worker_loop(std::size_t index) {
   Worker& worker = *workers_[index];
+  const bool instrument = config_.instrument;
 
   // Per-worker micro-batching group over this worker's shards only.
   const AnomalyDetector* detector = detector_.load(std::memory_order_acquire);
   StreamMonitorGroup group(detector);
   std::vector<std::size_t> local_of_shard(shards_.size(), 0);
-  for (const std::size_t s : worker.shard_ids) {
-    local_of_shard[s] = group.add(shards_[s]->monitor.get());
+  // Worker-local control/observability state per owned shard, indexed by
+  // the group's local id (plain memory: no atomics on the hot path).
+  struct LocalShard {
+    Shard* shard = nullptr;
+    LatencyHistogram latency;
+    std::vector<Item> hold;  // parked lines of a paused shard, in order
+    bool paused = false;
+    bool latency_dirty = false;
+  };
+  std::vector<LocalShard> locals(worker.shard_ids.size());
+  for (std::size_t i = 0; i < worker.shard_ids.size(); ++i) {
+    const std::size_t s = worker.shard_ids[i];
+    const std::size_t local = group.add(shards_[s]->monitor.get());
+    NFV_CHECK(local == i, "group local ids must follow registration order");
+    local_of_shard[s] = local;
+    locals[i].shard = shards_[s].get();
   }
 
   std::size_t staged = 0;
+  // (local id, submit stamp) of each staged line; latencies are recorded
+  // against one clock read taken right after the batch is scored.
+  std::vector<std::pair<std::size_t, std::uint64_t>> staged_meta;
+  std::uint64_t lines_local = 0;
+  std::uint64_t flushes_local = 0;
+  std::uint64_t epoch_local = 0;
+  bool holds_dirty = false;  // held-lines gauge changed since last publish
+  // Copying every dirty 48-bucket histogram into its shared slots is the
+  // one publish step whose cost scales with shard count (≈6 cache lines of
+  // stores per shard), and doing it every flush is what blows the <=2%
+  // instrumentation budget. Counters and gauges still publish per flush;
+  // histograms ride along only every kLatencyPublishEvery flushes — and
+  // always at quiescent points (barrier, commands, idle, exit), so a
+  // flush()-then-snapshot() reader still sees exact bucket counts.
+  constexpr std::uint64_t kLatencyPublishEvery = 16;
+  std::uint64_t flushes_since_latency_pub = 0;
+  bool latency_lagging = false;  // skipped dirty histograms at last publish
   Clock::time_point batch_start{};
   std::uint64_t seen_epoch = 0;
   unsigned idle_round = 0;
+
+  // Seqlock publish of this worker's cut: counters and gauges always,
+  // histograms only when forced or on the amortized cadence (and then only
+  // for shards that recorded since their last copy). A lagging histogram
+  // only ever under-counts, so the snapshot invariant
+  // latency.total() <= lines survives the deferral.
+  const auto publish_stats = [&](bool force_latency) {
+    const bool publish_latency =
+        force_latency || ++flushes_since_latency_pub >= kLatencyPublishEvery;
+    const std::uint64_t seq = worker.stat_seq.load(std::memory_order_relaxed);
+    worker.stat_seq.store(seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    ++epoch_local;
+    worker.stat_epoch.store(epoch_local, std::memory_order_relaxed);
+    worker.stat_lines.store(lines_local, std::memory_order_relaxed);
+    worker.stat_flushes.store(flushes_local, std::memory_order_relaxed);
+    for (LocalShard& ls : locals) {
+      ls.shard->pub_paused.store(ls.paused, std::memory_order_relaxed);
+      ls.shard->pub_lines.store(ls.shard->monitor->lines_ingested(),
+                                std::memory_order_relaxed);
+      ls.shard->pub_warnings.store(ls.shard->monitor->warnings_raised(),
+                                   std::memory_order_relaxed);
+      ls.shard->pub_held.store(ls.hold.size(), std::memory_order_relaxed);
+      if (ls.latency_dirty && publish_latency) {
+        const auto& buckets = ls.latency.buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+          ls.shard->pub_latency[i].store(buckets[i],
+                                         std::memory_order_relaxed);
+        }
+        ls.latency_dirty = false;
+      }
+    }
+    worker.stat_seq.store(seq + 2, std::memory_order_release);
+    holds_dirty = false;
+    if (publish_latency) {
+      flushes_since_latency_pub = 0;
+      latency_lagging = false;
+    } else {
+      for (const LocalShard& ls : locals) {
+        if (ls.latency_dirty) {
+          latency_lagging = true;
+          break;
+        }
+      }
+    }
+  };
 
   const auto flush_group = [&] {
     if (staged == 0) return;
     group.flush();
     flushes_.fetch_add(1, std::memory_order_relaxed);
     lines_scored_.fetch_add(staged, std::memory_order_relaxed);
+    ++flushes_local;
+    if (instrument) {
+      const std::uint64_t scored = now_ns();
+      for (const auto& [local, submitted] : staged_meta) {
+        locals[local].latency.record(scored > submitted ? scored - submitted
+                                                        : 0);
+        locals[local].latency_dirty = true;
+      }
+    }
+    staged_meta.clear();
     staged = 0;
+    publish_stats(false);
+  };
+
+  const auto process_item = [&](Item&& item) {
+    if (staged == 0) batch_start = Clock::now();
+    const std::size_t local = local_of_shard[item.shard];
+    if (instrument) staged_meta.emplace_back(local, item.enqueue_ns);
+    ++lines_local;
+    if (item.raw) {
+      group.ingest(local, item.log.time, item.line);
+    } else {
+      group.ingest_parsed(local, item.log);
+    }
+    ++staged;
+    if (staged >= config_.flush_batch) flush_group();
+  };
+
+  // Drain the command mailbox at a micro-batch boundary. The staged batch
+  // is flushed first so a pause/resume never splits one, and the pending
+  // gauge only drops AFTER each command's effect (including hold-buffer
+  // replay) is complete — that is what wait_commands() certifies.
+  const auto apply_commands = [&] {
+    flush_group();
+    ShardCommand cmd;
+    while (worker.commands.try_pop(cmd)) {
+      LocalShard& ls = locals[local_of_shard[cmd.shard]];
+      if (cmd.kind == ShardCommand::Kind::kPause) {
+        ls.paused = true;
+      } else if (ls.paused) {
+        ls.paused = false;
+        // Replay held lines in submission order: the shard's stream is
+        // exactly what an unpaused run would have processed by now.
+        std::vector<Item> hold = std::move(ls.hold);
+        ls.hold.clear();
+        for (Item& held : hold) process_item(std::move(held));
+      }
+      worker.commands_pending.fetch_sub(1, std::memory_order_release);
+    }
+    publish_stats(true);
   };
 
   for (;;) {
+    if (worker.commands_pending.load(std::memory_order_acquire) != 0) {
+      apply_commands();
+      continue;
+    }
+
     Item item;
     if (worker.queue->try_pop(item)) {
       idle_round = 0;
-      if (staged == 0) batch_start = Clock::now();
-      const std::size_t local = local_of_shard[item.shard];
-      if (item.raw) {
-        group.ingest(local, item.log.time, item.line);
-      } else {
-        group.ingest_parsed(local, item.log);
+      LocalShard& ls = locals[local_of_shard[item.shard]];
+      if (ls.paused) {
+        ls.hold.push_back(std::move(item));
+        holds_dirty = true;
+        continue;
       }
-      ++staged;
-      if (staged >= config_.flush_batch) flush_group();
+      process_item(std::move(item));
       continue;
     }
 
@@ -312,12 +565,15 @@ void AsyncIngest::worker_loop(std::size_t index) {
       continue;
     }
 
-    // Epoch barrier: park with everything flushed, wait for release,
-    // then refresh the detector (it may have been swapped while parked).
+    // Epoch barrier: park with everything flushed and stats published,
+    // wait for release, then refresh the detector (it may have been
+    // swapped while parked). Held lines of paused shards stay held —
+    // flush()'s guarantee covers lines that have reached a monitor.
     const std::uint64_t requested =
         epoch_requested_.load(std::memory_order_acquire);
     if (requested != seen_epoch) {
       flush_group();
+      publish_stats(true);
       seen_epoch = requested;
       {
         std::unique_lock<std::mutex> lock(barrier_mu_);
@@ -338,20 +594,29 @@ void AsyncIngest::worker_loop(std::size_t index) {
     }
 
     if (closed_.load(std::memory_order_acquire)) {
-      // Drain-and-exit: one final sweep in case items raced the close.
-      while (worker.queue->try_pop(item)) {
-        if (staged == 0) batch_start = Clock::now();
-        const std::size_t local = local_of_shard[item.shard];
-        if (item.raw) {
-          group.ingest(local, item.log.time, item.line);
-        } else {
-          group.ingest_parsed(local, item.log);
+      // Drain-and-exit: apply any last commands, force-resume every
+      // paused shard (replaying its hold in order), then one final queue
+      // sweep in case items raced the close — no submitted line is lost.
+      apply_commands();
+      for (LocalShard& ls : locals) {
+        if (ls.paused || !ls.hold.empty()) {
+          ls.paused = false;
+          std::vector<Item> hold = std::move(ls.hold);
+          ls.hold.clear();
+          for (Item& held : hold) process_item(std::move(held));
         }
-        ++staged;
-        if (staged >= config_.flush_batch) flush_group();
       }
+      while (worker.queue->try_pop(item)) process_item(std::move(item));
       flush_group();
+      publish_stats(true);
       return;
+    }
+
+    if (holds_dirty || latency_lagging) {
+      // Idle with parked lines or deferred histogram buckets accumulated
+      // since the last boundary: let snapshot readers catch up.
+      publish_stats(true);
+      continue;
     }
 
     nfv::util::queue_detail::backoff(idle_round);

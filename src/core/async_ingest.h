@@ -35,13 +35,50 @@
 // (queues drained, groups flushed), installs the new model, and resumes —
 // honoring the read-only-detector contract of src/core/streaming.h.
 //
+// Observability + control plane
+// -----------------------------
+// The runtime is not a black box (the NFVMonitor idiom): every worker
+// keeps per-shard counters and an ingest-to-scored latency histogram in
+// worker-local memory (zero allocation, no atomics on the hot path) and
+// publishes them into seqlock-guarded slots at micro-batch boundaries —
+// so snapshot() returns, at any moment and from any thread, a stats cut
+// in which each worker's counters are mutually consistent at its latest
+// completed micro-batch ("epoch-consistent"). Histogram buckets are the
+// bulky part of a publish, so they ride along on an amortized cadence
+// (every 16th flush) and may lag the counters by a few micro-batches
+// mid-burst; every quiescent point (epoch barrier, command application,
+// idle, stop()) forces them current, so flush()-then-snapshot() reads
+// exact buckets and a live cut never over-counts (latency total <=
+// lines). Queue-depth gauges and
+// backpressure-stall counters come from the rings themselves. Latency is
+// measured submit -> micro-batch scored; warnings are published inside
+// that interval, so the histogram upper-bounds ingest-to-warning latency
+// for every warning in the batch. Instrumentation never feeds back into
+// scoring: warning streams stay byte-for-byte the serial replay.
+//
+// Runtime commands ride a thread-safe per-worker command queue and are
+// applied by the owning worker at its next micro-batch boundary:
+//   - pause_shard(): the shard's lines are parked, in order, in a hold
+//     buffer (mined/scored only on resume — memory grows with the pause,
+//     bounded only by producer backpressure);
+//   - resume_shard(): the hold buffer replays in order, so the per-vPE
+//     warning stream is unchanged by any pause/resume schedule;
+//   - swap_detector() (epoch barrier, below) and snapshot()/stats_json()
+//     ("dump stats") complete the command set.
+// stop() implicitly resumes paused shards and replays their holds: no
+// submitted line is ever lost.
+//
 // Threading rules: any number of threads may submit (see single_producer
-// for the SPSC fast path), but one designated caller thread owns the
-// control plane — start/flush/swap_detector/stop/drain_warnings — and
-// must not submit concurrently with flush/swap/stop (workers quiesce by
-// draining their queues, which never happens under a firehose).
+// for the SPSC fast path), and any thread may call snapshot(),
+// stats_json(), shard_paused(), stats() — including concurrently with
+// stop(). One designated caller thread owns the rest of the control
+// plane — start/flush/swap_detector/pause/resume/wait_commands/stop/
+// drain_warnings — and must not submit concurrently with flush/swap/stop
+// (workers quiesce by draining their queues, which never happens under a
+// firehose).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -52,6 +89,7 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "core/runtime_stats.h"
 #include "core/streaming.h"
 #include "logproc/signature_tree.h"
 #include "util/mpsc_queue.h"
@@ -80,6 +118,11 @@ struct AsyncIngestConfig {
   /// Promise that exactly one thread submits: per-worker routing then
   /// uses the cheaper wait-free SPSC ring instead of the MPSC ring.
   bool single_producer = false;
+  /// Per-shard ingest-to-scored latency histograms (submit timestamps +
+  /// one clock read per flushed batch). Counters, gauges and the command
+  /// plane stay on regardless; bench_ingest_throughput gates the
+  /// instrumented/uninstrumented gap at <= 2% lines/sec.
+  bool instrument = true;
 };
 
 struct AsyncIngestStats {
@@ -139,6 +182,35 @@ class AsyncIngest {
   /// destructor. Pending warnings stay drainable afterwards.
   void stop();
 
+  // --- Runtime control plane ---------------------------------------
+
+  /// Ask the owning worker to pause `shard` at its next micro-batch
+  /// boundary: subsequent lines for the shard are parked (in submission
+  /// order) in a hold buffer instead of being mined/scored, and replay
+  /// in order on resume — the per-vPE warning stream is identical to a
+  /// never-paused run as long as the detector is unchanged; with a
+  /// swap_detector() in between, held lines are scored by the NEW model
+  /// (exactly a serial swap at the pause position). Any thread may
+  /// enqueue; use wait_commands() to observe application. Caller must
+  /// not race stop().
+  void pause_shard(std::size_t shard);
+  void resume_shard(std::size_t shard);
+  /// Returns once every pause/resume command issued so far has been
+  /// applied by its worker. Control-plane thread only (a worker parked
+  /// inside a concurrent flush()/swap_detector() cannot apply commands).
+  void wait_commands();
+  /// Applied (not merely requested) pause state; any thread.
+  bool shard_paused(std::size_t shard) const;
+
+  /// Epoch-consistent stats snapshot, readable while workers run (and
+  /// after stop()): per-worker/per-shard counters + latency histograms
+  /// as of each worker's latest published micro-batch boundary, plus
+  /// sampled queue gauges. Any thread; lock-free on the workers.
+  RuntimeStatsSnapshot snapshot() const;
+  /// The snapshot rendered as JSON ("dump stats" runtime command; schema
+  /// in README "Runtime observability").
+  std::string stats_json() const { return to_json(snapshot()); }
+
   std::size_t shards() const { return shards_.size(); }
   std::size_t workers() const { return worker_count_; }
   /// The shard's online-mined template dictionary. Do not call while
@@ -155,6 +227,13 @@ class AsyncIngest {
     bool raw = false;
     logproc::ParsedLog log;  // time doubles as the raw line's timestamp
     std::string line;
+    std::uint64_t enqueue_ns = 0;  // steady-clock submit stamp (instrument)
+  };
+
+  struct ShardCommand {
+    enum class Kind : std::uint8_t { kPause, kResume };
+    Kind kind = Kind::kPause;
+    std::uint32_t shard = 0;
   };
 
   // Uniform facade over the two ring-buffer flavours so the worker loop
@@ -165,15 +244,27 @@ class AsyncIngest {
     virtual bool push(Item&& item) = 0;
     virtual bool try_pop(Item& out) = 0;
     virtual void close() = 0;
+    virtual std::size_t depth() const = 0;
+    virtual std::size_t capacity() const = 0;
+    virtual std::uint64_t stall_count() const = 0;
   };
   template <typename Queue>
   struct IngestQueueImpl;
 
   struct Shard {
     std::int32_t vpe = -1;
+    std::size_t index = 0;
     std::size_t worker = 0;
     std::unique_ptr<logproc::SignatureTree> tree;
     std::unique_ptr<StreamMonitor> monitor;
+    // Published stats slot: written (relaxed) by the owning worker under
+    // its seqlock at micro-batch boundaries, read by snapshot().
+    std::atomic<bool> pub_paused{false};
+    std::atomic<std::uint64_t> pub_lines{0};
+    std::atomic<std::uint64_t> pub_warnings{0};
+    std::atomic<std::uint64_t> pub_held{0};
+    std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets>
+        pub_latency{};
   };
 
   struct Worker {
@@ -185,9 +276,20 @@ class AsyncIngest {
     std::mutex overflow_mu;
     std::vector<StreamWarning> overflow;
     bool overflowing = false;  // guarded by overflow_mu
+    // Control-plane mailbox (any thread pushes, the worker applies at
+    // micro-batch boundaries) + outstanding-command gauge.
+    nfv::util::MpscQueue<ShardCommand> commands{64};
+    std::atomic<std::uint64_t> commands_pending{0};
+    // Seqlock over this worker's published stats (its own slot AND its
+    // shards' slots): odd while a publish is in progress.
+    alignas(64) std::atomic<std::uint64_t> stat_seq{0};
+    std::atomic<std::uint64_t> stat_epoch{0};
+    std::atomic<std::uint64_t> stat_lines{0};
+    std::atomic<std::uint64_t> stat_flushes{0};
   };
 
   void worker_loop(std::size_t index);
+  void enqueue_command(std::size_t shard, ShardCommand::Kind kind);
   void publish_warning(std::size_t worker, const StreamWarning& warning);
   void push_item(std::size_t shard, Item item);
   bool try_push_item(std::size_t shard, Item&& item);

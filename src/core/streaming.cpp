@@ -54,6 +54,7 @@ double StreamMonitor::ingest_parsed(const logproc::ParsedLog& log) {
 
 bool StreamMonitor::stage_parsed(const logproc::ParsedLog& log,
                                  std::vector<logproc::ParsedLog>& window) {
+  ++lines_ingested_;  // both ingestion paths funnel through here
   history_.push_back(log);
   if (history_.size() > config_.window + 1) history_.pop_front();
   if (history_.size() < config_.window + 1) return false;

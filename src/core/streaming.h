@@ -105,6 +105,10 @@ class StreamMonitor {
 
   std::int32_t vpe() const { return vpe_; }
   std::size_t warnings_raised() const { return warnings_raised_; }
+  /// Events accepted by this monitor (immediate AND staged ingestion,
+  /// including window warm-up lines) — the per-shard line counter the
+  /// runtime stats snapshots publish.
+  std::size_t lines_ingested() const { return lines_ingested_; }
   /// Anomalies in the current (possibly still-growing) cluster run.
   std::size_t run_length() const { return run_count_; }
   const StreamMonitorConfig& config() const { return config_; }
@@ -132,6 +136,7 @@ class StreamMonitor {
   std::int32_t run_trigger_ = -1;
   bool run_reported_ = false;
   std::size_t warnings_raised_ = 0;
+  std::size_t lines_ingested_ = 0;
 };
 
 /// Micro-batching front-end over a set of per-vPE monitor shards that

@@ -1,0 +1,380 @@
+#include "util/json.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace nfv::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::begin_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // "key": <here> — no comma/indent, key() placed them
+  }
+  NFV_CHECK(stack_.empty() || stack_.back() == '[',
+            "JsonWriter: value inside an object requires key()");
+  NFV_CHECK(!(stack_.empty() && !out_.empty()),
+            "JsonWriter: only one top-level value");
+  if (!stack_.empty()) {
+    if (comma_pending_) out_ += ',';
+    indent();
+  }
+  comma_pending_ = true;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  NFV_CHECK(!stack_.empty() && stack_.back() == '{',
+            "JsonWriter: key() outside an object");
+  NFV_CHECK(!key_pending_, "JsonWriter: key() twice without a value");
+  if (comma_pending_) out_ += ',';
+  indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  key_pending_ = true;
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  stack_ += '{';
+  comma_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  NFV_CHECK(!stack_.empty() && stack_.back() == '{',
+            "JsonWriter: end_object() without begin_object()");
+  NFV_CHECK(!key_pending_, "JsonWriter: dangling key()");
+  const bool had_members = comma_pending_;
+  stack_.pop_back();
+  if (had_members) indent();
+  out_ += '}';
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  stack_ += '[';
+  comma_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  NFV_CHECK(!stack_.empty() && stack_.back() == '[',
+            "JsonWriter: end_array() without begin_array()");
+  const bool had_items = comma_pending_;
+  stack_.pop_back();
+  if (had_items) indent();
+  out_ += ']';
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  begin_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  begin_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  std::array<char, 32> buf;
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  out_.append(buf.data(), res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_int(std::int64_t v) {
+  begin_value();
+  std::array<char, 24> buf;
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  out_.append(buf.data(), res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_uint(std::uint64_t v) {
+  begin_value();
+  std::array<char, 24> buf;
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  out_.append(buf.data(), res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+  return *this;
+}
+
+bool JsonWriter::complete() const {
+  return stack_.empty() && !key_pending_ && !out_.empty();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t at = 0;
+  std::string error;
+
+  bool fail(const std::string& reason) {
+    if (error.empty()) {
+      error = reason + " at offset " + std::to_string(at);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (at < text.size() &&
+           (text[at] == ' ' || text[at] == '\t' || text[at] == '\n' ||
+            text[at] == '\r')) {
+      ++at;
+    }
+  }
+
+  bool eat(char c) {
+    if (at < text.size() && text[at] == c) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(at, word.size()) == word) {
+      at += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    if (at + 4 > text.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[at + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail("bad hex digit in \\u escape");
+    }
+    at += 4;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected '\"'");
+    out.clear();
+    while (at < text.size()) {
+      const char c = text[at];
+      if (c == '"') {
+        ++at;
+        return true;
+      }
+      if (c == '\\') {
+        ++at;
+        if (at >= text.size()) return fail("truncated escape");
+        const char e = text[at++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+              if (!literal("\\u")) return fail("unpaired surrogate");
+              std::uint32_t lo = 0;
+              if (!hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return fail("bad low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return fail("unpaired low surrogate");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out += c;
+      ++at;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (at >= text.size()) return fail("unexpected end of input");
+    const char c = text[at];
+    if (c == 'n') {
+      if (!literal("null")) return fail("bad literal");
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    if (c == 't' || c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = (c == 't');
+      if (!literal(c == 't' ? "true" : "false")) return fail("bad literal");
+      return true;
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (c == '[') {
+      ++at;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return true;
+      for (;;) {
+        out.items.emplace_back();
+        if (!parse_value(out.items.back(), depth + 1)) return false;
+        skip_ws();
+        if (eat(']')) return true;
+        if (!eat(',')) return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++at;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (eat('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!eat(':')) return fail("expected ':'");
+        out.members.emplace_back(std::move(key), JsonValue{});
+        if (!parse_value(out.members.back().second, depth + 1)) return false;
+        skip_ws();
+        if (eat('}')) return true;
+        if (!eat(',')) return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      out.kind = JsonValue::Kind::kNumber;
+      const char* begin = text.data() + at;
+      const char* end = text.data() + text.size();
+      const auto res = std::from_chars(begin, end, out.number);
+      if (res.ec != std::errc{}) return fail("bad number");
+      at += static_cast<std::size_t>(res.ptr - begin);
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  Parser parser{text, 0, {}};
+  JsonValue value;
+  if (!parser.parse_value(value, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  parser.skip_ws();
+  if (parser.at != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(parser.at);
+    }
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace nfv::util

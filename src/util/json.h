@@ -1,0 +1,108 @@
+// Minimal JSON emit + parse.
+//
+// One shared formatter for every JSON surface the project has grown —
+// the BENCH_*.json files the throughput benches write, the runtime
+// stats dumps of the async ingest control plane, and the CLI — so
+// escaping, number formatting and structural bookkeeping live in one
+// place instead of being hand-rolled per call site. The writer produces
+// deterministic, pretty-printed (2-space) output with round-trippable
+// doubles (shortest std::to_chars form); the parser is the counterpart
+// used by the round-trip tests and by anything that needs to read the
+// files back. Neither aims to be a general JSON library: no streaming
+// input, no duplicate-key policy, objects keep insertion order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace nfv::util {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes NOT
+/// added): ", \ and control characters become their escape sequences.
+std::string json_escape(std::string_view s);
+
+/// Structural JSON writer: begin/end object/array, key(), value().
+/// Commas, colons, quoting, indentation and number formatting are
+/// handled internally; misuse (value with no pending key inside an
+/// object, end without begin) trips an NFV_CHECK. Doubles are written in
+/// shortest round-trip form; non-finite doubles become null (JSON has no
+/// NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or begin_*().
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return value_int(static_cast<std::int64_t>(v));
+    } else {
+      return value_uint(static_cast<std::uint64_t>(v));
+    }
+  }
+  JsonWriter& null();
+
+  /// Convenience: key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document so far. Call after the outermost end_*().
+  const std::string& str() const { return out_; }
+  bool complete() const;
+
+ private:
+  JsonWriter& value_int(std::int64_t v);
+  JsonWriter& value_uint(std::uint64_t v);
+  void begin_value();
+  void indent();
+
+  std::string out_;
+  std::string stack_;       // '{' or '[' per open scope
+  bool comma_pending_ = false;
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON document (tree form). Object members keep file order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document. Returns nullopt on malformed input
+/// (and a human-readable reason in *error when provided). Supports the
+/// standard escapes including \uXXXX (encoded to UTF-8; surrogate pairs
+/// handled).
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace nfv::util

@@ -51,53 +51,46 @@ class MpscQueue {
 
   std::size_t capacity() const { return capacity_; }
 
-  /// Approximate number of queued items (exact when quiescent).
-  std::size_t size() const {
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
+  /// Queue-depth gauge for observability: any thread may sample it while
+  /// producers and the consumer run. Reads head BEFORE tail so a racy
+  /// sample cannot underflow, and clamps to capacity() (concurrent
+  /// pops+pushes between the two reads could otherwise overshoot). Exact
+  /// when quiescent.
+  std::size_t depth() const {
     const std::size_t head = head_.load(std::memory_order_acquire);
-    return tail >= head ? tail - head : 0;
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t d = tail >= head ? tail - head : 0;
+    return d > capacity_ ? capacity_ : d;
+  }
+  std::size_t size() const { return depth(); }
+
+  /// Backpressure-stall counter: how many times a producer found the
+  /// ring full — once per failed try_push(), and once per blocking
+  /// push() episode (the internal retry spin does NOT inflate it).
+  std::uint64_t stall_count() const {
+    return stalls_.load(std::memory_order_relaxed);
   }
 
   /// Any thread. False when the ring is full or the queue is closed — and
   /// then `value` is NOT consumed (an rvalue argument is only moved from
   /// on success), so blocking wrappers can safely retry with it.
-  bool try_push(T&& value) {
-    if (closed_.load(std::memory_order_relaxed)) return false;
-    std::size_t pos = tail_.load(std::memory_order_relaxed);
-    for (;;) {
-      Cell& cell = cells_[pos & mask_];
-      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
-      const auto dif = static_cast<std::intptr_t>(seq) -
-                       static_cast<std::intptr_t>(pos);
-      if (dif == 0) {
-        if (tail_.compare_exchange_weak(pos, pos + 1,
-                                        std::memory_order_relaxed)) {
-          cell.value = std::move(value);
-          cell.seq.store(pos + 1, std::memory_order_release);
-          return true;
-        }
-        // CAS failure reloaded pos; retry with it.
-      } else if (dif < 0) {
-        return false;  // full: the slot still holds an unpopped item
-      } else {
-        pos = tail_.load(std::memory_order_relaxed);
-      }
-    }
-  }
+  bool try_push(T&& value) { return try_push_impl(value, true); }
   bool try_push(const T& value) {
     T copy(value);
-    return try_push(std::move(copy));
+    return try_push_impl(copy, true);
   }
 
   /// Any thread. Blocks until space is available; false if the queue was
   /// closed before the item could be enqueued.
   bool push(T value) {
     unsigned round = 0;
-    while (!try_push(std::move(value))) {
+    bool count_stall = true;
+    for (;;) {
+      if (try_push_impl(value, count_stall)) return true;
+      count_stall = false;  // one stall per blocking episode
       if (closed_.load(std::memory_order_acquire)) return false;
       queue_detail::backoff(round);
     }
-    return true;
   }
 
   /// Consumer. False when the ring is empty. (The pop side is written to
@@ -143,6 +136,32 @@ class MpscQueue {
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
  private:
+  bool try_push_impl(T& value, bool count_stall) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded pos; retry with it.
+      } else if (dif < 0) {
+        // Full: the slot still holds an unpopped item.
+        if (count_stall) stalls_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
   struct Cell {
     std::atomic<std::size_t> seq{0};
     T value{};
@@ -154,6 +173,7 @@ class MpscQueue {
   alignas(64) std::atomic<std::size_t> head_{0};  // pop ticket
   alignas(64) std::atomic<std::size_t> tail_{0};  // push ticket
   alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> stalls_{0};  // full-ring push attempts
 };
 
 }  // namespace nfv::util

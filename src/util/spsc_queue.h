@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -67,41 +68,47 @@ class SpscQueue {
 
   std::size_t capacity() const { return cells_.size(); }
 
-  /// Approximate number of queued items (exact when quiescent).
-  std::size_t size() const {
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
+  /// Queue-depth gauge for observability: any thread may sample it while
+  /// producer and consumer run. The head counter is read BEFORE the tail
+  /// counter so a racy sample can never underflow ("go negative"), and
+  /// the result is clamped to capacity() because pops+pushes landing
+  /// between the two reads could otherwise overshoot. Exact when
+  /// quiescent.
+  std::size_t depth() const {
     const std::size_t head = head_.load(std::memory_order_acquire);
-    return tail - head;
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t d = tail - head;
+    return d > cells_.size() ? cells_.size() : d;
+  }
+  std::size_t size() const { return depth(); }
+
+  /// Backpressure-stall counter: how many times a producer found the
+  /// ring full — once per failed try_push(), and once per blocking
+  /// push() episode (the internal retry spin does NOT inflate it).
+  std::uint64_t stall_count() const {
+    return stalls_.load(std::memory_order_relaxed);
   }
 
   /// Producer only. False when the ring is full or the queue is closed —
   /// and then `value` is NOT consumed (an rvalue argument is only moved
   /// from on success), so blocking wrappers can safely retry with it.
-  bool try_push(T&& value) {
-    if (closed_.load(std::memory_order_relaxed)) return false;
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail - cached_head_ == cells_.size()) {
-      cached_head_ = head_.load(std::memory_order_acquire);
-      if (tail - cached_head_ == cells_.size()) return false;
-    }
-    cells_[tail & mask_] = std::move(value);
-    tail_.store(tail + 1, std::memory_order_release);
-    return true;
-  }
+  bool try_push(T&& value) { return try_push_impl(value, true); }
   bool try_push(const T& value) {
     T copy(value);
-    return try_push(std::move(copy));
+    return try_push_impl(copy, true);
   }
 
   /// Producer only. Blocks until space is available; false if the queue
   /// was closed before the item could be enqueued.
   bool push(T value) {
     unsigned round = 0;
-    while (!try_push(std::move(value))) {
+    bool count_stall = true;
+    for (;;) {
+      if (try_push_impl(value, count_stall)) return true;
+      count_stall = false;  // one stall per blocking episode
       if (closed_.load(std::memory_order_acquire)) return false;
       queue_detail::backoff(round);
     }
-    return true;
   }
 
   /// Consumer only. False when the ring is empty.
@@ -135,6 +142,21 @@ class SpscQueue {
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
  private:
+  bool try_push_impl(T& value, bool count_stall) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == cells_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == cells_.size()) {
+        if (count_stall) stalls_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    cells_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
   std::vector<T> cells_;
   const std::size_t mask_;
   // Producer and consumer counters on separate cache lines; each side
@@ -145,6 +167,7 @@ class SpscQueue {
   alignas(64) std::size_t cached_head_ = 0;       // producer-local
   alignas(64) std::size_t cached_tail_ = 0;       // consumer-local
   alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> stalls_{0};  // full-ring push attempts
 };
 
 }  // namespace nfv::util

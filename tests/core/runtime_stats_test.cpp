@@ -1,0 +1,315 @@
+// Observability substrate: the power-of-two latency histogram's bucket
+// layout, merge and quantile math against a scalar reference, and the
+// end-to-end guarantee that a stats snapshot of an AsyncIngest run is
+// deterministic — the same trace produces the same final per-shard
+// counters for ANY worker count, with the histogram accounting for every
+// submitted line. (ctest -L observability.)
+#include "core/runtime_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/async_ingest.h"
+#include "util/json.h"
+
+namespace nfv::core {
+namespace {
+
+TEST(LatencyHistogramTest, BucketLayoutIdentities) {
+  // Bucket 0 holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4), 3u);
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_floor(i)),
+              i)
+        << "floor of bucket " << i;
+    EXPECT_EQ(
+        LatencyHistogram::bucket_index(LatencyHistogram::bucket_ceil(i) - 1),
+        i)
+        << "last value of bucket " << i;
+  }
+  // Everything past the top bucket's floor clamps into the top bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+  // Boundaries tile the line: ceil(i) == floor(i+1).
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_ceil(i),
+              LatencyHistogram::bucket_floor(i + 1));
+  }
+}
+
+TEST(LatencyHistogramTest, RecordClearAndMergeAreBucketwise) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 1023ull}) a.record(v);
+  for (std::uint64_t v : {7ull, 100000ull}) b.record(v);
+
+  HistogramSnapshot sa;
+  sa.buckets = a.buckets();
+  HistogramSnapshot sb;
+  sb.buckets = b.buckets();
+  EXPECT_EQ(sa.total(), 5u);
+  EXPECT_EQ(sb.total(), 2u);
+
+  HistogramSnapshot merged = sa;
+  merged.merge(sb);
+  EXPECT_EQ(merged.total(), 7u);
+  for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+    EXPECT_EQ(merged.buckets[i], sa.buckets[i] + sb.buckets[i]) << i;
+  }
+
+  a.clear();
+  sa.buckets = a.buckets();
+  EXPECT_EQ(sa.total(), 0u);
+}
+
+TEST(HistogramSnapshotTest, QuantileEdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  // One value: every quantile lands in that value's bucket.
+  LatencyHistogram one;
+  one.record(777);
+  HistogramSnapshot s;
+  s.buckets = one.buckets();
+  const std::size_t bucket = LatencyHistogram::bucket_index(777);
+  for (double q : {0.0, 0.5, 0.999, 1.0}) {
+    EXPECT_GE(s.quantile(q),
+              static_cast<double>(LatencyHistogram::bucket_floor(bucket)));
+    EXPECT_LE(s.quantile(q),
+              static_cast<double>(LatencyHistogram::bucket_ceil(bucket)));
+  }
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_EQ(s.quantile(-1.0), s.quantile(0.0));
+  EXPECT_EQ(s.quantile(2.0), s.quantile(1.0));
+}
+
+TEST(HistogramSnapshotTest, QuantileTracksScalarReferenceWithinOneBucket) {
+  // Deterministic pseudo-random latencies spanning many octaves.
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 4096; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(x % (1ull << (5 + i % 30)));
+  }
+  LatencyHistogram hist;
+  for (const std::uint64_t v : values) hist.record(v);
+  HistogramSnapshot snap;
+  snap.buckets = hist.buckets();
+  ASSERT_EQ(snap.total(), values.size());
+
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    // Scalar reference (util::quantile convention): fractional rank
+    // q*(n-1); the histogram answer must stay within the bucket span of
+    // the two order statistics bracketing that rank.
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::uint64_t lo =
+        sorted[static_cast<std::size_t>(std::floor(rank))];
+    const std::uint64_t hi = sorted[static_cast<std::size_t>(std::ceil(rank))];
+    const double got = snap.quantile(q);
+    EXPECT_GE(got, static_cast<double>(LatencyHistogram::bucket_floor(
+                       LatencyHistogram::bucket_index(lo))))
+        << "q=" << q;
+    EXPECT_LE(got, static_cast<double>(LatencyHistogram::bucket_ceil(
+                       LatencyHistogram::bucket_index(hi))))
+        << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-under-load determinism. A trivial deterministic detector keeps
+// the test about the runtime's accounting, not about model math.
+// ---------------------------------------------------------------------
+
+class StepDetector final : public AnomalyDetector {
+ public:
+  void fit(std::span<const LogView>, std::size_t) override {}
+  void update(std::span<const LogView>, std::size_t) override {}
+  void adapt(std::span<const LogView>, std::size_t) override {}
+  std::vector<ScoredEvent> score(LogView logs,
+                                 std::size_t /*vocab*/) const override {
+    std::vector<ScoredEvent> events;
+    events.reserve(logs.size());
+    for (const auto& log : logs) {
+      events.push_back({log.time, log.template_id >= 100 ? 50.0 : 0.0});
+    }
+    return events;
+  }
+  bool trained() const override { return true; }
+  DetectorKind kind() const override { return DetectorKind::kLstm; }
+  EventGranularity granularity() const override {
+    return EventGranularity::kPerLog;
+  }
+};
+
+logproc::ParsedLog trace_log(std::size_t vpe, std::size_t i) {
+  logproc::ParsedLog log;
+  log.time = nfv::util::SimTime{static_cast<std::int64_t>(i) * 30};
+  // Occasional adjacent pairs of "anomalous" ids (>= 100) so warning
+  // clusters actually form; everything else cycles benign ids.
+  if (i % 41 == 20 || i % 41 == 21) {
+    log.template_id = static_cast<std::int32_t>(100 + vpe);
+  } else {
+    log.template_id = static_cast<std::int32_t>((i + vpe * 3) % 17);
+  }
+  return log;
+}
+
+TEST(RuntimeStatsSnapshotTest, SameTraceSameFinalCountersForAnyWorkerCount) {
+  constexpr std::size_t kVpes = 5;
+  constexpr std::size_t kLines = 600;
+  StepDetector detector;
+
+  std::vector<ShardStatsSnapshot> reference;
+  for (const std::size_t workers : {1u, 2u, 3u}) {
+    AsyncIngestConfig config;
+    config.workers = workers;
+    config.flush_batch = 16;
+    config.queue_capacity = 64;
+    AsyncIngest ingest(&detector, config);
+    StreamMonitorConfig monitor;
+    monitor.threshold = 10.0;
+    monitor.window = 4;
+    for (std::size_t v = 0; v < kVpes; ++v) {
+      ingest.add_shard(static_cast<std::int32_t>(v), monitor);
+    }
+    ingest.start();
+    for (std::size_t i = 0; i < kLines; ++i) {
+      for (std::size_t v = 0; v < kVpes; ++v) {
+        ingest.submit_parsed(v, trace_log(v, i));
+      }
+    }
+    ingest.flush();
+
+    // Queryable while running: the post-flush snapshot already has every
+    // line accounted for, before stop() was ever called.
+    const RuntimeStatsSnapshot live = ingest.snapshot();
+    EXPECT_EQ(live.totals.lines_scored, kVpes * kLines);
+    ingest.stop();
+
+    const RuntimeStatsSnapshot snap = ingest.snapshot();
+    EXPECT_EQ(snap.totals.lines_submitted, kVpes * kLines);
+    EXPECT_EQ(snap.totals.lines_scored, kVpes * kLines);
+    ASSERT_EQ(snap.shards.size(), kVpes);
+    ASSERT_EQ(snap.workers.size(), std::min(workers, kVpes));
+
+    std::uint64_t worker_lines = 0;
+    for (const WorkerStatsSnapshot& w : snap.workers) {
+      EXPECT_GT(w.epoch, 0u) << "worker " << w.worker;
+      EXPECT_EQ(w.queue.depth, 0u) << "worker " << w.worker;
+      EXPECT_GT(w.queue.capacity, 0u) << "worker " << w.worker;
+      worker_lines += w.lines;
+    }
+    EXPECT_EQ(worker_lines, kVpes * kLines);
+
+    std::uint64_t warnings = 0;
+    for (std::size_t v = 0; v < kVpes; ++v) {
+      const ShardStatsSnapshot& shard = snap.shards[v];
+      EXPECT_EQ(shard.shard, v);
+      EXPECT_EQ(shard.vpe, static_cast<std::int32_t>(v));
+      EXPECT_EQ(shard.worker, v % snap.workers.size());
+      EXPECT_FALSE(shard.paused);
+      EXPECT_EQ(shard.held, 0u);
+      // Every submitted line was ingested and latency-recorded.
+      EXPECT_EQ(shard.lines, kLines) << "shard " << v;
+      EXPECT_EQ(shard.latency.total(), kLines) << "shard " << v;
+      warnings += shard.warnings;
+    }
+    EXPECT_GT(warnings, 0u) << "vacuous trace: no warning clusters";
+    EXPECT_EQ(warnings, snap.totals.warnings_published);
+    EXPECT_EQ(snap.merged_latency().total(), kVpes * kLines);
+
+    // Determinism across worker counts: identical per-shard counters.
+    if (reference.empty()) {
+      reference = snap.shards;
+    } else {
+      for (std::size_t v = 0; v < kVpes; ++v) {
+        EXPECT_EQ(snap.shards[v].lines, reference[v].lines)
+            << "workers=" << workers << " shard " << v;
+        EXPECT_EQ(snap.shards[v].warnings, reference[v].warnings)
+            << "workers=" << workers << " shard " << v;
+        EXPECT_EQ(snap.shards[v].latency.total(), reference[v].latency.total())
+            << "workers=" << workers << " shard " << v;
+      }
+    }
+  }
+}
+
+TEST(RuntimeStatsSnapshotTest, UninstrumentedRunKeepsCountersDropsLatency) {
+  StepDetector detector;
+  AsyncIngestConfig config;
+  config.workers = 2;
+  config.instrument = false;
+  AsyncIngest ingest(&detector, config);
+  StreamMonitorConfig monitor;
+  monitor.threshold = 10.0;
+  monitor.window = 4;
+  for (std::size_t v = 0; v < 3; ++v) {
+    ingest.add_shard(static_cast<std::int32_t>(v), monitor);
+  }
+  ingest.start();
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t v = 0; v < 3; ++v) ingest.submit_parsed(v, trace_log(v, i));
+  }
+  ingest.flush();
+  ingest.stop();
+  const RuntimeStatsSnapshot snap = ingest.snapshot();
+  EXPECT_EQ(snap.totals.lines_scored, 600u);
+  for (const ShardStatsSnapshot& shard : snap.shards) {
+    EXPECT_EQ(shard.lines, 200u);            // counters stay on
+    EXPECT_EQ(shard.latency.total(), 0u);    // histograms gated off
+  }
+}
+
+TEST(RuntimeStatsSnapshotTest, JsonDumpRoundTripsThroughTheParser) {
+  StepDetector detector;
+  AsyncIngestConfig config;
+  config.workers = 2;
+  AsyncIngest ingest(&detector, config);
+  StreamMonitorConfig monitor;
+  monitor.threshold = 10.0;
+  monitor.window = 4;
+  for (std::size_t v = 0; v < 3; ++v) {
+    ingest.add_shard(static_cast<std::int32_t>(v), monitor);
+  }
+  ingest.start();
+  for (std::size_t i = 0; i < 300; ++i) {
+    for (std::size_t v = 0; v < 3; ++v) ingest.submit_parsed(v, trace_log(v, i));
+  }
+  ingest.flush();
+  const std::string json = ingest.stats_json();
+  ingest.stop();
+
+  std::string error;
+  const auto doc = nfv::util::json_parse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error << "\n" << json;
+  const nfv::util::JsonValue* totals = doc->find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->find("lines_scored")->number, 900.0);
+  const nfv::util::JsonValue* shards = doc->find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->items.size(), 3u);
+  for (const nfv::util::JsonValue& shard : shards->items) {
+    EXPECT_EQ(shard.find("lines")->number, 300.0);
+    ASSERT_NE(shard.find("latency"), nullptr);
+    EXPECT_EQ(shard.find("latency")->find("count")->number, 300.0);
+  }
+  const nfv::util::JsonValue* latency = doc->find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->number, 900.0);
+  EXPECT_GT(latency->find("buckets")->items.size(), 0u);
+}
+
+}  // namespace
+}  // namespace nfv::core

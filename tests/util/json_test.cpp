@@ -1,0 +1,107 @@
+// Shared JSON emit + parse: writer structure/escaping/number formatting,
+// parser acceptance and rejection, and the round-trip guarantee the
+// BENCH_*.json files and the runtime stats dump rely on.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace nfv::util {
+namespace {
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriterTest, BuildsNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "bench");
+  w.kv("ok", true);
+  w.kv("count", 42);
+  w.kv("ratio", 0.5);
+  w.key("tags").begin_array().value("a").value("b").end_array();
+  w.key("nested").begin_object().kv("deep", -7).end_object();
+  w.key("missing").null();
+  w.end_object();
+  ASSERT_TRUE(w.complete());
+
+  const auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.has_value()) << w.str();
+  EXPECT_EQ(doc->find("name")->string, "bench");
+  EXPECT_TRUE(doc->find("ok")->boolean);
+  EXPECT_EQ(doc->find("count")->number, 42.0);
+  EXPECT_EQ(doc->find("ratio")->number, 0.5);
+  ASSERT_EQ(doc->find("tags")->items.size(), 2u);
+  EXPECT_EQ(doc->find("tags")->items[1].string, "b");
+  EXPECT_EQ(doc->find("nested")->find("deep")->number, -7.0);
+  EXPECT_TRUE(doc->find("missing")->is_null());
+}
+
+TEST(JsonWriterTest, DoublesRoundTripAndNonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("pi", 3.141592653589793);
+  w.kv("tiny", 1e-300);
+  w.kv("nan", std::numeric_limits<double>::quiet_NaN());
+  w.kv("inf", std::numeric_limits<double>::infinity());
+  w.end_object();
+
+  const auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.has_value()) << w.str();
+  EXPECT_EQ(doc->find("pi")->number, 3.141592653589793);  // exact round trip
+  EXPECT_EQ(doc->find("tiny")->number, 1e-300);
+  EXPECT_TRUE(doc->find("nan")->is_null());
+  EXPECT_TRUE(doc->find("inf")->is_null());
+}
+
+TEST(JsonWriterTest, LargeUnsignedSurvivesAsWritten) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("max32", std::uint64_t{4294967295});
+  w.end_object();
+  EXPECT_NE(w.str().find("4294967295"), std::string::npos);
+}
+
+TEST(JsonParseTest, AcceptsStandardEscapesIncludingSurrogatePairs) {
+  const auto doc =
+      json_parse(R"({"s": "a\u0041\n\"\\\u00e9 \uD83D\uDE00"})");
+  ASSERT_TRUE(doc.has_value());
+  // A = 'A', é = e-acute (2 UTF-8 bytes), 😀 is the
+  // surrogate pair for U+1F600 (4 UTF-8 bytes).
+  EXPECT_EQ(doc->find("s")->string, "aA\n\"\\\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json_parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json_parse("{\"a\": }", &error).has_value());
+  EXPECT_FALSE(json_parse("[1, 2,]", &error).has_value());
+  EXPECT_FALSE(json_parse("true false", &error).has_value());  // garbage tail
+  EXPECT_FALSE(json_parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(json_parse("nul", &error).has_value());
+}
+
+TEST(JsonParseTest, ParsesNumbersBoolsAndNesting) {
+  const auto doc = json_parse(
+      R"({"a": [1, -2.5, 1e3, {"b": false}], "c": null})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* a = doc->find("a");
+  ASSERT_EQ(a->items.size(), 4u);
+  EXPECT_EQ(a->items[0].number, 1.0);
+  EXPECT_EQ(a->items[1].number, -2.5);
+  EXPECT_EQ(a->items[2].number, 1000.0);
+  EXPECT_FALSE(a->items[3].find("b")->boolean);
+  EXPECT_TRUE(doc->find("c")->is_null());
+}
+
+}  // namespace
+}  // namespace nfv::util

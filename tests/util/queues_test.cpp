@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <string>
@@ -127,6 +130,142 @@ TEST(MpscQueueTest, ManyProducersLoseNothingAndKeepPerProducerOrder) {
   for (std::size_t p = 0; p < kProducers; ++p) {
     EXPECT_EQ(next[p], kPerProducer);
   }
+}
+
+template <typename Queue>
+void expect_deterministic_stall_counting() {
+  Queue queue(4);
+  EXPECT_EQ(queue.stall_count(), 0u);
+  EXPECT_EQ(queue.depth(), 0u);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.try_push(i));
+  EXPECT_EQ(queue.depth(), 4u);
+  EXPECT_EQ(queue.depth(), queue.capacity());  // never exceeds capacity
+  // Every failed try_push on the full ring counts exactly once.
+  EXPECT_FALSE(queue.try_push(99));
+  EXPECT_FALSE(queue.try_push(99));
+  EXPECT_FALSE(queue.try_push(99));
+  EXPECT_EQ(queue.stall_count(), 3u);
+  int out = -1;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(queue.depth(), 3u);
+  // Space available again: success does not touch the counter.
+  EXPECT_TRUE(queue.try_push(5));
+  EXPECT_EQ(queue.stall_count(), 3u);
+}
+
+TEST(SpscQueueTest, TryPushStallCountingIsDeterministic) {
+  expect_deterministic_stall_counting<SpscQueue<int>>();
+}
+
+TEST(MpscQueueTest, TryPushStallCountingIsDeterministic) {
+  expect_deterministic_stall_counting<MpscQueue<int>>();
+}
+
+template <typename Queue>
+void expect_wraparound_fifo_at_capacity() {
+  // Drive the indices far past one lap of the ring: FIFO order, the full/
+  // empty edges, and the depth gauge must all survive wrap-around.
+  Queue queue(4);
+  int next_push = 0;
+  int next_pop = 0;
+  int out = -1;
+  for (int lap = 0; lap < 6; ++lap) {
+    while (queue.try_push(int{next_push})) ++next_push;  // fill to the brim
+    EXPECT_EQ(queue.depth(), queue.capacity()) << "lap " << lap;
+    EXPECT_FALSE(queue.try_push(next_push)) << "lap " << lap;
+    // Drain half, refill, drain all: exercises every head/tail phase.
+    for (std::size_t i = 0; i < queue.capacity() / 2; ++i) {
+      ASSERT_TRUE(queue.try_pop(out));
+      EXPECT_EQ(out, next_pop++);
+    }
+    while (queue.try_push(int{next_push})) ++next_push;
+    while (queue.try_pop(out)) {
+      EXPECT_EQ(out, next_pop++);
+      EXPECT_LE(queue.depth(), queue.capacity());
+    }
+    EXPECT_EQ(queue.depth(), 0u) << "lap " << lap;
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_GT(next_push, static_cast<int>(3 * queue.capacity()));
+}
+
+TEST(SpscQueueTest, WrapAroundAtCapacityKeepsFifoAndGauge) {
+  expect_wraparound_fifo_at_capacity<SpscQueue<int>>();
+}
+
+TEST(MpscQueueTest, WrapAroundAtCapacityKeepsFifoAndGauge) {
+  expect_wraparound_fifo_at_capacity<MpscQueue<int>>();
+}
+
+TEST(SpscQueueTest, BlockingPushCountsOneStallPerEpisodeNotPerSpin) {
+  // A blocked push() spins/sleeps many times before space frees up; the
+  // stall counter must report ONE backpressure episode, not thousands of
+  // retry iterations.
+  SpscQueue<int> queue(2);
+  ASSERT_TRUE(queue.push(0));
+  ASSERT_TRUE(queue.push(1));
+  EXPECT_EQ(queue.stall_count(), 0u);
+  std::thread consumer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int out = -1;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 0);
+  });
+  ASSERT_TRUE(queue.push(2));  // blocks ~20ms on the full ring
+  consumer.join();
+  EXPECT_LE(queue.stall_count(), 1u);
+}
+
+template <typename Queue>
+void expect_gauges_sane_under_stress(std::size_t producers) {
+  // Producers + consumer + a sampler hammering the observability surface:
+  // the depth gauge must never exceed capacity or underflow ("go
+  // negative" would wrap to a huge size_t), and stall_count must be
+  // monotonic. TSan (ctest -L concurrency) checks the accesses race-free.
+  constexpr int kPerProducer = 4000;
+  Queue queue(8);
+  std::atomic<bool> done{false};
+
+  std::thread sampler([&] {
+    std::uint64_t last_stalls = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::size_t depth = queue.depth();
+      EXPECT_LE(depth, queue.capacity());
+      const std::uint64_t stalls = queue.stall_count();
+      EXPECT_GE(stalls, last_stalls);
+      last_stalls = stalls;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (std::size_t p = 0; p < producers; ++p) {
+    workers.emplace_back([&queue] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!queue.try_push(int{i})) ASSERT_TRUE(queue.push(int{i}));
+      }
+    });
+  }
+  std::size_t total = 0;
+  int out = -1;
+  while (total < producers * kPerProducer) {
+    if (queue.try_pop(out)) {
+      ++total;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& worker : workers) worker.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(SpscQueueTest, DepthGaugeStaysInBoundsUnderStress) {
+  expect_gauges_sane_under_stress<SpscQueue<int>>(1);
+}
+
+TEST(MpscQueueTest, DepthGaugeStaysInBoundsUnderStress) {
+  expect_gauges_sane_under_stress<MpscQueue<int>>(3);
 }
 
 }  // namespace

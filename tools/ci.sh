@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
-# pass over the concurrency-labelled tests (thread pool, lock-free queues,
-# parallel-vs-serial pipeline determinism, shared-detector streaming, the
-# async-ingest determinism/backpressure suite, and the batched-inference
-# batch-size/thread-count invariance suite).
+# CI entry point: tier-1 build + full test suite, an explicit pass over
+# the observability-labelled tests (latency histograms, runtime stats
+# snapshots, JSON round-trip), then a ThreadSanitizer pass over the
+# concurrency- and observability-labelled tests (thread pool, lock-free
+# queues, parallel-vs-serial pipeline determinism, shared-detector
+# streaming, the async-ingest determinism/backpressure/control-plane
+# suite, and the batched-inference batch-size/thread-count invariance
+# suite). The async-ingest smoke also gates the instrumentation overhead
+# at <=2% lines/sec.
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -20,7 +24,10 @@ echo "=== training fast path: bench smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_training_throughput
 "$ROOT/build/bench/bench_training_throughput" --smoke
 
-echo "=== async ingest: serial-equivalence smoke ==="
+echo "=== observability: runtime stats + json round-trip ==="
+ctest --test-dir "$ROOT/build" -L observability --output-on-failure -j "$JOBS"
+
+echo "=== async ingest: serial-equivalence + instrumentation-overhead smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_ingest_throughput
 "$ROOT/build/bench/bench_ingest_throughput" --smoke
 
@@ -34,9 +41,9 @@ cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_logproc --target test_
 "$ROOT/build-asan/tests/test_logproc"
 "$ROOT/build-asan/tests/test_logproc_alloc"
 
-echo "=== TSan: concurrency label ==="
+echo "=== TSan: concurrency + observability labels ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread
-cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency
-ctest --test-dir "$ROOT/build-tsan" -L concurrency --output-on-failure
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency --target test_observability
+ctest --test-dir "$ROOT/build-tsan" -L 'concurrency|observability' --output-on-failure
 
 echo "ci.sh: all passes clean"

@@ -103,6 +103,9 @@ void usage() {
       "           [--flush-batch N]     micro-batch size (default 64)\n"
       "           [--flush-deadline US] micro-batch deadline in\n"
       "           microseconds (default 2000; 0 = immediate)\n"
+      "           [--stats-json FILE]   dump the runtime observability\n"
+      "           snapshot (per-shard counters, ingest-to-scored latency\n"
+      "           histograms, queue gauges) as JSON after the replay\n"
       "common options:\n"
       "  --threads N   worker threads for training/scoring kernels\n"
       "                (default: NFVPRED_THREADS env, else all cores;\n"
@@ -301,6 +304,18 @@ int cmd_score(const Args& args) {
       ingest.submit(shard, line.time, line.text);
     }
     ingest.flush();
+    if (const auto stats_path = args.get("stats-json")) {
+      // flush() is an epoch barrier, so the snapshot's counters and
+      // latency buckets are exact for every submitted line — and the
+      // queue gauges still describe the live (not yet stopped) runtime.
+      std::ofstream stats_out(*stats_path);
+      if (!stats_out) {
+        std::cerr << "error: cannot write " << *stats_path << "\n";
+        return 2;
+      }
+      stats_out << ingest.stats_json() << "\n";
+      std::cerr << "wrote runtime stats to " << *stats_path << "\n";
+    }
     ingest.stop();
     std::vector<core::StreamWarning> warnings;
     ingest.drain_warnings(warnings);
