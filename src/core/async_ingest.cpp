@@ -328,11 +328,22 @@ RuntimeStatsSnapshot AsyncIngest::snapshot() const {
   snap.totals.warnings_published = totals.warnings_published;
   snap.totals.rejected_submits = totals.rejected_submits;
 
+  // Model memory of the detector currently scoring every shard (shared;
+  // swap_detector makes later snapshots report the new model's footprint).
+  ModelMemoryStats model_mem;
+  if (const AnomalyDetector* detector =
+          detector_.load(std::memory_order_acquire)) {
+    model_mem = detector->model_memory();
+  }
+
   snap.shards.resize(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     snap.shards[s].shard = s;
     snap.shards[s].vpe = shards_[s]->vpe;
     snap.shards[s].worker = shards_[s]->worker;
+    snap.shards[s].model_bytes_fp32 = model_mem.weight_bytes_fp32;
+    snap.shards[s].model_bytes_quantized = model_mem.weight_bytes_quantized;
+    snap.shards[s].model_quantized = model_mem.quantized;
   }
 
   const auto read_shard_slots = [&](std::size_t s) {

@@ -14,6 +14,13 @@
 // per-row softmax), so the fused scores are bit-identical to scoring each
 // window alone — for any inference batch size and any thread count.
 // Enforced by tests/core/batch_invariance_test.cpp under TSan.
+//
+// The planner is agnostic to the model's scoring tier: when the sequence
+// model carries an int8 sidecar (ml::SequenceModel::quantize), the fused
+// batches route through the packed int8 kernels and the same determinism
+// contract holds within the quantized mode (quantized fused scores are
+// bit-identical to quantized one-window scores; fp32 vs int8 agreement is
+// the separate rank gate of tests/core/quant_scoring_test.cpp).
 #pragma once
 
 #include <algorithm>

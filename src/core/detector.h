@@ -40,6 +40,17 @@ const char* to_string(DetectorKind kind);
 /// logs per event, so a single over-threshold document is a detection.
 enum class EventGranularity { kPerLog, kPerDocument };
 
+/// Resident model-memory footprint of a detector — the bytes/vPE axis of
+/// the fleet-scale soak plan. `weight_bytes_fp32` counts the fp32
+/// parameter values; `weight_bytes_quantized` the int8 scoring sidecar
+/// (0 when the detector scores in fp32). Detectors without a
+/// parameterized model report all-zero.
+struct ModelMemoryStats {
+  std::size_t weight_bytes_fp32 = 0;
+  std::size_t weight_bytes_quantized = 0;
+  bool quantized = false;
+};
+
 class AnomalyDetector {
  public:
   virtual ~AnomalyDetector() = default;
@@ -79,6 +90,10 @@ class AnomalyDetector {
   virtual bool trained() const = 0;
   virtual DetectorKind kind() const = 0;
   virtual EventGranularity granularity() const = 0;
+
+  /// Model-memory footprint for observability (AsyncIngest::stats_json).
+  /// Must be const/thread-safe under the same contract as score().
+  virtual ModelMemoryStats model_memory() const { return {}; }
 };
 
 /// Mapping configuration adjusted to a detector's event granularity: per-

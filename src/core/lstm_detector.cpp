@@ -173,6 +173,9 @@ void LstmDetector::fit(std::span<const LogView> streams, std::size_t vocab) {
   std::vector<SeqExample> examples = prepare_examples(streams);
   train_epochs(examples, config_.initial_epochs, config_.initial_lr);
   if (config_.oversample) oversample_refine(std::move(examples));
+  // Calibrate once, after ALL training (including the over-sampling
+  // rounds, which score with the fp32 model they just trained).
+  if (config_.quantize) model_->quantize();
 }
 
 void LstmDetector::update(std::span<const LogView> streams,
@@ -184,6 +187,7 @@ void LstmDetector::update(std::span<const LogView> streams,
   }
   std::vector<SeqExample> examples = prepare_examples(streams);
   train_epochs(examples, config_.update_epochs, config_.update_lr);
+  if (config_.quantize) model_->quantize();
 }
 
 void LstmDetector::adapt(std::span<const LogView> streams,
@@ -200,6 +204,7 @@ void LstmDetector::adapt(std::span<const LogView> streams,
   std::vector<SeqExample> examples = prepare_examples(streams);
   train_epochs(examples, config_.adapt_epochs, config_.adapt_lr);
   model_->freeze_lower_layers(0);
+  if (config_.quantize) model_->quantize();
 }
 
 std::vector<ScoredEvent> LstmDetector::score(LogView logs,
@@ -265,6 +270,25 @@ void LstmDetector::set_score_batch(std::size_t score_batch) {
   config_.score_batch = score_batch;
 }
 
+void LstmDetector::set_quantized(bool on) {
+  config_.quantize = on;
+  if (!model_) return;  // mode takes effect at the next fit
+  if (on) {
+    model_->quantize();
+  } else {
+    model_->clear_quantized();
+  }
+}
+
+ModelMemoryStats LstmDetector::model_memory() const {
+  ModelMemoryStats stats;
+  if (!model_) return stats;
+  stats.weight_bytes_fp32 = model_->fp32_weight_bytes();
+  stats.weight_bytes_quantized = model_->quantized_weight_bytes();
+  stats.quantized = model_->quantized();
+  return stats;
+}
+
 void LstmDetector::save(std::ostream& os) const {
   NFV_CHECK(trained(), "cannot save an untrained detector");
   ml::write_u64(os, 0x4e465644455431ULL);  // "NFVDET1"
@@ -283,6 +307,7 @@ LstmDetector LstmDetector::load(std::istream& is) {
   config.embed_dim = model.config().embed_dim;
   config.hidden = model.config().hidden;
   config.layers = model.config().layers;
+  config.quantize = model.quantized();
   LstmDetector detector(config);
   detector.model_.emplace(std::move(model));
   return detector;

@@ -71,6 +71,13 @@ struct LstmDetectorConfig {
   /// (in kTargetRank mode the unknown score is the vocabulary size).
   double unknown_score = 27.6;  // ≈ −log(1e-12)
   LstmScoreMode score_mode = LstmScoreMode::kLogLikelihood;
+  /// Quantized steady-state scoring: after every fit/update/adapt the
+  /// model is re-calibrated to per-channel int8 (ml::SequenceModel::
+  /// quantize) and all scoring — score/score_streams, the batched
+  /// planner, async-ingest flushes — runs the packed int8 kernels.
+  /// Training always stays fp32; the correctness contract is the
+  /// rank-agreement gate (see README "Quantized scoring").
+  bool quantize = false;
 };
 
 class LstmDetector final : public AnomalyDetector {
@@ -101,6 +108,16 @@ class LstmDetector final : public AnomalyDetector {
   /// Adjust the fused inference batch size (e.g. from the CLI's
   /// --score-batch flag); scores do not depend on it.
   void set_score_batch(std::size_t score_batch);
+
+  /// Toggle quantized scoring on an already-trained detector (e.g. after
+  /// load, or to build the quantized shadow for swap_detector): on = (re)
+  /// calibrate the int8 sidecar from the current fp32 weights, off = drop
+  /// it. Also updates config().quantize so later retraining keeps the
+  /// chosen mode.
+  void set_quantized(bool on);
+
+  /// Resident model memory (fp32 weights + int8 sidecar), zeros before fit.
+  ModelMemoryStats model_memory() const override;
 
   bool trained() const override { return model_.has_value(); }
   DetectorKind kind() const override { return DetectorKind::kLstm; }

@@ -52,6 +52,11 @@ struct PipelineOptions {
   /// concurrency). Results are bit-identical for every thread count.
   std::size_t threads = 1;
   std::uint64_t seed = 7;
+  /// Quantized steady-state scoring (LSTM detector only): each group's
+  /// model is calibrated to per-channel int8 after training and every
+  /// scoring pass runs the packed int8 kernels (forwarded to
+  /// LstmDetectorConfig::quantize; overrides lstm_config's value when on).
+  bool quantize = false;
   /// Optional override of the LSTM detector configuration.
   std::optional<LstmDetectorConfig> lstm_config;
 };

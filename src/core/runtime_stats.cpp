@@ -132,6 +132,11 @@ std::string to_json(const RuntimeStatsSnapshot& snapshot) {
     w.kv("lines", shard.lines);
     w.kv("warnings", shard.warnings);
     w.kv("held", shard.held);
+    w.key("model").begin_object();
+    w.kv("weight_bytes_fp32", shard.model_bytes_fp32);
+    w.kv("weight_bytes_quantized", shard.model_bytes_quantized);
+    w.kv("quantized", shard.model_quantized);
+    w.end_object();
     w.key("latency");
     write_histogram(w, shard.latency);
     w.end_object();

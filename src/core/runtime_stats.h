@@ -102,6 +102,12 @@ struct ShardStatsSnapshot {
   std::uint64_t warnings = 0;  // warning signatures raised
   std::uint64_t held = 0;      // lines parked in the pause hold buffer
   HistogramSnapshot latency;   // ingest -> scored/warning-published (ns)
+  // Resident model memory of the detector scoring this shard (bytes/vPE
+  // for the fleet-soak read; every shard of one AsyncIngest shares the
+  // detector, so these repeat the runtime-wide figures).
+  std::uint64_t model_bytes_fp32 = 0;
+  std::uint64_t model_bytes_quantized = 0;  // 0 = fp32-only scoring
+  bool model_quantized = false;
 };
 
 /// Global totals (live counters) as already exposed by AsyncIngest.

@@ -201,7 +201,8 @@ Lstm::Lstm(std::string name, std::size_t input_size, std::size_t hidden_size,
 }
 
 void Lstm::compute_gates(const Matrix& input, const Matrix& h_prev,
-                         Matrix& concat_scratch, Matrix& gates) const {
+                         Matrix& concat_scratch, Matrix& gates,
+                         const QuantizedMatrix* qweight) const {
   const std::size_t batch = input.rows();
   NFV_CHECK(input.cols() == input_size_,
             "Lstm input width " << input.cols() << " != " << input_size_);
@@ -212,7 +213,11 @@ void Lstm::compute_gates(const Matrix& input, const Matrix& h_prev,
     std::memcpy(concat_scratch.row(r) + input_size_, h_prev.row(r),
                 hidden_size_ * sizeof(float));
   }
-  matmul_transb(concat_scratch, weight_.value, gates);
+  if (qweight != nullptr) {
+    matmul_quant(concat_scratch, *qweight, gates);
+  } else {
+    matmul_transb(concat_scratch, weight_.value, gates);
+  }
   const std::size_t h = hidden_size_;
   const float* bias = bias_.value.row(0);
   // Bias + activations fused into one row pass (same per-element order as
@@ -407,9 +412,26 @@ void Lstm::step(const Matrix& input, LstmState& state, Matrix& concat_scratch,
   NFV_CHECK(state.h.rows() == batch && state.c.rows() == batch,
             "LstmState batch mismatch");
   compute_gates(input, state.h, concat_scratch, gates_scratch);
-  const Matrix& gates = gates_scratch;
+  cell_update(gates_scratch, state);
+}
+
+void Lstm::step_quantized(const Matrix& input, LstmState& state,
+                          const QuantizedMatrix& qweight,
+                          Matrix& concat_scratch,
+                          Matrix& gates_scratch) const {
+  const std::size_t batch = input.rows();
+  NFV_CHECK(state.h.rows() == batch && state.c.rows() == batch,
+            "LstmState batch mismatch");
+  NFV_CHECK(qweight.rows == 4 * hidden_size_ &&
+                qweight.cols == input_size_ + hidden_size_,
+            "Lstm::step_quantized weight shape mismatch");
+  compute_gates(input, state.h, concat_scratch, gates_scratch, &qweight);
+  cell_update(gates_scratch, state);
+}
+
+void Lstm::cell_update(const Matrix& gates, LstmState& state) const {
   const std::size_t h = hidden_size_;
-  for_each_row(batch, [&](std::size_t r) {
+  for_each_row(gates.rows(), [&](std::size_t r) {
     const float* g = gates.row(r);
     float* c = state.c.row(r);
     float* hh = state.h.row(r);

@@ -48,6 +48,16 @@ class Lstm {
   void step(const Matrix& input, LstmState& state, Matrix& concat_scratch,
             Matrix& gates_scratch) const;
 
+  /// As the scratch step(), but the gate pre-activation GEMM runs on the
+  /// packed int8 image of this layer's weight matrix (`qweight` must come
+  /// from quantize_pack_b(weight().value)). Bias, gate activations and the
+  /// cell update are the untouched fp32 code paths — only the matmul is
+  /// quantized, so the result inherits matmul_quant's cross-tier and
+  /// cross-batch bit-identity.
+  void step_quantized(const Matrix& input, LstmState& state,
+                      const QuantizedMatrix& qweight, Matrix& concat_scratch,
+                      Matrix& gates_scratch) const;
+
   /// Zero-initialized state for a given batch size.
   LstmState make_state(std::size_t batch) const;
 
@@ -59,7 +69,9 @@ class Lstm {
 
  private:
   void compute_gates(const Matrix& input, const Matrix& h_prev,
-                     Matrix& concat_scratch, Matrix& gates) const;
+                     Matrix& concat_scratch, Matrix& gates,
+                     const QuantizedMatrix* qweight = nullptr) const;
+  void cell_update(const Matrix& gates, LstmState& state) const;
 
   std::size_t input_size_;
   std::size_t hidden_size_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
@@ -622,6 +624,374 @@ void transa_acc_block_dispatch(const Matrix& a, const Matrix& b, Matrix& out,
   transa_acc_block(a, b, out, c0, c1);
 }
 
+// ---------------------------------------------------------------------------
+// int8 quantized kernels (matmul_quant family).
+//
+// The reduction is exact int32 arithmetic, so unlike the fp32 kernels there
+// is no per-tier accumulation order to preserve — any tiling gives the same
+// integer. The only float work is the per-row activation quantization
+// (done once, on the calling thread, before any fan-out) and the dequant
+// epilogue, which is the fixed two-rounding expression
+//     out = float(iacc - zp·col_sum) * (a_scale * b_scale)
+// on every tier; elementwise float ops have no reassociation freedom, so
+// the AVX2 and baseline builds of that expression agree bit for bit.
+// ---------------------------------------------------------------------------
+
+/// k-depth of one packed int8 group (the vpmaddubsw reduction quad).
+constexpr std::size_t kQuantK = 4;
+
+/// Round-to-nearest-even via the 1.5·2^23 magic constant: exact for
+/// |x| < 2^22 (every quantized code is within ±128), branch-free, and
+/// independent of libm — the same bits on every build.
+inline std::int32_t round_nearest_i32(float x) {
+  constexpr float kMagic = 12582912.0f;  // 1.5 * 2^23
+  return static_cast<std::int32_t>((x + kMagic) - kMagic);
+}
+
+/// Quantize one activation row to unsigned 7-bit codes with a per-row
+/// asymmetric scale/zero-point — the scalar reference tier. The [0, 127]
+/// code range (not [0, 255]) is what makes the AVX2 GEMM exact: every
+/// vpmaddubsw pair sum is at most 2·127·127 = 32258 < 2^15, so the i16
+/// intermediate never saturates and SIMD equals the serial int32
+/// reference. The quantized range always brackets 0 (lo ≤ 0 ≤ hi), so
+/// the zero point lands in [0, 127] and an all-zero row round-trips to
+/// exact zeros.
+void quantize_activation_row_scalar(const float* ar, std::size_t kn,
+                                    std::size_t kpad, std::uint8_t* q,
+                                    float* sa, std::int32_t* zp) {
+  float lo = 0.0f, hi = 0.0f;
+  for (std::size_t k = 0; k < kn; ++k) {
+    lo = std::min(lo, ar[k]);
+    hi = std::max(hi, ar[k]);
+  }
+  const float range = hi - lo;
+  if (range <= 0.0f) {
+    *sa = 1.0f;
+    *zp = 0;
+    std::memset(q, 0, kpad);
+    return;
+  }
+  const float inv = 127.0f / range;
+  const std::int32_t z = std::clamp(round_nearest_i32(-lo * inv), 0, 127);
+  for (std::size_t k = 0; k < kn; ++k) {
+    const std::int32_t v = round_nearest_i32(ar[k] * inv) + z;
+    q[k] = static_cast<std::uint8_t>(std::clamp(v, 0, 127));
+  }
+  std::memset(q + kn, 0, kpad - kn);
+  *sa = range / 127.0f;
+  *zp = z;
+}
+
+#ifdef NFV_X86_MULTIVERSION
+/// AVX2 activation quantizer. Bit-identical to the scalar tier by
+/// construction: min/max and the ×inv multiply are exact IEEE ops in any
+/// order, and vcvtps2dq rounds to nearest-even — the same rounding the
+/// scalar tier gets from the 1.5·2^23 magic constant (exact for the
+/// |x| ≤ ~127 range every code lives in). So toggling SIMD never changes
+/// the codes, and the cross-tier GEMM identity holds end to end.
+__attribute__((target("avx2"))) void quantize_activation_rows_avx2(
+    const Matrix& a, std::size_t kpad, std::uint8_t* qa, float* sa,
+    std::int32_t* zp) {
+  const std::size_t kn = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ar = a.row(i);
+    std::uint8_t* q = qa + i * kpad;
+    __m256 vlo = _mm256_setzero_ps();  // seeds match the scalar lo=hi=0
+    __m256 vhi = _mm256_setzero_ps();
+    std::size_t k = 0;
+    for (; k + 8 <= kn; k += 8) {
+      const __m256 v = _mm256_loadu_ps(ar + k);
+      vlo = _mm256_min_ps(vlo, v);
+      vhi = _mm256_max_ps(vhi, v);
+    }
+    __m128 l4 = _mm_min_ps(_mm256_castps256_ps128(vlo),
+                           _mm256_extractf128_ps(vlo, 1));
+    l4 = _mm_min_ps(l4, _mm_movehl_ps(l4, l4));
+    l4 = _mm_min_ss(l4, _mm_shuffle_ps(l4, l4, 1));
+    float lo = _mm_cvtss_f32(l4);
+    __m128 h4 = _mm_max_ps(_mm256_castps256_ps128(vhi),
+                           _mm256_extractf128_ps(vhi, 1));
+    h4 = _mm_max_ps(h4, _mm_movehl_ps(h4, h4));
+    h4 = _mm_max_ss(h4, _mm_shuffle_ps(h4, h4, 1));
+    float hi = _mm_cvtss_f32(h4);
+    for (; k < kn; ++k) {
+      lo = std::min(lo, ar[k]);
+      hi = std::max(hi, ar[k]);
+    }
+    const float range = hi - lo;
+    if (range <= 0.0f) {
+      sa[i] = 1.0f;
+      zp[i] = 0;
+      std::memset(q, 0, kpad);
+      continue;
+    }
+    const float inv = 127.0f / range;
+    const std::int32_t z = std::clamp(round_nearest_i32(-lo * inv), 0, 127);
+    const __m256 vinv = _mm256_set1_ps(inv);
+    const __m256i vz = _mm256_set1_epi32(z);
+    const __m256i v127 = _mm256_set1_epi32(127);
+    const __m256i vzero = _mm256_setzero_si256();
+    k = 0;
+    for (; k + 16 <= kn; k += 16) {
+      __m256i q0 =
+          _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(ar + k), vinv));
+      __m256i q1 = _mm256_cvtps_epi32(
+          _mm256_mul_ps(_mm256_loadu_ps(ar + k + 8), vinv));
+      q0 = _mm256_min_epi32(
+          _mm256_max_epi32(_mm256_add_epi32(q0, vz), vzero), v127);
+      q1 = _mm256_min_epi32(
+          _mm256_max_epi32(_mm256_add_epi32(q1, vz), vzero), v127);
+      // packs interleaves 128-bit lanes; permute restores element order.
+      __m256i p = _mm256_packs_epi32(q0, q1);
+      p = _mm256_permute4x64_epi64(p, 0xD8);
+      const __m128i bytes =
+          _mm_packus_epi16(_mm256_castsi256_si128(p),
+                           _mm256_extracti128_si256(p, 1));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(q + k), bytes);
+    }
+    for (; k < kn; ++k) {
+      const std::int32_t v = round_nearest_i32(ar[k] * inv) + z;
+      q[k] = static_cast<std::uint8_t>(std::clamp(v, 0, 127));
+    }
+    std::memset(q + kn, 0, kpad - kn);
+    sa[i] = range / 127.0f;
+    zp[i] = z;
+  }
+}
+#endif
+
+/// Quantize every row of `a` (see the per-tier functions above; the two
+/// tiers produce identical codes, so this dispatch is a pure speed knob).
+void quantize_activation_rows(const Matrix& a, std::size_t kpad,
+                              std::uint8_t* qa, float* sa,
+                              std::int32_t* zp) {
+#ifdef NFV_X86_MULTIVERSION
+  if (simd_kernels_enabled()) {
+    quantize_activation_rows_avx2(a, kpad, qa, sa, zp);
+    return;
+  }
+#endif
+  const std::size_t kn = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    quantize_activation_row_scalar(a.row(i), kn, kpad, qa + i * kpad, sa + i,
+                                   zp + i);
+  }
+}
+
+/// Activation-quantization scratch: filled on the calling thread before
+/// any parallel fan-out; workers only read through captured pointers.
+thread_local std::vector<std::uint8_t> tl_quant_a;
+thread_local std::vector<float> tl_quant_sa;
+thread_local std::vector<std::int32_t> tl_quant_zp;
+
+/// Rows [i0, i1) of the quantized product, plain-int reference tier.
+/// Walks the packed panels in the same order as the AVX2 kernel; the
+/// integer sums are exact so the order is immaterial, and the dequant
+/// epilogue is the canonical expression shared with the SIMD tier.
+void quant_rows_serial(const std::uint8_t* qa, const float* sa,
+                       const std::int32_t* zp, std::size_t kpad,
+                       const QuantizedMatrix& qb, Matrix& out,
+                       std::size_t i0, std::size_t i1) {
+  const std::size_t groups = kpad / kQuantK;
+  const std::size_t panels = qb.rows / kPanelCols;
+  const std::int8_t* tail_base =
+      qb.data.data() + panels * kpad * kPanelCols;
+  for (std::size_t i = i0; i < i1; ++i) {
+    const std::uint8_t* ar = qa + i * kpad;
+    float* orow = out.row(i);
+    const float sai = sa[i];
+    const std::int32_t zpi = zp[i];
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::int8_t* panel = qb.data.data() + p * kpad * kPanelCols;
+      std::int32_t acc[kPanelCols] = {};
+      for (std::size_t g = 0; g < groups; ++g) {
+        const std::uint8_t* av = ar + kQuantK * g;
+        const std::int8_t* bg = panel + kPanelCols * kQuantK * g;
+        for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+          const std::int8_t* bv = bg + kQuantK * jj;
+          acc[jj] += static_cast<std::int32_t>(av[0]) * bv[0] +
+                     static_cast<std::int32_t>(av[1]) * bv[1] +
+                     static_cast<std::int32_t>(av[2]) * bv[2] +
+                     static_cast<std::int32_t>(av[3]) * bv[3];
+        }
+      }
+      const float* sc = qb.scales.data() + kPanelCols * p;
+      const std::int32_t* cs = qb.col_sums.data() + kPanelCols * p;
+      float* o = orow + kPanelCols * p;
+      for (std::size_t jj = 0; jj < kPanelCols; ++jj) {
+        o[jj] =
+            static_cast<float>(acc[jj] - zpi * cs[jj]) * (sai * sc[jj]);
+      }
+    }
+    for (std::size_t c = panels * kPanelCols; c < qb.rows; ++c) {
+      const std::int8_t* bv =
+          tail_base + (c - panels * kPanelCols) * kpad;
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < kpad; ++k) {
+        acc += static_cast<std::int32_t>(ar[k]) * bv[k];
+      }
+      orow[c] = static_cast<float>(acc - zpi * qb.col_sums[c]) *
+                (sai * qb.scales[c]);
+    }
+  }
+}
+
+#ifdef NFV_X86_MULTIVERSION
+/// Broadcast one 4-byte activation quad to all 8 panel lanes. (Free
+/// function, not a lambda: GCC does not propagate the target attribute
+/// into lambdas defined inside a target("avx2") function.)
+__attribute__((target("avx2"))) inline __m256i quant_bcast4(
+    const std::uint8_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return _mm256_set1_epi32(v);
+}
+
+/// Dequant epilogue for one row × one panel: the canonical
+/// (acc − zp·col_sum) · (sa·scale) expression shared with the serial tier.
+__attribute__((target("avx2"))) inline void quant_finish_row(
+    __m256i acc, std::int32_t zp, float sa, __m256i cs, __m256 sc,
+    float* dst) {
+  const __m256i corr = _mm256_mullo_epi32(_mm256_set1_epi32(zp), cs);
+  const __m256 f = _mm256_cvtepi32_ps(_mm256_sub_epi32(acc, corr));
+  const __m256 s = _mm256_mul_ps(_mm256_set1_ps(sa), sc);
+  _mm256_storeu_ps(dst, _mm256_mul_ps(f, s));
+}
+
+/// AVX2 tier: one vpmaddubsw + vpmaddwd pair turns a 4-k × 8-channel
+/// 32-byte panel block into 8 int32 channel partials; 4 a-rows share
+/// each panel load. Unsigned activations ride the first operand,
+/// signed weights the second — with u7 codes the i16 intermediate
+/// cannot saturate, so this equals quant_rows_serial exactly.
+__attribute__((target("avx2"))) void quant_rows_avx2(
+    const std::uint8_t* qa, const float* sa, const std::int32_t* zp,
+    std::size_t kpad, const QuantizedMatrix& qb, Matrix& out,
+    std::size_t i0, std::size_t i1) {
+  const std::size_t groups = kpad / kQuantK;
+  const std::size_t panels = qb.rows / kPanelCols;
+  const std::int8_t* tail_base =
+      qb.data.data() + panels * kpad * kPanelCols;
+  const __m256i ones = _mm256_set1_epi16(1);
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const std::uint8_t* a0 = qa + i * kpad;
+    const std::uint8_t* a1 = qa + (i + 1) * kpad;
+    const std::uint8_t* a2 = qa + (i + 2) * kpad;
+    const std::uint8_t* a3 = qa + (i + 3) * kpad;
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::int8_t* panel = qb.data.data() + p * kpad * kPanelCols;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (std::size_t g = 0; g < groups; ++g) {
+        const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            panel + kPanelCols * kQuantK * g));
+        acc0 = _mm256_add_epi32(
+            acc0,
+            _mm256_madd_epi16(
+                _mm256_maddubs_epi16(quant_bcast4(a0 + kQuantK * g), bv),
+                ones));
+        acc1 = _mm256_add_epi32(
+            acc1,
+            _mm256_madd_epi16(
+                _mm256_maddubs_epi16(quant_bcast4(a1 + kQuantK * g), bv),
+                ones));
+        acc2 = _mm256_add_epi32(
+            acc2,
+            _mm256_madd_epi16(
+                _mm256_maddubs_epi16(quant_bcast4(a2 + kQuantK * g), bv),
+                ones));
+        acc3 = _mm256_add_epi32(
+            acc3,
+            _mm256_madd_epi16(
+                _mm256_maddubs_epi16(quant_bcast4(a3 + kQuantK * g), bv),
+                ones));
+      }
+      const __m256i cs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          qb.col_sums.data() + kPanelCols * p));
+      const __m256 sc = _mm256_loadu_ps(qb.scales.data() + kPanelCols * p);
+      float* obase = out.row(i) + kPanelCols * p;
+      quant_finish_row(acc0, zp[i], sa[i], cs, sc, obase);
+      quant_finish_row(acc1, zp[i + 1], sa[i + 1], cs, sc,
+                       out.row(i + 1) + kPanelCols * p);
+      quant_finish_row(acc2, zp[i + 2], sa[i + 2], cs, sc,
+                       out.row(i + 2) + kPanelCols * p);
+      quant_finish_row(acc3, zp[i + 3], sa[i + 3], cs, sc,
+                       out.row(i + 3) + kPanelCols * p);
+    }
+    for (std::size_t c = panels * kPanelCols; c < qb.rows; ++c) {
+      const std::int8_t* bv =
+          tail_base + (c - panels * kPanelCols) * kpad;
+      std::int32_t d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+      for (std::size_t k = 0; k < kpad; ++k) {
+        const std::int32_t bk = bv[k];
+        d0 += static_cast<std::int32_t>(a0[k]) * bk;
+        d1 += static_cast<std::int32_t>(a1[k]) * bk;
+        d2 += static_cast<std::int32_t>(a2[k]) * bk;
+        d3 += static_cast<std::int32_t>(a3[k]) * bk;
+      }
+      const float sbc = qb.scales[c];
+      const std::int32_t csc = qb.col_sums[c];
+      out.row(i)[c] =
+          static_cast<float>(d0 - zp[i] * csc) * (sa[i] * sbc);
+      out.row(i + 1)[c] =
+          static_cast<float>(d1 - zp[i + 1] * csc) * (sa[i + 1] * sbc);
+      out.row(i + 2)[c] =
+          static_cast<float>(d2 - zp[i + 2] * csc) * (sa[i + 2] * sbc);
+      out.row(i + 3)[c] =
+          static_cast<float>(d3 - zp[i + 3] * csc) * (sa[i + 3] * sbc);
+    }
+  }
+  for (; i < i1; ++i) {
+    const std::uint8_t* ar = qa + i * kpad;
+    float* orow = out.row(i);
+    const float sai = sa[i];
+    const std::int32_t zpi = zp[i];
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::int8_t* panel = qb.data.data() + p * kpad * kPanelCols;
+      __m256i acc = _mm256_setzero_si256();
+      for (std::size_t g = 0; g < groups; ++g) {
+        const __m256i bv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            panel + kPanelCols * kQuantK * g));
+        acc = _mm256_add_epi32(
+            acc,
+            _mm256_madd_epi16(
+                _mm256_maddubs_epi16(quant_bcast4(ar + kQuantK * g), bv),
+                ones));
+      }
+      const __m256i cs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          qb.col_sums.data() + kPanelCols * p));
+      const __m256 sc = _mm256_loadu_ps(qb.scales.data() + kPanelCols * p);
+      quant_finish_row(acc, zpi, sai, cs, sc, orow + kPanelCols * p);
+    }
+    for (std::size_t c = panels * kPanelCols; c < qb.rows; ++c) {
+      const std::int8_t* bv =
+          tail_base + (c - panels * kPanelCols) * kpad;
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < kpad; ++k) {
+        acc += static_cast<std::int32_t>(ar[k]) * bv[k];
+      }
+      orow[c] = static_cast<float>(acc - zpi * qb.col_sums[c]) *
+                (sai * qb.scales[c]);
+    }
+  }
+}
+#endif
+
+void quant_rows_dispatch(const std::uint8_t* qa, const float* sa,
+                         const std::int32_t* zp, std::size_t kpad,
+                         const QuantizedMatrix& qb, Matrix& out,
+                         std::size_t i0, std::size_t i1) {
+#ifdef NFV_X86_MULTIVERSION
+  if (simd_kernels_enabled()) {
+    quant_rows_avx2(qa, sa, zp, kpad, qb, out, i0, i1);
+    return;
+  }
+#endif
+  quant_rows_serial(qa, sa, zp, kpad, qb, out, i0, i1);
+}
+
 }  // namespace
 
 bool simd_kernels_enabled() {
@@ -805,6 +1175,99 @@ void matmul_transa_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
     const std::size_t c0 = bi * block;
     const std::size_t c1 = std::min(c0 + block, b.cols());
     if (c0 < c1) transa_acc_block_dispatch(a, b, out, c0, c1);
+  });
+}
+
+void quantize_pack_b(const Matrix& b, QuantizedMatrix& out) {
+  const std::size_t cn = b.rows();
+  const std::size_t kn = b.cols();
+  out.rows = cn;
+  out.cols = kn;
+  out.cols_padded = (kn + kQuantK - 1) / kQuantK * kQuantK;
+  out.scales.assign(cn, 1.0f);
+  out.col_sums.assign(cn, 0);
+  const std::size_t panels = cn / kPanelCols;
+  out.data.assign(cn * out.cols_padded, 0);
+  std::vector<std::int8_t> qrow(out.cols_padded, 0);
+  for (std::size_t c = 0; c < cn; ++c) {
+    const float* w = b.row(c);
+    float amax = 0.0f;
+    for (std::size_t k = 0; k < kn; ++k) {
+      amax = std::max(amax, std::fabs(w[k]));
+    }
+    // All-zero channels keep scale 1 (nothing divides by zero) and code
+    // 0 everywhere — the dequantized row is exactly zero.
+    const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    const float inv = amax > 0.0f ? 127.0f / amax : 0.0f;
+    std::int32_t sum = 0;
+    for (std::size_t k = 0; k < kn; ++k) {
+      const std::int32_t q =
+          std::clamp(round_nearest_i32(w[k] * inv), -127, 127);
+      qrow[k] = static_cast<std::int8_t>(q);
+      sum += q;
+    }
+    std::fill(qrow.begin() + kn, qrow.end(), static_cast<std::int8_t>(0));
+    out.scales[c] = scale;
+    out.col_sums[c] = sum;
+    if (c < panels * kPanelCols) {
+      // Scatter into the panel's 4-k × 8-channel blocks.
+      const std::size_t p = c / kPanelCols;
+      const std::size_t jj = c % kPanelCols;
+      std::int8_t* panel = out.data.data() + p * out.cols_padded * kPanelCols;
+      for (std::size_t g = 0; g < out.cols_padded / kQuantK; ++g) {
+        std::memcpy(panel + kPanelCols * kQuantK * g + kQuantK * jj,
+                    qrow.data() + kQuantK * g, kQuantK);
+      }
+    } else {
+      std::memcpy(out.data.data() + panels * out.cols_padded * kPanelCols +
+                      (c - panels * kPanelCols) * out.cols_padded,
+                  qrow.data(), out.cols_padded);
+    }
+  }
+}
+
+void matmul_quant_serial(const Matrix& a, const QuantizedMatrix& qb,
+                         Matrix& out) {
+  NFV_CHECK(a.cols() == qb.cols, "matmul_quant inner-dimension mismatch: "
+                                     << a.cols() << " vs " << qb.cols);
+  out.resize(a.rows(), qb.rows);
+  if (a.rows() == 0 || qb.rows == 0) return;
+  const std::size_t kpad = qb.cols_padded;
+  tl_quant_a.resize(a.rows() * kpad);
+  tl_quant_sa.resize(a.rows());
+  tl_quant_zp.resize(a.rows());
+  quantize_activation_rows(a, kpad, tl_quant_a.data(), tl_quant_sa.data(),
+                           tl_quant_zp.data());
+  quant_rows_dispatch(tl_quant_a.data(), tl_quant_sa.data(),
+                      tl_quant_zp.data(), kpad, qb, out, 0, a.rows());
+}
+
+void matmul_quant(const Matrix& a, const QuantizedMatrix& qb, Matrix& out) {
+  NFV_CHECK(a.cols() == qb.cols, "matmul_quant inner-dimension mismatch: "
+                                     << a.cols() << " vs " << qb.cols);
+  if (!use_parallel(a.rows() * a.cols() * qb.rows)) {
+    matmul_quant_serial(a, qb, out);
+    return;
+  }
+  out.resize(a.rows(), qb.rows);
+  // Quantize every activation row once on the calling thread; the row
+  // blocks then run an exact integer reduction plus a per-element float
+  // epilogue, so any thread count produces the serial result bit for bit.
+  const std::size_t kpad = qb.cols_padded;
+  tl_quant_a.resize(a.rows() * kpad);
+  tl_quant_sa.resize(a.rows());
+  tl_quant_zp.resize(a.rows());
+  quantize_activation_rows(a, kpad, tl_quant_a.data(), tl_quant_sa.data(),
+                           tl_quant_zp.data());
+  const std::uint8_t* qa = tl_quant_a.data();
+  const float* sa = tl_quant_sa.data();
+  const std::int32_t* zp = tl_quant_zp.data();
+  constexpr std::size_t kRowBlock = 16;
+  const std::size_t blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+  nfv::util::global_pool().parallel_for(0, blocks, [&](std::size_t bi) {
+    const std::size_t i0 = bi * kRowBlock;
+    quant_rows_dispatch(qa, sa, zp, kpad, qb, out, i0,
+                        std::min(i0 + kRowBlock, a.rows()));
   });
 }
 

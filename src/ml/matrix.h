@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -110,6 +111,60 @@ void matmul_serial(const Matrix& a, const Matrix& b, Matrix& out);
 void matmul_transb_serial(const Matrix& a, const Matrix& b, Matrix& out);
 void matmul_transa_accumulate_serial(const Matrix& a, const Matrix& b,
                                      Matrix& out);
+
+/// Post-training int8 image of a weight matrix b (C×K, out_features ×
+/// in_features — the matmul_transb B operand). Weights are quantized
+/// symmetrically per output channel (scale[c] = max|b[c,:]| / 127, all-zero
+/// rows get scale 1 so nothing divides by zero) and stored pre-packed for
+/// the int8 kernel: full groups of 8 channels live in k-major panels of
+/// 4-k × 8-channel 32-byte blocks (the vpmaddubsw operand layout), the
+/// C mod 8 tail channels follow row-major, and K is zero-padded to a
+/// multiple of 4. `col_sums[c]` caches Σ_k q[c][k] for the activation
+/// zero-point correction so the kernel epilogue is a single fused
+/// subtract-and-scale per output.
+struct QuantizedMatrix {
+  std::size_t rows = 0;          ///< C, output channels (b.rows()).
+  std::size_t cols = 0;          ///< K, logical reduction depth (b.cols()).
+  std::size_t cols_padded = 0;   ///< K rounded up to a multiple of 4.
+  std::vector<std::int8_t> data; ///< Packed panels then tail rows.
+  std::vector<float> scales;     ///< Per-channel dequant scale (length C).
+  std::vector<std::int32_t> col_sums;  ///< Per-channel Σ_k q[c][k].
+
+  bool empty() const { return rows == 0; }
+  /// Resident bytes of the int8 image (panels + scales + col_sums).
+  std::size_t weight_bytes() const {
+    return data.size() * sizeof(std::int8_t) +
+           scales.size() * sizeof(float) +
+           col_sums.size() * sizeof(std::int32_t);
+  }
+  /// Bytes the same matrix occupies in fp32 (rows × cols × 4).
+  std::size_t fp32_bytes() const { return rows * cols * sizeof(float); }
+};
+
+/// Quantize and pack b (C×K) into `out`. Deterministic: round-to-nearest-
+/// even via the 1.5·2^23 magic constant, identical on every kernel tier.
+/// Degenerate channels are safe by construction — an all-zero row gets
+/// scale 1 and all-zero codes (exact), a constant row lands exactly on
+/// ±127 (exact up to one rounding).
+void quantize_pack_b(const Matrix& b, QuantizedMatrix& out);
+
+/// out = a (R×K) * dequant(qb)ᵀ — the int8 twin of matmul_transb.
+/// Activations are quantized on the fly per row to unsigned 7-bit
+/// (asymmetric, zero-point corrected through qb.col_sums); products
+/// accumulate in exact int32 and a single fp32 scale pair maps back.
+/// Contract (stronger than the fp32 family): results are bit-identical
+/// across thread counts, batch sizes, AND between the AVX2
+/// vpmaddubsw/vpmaddwd kernel and the serial reference — integer
+/// accumulation is associative, the u7 activation range keeps every
+/// vpmaddubsw pair sum below i16 saturation, and the float epilogue is the
+/// same two-rounding expression on every tier. Same row-blocked parallel
+/// dispatch as matmul_transb.
+void matmul_quant(const Matrix& a, const QuantizedMatrix& qb, Matrix& out);
+
+/// Serial reference for matmul_quant (single-threaded; bit-identical to
+/// the parallel/AVX2 paths by the contract above).
+void matmul_quant_serial(const Matrix& a, const QuantizedMatrix& qb,
+                         Matrix& out);
 
 /// Add a row vector (1×C or length-C matrix) to every row of m.
 void add_row_vector(Matrix& m, const Matrix& row);

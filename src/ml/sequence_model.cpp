@@ -161,6 +161,9 @@ double SequenceModel::train_batch(const std::vector<const SeqExample*>& batch,
   const double loss = forward_backward(batch);
   clip_gradients(params(), max_grad_norm);
   optimizer.step();
+  // The fp32 weights just moved; a stale int8 image would silently score
+  // the old model.
+  quantized_.reset();
   return loss;
 }
 
@@ -177,15 +180,26 @@ void SequenceModel::predict(const std::vector<const SeqExample*>& batch,
   for (const Lstm& lstm : lstm_layers_) {
     states.push_back(lstm.make_state(batch.size()));
   }
+  Matrix concat;
+  Matrix gates;
   for (std::size_t t = 0; t < config_.window; ++t) {
     const Matrix* x = &inputs[t];
     for (std::size_t l = 0; l < lstm_layers_.size(); ++l) {
-      lstm_layers_[l].step(*x, states[l]);
+      if (quantized_) {
+        lstm_layers_[l].step_quantized(*x, states[l], quantized_->lstm[l],
+                                       concat, gates);
+      } else {
+        lstm_layers_[l].step(*x, states[l], concat, gates);
+      }
       x = &states[l].h;
     }
   }
   Matrix logits;
-  matmul_transb(states.back().h, output_.weight().value, logits);
+  if (quantized_) {
+    matmul_quant(states.back().h, quantized_->output, logits);
+  } else {
+    matmul_transb(states.back().h, output_.weight().value, logits);
+  }
   add_row_vector(logits, output_.bias().value);
   softmax(logits, probs);
 }
@@ -214,13 +228,24 @@ void SequenceModel::forward_probs(const SeqExample* const* batch,
   for (std::size_t t = 0; t < config_.window; ++t) {
     const Matrix* x = &scratch.inputs[t];
     for (std::size_t l = 0; l < lstm_layers_.size(); ++l) {
-      lstm_layers_[l].step(*x, scratch.states[l], scratch.concat,
-                           scratch.gates);
+      if (quantized_) {
+        lstm_layers_[l].step_quantized(*x, scratch.states[l],
+                                       quantized_->lstm[l], scratch.concat,
+                                       scratch.gates);
+      } else {
+        lstm_layers_[l].step(*x, scratch.states[l], scratch.concat,
+                             scratch.gates);
+      }
       x = &scratch.states[l].h;
     }
   }
-  matmul_transb(scratch.states.back().h, output_.weight().value,
-                scratch.logits);
+  if (quantized_) {
+    matmul_quant(scratch.states.back().h, quantized_->output,
+                 scratch.logits);
+  } else {
+    matmul_transb(scratch.states.back().h, output_.weight().value,
+                  scratch.logits);
+  }
   add_row_vector(scratch.logits, output_.bias().value);
   softmax(scratch.logits, scratch.probs);
 }
@@ -329,6 +354,34 @@ void SequenceModel::grow_vocab(std::size_t new_vocab, nfv::util::Rng& rng) {
   b.value = std::move(grown_b);
   b.grad.resize(1, new_vocab);
   config_.vocab = new_vocab;
+  quantized_.reset();
+}
+
+std::size_t SequenceModel::QuantizedWeights::weight_bytes() const {
+  std::size_t total = output.weight_bytes();
+  for (const QuantizedMatrix& m : lstm) total += m.weight_bytes();
+  return total;
+}
+
+void SequenceModel::quantize() {
+  QuantizedWeights qw;
+  qw.lstm.resize(lstm_layers_.size());
+  for (std::size_t l = 0; l < lstm_layers_.size(); ++l) {
+    quantize_pack_b(lstm_layers_[l].weight().value, qw.lstm[l]);
+  }
+  quantize_pack_b(output_.weight().value, qw.output);
+  quantized_ = std::move(qw);
+}
+
+std::size_t SequenceModel::fp32_weight_bytes() const {
+  auto* self = const_cast<SequenceModel*>(this);
+  std::size_t total = 0;
+  for (Param* p : self->params()) total += p->value.size() * sizeof(float);
+  return total;
+}
+
+std::size_t SequenceModel::quantized_weight_bytes() const {
+  return quantized_ ? quantized_->weight_bytes() : 0;
 }
 
 void SequenceModel::save(std::ostream& os) const {
@@ -341,6 +394,16 @@ void SequenceModel::save(std::ostream& os) const {
   write_u64(os, config_.use_dt_feature ? 1 : 0);
   auto* self = const_cast<SequenceModel*>(this);
   for (Param* p : self->params()) write_matrix(os, p->value);
+  // Trailing quantized sidecar: the calibration (scales, packed panels,
+  // column sums) is persisted byte for byte so a loaded quantized model
+  // scores identically to the one that was saved.
+  write_u64(os, quantized_ ? 1 : 0);
+  if (quantized_) {
+    for (const QuantizedMatrix& m : quantized_->lstm) {
+      write_quant_matrix(os, m);
+    }
+    write_quant_matrix(os, quantized_->output);
+  }
 }
 
 SequenceModel SequenceModel::load(std::istream& is) {
@@ -360,6 +423,20 @@ SequenceModel SequenceModel::load(std::istream& is) {
     NFV_CHECK(m.rows() == p->value.rows() && m.cols() == p->value.cols(),
               "saved tensor shape mismatch for " << p->name);
     p->value = std::move(m);
+  }
+  if (read_u64(is) != 0) {
+    QuantizedWeights qw;
+    qw.lstm.resize(config.layers);
+    for (std::size_t l = 0; l < config.layers; ++l) {
+      qw.lstm[l] = read_quant_matrix(is);
+      NFV_CHECK(qw.lstm[l].rows == 4 * config.hidden,
+                "saved quantized LSTM layer shape mismatch");
+    }
+    qw.output = read_quant_matrix(is);
+    NFV_CHECK(qw.output.rows == config.vocab &&
+                  qw.output.cols == config.hidden,
+              "saved quantized output head shape mismatch");
+    model.quantized_ = std::move(qw);
   }
   return model;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -121,8 +122,40 @@ class SequenceModel {
 
   /// Extend the template vocabulary (new embedding rows + output columns
   /// randomly initialized); existing weights are preserved. Needed when a
-  /// software update introduces previously unseen templates.
+  /// software update introduces previously unseen templates. Drops any
+  /// quantized sidecar (the output head changed shape).
   void grow_vocab(std::size_t new_vocab, nfv::util::Rng& rng);
+
+  /// Post-training int8 sidecar: the per-layer LSTM gate matrices and the
+  /// dense output head, quantized per output channel and pre-packed for
+  /// matmul_quant. The embedding is a gather (no GEMM) and the biases are
+  /// O(width) vectors, so both stay fp32. Calibrated once from the fp32
+  /// weights; the fp32 parameters remain the source of truth for
+  /// training/serialization.
+  struct QuantizedWeights {
+    std::vector<QuantizedMatrix> lstm;  // one per layer, (4H × (I+H))
+    QuantizedMatrix output;             // (vocab × hidden)
+    std::size_t weight_bytes() const;
+  };
+
+  /// (Re)calibrate the int8 sidecar from the current fp32 weights. Every
+  /// scoring entry point (predict, score_*, score_batched /
+  /// score_ranks_batched) then routes its GEMMs through matmul_quant, so
+  /// the serial references and the batched path stay mutually
+  /// bit-identical within quantized mode. Gate/cell math, softmax and the
+  /// embedding gather are unchanged fp32.
+  void quantize();
+  /// Drop the sidecar and return to fp32 scoring.
+  void clear_quantized() { quantized_.reset(); }
+  bool quantized() const { return quantized_.has_value(); }
+  const QuantizedWeights* quantized_weights() const {
+    return quantized_ ? &*quantized_ : nullptr;
+  }
+
+  /// Resident bytes of all fp32 trainable parameter values.
+  std::size_t fp32_weight_bytes() const;
+  /// Resident bytes of the int8 sidecar (0 when not quantized).
+  std::size_t quantized_weight_bytes() const;
 
   void save(std::ostream& os) const;
   static SequenceModel load(std::istream& is);
@@ -145,6 +178,11 @@ class SequenceModel {
   Embedding embedding_;
   std::vector<Lstm> lstm_layers_;
   Dense output_;
+
+  // int8 scoring sidecar; absent = fp32 scoring. Invalidated whenever the
+  // fp32 weights change (train_batch, grow_vocab) — callers re-quantize()
+  // after training if they want to keep scoring quantized.
+  std::optional<QuantizedWeights> quantized_;
 
   // Training-only scratch reused across train_batch calls (hoisted out of
   // the per-batch loop; copying a model simply copies the buffers).

@@ -37,4 +37,45 @@ Matrix read_matrix(std::istream& is) {
   return m;
 }
 
+void write_quant_matrix(std::ostream& os, const QuantizedMatrix& m) {
+  write_u64(os, kQuantMatrixMagic);
+  write_u64(os, m.rows);
+  write_u64(os, m.cols);
+  write_u64(os, m.cols_padded);
+  write_u64(os, m.data.size());
+  os.write(reinterpret_cast<const char*>(m.data.data()),
+           static_cast<std::streamsize>(m.data.size()));
+  os.write(reinterpret_cast<const char*>(m.scales.data()),
+           static_cast<std::streamsize>(m.scales.size() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(m.col_sums.data()),
+           static_cast<std::streamsize>(m.col_sums.size() *
+                                        sizeof(std::int32_t)));
+}
+
+QuantizedMatrix read_quant_matrix(std::istream& is) {
+  NFV_CHECK(read_u64(is) == kQuantMatrixMagic,
+            "corrupt checkpoint: bad quantized-matrix tag");
+  QuantizedMatrix m;
+  m.rows = read_u64(is);
+  m.cols = read_u64(is);
+  m.cols_padded = read_u64(is);
+  const std::uint64_t bytes = read_u64(is);
+  NFV_CHECK(m.cols_padded >= m.cols && m.cols_padded % 4 == 0 &&
+                bytes == m.rows * m.cols_padded,
+            "corrupt checkpoint: quantized-matrix shape mismatch");
+  m.data.resize(bytes);
+  is.read(reinterpret_cast<char*>(m.data.data()),
+          static_cast<std::streamsize>(bytes));
+  m.scales.resize(m.rows);
+  is.read(reinterpret_cast<char*>(m.scales.data()),
+          static_cast<std::streamsize>(m.scales.size() * sizeof(float)));
+  m.col_sums.resize(m.rows);
+  is.read(reinterpret_cast<char*>(m.col_sums.data()),
+          static_cast<std::streamsize>(m.col_sums.size() *
+                                       sizeof(std::int32_t)));
+  NFV_CHECK(is.good(),
+            "unexpected end of checkpoint stream in quantized-matrix body");
+  return m;
+}
+
 }  // namespace nfv::ml

@@ -12,11 +12,18 @@ namespace nfv::ml {
 inline constexpr std::uint64_t kSequenceModelMagic = 0x4e46565345514d31ULL;
 inline constexpr std::uint64_t kAutoencoderMagic = 0x4e4656414531ULL;
 inline constexpr std::uint64_t kMatrixMagic = 0x4e46564d5831ULL;
+inline constexpr std::uint64_t kQuantMatrixMagic = 0x4e465651384d31ULL;
 
 void write_u64(std::ostream& os, std::uint64_t value);
 std::uint64_t read_u64(std::istream& is);
 
 void write_matrix(std::ostream& os, const Matrix& m);
 Matrix read_matrix(std::istream& is);
+
+/// Quantized-matrix image: magic, shape, then the raw packed int8 panels,
+/// per-channel fp32 scales and int32 column sums byte for byte — a
+/// round-trip reproduces the calibration exactly (no re-quantization).
+void write_quant_matrix(std::ostream& os, const QuantizedMatrix& m);
+QuantizedMatrix read_quant_matrix(std::istream& is);
 
 }  // namespace nfv::ml

@@ -1,9 +1,17 @@
 // Finite-difference gradient checks for the manual-backprop layers. These
 // are the load-bearing tests of the ML substrate: if backprop is right,
 // training dynamics follow.
+//
+// Two granularities share this file: per-layer checks (Dense, Lstm, the
+// losses, one tiny end-to-end model) and the training-fast-path checks
+// (suite GradCheckTrainingPath) that use batches wide enough to engage
+// the packed backward kernels, the fused two-phase BPTT, and the
+// destination-sharded embedding scatter — checked piecewise so a
+// regression in one fused kernel names the layer (and gate) it broke.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "ml/dense.h"
@@ -29,6 +37,29 @@ void expect_close(double analytic, double numeric, const std::string& what,
   EXPECT_LT(std::abs(analytic - numeric) / scale, rel_tol)
       << what << ": analytic=" << analytic << " numeric=" << numeric;
 }
+
+/// Optimizer that records gradients without touching the weights — lets us
+/// extract analytic gradients from SequenceModel::train_batch.
+class CaptureOptimizer final : public Optimizer {
+ public:
+  void bind(std::vector<Param*> params) override {
+    params_ = std::move(params);
+  }
+  void step() override {
+    captured_.clear();
+    for (Param* p : params_) {
+      captured_.push_back(p->grad);
+      p->zero_grad();
+    }
+  }
+  void set_learning_rate(float) override {}
+  float learning_rate() const override { return 0.0f; }
+  const std::vector<Matrix>& captured() const { return captured_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Matrix> captured_;
+};
 
 Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
                      float scale = 1.0f) {
@@ -213,29 +244,6 @@ TEST(GradientCheck, MseGradient) {
   }
 }
 
-/// Optimizer that records gradients without touching the weights — lets us
-/// extract analytic gradients from SequenceModel::train_batch.
-class CaptureOptimizer final : public Optimizer {
- public:
-  void bind(std::vector<Param*> params) override {
-    params_ = std::move(params);
-  }
-  void step() override {
-    captured_.clear();
-    for (Param* p : params_) {
-      captured_.push_back(p->grad);
-      p->zero_grad();
-    }
-  }
-  void set_learning_rate(float) override {}
-  float learning_rate() const override { return 0.0f; }
-  const std::vector<Matrix>& captured() const { return captured_; }
-
- private:
-  std::vector<Param*> params_;
-  std::vector<Matrix> captured_;
-};
-
 TEST(GradientCheck, SequenceModelEndToEnd) {
   Rng rng(23);
   SequenceModelConfig config;
@@ -281,6 +289,168 @@ TEST(GradientCheck, SequenceModelEndToEnd) {
                    /*abs_floor=*/1e-3, /*rel_tol=*/0.08);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Training fast path: batches wide enough for the packed backward kernels.
+// The loss is a float-accumulated mean over 16 examples; central
+// differences of it carry ~1e-5 absolute noise, so these checks use the
+// wider floor/tolerance (1e-3 / 0.08) throughout.
+
+/// Model + batch fixture: sizes chosen so the concat width (embed+1+hidden)
+/// and the 4H gate axis are NOT multiples of 8 — the packed kernels' column
+/// and k tails are inside the checked region, not just the panel bodies.
+struct CheckRig {
+  SequenceModelConfig config;
+  Rng init_rng;
+  SequenceModel model;
+  std::vector<SeqExample> examples;
+  std::vector<const SeqExample*> batch;
+  CaptureOptimizer capture;
+  std::vector<Param*> params;
+  std::vector<Matrix> analytic;
+
+  static SequenceModelConfig make_config() {
+    SequenceModelConfig config;
+    config.vocab = 9;
+    config.embed_dim = 4;
+    config.hidden = 5;
+    config.layers = 2;
+    config.window = 4;
+    return config;
+  }
+
+  explicit CheckRig(std::uint64_t seed)
+      : config(make_config()), init_rng(seed), model(config, init_rng) {
+    Rng data_rng(seed + 1);
+    // 16 examples: enough rows for the packed (≥ 8-row) batch kernels.
+    examples.resize(16);
+    for (std::size_t e = 0; e < examples.size(); ++e) {
+      SeqExample& ex = examples[e];
+      ex.ids.resize(config.window);
+      ex.dts.resize(config.window);
+      for (std::size_t t = 0; t < config.window; ++t) {
+        ex.ids[t] = static_cast<std::int32_t>(
+            data_rng.uniform_index(config.vocab));
+        ex.dts[t] = static_cast<float>(data_rng.uniform(0.5, 300.0));
+      }
+      ex.target =
+          static_cast<std::int32_t>(data_rng.uniform_index(config.vocab));
+      batch.push_back(&ex);
+    }
+    capture.bind(model.params());
+    params = model.params();
+    // Huge clip norm: gradients must reach the capture step unscaled.
+    model.train_batch(batch, capture, 1e9);
+    analytic = capture.captured();
+  }
+
+  double loss() { return model.train_batch(batch, capture, 1e9); }
+
+  /// Central-difference check of params[pi] elements [begin, end) with the
+  /// given stride against the captured analytic gradients.
+  void check_range(std::size_t pi, std::size_t begin, std::size_t end,
+                   std::size_t stride, const std::string& what) {
+    Param* p = params[pi];
+    for (std::size_t i = begin; i < end; i += stride) {
+      const float original = p->value.data()[i];
+      p->value.data()[i] = original + kEps;
+      const double up = loss();
+      p->value.data()[i] = original - kEps;
+      const double down = loss();
+      p->value.data()[i] = original;
+      expect_close(analytic[pi].data()[i], (up - down) / (2 * kEps),
+                   what + " [" + std::to_string(i) + "]",
+                   /*abs_floor=*/1e-3, /*rel_tol=*/0.08);
+    }
+  }
+};
+
+// params() order: embedding table, then per LSTM layer (weight, bias),
+// then output dense (weight, bias).
+constexpr std::size_t kEmbedIdx = 0;
+constexpr std::size_t kLstm0WeightIdx = 1;
+constexpr std::size_t kLstm0BiasIdx = 2;
+constexpr std::size_t kLstm1WeightIdx = 3;
+constexpr std::size_t kLstm1BiasIdx = 4;
+constexpr std::size_t kOutWeightIdx = 5;
+constexpr std::size_t kOutBiasIdx = 6;
+
+TEST(GradCheckTrainingPath, EmbeddingTable) {
+  CheckRig rig(31);
+  // The sharded scatter accumulates per destination row; check every
+  // element of every row so a row-bucketing bug cannot hide.
+  rig.check_range(kEmbedIdx, 0, rig.params[kEmbedIdx]->value.size(), 1,
+                  "embedding table grad");
+}
+
+TEST(GradCheckTrainingPath, LstmGateBlocksBothLayers) {
+  CheckRig rig(37);
+  const std::size_t h = rig.config.hidden;
+  const char* gate_names[] = {"input", "forget", "cell", "output"};
+  const struct {
+    std::size_t weight_idx;
+    std::size_t bias_idx;
+    const char* layer;
+  } layers[] = {{kLstm0WeightIdx, kLstm0BiasIdx, "lstm0"},
+                {kLstm1WeightIdx, kLstm1BiasIdx, "lstm1"}};
+  for (const auto& layer : layers) {
+    const std::size_t w_cols = rig.params[layer.weight_idx]->value.cols();
+    for (std::size_t gate = 0; gate < 4; ++gate) {
+      // The weight rows [gate*H, (gate+1)*H) feed this gate's
+      // pre-activations; a per-gate slice isolates the fused backward's
+      // four derivative chains from one another.
+      const std::size_t row_begin = gate * h * w_cols;
+      const std::size_t row_end = (gate + 1) * h * w_cols;
+      rig.check_range(layer.weight_idx, row_begin, row_end, 3,
+                      std::string(layer.layer) + "." + gate_names[gate] +
+                          " weight grad");
+      rig.check_range(layer.bias_idx, gate * h, (gate + 1) * h, 1,
+                      std::string(layer.layer) + "." + gate_names[gate] +
+                          " bias grad");
+    }
+  }
+}
+
+TEST(GradCheckTrainingPath, OutputDenseHead) {
+  CheckRig rig(41);
+  rig.check_range(kOutWeightIdx, 0, rig.params[kOutWeightIdx]->value.size(),
+                  2, "output weight grad");
+  rig.check_range(kOutBiasIdx, 0, rig.params[kOutBiasIdx]->value.size(), 1,
+                  "output bias grad");
+}
+
+TEST(GradCheckTrainingPath, AdamRebindPreservesMoments) {
+  Rng rng(43);
+  SequenceModelConfig config = CheckRig::make_config();
+  SequenceModel model(config, rng);
+  Adam adam(1e-2f);
+  adam.bind(model.params());
+
+  CheckRig rig(47);
+  // A few real steps to build nonzero moment state.
+  for (int i = 0; i < 3; ++i) model.train_batch(rig.batch, adam);
+  const Matrix before = model.params()[kEmbedIdx]->value;
+
+  // Moving the model relocates every Param; rebind must re-point the
+  // optimizer without resetting the moments, and a grow_vocab reshape must
+  // keep the surviving block.
+  SequenceModel moved = std::move(model);
+  Rng grow_rng(49);
+  moved.grow_vocab(config.vocab + 3, grow_rng);
+  adam.rebind(moved.params());
+  const double loss = moved.train_batch(rig.batch, adam);
+  EXPECT_TRUE(std::isfinite(loss));
+  // The step actually updated the moved model's (grown) parameters.
+  const Matrix& after = moved.params()[kEmbedIdx]->value;
+  ASSERT_EQ(after.rows(), before.rows() + 3);
+  bool changed = false;
+  for (std::size_t r = 0; r < before.rows() && !changed; ++r) {
+    for (std::size_t c = 0; c < before.cols() && !changed; ++c) {
+      changed = after.at(r, c) != before.at(r, c);
+    }
+  }
+  EXPECT_TRUE(changed);
 }
 
 }  // namespace

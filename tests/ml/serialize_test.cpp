@@ -65,5 +65,68 @@ TEST(Serialize, EmptyMatrixRoundTrip) {
   EXPECT_EQ(restored.cols(), 5u);
 }
 
+/// A small packed image with tail channels (5 % 8 != 0) and a padded k
+/// dimension (7 -> 8), so the round trip covers the panel layout's edge
+/// cases, not just the dense interior.
+QuantizedMatrix sample_quant_matrix() {
+  Matrix m(5, 7);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(i % 11) * 0.3f - 1.2f;
+  }
+  QuantizedMatrix q;
+  quantize_pack_b(m, q);
+  return q;
+}
+
+TEST(Serialize, QuantMatrixRoundTripIsByteExact) {
+  const QuantizedMatrix q = sample_quant_matrix();
+  std::stringstream stream;
+  write_quant_matrix(stream, q);
+  const QuantizedMatrix restored = read_quant_matrix(stream);
+  EXPECT_EQ(restored.rows, q.rows);
+  EXPECT_EQ(restored.cols, q.cols);
+  EXPECT_EQ(restored.cols_padded, q.cols_padded);
+  // The calibration must survive exactly: codes, scales and column sums
+  // are compared element-wise, not "close enough" — a loaded model scores
+  // bit-identically to the one that was saved.
+  EXPECT_EQ(restored.data, q.data);
+  EXPECT_EQ(restored.col_sums, q.col_sums);
+  ASSERT_EQ(restored.scales.size(), q.scales.size());
+  for (std::size_t c = 0; c < q.scales.size(); ++c) {
+    EXPECT_EQ(restored.scales[c], q.scales[c]) << "channel " << c;
+  }
+}
+
+TEST(Serialize, QuantMatrixBadMagicThrows) {
+  std::stringstream stream;
+  write_u64(stream, kMatrixMagic);  // a valid magic, but the wrong one
+  write_u64(stream, 1);
+  write_u64(stream, 1);
+  write_u64(stream, 4);
+  EXPECT_THROW(read_quant_matrix(stream), nfv::util::CheckError);
+}
+
+TEST(Serialize, QuantMatrixTruncatedBodyThrows) {
+  const QuantizedMatrix q = sample_quant_matrix();
+  std::stringstream stream;
+  write_quant_matrix(stream, q);
+  std::string data = stream.str();
+  data.resize(data.size() - 4);  // chop the last column sum
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_quant_matrix(truncated), nfv::util::CheckError);
+}
+
+TEST(Serialize, QuantMatrixRejectsInconsistentShape) {
+  // cols_padded smaller than cols (or not a multiple of 4) means the
+  // panel image cannot be valid; the reader must refuse rather than
+  // index out of bounds later.
+  std::stringstream stream;
+  write_u64(stream, kQuantMatrixMagic);
+  write_u64(stream, 2);  // rows
+  write_u64(stream, 8);  // cols
+  write_u64(stream, 4);  // cols_padded < cols
+  EXPECT_THROW(read_quant_matrix(stream), nfv::util::CheckError);
+}
+
 }  // namespace
 }  // namespace nfv::ml

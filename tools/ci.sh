@@ -7,7 +7,9 @@
 # streaming, the async-ingest determinism/backpressure/control-plane
 # suite, and the batched-inference batch-size/thread-count invariance
 # suite). The async-ingest smoke also gates the instrumentation overhead
-# at <=2% lines/sec.
+# at <=2% lines/sec. The quantized-scoring leg runs the quant-labelled
+# tests, the bench_scoring_throughput --smoke rank-agreement /
+# tier-bit-identity gates, and an ASan build of the int8 kernels.
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -35,11 +37,17 @@ echo "=== template mining: fast-path equivalence smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_parsing_throughput
 "$ROOT/build/bench/bench_parsing_throughput" --smoke
 
-echo "=== ASan: logproc fast path (interner, AVX2 tokenizer, alloc hook) ==="
+echo "=== quantized scoring: kernel/lifecycle tests + rank-agreement smoke ==="
+ctest --test-dir "$ROOT/build" -L quant --output-on-failure -j "$JOBS"
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_scoring_throughput
+"$ROOT/build/bench/bench_scoring_throughput" --smoke
+
+echo "=== ASan: logproc fast path (interner, AVX2 tokenizer, alloc hook) + int8 kernels ==="
 cmake -B "$ROOT/build-asan" -S "$ROOT" -DNFVPRED_SANITIZE=address
-cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_logproc --target test_logproc_alloc
+cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_logproc --target test_logproc_alloc --target test_quant
 "$ROOT/build-asan/tests/test_logproc"
 "$ROOT/build-asan/tests/test_logproc_alloc"
+"$ROOT/build-asan/tests/test_quant"
 
 echo "=== TSan: concurrency + observability labels ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread

@@ -113,6 +113,10 @@ void usage() {
       "  --score-batch N  max windows per fused inference batch\n"
       "                (train/score; default 1024, min 1; scores are\n"
       "                 identical for any batch size)\n"
+      "  --quantize 1  int8 quantized scoring (train: calibrate the int8\n"
+      "                sidecar after training and store it in the\n"
+      "                checkpoint; score: calibrate after load). Training\n"
+      "                stays fp32; see README \"Quantized scoring\"\n"
       "log file format: '<epoch-seconds> <syslog message>' per line\n";
 }
 
@@ -219,6 +223,7 @@ int cmd_train(const Args& args) {
       static_cast<std::size_t>(args.get_long("epochs", 4));
   config.persistent_optimizer =
       args.get_long("persistent-optimizer", 0) != 0;
+  config.quantize = args.get_long("quantize", 0) != 0;
   const long score_batch = args.get_long("score-batch", 0);
   if (score_batch < 0) {
     std::cerr << "error: --score-batch must be positive\n";
@@ -251,6 +256,11 @@ int cmd_score(const Args& args) {
     return 2;
   }
   core::LstmDetector detector = core::LstmDetector::load(model_in);
+  if (args.get_long("quantize", 0) != 0) {
+    // Calibrate the int8 sidecar from the loaded fp32 weights (a no-op if
+    // the checkpoint already carried one).
+    detector.set_quantized(true);
+  }
   const long score_batch = args.get_long("score-batch", 0);
   if (score_batch < 0) {
     std::cerr << "error: --score-batch must be positive\n";
