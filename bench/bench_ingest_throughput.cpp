@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -40,7 +41,9 @@ namespace {
 
 using namespace nfv;
 
-constexpr std::size_t kShards = 8;
+// vPE (shard) count; overridable with --vpes N so JSON rows are
+// comparable with BENCH_soak.json at matching fleet sizes.
+std::size_t g_vpes = 8;
 constexpr std::size_t kLinesPerShard = 400;
 constexpr std::size_t kVocab = 32;
 constexpr std::size_t kWindow = 4;
@@ -90,8 +93,8 @@ const Fixture& fixture() {
     }
     const core::LogView view{train};
     fx.detector.fit({&view, 1}, kVocab);
-    fx.streams.reserve(kShards);
-    for (std::size_t s = 0; s < kShards; ++s) {
+    fx.streams.reserve(g_vpes);
+    for (std::size_t s = 0; s < g_vpes; ++s) {
       fx.streams.push_back(shard_logs(s));
       fx.total_lines += fx.streams.back().size();
     }
@@ -110,11 +113,11 @@ core::StreamMonitorConfig monitor_config() {
 /// Immediate per-line reference: one monitor per vPE, lines interleaved
 /// across vPEs in arrival order. Returns per-vPE warning streams.
 std::vector<std::vector<core::StreamWarning>> run_serial(const Fixture& f) {
-  std::vector<std::vector<core::StreamWarning>> warnings(kShards);
-  std::vector<logproc::SignatureTree> trees(kShards);
+  std::vector<std::vector<core::StreamWarning>> warnings(g_vpes);
+  std::vector<logproc::SignatureTree> trees(g_vpes);
   std::vector<core::StreamMonitor> monitors;
-  monitors.reserve(kShards);
-  for (std::size_t s = 0; s < kShards; ++s) {
+  monitors.reserve(g_vpes);
+  for (std::size_t s = 0; s < g_vpes; ++s) {
     monitors.emplace_back(static_cast<std::int32_t>(s), &f.detector,
                           &trees[s], monitor_config(),
                           [&warnings, s](const core::StreamWarning& warning) {
@@ -122,7 +125,7 @@ std::vector<std::vector<core::StreamWarning>> run_serial(const Fixture& f) {
                           });
   }
   for (std::size_t i = 0; i < kLinesPerShard; ++i) {
-    for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t s = 0; s < g_vpes; ++s) {
       monitors[s].ingest_parsed(f.streams[s][i]);
     }
   }
@@ -141,12 +144,12 @@ std::vector<core::StreamWarning> run_async(const Fixture& f,
   config.single_producer = true;
   config.instrument = instrument;
   core::AsyncIngest ingest(&f.detector, config);
-  for (std::size_t s = 0; s < kShards; ++s) {
+  for (std::size_t s = 0; s < g_vpes; ++s) {
     ingest.add_shard(static_cast<std::int32_t>(s), monitor_config());
   }
   ingest.start();
   for (std::size_t i = 0; i < kLinesPerShard; ++i) {
-    for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t s = 0; s < g_vpes; ++s) {
       ingest.submit_parsed(s, f.streams[s][i]);
     }
   }
@@ -318,7 +321,8 @@ int run_json_mode(const std::string& path) {
   nfv::util::JsonWriter w;
   w.begin_object();
   w.kv("bench", "ingest_throughput");
-  w.kv("shards", kShards);
+  w.kv("vpes", g_vpes);
+  w.kv("shards", g_vpes);
   w.kv("lines_per_shard", kLinesPerShard);
   w.kv("total_lines", f.total_lines);
   w.kv("window", kWindow);
@@ -350,6 +354,19 @@ int run_json_mode(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --vpes must be parsed before any mode runs (the fixture is built once,
+  // sized by g_vpes, on first use).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--vpes") == 0 && i + 1 < argc) {
+      g_vpes = static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--vpes=", 7) == 0) {
+      g_vpes = static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    }
+  }
+  if (g_vpes == 0) {
+    std::cerr << "--vpes must be >= 1\n";
+    return 1;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       return run_smoke();
@@ -361,8 +378,22 @@ int main(int argc, char** argv) {
       return run_json_mode(argv[i] + 7);
     }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Strip the already-consumed --vpes flags so the benchmark harness does
+  // not reject them as unrecognized.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--vpes") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--vpes=", 7) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

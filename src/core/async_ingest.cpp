@@ -43,6 +43,9 @@ AsyncIngest::AsyncIngest(const AnomalyDetector* detector,
   NFV_CHECK(detector != nullptr, "AsyncIngest requires a detector");
   NFV_CHECK(config_.flush_batch >= 1, "flush_batch must be >= 1");
   NFV_CHECK(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
+  if (config_.share_token_arena) {
+    token_arena_ = std::make_unique<nfv::util::SharedInterner>();
+  }
 }
 
 AsyncIngest::~AsyncIngest() {
@@ -55,7 +58,8 @@ std::size_t AsyncIngest::add_shard(std::int32_t vpe,
   auto shard = std::make_unique<Shard>();
   shard->vpe = vpe;
   shard->index = shards_.size();
-  shard->tree = std::make_unique<logproc::SignatureTree>();
+  shard->tree = std::make_unique<logproc::SignatureTree>(
+      logproc::SignatureTreeConfig{}, token_arena_.get());
   Shard* raw = shard.get();
   shard->monitor = std::make_unique<StreamMonitor>(
       vpe, detector_.load(std::memory_order_relaxed), shard->tree.get(),
@@ -353,6 +357,7 @@ RuntimeStatsSnapshot AsyncIngest::snapshot() const {
     sh.lines = shard.pub_lines.load(std::memory_order_relaxed);
     sh.warnings = shard.pub_warnings.load(std::memory_order_relaxed);
     sh.held = shard.pub_held.load(std::memory_order_relaxed);
+    sh.tree_bytes = shard.pub_tree_bytes.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
       sh.latency.buckets[i] =
           shard.pub_latency[i].load(std::memory_order_relaxed);
@@ -386,13 +391,38 @@ RuntimeStatsSnapshot AsyncIngest::snapshot() const {
     ws.queue.stalls = worker.queue->stall_count();
   }
   if (workers_.empty()) {
-    // Before start(): no writers exist, the slots are all zero.
-    for (std::size_t s = 0; s < shards_.size(); ++s) read_shard_slots(s);
+    // Before start(): no writers exist, the slots are all zero — except
+    // tree bytes, which can be read directly (no worker owns the tree
+    // yet) so pre-seeded templates show up in the memory cut.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      read_shard_slots(s);
+      snap.shards[s].tree_bytes = shards_[s]->tree->memory_bytes();
+    }
   }
 
   snap.warning_queue.depth = warning_queue_.depth();
   snap.warning_queue.capacity = warning_queue_.capacity();
   snap.warning_queue.stalls = warning_queue_.stall_count();
+
+  // Fleet memory cut: the arena is read directly (its byte counters are
+  // atomics), per-shard tree bytes come from the seqlock-published slots
+  // above — so the aggregate is consistent with the per-shard rows.
+  FleetMemoryStats& mem = snap.memory;
+  mem.shards = shards_.size();
+  mem.shared_arena = token_arena_ != nullptr;
+  if (token_arena_ != nullptr) {
+    mem.arena_bytes = token_arena_->bytes();
+    mem.arena_tokens = token_arena_->size();
+  }
+  for (const ShardStatsSnapshot& sh : snap.shards) {
+    mem.tree_bytes_total += sh.tree_bytes;
+    mem.tree_bytes_max = std::max(mem.tree_bytes_max, sh.tree_bytes);
+  }
+  if (mem.shards != 0) {
+    mem.bytes_per_vpe =
+        static_cast<double>(mem.arena_bytes + mem.tree_bytes_total) /
+        static_cast<double>(mem.shards);
+  }
   return snap;
 }
 
@@ -466,6 +496,8 @@ void AsyncIngest::worker_loop(std::size_t index) {
       ls.shard->pub_warnings.store(ls.shard->monitor->warnings_raised(),
                                    std::memory_order_relaxed);
       ls.shard->pub_held.store(ls.hold.size(), std::memory_order_relaxed);
+      ls.shard->pub_tree_bytes.store(ls.shard->tree->memory_bytes(),
+                                     std::memory_order_relaxed);
       if (ls.latency_dirty && publish_latency) {
         const auto& buckets = ls.latency.buckets();
         for (std::size_t i = 0; i < buckets.size(); ++i) {

@@ -92,6 +92,7 @@
 #include "core/runtime_stats.h"
 #include "core/streaming.h"
 #include "logproc/signature_tree.h"
+#include "util/interner.h"
 #include "util/mpsc_queue.h"
 #include "util/spsc_queue.h"
 #include "util/thread_pool.h"
@@ -123,6 +124,15 @@ struct AsyncIngestConfig {
   /// plane stay on regardless; bench_ingest_throughput gates the
   /// instrumented/uninstrumented gap at <= 2% lines/sec.
   bool instrument = true;
+  /// All shards of this runtime share one read-mostly token arena
+  /// (util::SharedInterner): the heavily overlapping fleet token set is
+  /// stored once instead of per vPE, and shared-range token ids are
+  /// identical across every shard's tree. Warning streams are unaffected
+  /// (template mining depends on token text, never numeric ids — pinned
+  /// by the miner-equivalence and async determinism tests). Disable for
+  /// the fully-private pre-arena layout (the bytes/vPE baseline in
+  /// bench_fleet_soak).
+  bool share_token_arena = true;
 };
 
 struct AsyncIngestStats {
@@ -219,6 +229,12 @@ class AsyncIngest {
   /// Mutable access for pre-seeding templates (canonical id priming)
   /// before start() — or while quiesced, under the same rule as above.
   logproc::SignatureTree& mutable_tree(std::size_t shard);
+  /// The fleet-wide token arena every shard tree resolves against, or
+  /// nullptr when share_token_arena is off. Safe to read from any thread
+  /// (lock-free reader contract in util/interner.h).
+  const nfv::util::SharedInterner* token_arena() const {
+    return token_arena_.get();
+  }
   AsyncIngestStats stats() const;
 
  private:
@@ -263,6 +279,7 @@ class AsyncIngest {
     std::atomic<std::uint64_t> pub_lines{0};
     std::atomic<std::uint64_t> pub_warnings{0};
     std::atomic<std::uint64_t> pub_held{0};
+    std::atomic<std::uint64_t> pub_tree_bytes{0};
     std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets>
         pub_latency{};
   };
@@ -299,6 +316,10 @@ class AsyncIngest {
 
   std::atomic<const AnomalyDetector*> detector_;
   AsyncIngestConfig config_;
+  // Fleet-wide token arena (share_token_arena); created before any shard
+  // tree and destroyed after them (member order), satisfying the arena-
+  // outlives-trees contract.
+  std::unique_ptr<nfv::util::SharedInterner> token_arena_;
   std::size_t worker_count_ = 0;
   bool started_ = false;
   bool stopped_ = false;

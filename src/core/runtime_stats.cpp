@@ -132,6 +132,7 @@ std::string to_json(const RuntimeStatsSnapshot& snapshot) {
     w.kv("lines", shard.lines);
     w.kv("warnings", shard.warnings);
     w.kv("held", shard.held);
+    w.kv("tree_bytes", shard.tree_bytes);
     w.key("model").begin_object();
     w.kv("weight_bytes_fp32", shard.model_bytes_fp32);
     w.kv("weight_bytes_quantized", shard.model_bytes_quantized);
@@ -145,6 +146,16 @@ std::string to_json(const RuntimeStatsSnapshot& snapshot) {
 
   w.key("warning_queue");
   write_queue(w, snapshot.warning_queue);
+
+  w.key("memory").begin_object();
+  w.kv("shared_arena", snapshot.memory.shared_arena);
+  w.kv("arena_bytes", snapshot.memory.arena_bytes);
+  w.kv("arena_tokens", snapshot.memory.arena_tokens);
+  w.kv("tree_bytes_total", snapshot.memory.tree_bytes_total);
+  w.kv("tree_bytes_max", snapshot.memory.tree_bytes_max);
+  w.kv("shards", snapshot.memory.shards);
+  w.kv("bytes_per_vpe", snapshot.memory.bytes_per_vpe);
+  w.end_object();
 
   w.key("latency");
   write_histogram(w, snapshot.merged_latency());

@@ -101,6 +101,10 @@ struct ShardStatsSnapshot {
   std::uint64_t lines = 0;     // lines ingested (incl. window warm-up)
   std::uint64_t warnings = 0;  // warning signatures raised
   std::uint64_t held = 0;      // lines parked in the pause hold buffer
+  // Resident bytes of this shard's PER-VPE mining state (private interner
+  // tier + signatures + leaf table + scratch; the shared token arena is
+  // reported once, fleet-wide, in FleetMemoryStats).
+  std::uint64_t tree_bytes = 0;
   HistogramSnapshot latency;   // ingest -> scored/warning-published (ns)
   // Resident model memory of the detector scoring this shard (bytes/vPE
   // for the fleet-soak read; every shard of one AsyncIngest shares the
@@ -119,6 +123,22 @@ struct RuntimeTotals {
   std::uint64_t rejected_submits = 0;
 };
 
+/// Fleet-level memory aggregates over the token side of the runtime: the
+/// shared arena (counted ONCE, however many vPEs resolve against it) plus
+/// the sum/max of per-shard tree bytes. bytes_per_vpe is the soak bench's
+/// headline figure: (arena + sum of tree bytes) / shards — model weights
+/// are reported separately in the per-shard ModelMemoryStats block (also
+/// shared fleet-wide, so adding them here would double-count per vPE).
+struct FleetMemoryStats {
+  bool shared_arena = false;       // share_token_arena was on
+  std::uint64_t arena_bytes = 0;   // 0 when shared_arena is false
+  std::uint64_t arena_tokens = 0;
+  std::uint64_t tree_bytes_total = 0;  // sum over shards
+  std::uint64_t tree_bytes_max = 0;    // worst shard
+  std::uint64_t shards = 0;
+  double bytes_per_vpe = 0.0;
+};
+
 /// Everything the control plane reports in one epoch-consistent read:
 /// per-worker cuts are each consistent at that worker's latest published
 /// micro-batch boundary (seqlock-verified), queue gauges are sampled.
@@ -127,6 +147,7 @@ struct RuntimeStatsSnapshot {
   std::vector<WorkerStatsSnapshot> workers;
   std::vector<ShardStatsSnapshot> shards;
   QueueStatsSnapshot warning_queue;
+  FleetMemoryStats memory;
 
   /// Fleet-wide latency view: all shards' histograms merged.
   HistogramSnapshot merged_latency() const;

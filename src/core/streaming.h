@@ -54,7 +54,11 @@ struct StreamMonitorConfig {
 /// set_detector(): swap models between ingest batches, exactly like the
 /// monthly-update cadence of the batch pipeline. The signature tree is
 /// mutated by ingest() (online template mining) and therefore must be
-/// per-monitor, or ingestion must go through ingest_parsed(). Enforced by
+/// per-monitor, or ingestion must go through ingest_parsed(). Per-monitor
+/// trees MAY all be attached to one fleet-wide util::SharedInterner:
+/// monitors on different threads then read the arena lock-free while any
+/// of them admits new tokens (see the contract in util/interner.h);
+/// nothing else about the per-monitor tree contract changes. Enforced by
 /// tests/core/streaming_concurrency_test.cpp under TSan.
 class StreamMonitor {
  public:

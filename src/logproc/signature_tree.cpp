@@ -24,10 +24,15 @@ std::size_t SignatureTree::LeafKeyHash::operator()(std::uint64_t key) const {
   return static_cast<std::size_t>(key);
 }
 
-SignatureTree::SignatureTree(SignatureTreeConfig config) : config_(config) {
+SignatureTree::SignatureTree(SignatureTreeConfig config,
+                             nfv::util::SharedInterner* shared_tokens)
+    : config_(config), interner_(shared_tokens) {
   NFV_CHECK(config.merge_threshold > 0.0 && config.merge_threshold <= 1.0,
             "merge_threshold must be in (0, 1]");
   NFV_CHECK(config.max_signatures > 0, "max_signatures must be positive");
+  // In shared mode these resolve against the arena (which pre-interns
+  // them); privately they are the first two admissions. Either way the
+  // reserved ids hold.
   const std::uint32_t wildcard = interner_.intern(kWildcard);
   NFV_CHECK(wildcard == kWildcardTokenId, "wildcard must intern to id 0");
   const std::uint32_t empty = interner_.intern("<empty>");
@@ -46,13 +51,34 @@ std::string SignatureTree::pattern(std::int32_t id) const {
   return out;
 }
 
+std::size_t SignatureTree::memory_bytes() const {
+  // O(1) estimate from capacities and running totals; close enough for
+  // the bytes/vPE fleet accounting (it tracks the dominant vectors and
+  // tables, not allocator slack).
+  const std::size_t signature_bytes =
+      signatures_.capacity() * sizeof(Signature) +
+      signature_token_count_ * sizeof(std::uint32_t);
+  const std::size_t leaf_bytes =
+      leaves_.bucket_count() * (sizeof(void*) + sizeof(std::uint64_t)) +
+      leaves_.size() * (sizeof(std::uint64_t) + sizeof(Leaf) + 2 * sizeof(void*)) +
+      signatures_.size() * sizeof(std::int32_t);
+  const std::size_t scratch_bytes =
+      spans_.capacity() * sizeof(std::string_view) + variable_.capacity() +
+      line_ids_.capacity() * sizeof(std::uint32_t);
+  return interner_.private_bytes() + signature_bytes + leaf_bytes +
+         scratch_bytes;
+}
+
 std::uint32_t SignatureTree::head_id() const {
   // Masked-head equivalence classes of the reference miner's (count, head
   // string) key: a variable first token shares the wildcard bucket, an
   // empty line heads its own "<empty>" bucket.
+  head_hash_valid_ = false;
   if (spans_.empty()) return kEmptyTokenId;
   if (variable_[0]) return kWildcardTokenId;
-  return interner_.find(spans_[0]);
+  head_hash_ = nfv::util::StringInterner::hash_bytes(spans_[0]);
+  head_hash_valid_ = true;
+  return interner_.find_hashed(spans_[0], head_hash_);
 }
 
 double SignatureTree::similarity_to_line(const Signature& sig) const {
@@ -84,7 +110,7 @@ double SignatureTree::similarity_to_line(const Signature& sig) const {
 
 SignatureTree::BestMatch SignatureTree::find_best(std::uint32_t head) const {
   BestMatch best;
-  if (head == util::StringInterner::kNotFound) return best;
+  if (head == nfv::util::StringInterner::kNotFound) return best;
   const std::uint64_t key =
       (static_cast<std::uint64_t>(line_token_count()) << 32) | head;
   const auto it = leaves_.find(key);
@@ -139,11 +165,24 @@ std::int32_t SignatureTree::learn(std::string_view line) {
   // is soft: a genuinely new line shape still gets a template, since losing
   // events entirely would corrupt the sequence model's input stream.
   // Only here — template discovery, not the steady state — are the line's
-  // stable tokens interned and its id sequence materialized.
+  // stable tokens interned and its id sequence materialized. The head's
+  // probe from head_id() is reused (found id directly, or its cached hash
+  // on the intern) so no token is probed twice for one line — under
+  // max_signatures cap pressure, where novel shapes keep arriving, the
+  // one-probe-per-line budget holds.
   line_ids_.clear();
   for (std::size_t i = 0; i < spans_.size(); ++i) {
-    line_ids_.push_back(variable_[i] != 0 ? kWildcardTokenId
-                                          : interner_.intern(spans_[i]));
+    std::uint32_t id;
+    if (variable_[i] != 0) {
+      id = kWildcardTokenId;
+    } else if (i == 0 && head != nfv::util::StringInterner::kNotFound) {
+      id = head;  // head_id() already resolved it
+    } else if (i == 0 && head_hash_valid_) {
+      id = interner_.intern_hashed(spans_[0], head_hash_);
+    } else {
+      id = interner_.intern(spans_[i]);
+    }
+    line_ids_.push_back(id);
   }
   if (line_ids_.empty()) line_ids_.push_back(kEmptyTokenId);
 
@@ -151,6 +190,7 @@ std::int32_t SignatureTree::learn(std::string_view line) {
   sig.id = static_cast<std::int32_t>(signatures_.size());
   sig.tokens = line_ids_;
   sig.match_count = 1;
+  signature_token_count_ += line_ids_.size();
   const std::uint64_t key =
       (static_cast<std::uint64_t>(line_ids_.size()) << 32) |
       line_ids_.front();

@@ -9,27 +9,48 @@
 // merged messages become wildcards.
 //
 // Fast-path representation (zero allocation in steady state): every stable
-// token of a SIGNATURE is interned once into a per-tree
-// util::StringInterner, and a Signature stores u32 token ids
-// (kWildcardTokenId matches anything). The per-line front end — one-pass
-// span tokenization, a single head-token interner probe, and a
-// (token count, head id) leaf lookup — never materializes a std::string,
-// and candidate scoring compares each signature token's interned text
-// against the line's spans in place, so a warm line touches the interner
-// exactly once (its head); line token ids are only built (and new tokens
-// interned) when a genuinely new signature is created.
+// token of a SIGNATURE is interned once and thereafter a Signature stores
+// u32 token ids (kWildcardTokenId matches anything). The per-line front
+// end — one-pass span tokenization, a single head-token interner probe,
+// and a (token count, head id) leaf lookup — never materializes a
+// std::string, and candidate scoring compares each signature token's
+// interned text against the line's spans in place, so a warm line touches
+// the interner exactly once (its head). The head probe's result AND hash
+// are cached across the learn() call, so even the template-discovery path
+// never probes the same token twice in one line (one probe per line holds
+// under max_signatures cap pressure — pinned by signature_tree_test).
+// Line token ids are only built (and new tokens interned) when a genuinely
+// new signature is created.
 // Mined template ids are bit-identical to ReferenceSignatureTree (the seed
 // implementation); tests/logproc/miner_equivalence_test.cpp and
 // bench_parsing_throughput --smoke replay full fleet traces through both.
 //
-// Thread-safety / ownership: a SignatureTree owns its interner and its
-// tokenization scratch outright, and BOTH learn() and match() use that
-// scratch — a tree instance is strictly single-threaded, even for
-// read-only matching. StreamMonitor therefore keeps one tree per monitor
-// (per vPE), exactly as the streaming contract already required; sharing
-// one tree across threads is only sound when every access is externally
-// serialized. Copying a tree deep-copies the interner, so copies are
-// fully independent.
+// Token storage is a two-level util::ScopedInterner. By default it is a
+// plain private interner (bit-compatible with the pre-arena behavior). A
+// tree constructed over a util::SharedInterner instead resolves the
+// fleet-wide read-mostly arena first and spills rare per-vPE tokens into
+// a private overflow id range: fleet memory for the overlapping token set
+// becomes O(vocabulary) instead of O(vPEs x vocabulary), and shared-range
+// token ids are identical across every tree on the arena ("id-stable
+// across vPEs" — the substrate for fleet-wide template correlation).
+// Template ids, patterns and match_counts are UNAFFECTED by the arena
+// choice: leaf keying and candidate scoring depend only on token identity
+// (text), never on numeric token ids, so shared-arena trees mine byte-
+// identical templates to private-arena trees (also pinned by
+// miner_equivalence_test).
+//
+// Thread-safety / ownership: a SignatureTree owns its (private) interner
+// tier and its tokenization scratch outright, and BOTH learn() and
+// match() use that scratch — a tree instance is strictly single-threaded,
+// even for read-only matching. StreamMonitor therefore keeps one tree per
+// monitor (per vPE), exactly as the streaming contract already required;
+// sharing one tree across threads is only sound when every access is
+// externally serialized. The SHARED arena is the one cross-thread piece:
+// many trees on many threads may read it lock-free while any of them
+// admits new tokens (a small mutex on the cold miss path) — see the
+// concurrency contract in util/interner.h. Copying a tree deep-copies its
+// private tier and scratch; the shared arena is referenced, not copied,
+// so copies stay id-compatible with the originals.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +68,7 @@ inline constexpr std::uint32_t kWildcardTokenId = 0;
 
 /// A learned message template over interned token ids. Positions equal to
 /// kWildcardTokenId match anything. Token text is owned by the tree's
-/// interner: render with SignatureTree::pattern()/token_text().
+/// interner view: render with SignatureTree::pattern()/token_text().
 struct Signature {
   std::int32_t id = -1;
   std::vector<std::uint32_t> tokens;
@@ -74,23 +95,28 @@ struct SignatureTreeConfig {
 /// vocabulary.
 class SignatureTree {
  public:
-  explicit SignatureTree(SignatureTreeConfig config = {});
+  /// `shared_tokens` attaches the tree to a fleet-wide token arena (may
+  /// be null for a fully private tree). The arena must out-live the tree.
+  explicit SignatureTree(SignatureTreeConfig config = {},
+                         nfv::util::SharedInterner* shared_tokens = nullptr);
 
   /// Match the line, creating or generalizing a signature as needed.
   /// Returns the template id. Zero heap allocation in steady state (warm
-  /// tree, previously-seen stable tokens).
+  /// tree, previously-seen stable tokens) — in shared-arena mode too.
   std::int32_t learn(std::string_view line);
 
   /// Read-only best match; returns -1 if nothing clears the threshold.
-  /// Zero heap allocation in steady state.
+  /// Zero heap allocation in steady state, and never takes the shared
+  /// arena's admission mutex (find-only).
   std::int32_t match(std::string_view line) const;
 
   const std::vector<Signature>& signatures() const { return signatures_; }
   std::size_t size() const { return signatures_.size(); }
   const SignatureTreeConfig& config() const { return config_; }
 
-  /// Text of one interned token id ("<*>" for kWildcardTokenId). The view
-  /// is invalidated by the next learn() that admits a new token.
+  /// Text of one interned token id ("<*>" for kWildcardTokenId). Views
+  /// into the shared arena are stable; views into the private tier are
+  /// invalidated by the next learn() that admits a new private token.
   std::string_view token_text(std::uint32_t token_id) const {
     return interner_.view(token_id);
   }
@@ -98,6 +124,15 @@ class SignatureTree {
   /// Human-readable pattern for a template id, e.g.
   /// "SNMP_TRAP_LINK_DOWN ifIndex <*> ...".
   std::string pattern(std::int32_t id) const;
+
+  /// The two-level token view (probe stats, private-overflow size).
+  const nfv::util::ScopedInterner& interner() const { return interner_; }
+
+  /// Approximate resident bytes of this tree's PER-VPE state: private
+  /// interner tier, signatures, leaf table and scratch. Deliberately
+  /// excludes the shared arena (reported once per fleet) — this is the
+  /// bytes/vPE figure the runtime stats publish. O(1).
+  std::size_t memory_bytes() const;
 
  private:
   struct Leaf {
@@ -124,7 +159,9 @@ class SignatureTree {
 
   /// Interner id of the line's leaf head: kWildcardTokenId for a variable
   /// first token, kNotFound when the head was never interned (in which
-  /// case no leaf can contain it).
+  /// case no leaf can contain it). Caches the head's hash (and probe
+  /// result) so the new-signature path can reuse them instead of
+  /// re-probing the token it just looked up.
   std::uint32_t head_id() const;
 
   /// Fraction of positions where `sig` matches the tokenized line in
@@ -139,14 +176,20 @@ class SignatureTree {
   BestMatch find_best(std::uint32_t head) const;
 
   SignatureTreeConfig config_;
-  util::StringInterner interner_;  // token text, owned by this tree
+  nfv::util::ScopedInterner interner_;  // two-level token view (see above)
   std::vector<Signature> signatures_;
   std::unordered_map<std::uint64_t, Leaf, LeafKeyHash> leaves_;
+  std::size_t signature_token_count_ = 0;  // sum of tokens across templates
   // Per-tree tokenization scratch, reused across learn()/match() calls so
   // the steady state allocates nothing. mutable: match() is logically
   // const but still owns the scratch (single-threaded contract above).
   mutable std::vector<std::string_view> spans_;
   mutable std::vector<unsigned char> variable_;
+  // Head-probe cache filled by head_id() for the current line (valid only
+  // when the line has a stable head), consumed by learn()'s
+  // new-signature path.
+  mutable std::uint64_t head_hash_ = 0;
+  mutable bool head_hash_valid_ = false;
   std::vector<std::uint32_t> line_ids_;  // new-signature path only
 };
 

@@ -103,6 +103,16 @@ std::string TemplateCatalog::render(std::int32_t id, Rng& rng) const {
   return out;
 }
 
+std::string TemplateCatalog::render_seeded(std::int32_t id,
+                                           std::uint64_t salt) const {
+  // Seed by mixing id into salt (splitmix-style) so adjacent (id, salt)
+  // pairs do not produce correlated field draws.
+  std::uint64_t state =
+      salt * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(id) + 1;
+  Rng rng(nfv::util::splitmix64(state));
+  return render(id, rng);
+}
+
 TemplateCatalog TemplateCatalog::standard() {
   TemplateCatalog c;
   using K = TemplateKind;

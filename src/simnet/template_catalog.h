@@ -61,6 +61,13 @@ class TemplateCatalog {
   /// Render a template's pattern with random variable fields.
   std::string render(std::int32_t id, nfv::util::Rng& rng) const;
 
+  /// Deterministic render: the variable fields are drawn from a fresh
+  /// generator seeded with (id, salt), so the same (id, salt) pair yields
+  /// the same line on every call. This is what lets the fleet soak bench
+  /// regenerate a multi-million-line 10k-vPE workload for its serial
+  /// replay instead of holding every line in memory.
+  std::string render_seeded(std::int32_t id, std::uint64_t salt) const;
+
  private:
   void add(std::string name, std::string pattern, TemplateKind kind,
            double base_weight = 1.0,

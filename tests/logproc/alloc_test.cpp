@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "logproc/signature_tree.h"
+#include "util/interner.h"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -137,6 +138,35 @@ TEST(SteadyStateAllocations, MatchIsAllocationFree) {
 
   EXPECT_EQ(after - before, 0u) << "match() allocated";
   EXPECT_NE(sink, 0);
+}
+
+// The shared-arena mode must preserve the zero-allocation steady state:
+// a warm tree attached to the fleet-wide token arena resolves every
+// token lock-free from already-published entries and allocates nothing,
+// even on lines whose variable values (and interner-miss probes) are
+// entirely fresh.
+TEST(SteadyStateAllocations, SharedArenaLearnAndMatchAreAllocationFree) {
+  nfv::util::SharedInterner arena;
+  SignatureTree tree(SignatureTreeConfig{}, &arena);
+  const std::vector<std::string> warmup = make_corpus(5);
+  for (const std::string& line : warmup) tree.learn(line);
+  const std::size_t templates = tree.size();
+  ASSERT_GT(templates, 0u);
+
+  const std::vector<std::string> fresh = make_corpus(6);
+  const std::string unseen =
+      "wholly unseen stable words that match nothing at all";
+
+  std::int64_t sink = 0;
+  const std::uint64_t before = allocations();
+  for (const std::string& line : fresh) sink += tree.learn(line);
+  for (const std::string& line : fresh) sink += tree.match(line);
+  for (int i = 0; i < 100; ++i) sink += tree.match(unseen);
+  const std::uint64_t after = allocations();
+
+  EXPECT_EQ(after - before, 0u) << "shared-arena warm path allocated";
+  EXPECT_NE(sink, 0);
+  EXPECT_EQ(tree.size(), templates) << "fresh values minted new templates";
 }
 
 // Sanity check that the counting hook itself works — otherwise the zero

@@ -12,6 +12,7 @@
 #include "logproc/reference_miner.h"
 #include "logproc/signature_tree.h"
 #include "simnet/fleet.h"
+#include "util/interner.h"
 
 namespace nfv::logproc {
 namespace {
@@ -117,6 +118,44 @@ TEST(MinerEquivalence, PerVpeTreesMatchStreamMonitorUsage) {
   for (std::size_t v = 0; v < vpes; ++v) {
     expect_trees_identical(reference[v], fast[v]);
   }
+}
+
+// The fleet-memory contract: attaching every per-vPE tree to ONE shared
+// token arena must not change what any tree mines — template-id
+// sequences, patterns, and match counts stay byte-identical to both the
+// reference miner and a fully private tree, because mining keys on token
+// TEXT, never on the numeric ids the arena re-assigns fleet-wide.
+TEST(MinerEquivalence, SharedArenaTreesMatchPrivateTreesExactly) {
+  const TraceLines trace = fleet_lines();
+  std::size_t vpes = 0;
+  for (const std::size_t v : trace.vpe) vpes = std::max(vpes, v + 1);
+
+  nfv::util::SharedInterner arena;
+  std::vector<ReferenceSignatureTree> reference(vpes);
+  std::vector<SignatureTree> private_trees(vpes);
+  std::vector<SignatureTree> shared_trees;
+  shared_trees.reserve(vpes);
+  for (std::size_t v = 0; v < vpes; ++v) {
+    shared_trees.emplace_back(SignatureTreeConfig{}, &arena);
+  }
+
+  for (std::size_t i = 0; i < trace.lines.size(); ++i) {
+    const std::size_t v = trace.vpe[i];
+    const std::int32_t ref_id = reference[v].learn(trace.lines[i]);
+    ASSERT_EQ(private_trees[v].learn(trace.lines[i]), ref_id) << "line " << i;
+    ASSERT_EQ(shared_trees[v].learn(trace.lines[i]), ref_id) << "line " << i;
+  }
+  for (std::size_t v = 0; v < vpes; ++v) {
+    expect_trees_identical(reference[v], shared_trees[v]);
+    // Same read-only matching behavior on the shared-arena tree.
+    for (std::size_t i = v; i < trace.lines.size(); i += 13) {
+      ASSERT_EQ(private_trees[v].match(trace.lines[i]),
+                shared_trees[v].match(trace.lines[i]))
+          << "vpe " << v << " line " << i;
+    }
+  }
+  // The fleet vocabulary actually landed in the arena, shared once.
+  EXPECT_GT(arena.size(), 2u);
 }
 
 }  // namespace

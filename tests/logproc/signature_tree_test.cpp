@@ -208,5 +208,122 @@ TEST(SignatureTree, CopiesAreIndependent) {
   EXPECT_EQ(copy.pattern(0), "peer <*> down");
 }
 
+// ---- Shared cross-vPE token arena ----------------------------------------
+
+TEST(SignatureTreeSharedArena, TreesOnOneArenaShareIdStableTokens) {
+  nfv::util::SharedInterner arena;
+  SignatureTree a(SignatureTreeConfig{}, &arena);
+  SignatureTree b(SignatureTreeConfig{}, &arena);
+  a.learn("peer 10.0.0.1 state changed to Idle");
+  b.learn("peer 10.9.8.7 state changed to Idle");
+  EXPECT_EQ(a.pattern(0), b.pattern(0));
+  // The stable vocabulary is stored once, fleet-wide, with the SAME id
+  // in every tree that shares the arena.
+  const std::uint32_t peer_a = a.interner().find("peer");
+  EXPECT_NE(peer_a, nfv::util::ScopedInterner::kNotFound);
+  EXPECT_EQ(b.interner().find("peer"), peer_a);
+  EXPECT_LT(peer_a, nfv::util::ScopedInterner::kPrivateBase);
+  // Nothing spilled privately: per-tree interner memory stays empty.
+  EXPECT_EQ(a.interner().private_size(), 0u);
+  EXPECT_EQ(b.interner().private_size(), 0u);
+}
+
+// The satellite counter contract: a WARM line costs exactly one interner
+// lookup (the cached head probe) and zero shared-arena mutex
+// acquisitions — including under max_signatures cap pressure, where new
+// shapes are rejected and must NOT re-probe the arena for their tokens.
+TEST(SignatureTreeSharedArena, WarmLinesCostOneProbeUnderCapPressure) {
+  nfv::util::SharedInterner arena;
+  SignatureTreeConfig config;
+  config.max_signatures = 2;
+  SignatureTree tree(config, &arena);
+  tree.learn("linkdown interface ge-0/0/1 went away");
+  tree.learn("peerflap neighbor 10.0.0.1 reset");
+  ASSERT_EQ(tree.size(), 2u);
+
+  // Fresh letter-only tokens every line: on the naive path each would
+  // be a brand-new intern (a slow probe). At capacity the tree instead
+  // reuses/generalizes the closest same-head signature, and the
+  // never-admitted tokens must not touch the arena at all.
+  const auto word = [](std::size_t i) {
+    std::string w = "tok";
+    for (int k = 0; k < 3; ++k) {
+      w += static_cast<char>('a' + i % 26);
+      i /= 26;
+    }
+    return w;
+  };
+  const std::uint64_t lookups_before = tree.interner().stats().lookups;
+  const std::uint64_t slow_before = tree.interner().stats().slow_probes;
+  constexpr std::size_t kLines = 50;
+  for (std::size_t i = 0; i < kLines; ++i) {
+    tree.learn("linkdown interface " + word(i) + " went away");
+    tree.learn("linkdown cable " + word(i + 1000) + " totally gone");
+  }
+  const std::uint64_t lookups = tree.interner().stats().lookups -
+                                lookups_before;
+  const std::uint64_t slow = tree.interner().stats().slow_probes -
+                             slow_before;
+  EXPECT_EQ(lookups, 2u * kLines) << "more than one probe per line";
+  EXPECT_EQ(slow, 0u) << "cap-pressure lines re-took the arena mutex";
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.interner().private_size(), 0u);
+}
+
+TEST(SignatureTreeSharedArena, ArenaCapSpillsPrivateWithoutReprobing) {
+  nfv::util::SharedInterner::Config arena_config;
+  arena_config.max_tokens = 3;  // <*>, <empty>, and one real token
+  nfv::util::SharedInterner arena(arena_config);
+  SignatureTree tree(SignatureTreeConfig{}, &arena);
+  tree.learn("alpha beta gamma");
+  EXPECT_EQ(tree.pattern(0), "alpha beta gamma");
+  EXPECT_GT(tree.interner().private_size(), 0u);  // beta/gamma spilled
+  EXPECT_GT(arena.rejected(), 0u);
+
+  // Re-learning resolves every spilled token from the private tier:
+  // zero further slow probes, and the template id stays stable.
+  const std::uint64_t slow_before = tree.interner().stats().slow_probes;
+  EXPECT_EQ(tree.learn("alpha beta gamma"), 0);
+  EXPECT_EQ(tree.interner().stats().slow_probes, slow_before);
+}
+
+TEST(SignatureTreeSharedArena, OverflowPromotionKeepsPatternsStable) {
+  nfv::util::SharedInterner::Config arena_config;
+  arena_config.max_tokens = 3;
+  nfv::util::SharedInterner arena(arena_config);
+  SignatureTree old_tree(SignatureTreeConfig{}, &arena);
+  old_tree.learn("alpha latecomer rises");
+  ASSERT_EQ(old_tree.pattern(0), "alpha latecomer rises");
+
+  // The spilled token is later promoted fleet-wide. The existing tree's
+  // signatures keep rendering (private ids take precedence) and a NEW
+  // tree mines the same pattern from the now-shared id.
+  arena.register_token("latecomer");
+  EXPECT_EQ(old_tree.pattern(0), "alpha latecomer rises");
+  EXPECT_EQ(old_tree.learn("alpha latecomer rises"), 0);
+  SignatureTree new_tree(SignatureTreeConfig{}, &arena);
+  new_tree.learn("alpha latecomer rises");
+  EXPECT_EQ(new_tree.pattern(0), old_tree.pattern(0));
+  EXPECT_FALSE(
+      new_tree.interner().is_private(new_tree.interner().find("latecomer")));
+}
+
+TEST(SignatureTreeSharedArena, MemoryBytesExcludesSharedArena) {
+  nfv::util::SharedInterner arena;
+  SignatureTree shared_tree(SignatureTreeConfig{}, &arena);
+  SignatureTree private_tree;
+  for (int i = 0; i < 200; ++i) {
+    const std::string line = "daemon" + std::to_string(i) +
+                             " restarted with fresh configuration";
+    shared_tree.learn(line);
+    private_tree.learn(line);
+  }
+  ASSERT_EQ(shared_tree.size(), private_tree.size());
+  EXPECT_GT(shared_tree.memory_bytes(), 0u);
+  // The shared tree's vocabulary lives in the arena (reported once per
+  // fleet), so its per-tree footprint is strictly smaller.
+  EXPECT_LT(shared_tree.memory_bytes(), private_tree.memory_bytes());
+}
+
 }  // namespace
 }  // namespace nfv::logproc

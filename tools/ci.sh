@@ -3,11 +3,13 @@
 # the observability-labelled tests (latency histograms, runtime stats
 # snapshots, JSON round-trip), then a ThreadSanitizer pass over the
 # concurrency- and observability-labelled tests (thread pool, lock-free
-# queues, parallel-vs-serial pipeline determinism, shared-detector
-# streaming, the async-ingest determinism/backpressure/control-plane
-# suite, and the batched-inference batch-size/thread-count invariance
-# suite). The async-ingest smoke also gates the instrumentation overhead
-# at <=2% lines/sec. The quantized-scoring leg runs the quant-labelled
+# queues, the shared token arena's lock-free reader/registrar stress,
+# parallel-vs-serial pipeline determinism, shared-detector streaming,
+# the async-ingest determinism/backpressure/control-plane suite, and the
+# batched-inference batch-size/thread-count invariance suite). The
+# async-ingest smoke also gates the instrumentation overhead at <=2%
+# lines/sec; the fleet-soak smoke gates shared-arena bytes/vPE below
+# private-interner bytes/vPE and warning parity vs serial replay. The quantized-scoring leg runs the quant-labelled
 # tests, the bench_scoring_throughput --smoke rank-agreement /
 # tier-bit-identity gates, and an ASan build of the int8 kernels.
 #
@@ -36,6 +38,10 @@ cmake --build "$ROOT/build" -j "$JOBS" --target bench_ingest_throughput
 echo "=== template mining: fast-path equivalence smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_parsing_throughput
 "$ROOT/build/bench/bench_parsing_throughput" --smoke
+
+echo "=== fleet soak: shared-arena memory + warning-parity smoke ==="
+cmake --build "$ROOT/build" -j "$JOBS" --target bench_fleet_soak
+"$ROOT/build/bench/bench_fleet_soak" --smoke
 
 echo "=== quantized scoring: kernel/lifecycle tests + rank-agreement smoke ==="
 ctest --test-dir "$ROOT/build" -L quant --output-on-failure -j "$JOBS"
