@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <thread>
 #include <utility>
 
+#include "core/lstm_detector.h"
 #include "util/check.h"
 
 namespace nfv::core {
@@ -46,6 +48,7 @@ AsyncIngest::AsyncIngest(const AnomalyDetector* detector,
   if (config_.share_token_arena) {
     token_arena_ = std::make_unique<nfv::util::SharedInterner>();
   }
+  model_mem_ = detector->model_memory();
 }
 
 AsyncIngest::~AsyncIngest() {
@@ -96,8 +99,24 @@ void AsyncIngest::start() {
     shards_[s]->worker = w;
     workers_[w]->shard_ids.push_back(s);
   }
+  if (config_.online_retrain) {
+    const auto* lstm = dynamic_cast<const LstmDetector*>(
+        detector_.load(std::memory_order_relaxed));
+    NFV_CHECK(lstm != nullptr && lstm->trained(),
+              "online_retrain requires a trained LstmDetector");
+    NFV_CHECK(config_.retrain_samples >= 1, "retrain_samples must be >= 1");
+    // The trainer's private lineage: it fine-tunes THIS copy each round
+    // and installs copies of it, so its teacher can never be freed out
+    // from under it by a swap.
+    lineage_ = lstm->clone_as_teacher();
+    tap_queue_ = std::make_unique<nfv::util::MpscQueue<TapSample>>(
+        config_.retrain_tap_capacity);
+  }
   started_ = true;
   threads_.start(worker_count_, [this](std::size_t w) { worker_loop(w); });
+  if (config_.online_retrain) {
+    trainer_ = std::thread([this] { trainer_loop(); });
+  }
 }
 
 void AsyncIngest::push_item(std::size_t shard, Item item) {
@@ -200,11 +219,13 @@ void AsyncIngest::drain_queue_into_pending() {
   }
 }
 
-void AsyncIngest::quiesce() {
+void AsyncIngest::quiesce(bool drain_pending) {
   epoch_requested_.fetch_add(1, std::memory_order_release);
   std::unique_lock<std::mutex> lock(barrier_mu_);
   while (parked_ < worker_count_) {
     parked_cv_.wait_for(lock, std::chrono::microseconds(200));
+    if (!drain_pending) continue;  // trainer: pending_warnings_ is the
+                                   // caller thread's — never touch it
     // Keep the warning queue moving so workers flushing their final
     // micro-batches can't wedge on a full queue + full spill pattern.
     lock.unlock();
@@ -225,26 +246,76 @@ void AsyncIngest::release() {
 void AsyncIngest::flush() {
   NFV_CHECK(started_, "flush() before start()");
   if (stopped_) return;
+  std::lock_guard<std::mutex> control(control_mu_);
   quiesce();  // workers only park with empty queues and flushed batches
+  // Every worker has passed a barrier since any generation was retired,
+  // so nothing can still reference them.
+  retired_.clear();
   release();
 }
 
-void AsyncIngest::swap_detector(const AnomalyDetector* detector) {
+std::uint64_t AsyncIngest::install_detector(
+    const AnomalyDetector* detector,
+    std::unique_ptr<const AnomalyDetector> owned, bool drain_pending) {
   NFV_CHECK(detector != nullptr, "detector must not be null");
   NFV_CHECK(started_, "swap_detector() before start()");
   NFV_CHECK(!stopped_, "swap_detector() after stop()");
-  quiesce();
+  // Footprint read BEFORE the install: the model is still exclusively the
+  // caller's/trainer's, so no reader can race this.
+  const ModelMemoryStats mem = detector->model_memory();
+  quiesce(drain_pending);
+  const std::uint64_t scored_at_barrier =
+      lines_scored_.load(std::memory_order_relaxed);
+  // Generations retired at an EARLIER barrier are now provably
+  // unreferenced: every worker has parked (and re-read detector_ on its
+  // last wake) since they were replaced.
+  retired_.clear();
   // Workers are parked between micro-batches: nothing is staged and no
   // score() call is in flight, so mutating the detector pointers here
   // honours the read-only-detector contract. Each worker re-reads
   // detector_ and refreshes its group when it resumes.
   detector_.store(detector, std::memory_order_release);
   for (auto& shard : shards_) shard->monitor->set_detector(detector);
+  if (owned_current_) retired_.push_back(std::move(owned_current_));
+  owned_current_ = std::move(owned);
+  {
+    std::lock_guard<std::mutex> lock(model_mem_mu_);
+    model_mem_ = mem;
+  }
   release();
+  return scored_at_barrier;
+}
+
+void AsyncIngest::swap_detector(const AnomalyDetector* detector) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  install_detector(detector, nullptr, /*drain_pending=*/true);
+}
+
+void AsyncIngest::swap_detector_owned(
+    std::unique_ptr<const AnomalyDetector> detector) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  // Read the raw pointer before handing off ownership: function-argument
+  // evaluation order is unspecified, so detector.get() inline with
+  // std::move(detector) may read the moved-from pointer.
+  const AnomalyDetector* raw = detector.get();
+  install_detector(raw, std::move(detector), /*drain_pending=*/true);
 }
 
 void AsyncIngest::stop() {
   if (!started_ || stopped_) return;
+  // Retire the trainer first, while the workers are still alive: it may
+  // be mid-quiesce for an install, and that barrier needs live workers
+  // to complete. A round in flight finishes (install included) before
+  // the join returns.
+  if (trainer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(trainer_mu_);
+      trainer_stop_ = true;
+    }
+    trainer_cv_.notify_all();
+    trainer_.join();
+  }
+  std::lock_guard<std::mutex> control(control_mu_);
   closed_.store(true, std::memory_order_release);
   // Close queues first so any producer stuck in a blocking submit fails
   // fast instead of waiting on workers that are about to exit (workers
@@ -256,6 +327,8 @@ void AsyncIngest::stop() {
   threads_.join();
   stopped_ = true;
   drain_queue_into_pending();
+  // Owned generations (current and retired) stay alive until destruction:
+  // installed_detector() remains dereferenceable after stop().
 }
 
 const logproc::SignatureTree& AsyncIngest::tree(std::size_t shard) const {
@@ -333,11 +406,14 @@ RuntimeStatsSnapshot AsyncIngest::snapshot() const {
   snap.totals.rejected_submits = totals.rejected_submits;
 
   // Model memory of the detector currently scoring every shard (shared;
-  // swap_detector makes later snapshots report the new model's footprint).
+  // a swap makes later snapshots report the new model's footprint). Read
+  // from the swap-time cache, never through detector_: a straggler
+  // snapshot must not dereference a generation a concurrent
+  // swap_detector_owned / trainer install is about to retire and free.
   ModelMemoryStats model_mem;
-  if (const AnomalyDetector* detector =
-          detector_.load(std::memory_order_acquire)) {
-    model_mem = detector->model_memory();
+  {
+    std::lock_guard<std::mutex> lock(model_mem_mu_);
+    model_mem = model_mem_;
   }
 
   snap.shards.resize(shards_.size());
@@ -418,11 +494,19 @@ RuntimeStatsSnapshot AsyncIngest::snapshot() const {
     mem.tree_bytes_total += sh.tree_bytes;
     mem.tree_bytes_max = std::max(mem.tree_bytes_max, sh.tree_bytes);
   }
-  if (mem.shards != 0) {
-    mem.bytes_per_vpe =
-        static_cast<double>(mem.arena_bytes + mem.tree_bytes_total) /
-        static_cast<double>(mem.shards);
-  }
+  mem.finalize_bytes_per_vpe();  // zero-shard snapshots report 0, not NaN
+
+  RetrainStats& rt = snap.retrain;
+  rt.enabled = config_.online_retrain;
+  rt.samples_seen = samples_seen_.load(std::memory_order_relaxed);
+  rt.samples_dropped = samples_dropped_.load(std::memory_order_relaxed);
+  rt.buffered_events = retrain_buffered_.load(std::memory_order_relaxed);
+  rt.rounds = retrain_rounds_.load(std::memory_order_relaxed);
+  rt.adapt_rounds = adapt_rounds_.load(std::memory_order_relaxed);
+  rt.swaps = retrain_swaps_.load(std::memory_order_relaxed);
+  rt.last_swap_lines_scored = last_swap_lines_.load(std::memory_order_relaxed);
+  rt.train_seconds =
+      static_cast<double>(train_ns_.load(std::memory_order_relaxed)) * 1e-9;
   return snap;
 }
 
@@ -433,6 +517,23 @@ void AsyncIngest::worker_loop(std::size_t index) {
   // Per-worker micro-batching group over this worker's shards only.
   const AnomalyDetector* detector = detector_.load(std::memory_order_acquire);
   StreamMonitorGroup group(detector);
+  if (tap_queue_) {
+    // Online-retrain sample tap: every staged entry, at flush, into the
+    // bounded trainer ring. A full ring drops the sample (counted) —
+    // sampling pressure must never stall the scoring path.
+    group.set_sample_tap([this, &worker](std::size_t local,
+                                         nfv::util::SimTime time,
+                                         std::int32_t template_id) {
+      TapSample sample;
+      sample.shard = static_cast<std::uint32_t>(worker.shard_ids[local]);
+      sample.template_id = template_id;
+      sample.time_seconds = time.seconds;
+      samples_seen_.fetch_add(1, std::memory_order_relaxed);
+      if (!tap_queue_->try_push(std::move(sample))) {
+        samples_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
   std::vector<std::size_t> local_of_shard(shards_.size(), 0);
   // Worker-local control/observability state per owned shard, indexed by
   // the group's local id (plain memory: no atomics on the hot path).
@@ -663,6 +764,150 @@ void AsyncIngest::worker_loop(std::size_t index) {
     }
 
     nfv::util::queue_detail::backoff(idle_round);
+  }
+}
+
+void AsyncIngest::request_retrain() {
+  NFV_CHECK(config_.online_retrain, "request_retrain without online_retrain");
+  NFV_CHECK(started_ && !stopped_, "request_retrain outside start()..stop()");
+  {
+    std::lock_guard<std::mutex> lock(trainer_mu_);
+    ++retrain_requests_;
+  }
+  trainer_cv_.notify_all();
+}
+
+void AsyncIngest::wait_retrain_rounds(std::uint64_t rounds) {
+  NFV_CHECK(config_.online_retrain,
+            "wait_retrain_rounds without online_retrain");
+  NFV_CHECK(started_, "wait_retrain_rounds before start()");
+  std::unique_lock<std::mutex> lock(trainer_mu_);
+  rounds_cv_.wait(lock, [&] {
+    return retrain_rounds_.load(std::memory_order_acquire) >= rounds;
+  });
+}
+
+void AsyncIngest::trainer_loop() {
+  // Like the shard workers, the trainer pins ml kernels to their serial
+  // paths: one background thread fine-tuning serially must not contend
+  // with the caller for the global fork-join pool.
+  nfv::util::ThreadPool::ScopedRegion serial_region;
+
+  // Per-shard recency windows: the newest retrain_samples events of each
+  // shard's tapped template-id stream, oldest evicted first. Bounded
+  // memory, and the corpus tracks the live distribution.
+  std::vector<std::deque<TapSample>> buffers(shards_.size());
+  std::uint64_t buffered = 0;
+  std::uint64_t serviced_requests = 0;
+  std::uint64_t last_trigger_lines = 0;
+
+  for (;;) {
+    TapSample sample;
+    while (tap_queue_->try_pop(sample)) {
+      std::deque<TapSample>& buffer = buffers[sample.shard];
+      buffer.push_back(sample);
+      if (buffer.size() > config_.retrain_samples) {
+        buffer.pop_front();
+      } else {
+        ++buffered;
+      }
+    }
+    retrain_buffered_.store(buffered, std::memory_order_relaxed);
+
+    bool run_round = false;
+    {
+      std::unique_lock<std::mutex> lock(trainer_mu_);
+      if (trainer_stop_) return;
+      if (retrain_requests_ > serviced_requests) {
+        ++serviced_requests;
+        run_round = true;
+      } else if (config_.retrain_interval_lines > 0) {
+        const std::uint64_t scored =
+            lines_scored_.load(std::memory_order_relaxed);
+        if (scored - last_trigger_lines >= config_.retrain_interval_lines) {
+          last_trigger_lines = scored;
+          run_round = true;
+        }
+      }
+      if (!run_round) {
+        trainer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+    }
+
+    // --- One retrain round -------------------------------------------
+    // Materialize the sampled corpus as per-shard streams; every shard's
+    // events are already in submission order (FIFO tap, FIFO ring).
+    const std::size_t installed_vocab = lineage_->model().config().vocab;
+    std::vector<std::vector<logproc::ParsedLog>> streams;
+    std::int32_t max_id = -1;
+    std::uint64_t total = 0;
+    std::uint64_t novel = 0;
+    for (const std::deque<TapSample>& buffer : buffers) {
+      if (buffer.empty()) continue;
+      std::vector<logproc::ParsedLog>& stream = streams.emplace_back();
+      stream.reserve(buffer.size());
+      for (const TapSample& s : buffer) {
+        stream.push_back({nfv::util::SimTime{s.time_seconds}, s.template_id});
+        max_id = std::max(max_id, s.template_id);
+        ++total;
+        if (s.template_id >= 0 &&
+            static_cast<std::size_t>(s.template_id) >= installed_vocab) {
+          ++novel;
+        }
+      }
+    }
+
+    bool installed = false;
+    if (total > 0) {
+      const std::size_t vocab = std::max(
+          installed_vocab, static_cast<std::size_t>(max_id) + 1);
+      const double novel_fraction =
+          static_cast<double>(novel) / static_cast<double>(total);
+      const bool take_adapt_path =
+          novel_fraction >= config_.adapt_novel_fraction;
+      std::vector<LogView> views(streams.begin(), streams.end());
+      const std::uint64_t t0 = now_ns();
+      bool trained_ok = true;
+      try {
+        // The monthly-style warm path vs the post-update transfer path
+        // (freeze lower layers, fine-tune the top). Both grow the vocab
+        // to cover newly mined templates and re-quantize when the
+        // lineage's config says so.
+        if (take_adapt_path) {
+          lineage_->adapt(views, vocab);
+        } else {
+          lineage_->update(views, vocab);
+        }
+      } catch (const std::exception&) {
+        // A corrupt slice must not kill the trainer or the install the
+        // NEXT round makes; detection continues on the current model.
+        trained_ok = false;
+      }
+      train_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+      if (trained_ok) {
+        if (take_adapt_path) {
+          adapt_rounds_.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::unique_ptr<LstmDetector> shadow = lineage_->clone_as_teacher();
+        const AnomalyDetector* raw = shadow.get();
+        std::lock_guard<std::mutex> control(control_mu_);
+        if (!stopped_) {
+          const std::uint64_t swap_epoch =
+              install_detector(raw, std::move(shadow),
+                               /*drain_pending=*/false);
+          last_swap_lines_.store(swap_epoch, std::memory_order_relaxed);
+          retrain_swaps_.fetch_add(1, std::memory_order_relaxed);
+          installed = true;
+        }
+      }
+    }
+    (void)installed;
+    {
+      std::lock_guard<std::mutex> lock(trainer_mu_);
+      retrain_rounds_.fetch_add(1, std::memory_order_release);
+    }
+    rounds_cv_.notify_all();
   }
 }
 

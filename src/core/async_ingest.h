@@ -76,6 +76,42 @@
 // drain_warnings — and must not submit concurrently with flush/swap/stop
 // (workers quiesce by draining their queues, which never happens under a
 // firehose).
+//
+// Online continual learning (config.online_retrain)
+// -------------------------------------------------
+// The paper's answer to temporal dynamics — monthly incremental training
+// plus transfer learning after software updates (§1.3, Fig. 11) — runs
+// INSIDE the runtime: each worker's StreamMonitorGroup taps the staged
+// (shard, time, template-id) stream at micro-batch flush into a bounded
+// MPSC ring (lossy by design: overflow increments a drop counter, never
+// stalls a worker), and a background trainer thread keeps the most recent
+// `retrain_samples` events per shard as its fine-tuning corpus. Every
+// `retrain_interval_lines` scored lines (or on request_retrain()) it
+// fine-tunes a private shadow copy of the installed LstmDetector —
+// update() on the warm path, adapt() (freeze lower layers, fine-tune the
+// top) when at least `adapt_novel_fraction` of the sampled events carry
+// template ids the installed model has never seen, the update-shift
+// signature — re-quantizes it when config().quantize is set, and installs
+// a copy through the same epoch barrier as swap_detector(): detection
+// never stops during retrain. Installed generations are owned by the
+// runtime; a replaced generation moves to a retired list and is freed
+// only at the NEXT epoch barrier, after every worker has provably stopped
+// referencing it (snapshot() never dereferences the detector at all — it
+// reads a cached ModelMemoryStats refreshed at swap time).
+//
+// Determinism contract with retrain: disabled, warning streams stay
+// byte-for-byte the serial replay. Enabled, swap epochs partition each
+// per-vPE stream, and every epoch is byte-identical to a serial replay
+// that scores it with that epoch's model (pinned by the continual suite);
+// WHERE the swaps land in the stream is scheduling-dependent, exactly
+// like a caller-driven swap_detector(). Mixing caller-driven swap_detector
+// calls with online_retrain is unsupported: the trainer's lineage would
+// silently fork from whatever the caller installed.
+//
+// The trainer's install quiesces on the same barrier as flush(): under a
+// saturating firehose that never lets a worker's queue drain, an install
+// waits for the first natural gap. Producers pacing below queue capacity
+// (the deployment regime) yield such gaps continuously.
 #pragma once
 
 #include <array>
@@ -86,6 +122,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/detector.h"
@@ -98,6 +135,8 @@
 #include "util/thread_pool.h"
 
 namespace nfv::core {
+
+class LstmDetector;
 
 struct AsyncIngestConfig {
   /// Shard workers; 0 resolves like the thread pool (NFVPRED_THREADS or
@@ -133,6 +172,27 @@ struct AsyncIngestConfig {
   /// the fully-private pre-arena layout (the bytes/vPE baseline in
   /// bench_fleet_soak).
   bool share_token_arena = true;
+  /// Online continual learning: run the background trainer thread (see
+  /// the file comment). Requires the detector passed to the constructor
+  /// to be an LstmDetector (checked at start()).
+  bool online_retrain = false;
+  /// Fire a retrain round each time this many additional lines have been
+  /// scored runtime-wide (0 disables the interval trigger; rounds then
+  /// run only on request_retrain()).
+  std::uint64_t retrain_interval_lines = 50000;
+  /// Per-shard recency window: the trainer fine-tunes on at most this
+  /// many of the most recently sampled events per shard, so the corpus
+  /// tracks the live distribution and memory stays bounded.
+  std::size_t retrain_samples = 2048;
+  /// Capacity of the bounded flush-tap ring between workers and the
+  /// trainer. Overflow is dropped and counted (RetrainStats), never
+  /// blocking the scoring path.
+  std::size_t retrain_tap_capacity = 16384;
+  /// Take the transfer-learning adapt() path when at least this fraction
+  /// of the sampled corpus carries template ids outside the installed
+  /// model's vocabulary (a fleet software update); otherwise the warm
+  /// incremental update() path runs.
+  double adapt_novel_fraction = 0.05;
 };
 
 struct AsyncIngestStats {
@@ -185,8 +245,36 @@ class AsyncIngest {
 
   /// Epoch barrier + model swap: quiesces all workers between
   /// micro-batches (implies flush()), swaps the detector on every shard
-  /// monitor and worker group, and resumes. Caller thread only.
+  /// monitor and worker group, and resumes. The detector stays
+  /// caller-owned and must outlive its installation by one further epoch
+  /// barrier. Caller thread only; unsupported with online_retrain.
   void swap_detector(const AnomalyDetector* detector);
+
+  /// Ownership-transfer variant of swap_detector(): the runtime keeps the
+  /// model alive after replacement on a retired-generation list freed at
+  /// the NEXT epoch barrier, so no straggler can ever read a destroyed
+  /// model. This is the trainer's install path; it may also be called by
+  /// the control-plane thread. Serialized against flush()/stop() and the
+  /// trainer's own installs.
+  void swap_detector_owned(std::unique_ptr<const AnomalyDetector> detector);
+
+  /// The detector generation currently scoring every shard. With
+  /// swap_detector_owned / online_retrain the pointer stays valid from
+  /// the moment it is observed until one epoch barrier after a later
+  /// swap replaces it (and at least until the runtime is destroyed when
+  /// no further swap happens). Any thread.
+  const AnomalyDetector* installed_detector() const {
+    return detector_.load(std::memory_order_acquire);
+  }
+
+  /// Ask the trainer for an immediate retrain round, in addition to the
+  /// interval trigger. online_retrain only; any thread.
+  void request_retrain();
+  /// Block until the trainer has completed at least `rounds` retrain
+  /// rounds since start() (a round counts even when the sampled corpus
+  /// was empty and nothing was installed — check RetrainStats::swaps).
+  /// online_retrain only; control-plane thread only.
+  void wait_retrain_rounds(std::uint64_t rounds);
 
   /// Final flush, worker shutdown, join. Idempotent; also run by the
   /// destructor. Pending warnings stay drainable afterwards.
@@ -305,12 +393,30 @@ class AsyncIngest {
     std::atomic<std::uint64_t> stat_flushes{0};
   };
 
+  // One tapped template-id event, as queued from a worker's flush to the
+  // trainer thread.
+  struct TapSample {
+    std::uint32_t shard = 0;
+    std::int32_t template_id = -1;
+    std::int64_t time_seconds = 0;
+  };
+
   void worker_loop(std::size_t index);
+  void trainer_loop();
+  /// Epoch-barrier install shared by swap_detector{,_owned} and the
+  /// trainer. Caller must hold control_mu_. Frees generations retired at
+  /// an earlier barrier, installs `detector` (taking ownership when
+  /// `owned` is non-null), refreshes the cached ModelMemoryStats, and
+  /// returns the exact lines_scored count at the barrier (the swap
+  /// epoch). `drain_pending` must be false off the control-plane thread.
+  std::uint64_t install_detector(const AnomalyDetector* detector,
+                                 std::unique_ptr<const AnomalyDetector> owned,
+                                 bool drain_pending);
   void enqueue_command(std::size_t shard, ShardCommand::Kind kind);
   void publish_warning(std::size_t worker, const StreamWarning& warning);
   void push_item(std::size_t shard, Item item);
   bool try_push_item(std::size_t shard, Item&& item);
-  void quiesce();
+  void quiesce(bool drain_pending = true);
   void release();
   void drain_queue_into_pending();
 
@@ -346,6 +452,40 @@ class AsyncIngest {
   std::atomic<std::uint64_t> flushes_{0};
   std::atomic<std::uint64_t> warnings_published_{0};
   std::atomic<std::uint64_t> rejected_submits_{0};
+
+  // Control-plane serialization: flush / swap_detector{,_owned} / stop on
+  // the caller thread vs the trainer's installs all contend for the one
+  // epoch barrier; this mutex makes them take it one at a time.
+  std::mutex control_mu_;
+  // Detector generations the runtime owns (trainer installs and
+  // swap_detector_owned). owned_current_ is the installed generation;
+  // replaced generations park in retired_ until the next epoch barrier
+  // proves no worker can still reference them. Guarded by control_mu_.
+  std::unique_ptr<const AnomalyDetector> owned_current_;
+  std::vector<std::unique_ptr<const AnomalyDetector>> retired_;
+  // Cached footprint of the installed detector, refreshed at construction
+  // and at every install — snapshot() reads this instead of dereferencing
+  // detector_, so a concurrent swap can never expose it to a dying model.
+  mutable std::mutex model_mem_mu_;
+  ModelMemoryStats model_mem_;  // guarded by model_mem_mu_
+
+  // Online-retrain trainer (online_retrain only; null/empty otherwise).
+  std::unique_ptr<nfv::util::MpscQueue<TapSample>> tap_queue_;
+  std::unique_ptr<LstmDetector> lineage_;  // trainer thread only
+  std::thread trainer_;
+  std::mutex trainer_mu_;
+  std::condition_variable trainer_cv_;  // request/stop -> trainer
+  std::condition_variable rounds_cv_;   // trainer -> wait_retrain_rounds
+  bool trainer_stop_ = false;           // guarded by trainer_mu_
+  std::uint64_t retrain_requests_ = 0;  // guarded by trainer_mu_
+  std::atomic<std::uint64_t> samples_seen_{0};
+  std::atomic<std::uint64_t> samples_dropped_{0};
+  std::atomic<std::uint64_t> retrain_buffered_{0};
+  std::atomic<std::uint64_t> retrain_rounds_{0};
+  std::atomic<std::uint64_t> adapt_rounds_{0};
+  std::atomic<std::uint64_t> retrain_swaps_{0};
+  std::atomic<std::uint64_t> last_swap_lines_{0};
+  std::atomic<std::uint64_t> train_ns_{0};
 };
 
 /// Canonical deterministic order for a drained warning batch: stable

@@ -198,12 +198,20 @@ void LstmDetector::adapt(std::span<const LogView> streams,
     model_->grow_vocab(vocab, grow_rng);
   }
   // Teacher → student: the current weights are the teacher; fine-tune the
-  // top layers on the small fresh dataset.
-  model_->freeze_lower_layers(
-      std::min(config_.adapt_frozen_layers, config_.layers));
-  std::vector<SeqExample> examples = prepare_examples(streams);
-  train_epochs(examples, config_.adapt_epochs, config_.adapt_lr);
-  model_->freeze_lower_layers(0);
+  // top layers on the small fresh dataset. The unfreeze is scope-guarded:
+  // if train_epochs throws (e.g. an id-bounds check on a corrupt stream),
+  // the lower layers must not stay silently frozen and cripple every
+  // later update() on this detector.
+  {
+    model_->freeze_lower_layers(
+        std::min(config_.adapt_frozen_layers, config_.layers));
+    struct UnfreezeGuard {
+      ml::SequenceModel* model;
+      ~UnfreezeGuard() { model->freeze_lower_layers(0); }
+    } guard{&*model_};
+    std::vector<SeqExample> examples = prepare_examples(streams);
+    train_epochs(examples, config_.adapt_epochs, config_.adapt_lr);
+  }
   if (config_.quantize) model_->quantize();
 }
 

@@ -88,6 +88,14 @@ class LstmDetector final : public AnomalyDetector {
   /// persistent optimizer's moment state is per-instance and does not
   /// follow the copy (the student's next train_epochs starts it fresh).
   LstmDetector(const LstmDetector& other);
+
+  /// Heap-allocated teacher → student copy: the clone the online-retrain
+  /// trainer fine-tunes and installs while the original keeps scoring.
+  /// Weights, config (including quantize mode) and RNG state follow; the
+  /// persistent optimizer does not (same contract as the copy ctor).
+  std::unique_ptr<LstmDetector> clone_as_teacher() const {
+    return std::make_unique<LstmDetector>(*this);
+  }
   LstmDetector& operator=(const LstmDetector& other);
   LstmDetector(LstmDetector&&) = default;
   LstmDetector& operator=(LstmDetector&&) = default;

@@ -1,5 +1,7 @@
 #include "core/runtime_stats.h"
 
+#include <cmath>
+
 #include "util/json.h"
 
 namespace nfv::core {
@@ -56,6 +58,13 @@ double HistogramSnapshot::quantile(double q) const {
     }
   }
   return 0.0;
+}
+
+void FleetMemoryStats::finalize_bytes_per_vpe() {
+  bytes_per_vpe =
+      shards == 0 ? 0.0
+                  : static_cast<double>(arena_bytes + tree_bytes_total) /
+                        static_cast<double>(shards);
 }
 
 HistogramSnapshot RuntimeStatsSnapshot::merged_latency() const {
@@ -154,7 +163,23 @@ std::string to_json(const RuntimeStatsSnapshot& snapshot) {
   w.kv("tree_bytes_total", snapshot.memory.tree_bytes_total);
   w.kv("tree_bytes_max", snapshot.memory.tree_bytes_max);
   w.kv("shards", snapshot.memory.shards);
-  w.kv("bytes_per_vpe", snapshot.memory.bytes_per_vpe);
+  // Belt-and-braces: a hand-built snapshot may carry NaN/inf here (e.g. a
+  // zero-shard division upstream); the dump must stay parseable.
+  w.kv("bytes_per_vpe", std::isfinite(snapshot.memory.bytes_per_vpe)
+                            ? snapshot.memory.bytes_per_vpe
+                            : 0.0);
+  w.end_object();
+
+  w.key("retrain").begin_object();
+  w.kv("enabled", snapshot.retrain.enabled);
+  w.kv("samples_seen", snapshot.retrain.samples_seen);
+  w.kv("samples_dropped", snapshot.retrain.samples_dropped);
+  w.kv("buffered_events", snapshot.retrain.buffered_events);
+  w.kv("rounds", snapshot.retrain.rounds);
+  w.kv("adapt_rounds", snapshot.retrain.adapt_rounds);
+  w.kv("swaps", snapshot.retrain.swaps);
+  w.kv("last_swap_lines_scored", snapshot.retrain.last_swap_lines_scored);
+  w.kv("train_seconds", snapshot.retrain.train_seconds);
   w.end_object();
 
   w.key("latency");

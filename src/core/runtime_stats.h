@@ -137,6 +137,38 @@ struct FleetMemoryStats {
   std::uint64_t tree_bytes_max = 0;    // worst shard
   std::uint64_t shards = 0;
   double bytes_per_vpe = 0.0;
+
+  /// Recompute bytes_per_vpe from the aggregate fields. Zero shards (a
+  /// never-started or empty runtime) reports 0.0 — never NaN/inf, so the
+  /// JSON dump of an empty snapshot always round-trips through the
+  /// parser.
+  void finalize_bytes_per_vpe();
+};
+
+/// Online continual-learning counters (the trainer thread's cut). All
+/// zeros — and enabled=false — when the runtime was built without
+/// online_retrain.
+struct RetrainStats {
+  bool enabled = false;
+  /// Template-id events offered to the trainer's tap at micro-batch
+  /// flush; dropped = the slice lost to a full tap ring (lossy by
+  /// design — sampling pressure must never stall the scoring path).
+  std::uint64_t samples_seen = 0;
+  std::uint64_t samples_dropped = 0;
+  /// Events currently buffered in the per-shard recency windows.
+  std::uint64_t buffered_events = 0;
+  /// Completed retrain rounds (warm update() path + adapt() path) and
+  /// how many of them took the update-shift adapt path.
+  std::uint64_t rounds = 0;
+  std::uint64_t adapt_rounds = 0;
+  /// Shadow models installed through the epoch barrier, and the global
+  /// lines_scored count at the moment of the last install (the swap
+  /// epoch: every line at or beyond it is scored by the new model).
+  std::uint64_t swaps = 0;
+  std::uint64_t last_swap_lines_scored = 0;
+  /// Wall-clock seconds spent fine-tuning shadow models (training only —
+  /// scoring never waits on this).
+  double train_seconds = 0.0;
 };
 
 /// Everything the control plane reports in one epoch-consistent read:
@@ -148,6 +180,7 @@ struct RuntimeStatsSnapshot {
   std::vector<ShardStatsSnapshot> shards;
   QueueStatsSnapshot warning_queue;
   FleetMemoryStats memory;
+  RetrainStats retrain;
 
   /// Fleet-wide latency view: all shards' histograms merged.
   HistogramSnapshot merged_latency() const;

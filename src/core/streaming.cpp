@@ -157,6 +157,15 @@ std::vector<double> StreamMonitorGroup::flush() {
   std::vector<double> scores(entries_.size(), 0.0);
   if (entries_.empty()) return scores;
 
+  // Micro-batch sample tap (online retrain): every staged entry — warm-up
+  // lines included, they are part of the template sequence — in arrival
+  // order, before any scoring so a tap can never perturb scores.
+  if (sample_tap_) {
+    for (const PendingEntry& entry : entries_) {
+      sample_tap_(entry.shard, entry.time, entry.template_id);
+    }
+  }
+
   if (windows_used_ > 0) {
     // Fused cross-shard batches: every staged window becomes one
     // single-window stream, and score_streams packs them into large

@@ -174,6 +174,15 @@ class StreamMonitorGroup {
   void set_detector(const AnomalyDetector* detector);
   const AnomalyDetector* detector() const { return detector_; }
 
+  /// Observer invoked once per staged entry at flush() time, in arrival
+  /// order, with the GROUP-LOCAL shard id (the id add() returned), the
+  /// entry's timestamp and its mined template id. This is the template-id
+  /// stream the online-retrain trainer samples; the tap runs before
+  /// scoring and must not touch the group, its monitors or the detector.
+  using SampleTap = std::function<void(
+      std::size_t shard, nfv::util::SimTime time, std::int32_t template_id)>;
+  void set_sample_tap(SampleTap tap) { sample_tap_ = std::move(tap); }
+
   /// Stage one raw line for `shard` (template mined via the shard's tree).
   void ingest(std::size_t shard, nfv::util::SimTime time,
               std::string_view raw_line);
@@ -202,6 +211,7 @@ class StreamMonitorGroup {
   };
 
   const AnomalyDetector* detector_;
+  SampleTap sample_tap_;
   std::vector<StreamMonitor*> monitors_;
   std::vector<PendingEntry> entries_;
   // Staged scoring windows. Slots are recycled across flushes: windows_

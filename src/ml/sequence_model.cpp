@@ -46,6 +46,12 @@ std::vector<Param*> SequenceModel::params() {
   return out;
 }
 
+std::vector<const Param*> SequenceModel::params() const {
+  std::vector<Param*> mutable_params =
+      const_cast<SequenceModel*>(this)->params();
+  return {mutable_params.begin(), mutable_params.end()};
+}
+
 void SequenceModel::build_inputs(
     const SeqExample* const* batch, std::size_t batch_size,
     std::vector<Matrix>& inputs,

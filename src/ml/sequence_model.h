@@ -54,6 +54,8 @@ class SequenceModel {
 
   /// All trainable parameters, bottom (embedding) to top (output dense).
   std::vector<Param*> params();
+  /// Read-only view in the same order (e.g. to assert freeze state).
+  std::vector<const Param*> params() const;
 
   /// One optimization step on a batch. Returns mean cross-entropy loss.
   /// Gradients are clipped to `max_grad_norm` before the optimizer step.

@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/async_ingest.h"
+#include "core/lstm_detector.h"
 #include "util/json.h"
 
 namespace nfv::core {
@@ -380,6 +382,73 @@ TEST(RuntimeStatsSnapshotTest, FleetMemoryAggregatesInSnapshotAndJson) {
       EXPECT_GT(shard.find("tree_bytes")->number, 0.0);
     }
   }
+}
+
+TEST(RuntimeStatsSnapshotTest, EmptySnapshotJsonRoundTripsWithFiniteFields) {
+  // A default-constructed snapshot models a never-started / zero-shard
+  // runtime: bytes_per_vpe must finalize to 0.0 (not NaN from 0/0) and
+  // the JSON dump must parse cleanly with every field present.
+  RuntimeStatsSnapshot empty;
+  empty.memory.finalize_bytes_per_vpe();
+  EXPECT_EQ(empty.memory.shards, 0u);
+  EXPECT_EQ(empty.memory.bytes_per_vpe, 0.0);
+  EXPECT_TRUE(std::isfinite(empty.memory.bytes_per_vpe));
+
+  const std::string json = to_json(empty);
+  std::string error;
+  const auto doc = nfv::util::json_parse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error << "\n" << json;
+  const nfv::util::JsonValue* memory = doc->find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->find("bytes_per_vpe")->number, 0.0);
+  const nfv::util::JsonValue* retrain = doc->find("retrain");
+  ASSERT_NE(retrain, nullptr);
+  EXPECT_FALSE(retrain->find("enabled")->boolean);
+  EXPECT_EQ(retrain->find("samples_seen")->number, 0.0);
+  EXPECT_EQ(retrain->find("swaps")->number, 0.0);
+  EXPECT_EQ(retrain->find("train_seconds")->number, 0.0);
+}
+
+TEST(RuntimeStatsSnapshotTest, NonFiniteBytesPerVpeStillDumpsParseableJson) {
+  // Belt and braces: even a hand-built snapshot carrying NaN/inf (the
+  // old zero-shard division) must not poison the JSON document.
+  for (const double poison : {std::nan(""),
+                              std::numeric_limits<double>::infinity()}) {
+    RuntimeStatsSnapshot snap;
+    snap.memory.bytes_per_vpe = poison;
+    std::string error;
+    const auto doc = nfv::util::json_parse(to_json(snap), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->find("memory")->find("bytes_per_vpe")->number, 0.0);
+  }
+}
+
+TEST(RuntimeStatsSnapshotTest, ConstructedButNeverStartedRuntimeSnapshots) {
+  // An AsyncIngest that registered no shards and never started must
+  // still produce a finite, parseable stats cut.
+  LstmDetectorConfig config;
+  config.window = 3;
+  config.embed_dim = 4;
+  config.hidden = 4;
+  config.initial_epochs = 1;
+  config.oversample = false;
+  LstmDetector detector(config);
+  std::vector<logproc::ParsedLog> stream;
+  for (std::size_t i = 0; i < 60; ++i) {
+    stream.push_back({nfv::util::SimTime{static_cast<std::int64_t>(i) * 30},
+                      static_cast<std::int32_t>(i % 4)});
+  }
+  const std::vector<LogView> views{stream};
+  detector.fit(views, 4);
+
+  AsyncIngest ingest(&detector);
+  const RuntimeStatsSnapshot snap = ingest.snapshot();
+  EXPECT_EQ(snap.memory.shards, 0u);
+  EXPECT_EQ(snap.memory.bytes_per_vpe, 0.0);
+  EXPECT_TRUE(std::isfinite(snap.memory.bytes_per_vpe));
+  std::string error;
+  ASSERT_TRUE(nfv::util::json_parse(ingest.stats_json(), &error).has_value())
+      << error;
 }
 
 }  // namespace

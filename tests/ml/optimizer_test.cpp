@@ -96,6 +96,75 @@ TEST(Adam, RebindResetsState) {
   EXPECT_NEAR(p.value.at(0, 0) - before, 0.01f, 1e-4f);
 }
 
+TEST(Adam, FrozenParamMomentsSurviveUnfreezeAndRebind) {
+  // A parameter frozen from the start (transfer adaptation) must keep
+  // zero moments while the step counter advances on the live parameters;
+  // after unfreeze + rebind, its first step follows the closed form for
+  // zero moments at the SHARED (advanced) step count — not a fresh
+  // optimizer's t=1 step.
+  const float lr = 0.1f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  Param live = make_param(1.0f, 0.0f);
+  Param cold = make_param(1.0f, 0.0f);
+  Adam adam(lr, b1, b2, eps);
+  adam.bind({&live, &cold});
+  cold.frozen = true;
+  constexpr int kWarmSteps = 3;
+  for (int i = 0; i < kWarmSteps; ++i) {
+    live.grad.at(0, 0) = 1.0f;
+    cold.grad.at(0, 0) = 7.0f;  // must be zeroed, never applied
+    adam.step();
+    EXPECT_FLOAT_EQ(cold.value.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(cold.grad.at(0, 0), 0.0f);
+  }
+
+  cold.frozen = false;
+  adam.rebind({&live, &cold});  // same shapes: moments and t survive
+  const float g = 2.0f;
+  live.grad.at(0, 0) = 1.0f;
+  cold.grad.at(0, 0) = g;
+  const float before = cold.value.at(0, 0);
+  adam.step();  // shared step count is now kWarmSteps + 1
+  const auto t = static_cast<float>(kWarmSteps + 1);
+  const float bias1 = 1.0f - std::pow(b1, t);
+  const float bias2 = 1.0f - std::pow(b2, t);
+  const float m_hat = (1.0f - b1) * g / bias1;
+  const float v_hat = (1.0f - b2) * g * g / bias2;
+  const float expected = before - lr * m_hat / (std::sqrt(v_hat) + eps);
+  EXPECT_NEAR(cold.value.at(0, 0), expected, 1e-6f);
+  // Sanity: that differs measurably from a fresh optimizer's first step
+  // (which would move by ~lr regardless of the gradient scale).
+  EXPECT_GT(std::abs(std::abs(cold.value.at(0, 0) - before) - lr),
+            1e-3f);
+}
+
+TEST(Adam, RebindMidTrajectoryMatchesUnrebound) {
+  // rebind() on an unchanged parameter set must be a no-op for the
+  // optimization trajectory: moments and step count carry over exactly.
+  Param with_rebind = make_param(0.0f, 0.0f);
+  Param reference = make_param(0.0f, 0.0f);
+  Adam a(0.05f);
+  Adam b(0.05f);
+  a.bind({&with_rebind});
+  b.bind({&reference});
+  const auto grad_at = [](int i) {
+    return 0.5f + 0.25f * static_cast<float>(i % 3);
+  };
+  for (int i = 0; i < 4; ++i) {
+    with_rebind.grad.at(0, 0) = grad_at(i);
+    reference.grad.at(0, 0) = grad_at(i);
+    a.step();
+    b.step();
+  }
+  a.rebind({&with_rebind});
+  for (int i = 4; i < 8; ++i) {
+    with_rebind.grad.at(0, 0) = grad_at(i);
+    reference.grad.at(0, 0) = grad_at(i);
+    a.step();
+    b.step();
+  }
+  EXPECT_FLOAT_EQ(with_rebind.value.at(0, 0), reference.value.at(0, 0));
+}
+
 TEST(Optimizer, LearningRateAccessors) {
   Adam adam(0.02f);
   EXPECT_FLOAT_EQ(adam.learning_rate(), 0.02f);

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, an explicit pass over
 # the observability-labelled tests (latency histograms, runtime stats
-# snapshots, JSON round-trip), then a ThreadSanitizer pass over the
-# concurrency- and observability-labelled tests (thread pool, lock-free
+# snapshots, JSON round-trip), the continual-labelled tests (online
+# retrain update-shift scenario, per-epoch swap determinism, swap-storm
+# races, adapt unfreeze safety), then a ThreadSanitizer pass over the
+# concurrency-, observability- and continual-labelled tests (thread pool, lock-free
 # queues, the shared token arena's lock-free reader/registrar stress,
 # parallel-vs-serial pipeline determinism, shared-detector streaming,
 # the async-ingest determinism/backpressure/control-plane suite, and the
@@ -55,9 +57,12 @@ cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_logproc --target test_
 "$ROOT/build-asan/tests/test_logproc_alloc"
 "$ROOT/build-asan/tests/test_quant"
 
-echo "=== TSan: concurrency + observability labels ==="
+echo "=== continual learning: online retrain + hot swap + adapt safety ==="
+ctest --test-dir "$ROOT/build" -L continual --output-on-failure -j "$JOBS"
+
+echo "=== TSan: concurrency + observability + continual labels ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread
-cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency --target test_observability
-ctest --test-dir "$ROOT/build-tsan" -L 'concurrency|observability' --output-on-failure
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency --target test_observability --target test_continual
+ctest --test-dir "$ROOT/build-tsan" -L 'concurrency|observability|continual' --output-on-failure
 
 echo "ci.sh: all passes clean"

@@ -106,6 +106,14 @@ void usage() {
       "           [--stats-json FILE]   dump the runtime observability\n"
       "           snapshot (per-shard counters, ingest-to-scored latency\n"
       "           histograms, queue gauges) as JSON after the replay\n"
+      "           [--online-retrain 1]  continual learning: a background\n"
+      "           trainer samples the template stream, fine-tunes a\n"
+      "           shadow model (update / post-update adapt) and installs\n"
+      "           it via the epoch barrier — detection never stops\n"
+      "           [--retrain-interval N] retrain every N scored lines\n"
+      "           (default 50000; 0 = never on its own)\n"
+      "           [--retrain-samples N] per-shard recency-window sample\n"
+      "           budget for each retrain round (default 2048)\n"
       "common options:\n"
       "  --threads N   worker threads for training/scoring kernels\n"
       "                (default: NFVPRED_THREADS env, else all cores;\n"
@@ -304,6 +312,18 @@ int cmd_score(const Args& args) {
     ingest_config.flush_deadline =
         std::chrono::microseconds(args.get_long("flush-deadline", 2000));
     ingest_config.single_producer = true;
+    ingest_config.online_retrain = args.get_long("online-retrain", 0) != 0;
+    const long retrain_interval = args.get_long("retrain-interval", 50000);
+    const long retrain_samples = args.get_long("retrain-samples", 2048);
+    if (retrain_interval < 0 || retrain_samples < 1) {
+      std::cerr << "error: --retrain-interval must be >= 0 and"
+                   " --retrain-samples >= 1\n";
+      return 1;
+    }
+    ingest_config.retrain_interval_lines =
+        static_cast<std::uint64_t>(retrain_interval);
+    ingest_config.retrain_samples =
+        static_cast<std::size_t>(retrain_samples);
     core::AsyncIngest ingest(&detector, ingest_config);
     core::StreamMonitorConfig monitor_config;
     monitor_config.threshold = threshold;
@@ -314,25 +334,45 @@ int cmd_score(const Args& args) {
       ingest.submit(shard, line.time, line.text);
     }
     ingest.flush();
-    if (const auto stats_path = args.get("stats-json")) {
-      // flush() is an epoch barrier, so the snapshot's counters and
-      // latency buckets are exact for every submitted line — and the
-      // queue gauges still describe the live (not yet stopped) runtime.
+    const auto stats_path = args.get("stats-json");
+    const auto dump_stats = [&ingest, &stats_path]() -> bool {
       std::ofstream stats_out(*stats_path);
       if (!stats_out) {
         std::cerr << "error: cannot write " << *stats_path << "\n";
-        return 2;
+        return false;
       }
       stats_out << ingest.stats_json() << "\n";
       std::cerr << "wrote runtime stats to " << *stats_path << "\n";
+      return true;
+    };
+    if (stats_path && !ingest_config.online_retrain) {
+      // flush() is an epoch barrier, so the snapshot's counters and
+      // latency buckets are exact for every submitted line — and the
+      // queue gauges still describe the live (not yet stopped) runtime.
+      if (!dump_stats()) return 2;
     }
     ingest.stop();
+    if (stats_path && ingest_config.online_retrain) {
+      // With the trainer running, a pre-stop cut could catch a retrain
+      // round mid-flight (train_seconds advanced, rounds/swaps not yet);
+      // stop() joins the trainer, making the retrain block final.
+      if (!dump_stats()) return 2;
+    }
     std::vector<core::StreamWarning> warnings;
     ingest.drain_warnings(warnings);
     const core::AsyncIngestStats stats = ingest.stats();
     std::cout << "async ingest: " << stats.lines_scored << " lines over "
               << ingest.workers() << " worker(s); threshold " << threshold
               << " (q=" << q << ")\n";
+    if (ingest_config.online_retrain) {
+      const core::RetrainStats retrain = ingest.snapshot().retrain;
+      std::cout << "online retrain: " << retrain.rounds << " round(s), "
+                << retrain.adapt_rounds << " adapt, " << retrain.swaps
+                << " model swap(s), " << retrain.samples_seen
+                << " sampled events (" << retrain.samples_dropped
+                << " dropped), " << retrain.train_seconds
+                << "s shadow training\n";
+    }
     std::cout << warnings.size() << " warning signature(s):\n";
     for (const auto& warning : warnings) {
       std::cout << "  t=" << warning.time.seconds
