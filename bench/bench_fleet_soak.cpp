@@ -4,16 +4,22 @@
 // The paper validates on 38 vPEs (§2); the production target is a box
 // multiplexing thousands of monitors, where per-vPE MEMORY — not per-line
 // CPU — is the scaling wall. Every shard mines raw rendered syslog from
-// the shared simnet TemplateCatalog, so the fleet token set overlaps
-// almost completely across vPEs: exactly the workload the shared token
-// arena (util::SharedInterner) exists for. This bench measures, per
-// {vpes, arena, quantize} configuration:
+// the shared simnet TemplateCatalog, so the fleet token set AND
+// template set overlap almost completely across vPEs: exactly the
+// workload the shared token arena (util::SharedInterner) and the shared
+// signature forest (logproc::SharedSignatureForest, cross-vPE template
+// dedup with copy-on-write divergence) exist for. This bench measures,
+// per {vpes, sharing tier, quantize, stagger} configuration:
 //   - sustained lines/sec over the submit -> flush soak window,
-//   - bytes/vPE from the runtime's fleet memory stats (arena counted
-//     once + per-shard tree bytes), shared arena vs the fully-private
-//     pre-arena baseline — both rows land in the JSON,
+//   - bytes/vPE from the runtime's fleet memory stats (arena + forest
+//     counted once + per-shard tree bytes) across the three sharing
+//     tiers: fully private, shared arena, arena + forest; plus a
+//     per-row breakdown (per-vPE tree bytes vs amortized shared bytes
+//     vs amortized model bytes). All tiers' rows land in the JSON,
 //   - warning latency p50/p99/p999 (ingest -> scored, µs) from the
-//     runtime's per-shard histograms,
+//     runtime's per-shard histograms, with and without the staggered
+//     per-worker flush deadlines (the stagger-off row pins the tail
+//     cost of the whole fleet hitting its deadline in phase),
 //   - model bytes (fp32 vs --quantize int8 sidecar from the quant tier).
 // and proves determinism at scale: per-vPE warning streams are compared
 // byte-for-byte against a serial StreamMonitor replay at the FULL vPE
@@ -24,8 +30,9 @@
 // Modes:
 //   --json FILE   full soak (1k and 10k vPE rows) → BENCH_soak.json
 //   --smoke       fast CI gate: small fleet; asserts warning parity with
-//                 the serial replay at 2 worker counts AND that the
-//                 shared arena cuts bytes/vPE vs the private baseline
+//                 the serial replay at 2 worker counts AND that each
+//                 sharing tier cuts bytes/vPE over the previous one:
+//                 arena + forest < shared arena < private baseline
 //   --vpes N      replace the default 1k/10k row scales with a single N
 //                 (local iteration; acceptance runs use the default)
 #include <algorithm>
@@ -166,6 +173,19 @@ core::StreamMonitorConfig monitor_config(const Workload& w) {
   return config;
 }
 
+/// The three sharing tiers under measurement, strictly ordered by how
+/// much fleet state is deduped: nothing / token arena / arena + forest.
+enum class Sharing { kPrivate, kArena, kForest };
+
+const char* sharing_name(Sharing sharing) {
+  switch (sharing) {
+    case Sharing::kPrivate: return "private";
+    case Sharing::kArena: return "arena";
+    case Sharing::kForest: return "arena+forest";
+  }
+  return "?";
+}
+
 struct SoakResult {
   double lines_per_sec = 0.0;
   std::size_t total_lines = 0;
@@ -183,13 +203,15 @@ struct SoakResult {
 /// read the epoch-consistent stats cut, stop, drain.
 SoakResult run_soak(const Workload& w, const core::AnomalyDetector& detector,
                     std::size_t vpes, std::size_t lines_per_vpe,
-                    std::size_t workers, bool shared_arena) {
+                    std::size_t workers, Sharing sharing, bool stagger) {
   core::AsyncIngestConfig config;
   config.workers = workers;
   config.flush_batch = 64;
   config.flush_deadline = std::chrono::microseconds(2000);
+  config.stagger_flush = stagger;
   config.single_producer = true;
-  config.share_token_arena = shared_arena;
+  config.share_token_arena = sharing != Sharing::kPrivate;
+  config.share_template_forest = sharing == Sharing::kForest;
   core::AsyncIngest ingest(&detector, config);
   for (std::size_t v = 0; v < vpes; ++v) {
     const std::size_t shard =
@@ -277,11 +299,34 @@ struct Row {
   std::size_t vpes = 0;
   std::size_t lines_per_vpe = 0;
   std::size_t workers = 0;
-  bool shared_arena = false;
+  Sharing sharing = Sharing::kPrivate;
+  bool stagger = true;
   bool quantize = false;
   bool parity_checked = false;
   SoakResult result;
 };
+
+/// Per-vPE bytes of one component of the row's footprint; shared and
+/// model bytes are amortized over the fleet (counted once, divided by
+/// the vPE count), mirroring how FleetMemoryStats::bytes_per_vpe is
+/// built. Together the three components decompose bytes/vPE + model.
+double per_vpe(const Row& row, std::uint64_t fleet_bytes) {
+  return static_cast<double>(fleet_bytes) / static_cast<double>(row.vpes);
+}
+
+double tree_bytes_per_vpe(const Row& row) {
+  return per_vpe(row, row.result.memory.tree_bytes_total);
+}
+
+double shared_bytes_per_vpe(const Row& row) {
+  return per_vpe(row,
+                 row.result.memory.arena_bytes + row.result.memory.forest_bytes);
+}
+
+double model_bytes_per_vpe(const Row& row) {
+  return per_vpe(row, row.quantize ? row.result.model_bytes_quantized
+                                   : row.result.model_bytes_fp32);
+}
 
 void write_row(util::JsonWriter& w, const Row& row) {
   w.begin_object();
@@ -289,12 +334,20 @@ void write_row(util::JsonWriter& w, const Row& row) {
   w.kv("lines_per_vpe", row.lines_per_vpe);
   w.kv("total_lines", row.result.total_lines);
   w.kv("workers", row.workers);
-  w.kv("arena", row.shared_arena ? "shared" : "private");
+  w.kv("sharing", sharing_name(row.sharing));
+  w.kv("stagger_flush", row.stagger);
   w.kv("quantize", row.quantize);
   w.kv("lines_per_sec", row.result.lines_per_sec);
   w.kv("bytes_per_vpe", row.result.memory.bytes_per_vpe);
+  // The bytes/vPE breakdown: private tree state vs the amortized shared
+  // structures (arena + forest) vs the amortized model.
+  w.kv("bytes_per_vpe_tree", tree_bytes_per_vpe(row));
+  w.kv("bytes_per_vpe_shared", shared_bytes_per_vpe(row));
+  w.kv("bytes_per_vpe_model", model_bytes_per_vpe(row));
   w.kv("arena_bytes", row.result.memory.arena_bytes);
   w.kv("arena_tokens", row.result.memory.arena_tokens);
+  w.kv("forest_bytes", row.result.memory.forest_bytes);
+  w.kv("forest_templates", row.result.memory.forest_templates);
   w.kv("tree_bytes_total", row.result.memory.tree_bytes_total);
   w.kv("tree_bytes_max", row.result.memory.tree_bytes_max);
   w.kv("model_bytes_fp32", row.result.model_bytes_fp32);
@@ -308,14 +361,15 @@ void write_row(util::JsonWriter& w, const Row& row) {
 }
 
 void log_row(const Row& row) {
-  std::cerr << "vpes=" << row.vpes << " arena="
-            << (row.shared_arena ? "shared" : "private")
-            << (row.quantize ? " quantized" : "") << " workers=" << row.workers
-            << ": " << row.result.lines_per_sec << " lines/s, "
+  std::cerr << "vpes=" << row.vpes << " sharing=" << sharing_name(row.sharing)
+            << (row.quantize ? " quantized" : "")
+            << (row.stagger ? "" : " stagger=off") << " workers="
+            << row.workers << ": " << row.result.lines_per_sec << " lines/s, "
             << row.result.memory.bytes_per_vpe << " bytes/vPE ("
-            << row.result.memory.arena_bytes << " arena + "
-            << row.result.memory.tree_bytes_total << " trees), p99="
-            << row.result.latency_p99_us << "us, " << row.result.warnings
+            << tree_bytes_per_vpe(row) << " tree + "
+            << shared_bytes_per_vpe(row) << " shared), p99="
+            << row.result.latency_p99_us << "us, p999="
+            << row.result.latency_p999_us << "us, " << row.result.warnings
             << " warnings\n";
 }
 
@@ -331,32 +385,54 @@ int run_smoke() {
     return 1;
   }
 
-  SoakResult shared1;
+  // The forest tier must hold warning parity at multiple worker counts —
+  // template storage location can never leak into scores.
+  SoakResult forest1;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
-    SoakResult r = run_soak(w, w.detector, kVpes, kLines, workers, true);
+    SoakResult r =
+        run_soak(w, w.detector, kVpes, kLines, workers, Sharing::kForest, true);
     if (!same_warnings(serial, r.merged,
-                       "shared arena workers=" + std::to_string(workers))) {
+                       "arena+forest workers=" + std::to_string(workers))) {
       return 1;
     }
-    if (workers == 1) shared1 = std::move(r);
+    if (workers == 1) forest1 = std::move(r);
   }
-  const SoakResult priv = run_soak(w, w.detector, kVpes, kLines, 1, false);
-  if (!same_warnings(serial, priv.merged, "private arena workers=1")) {
+  const SoakResult arena1 =
+      run_soak(w, w.detector, kVpes, kLines, 1, Sharing::kArena, true);
+  if (!same_warnings(serial, arena1.merged, "shared arena workers=1")) {
+    return 1;
+  }
+  const SoakResult priv =
+      run_soak(w, w.detector, kVpes, kLines, 1, Sharing::kPrivate, true);
+  if (!same_warnings(serial, priv.merged, "private workers=1")) {
     return 1;
   }
 
-  // bytes/vPE regression gate: the shared arena must beat the private
-  // baseline even with the arena's own bytes charged against it.
-  if (!(shared1.memory.bytes_per_vpe < priv.memory.bytes_per_vpe)) {
-    std::cerr << "smoke: shared arena bytes/vPE (" << shared1.memory.bytes_per_vpe
+  // bytes/vPE regression gates: each sharing tier must beat the previous
+  // one even with the shared structures' own bytes charged against it.
+  if (!(arena1.memory.bytes_per_vpe < priv.memory.bytes_per_vpe)) {
+    std::cerr << "smoke: shared arena bytes/vPE (" << arena1.memory.bytes_per_vpe
               << ") did not beat private baseline ("
               << priv.memory.bytes_per_vpe << ")\n";
     return 1;
   }
+  if (!(forest1.memory.bytes_per_vpe < arena1.memory.bytes_per_vpe)) {
+    std::cerr << "smoke: arena+forest bytes/vPE ("
+              << forest1.memory.bytes_per_vpe
+              << ") did not beat arena-only (" << arena1.memory.bytes_per_vpe
+              << ")\n";
+    return 1;
+  }
+  if (forest1.memory.forest_templates == 0) {
+    std::cerr << "smoke: forest row published no templates (vacuous)\n";
+    return 1;
+  }
   std::cerr << "smoke ok: " << serial.size() << " warnings identical across "
-            << "serial and async (1 and 3 workers, shared and private "
-            << "arena); bytes/vPE " << shared1.memory.bytes_per_vpe
-            << " shared vs " << priv.memory.bytes_per_vpe << " private\n";
+            << "serial and async (1 and 3 workers; private, arena and "
+            << "arena+forest tiers); bytes/vPE "
+            << forest1.memory.bytes_per_vpe << " forest < "
+            << arena1.memory.bytes_per_vpe << " arena < "
+            << priv.memory.bytes_per_vpe << " private\n";
   return 0;
 }
 
@@ -388,8 +464,8 @@ int run_json_mode(const std::string& path, std::size_t vpes_override) {
       return 1;
     }
 
-    const auto add_row = [&](std::size_t workers, bool shared_arena,
-                             bool quantize) {
+    const auto add_row = [&](std::size_t workers, Sharing sharing,
+                             bool stagger, bool quantize) {
       const core::AnomalyDetector& det =
           quantize ? static_cast<const core::AnomalyDetector&>(
                          w.detector_quantized)
@@ -398,48 +474,67 @@ int run_json_mode(const std::string& path, std::size_t vpes_override) {
       row.vpes = scale.vpes;
       row.lines_per_vpe = scale.lines_per_vpe;
       row.workers = workers;
-      row.shared_arena = shared_arena;
+      row.sharing = sharing;
+      row.stagger = stagger;
       row.quantize = quantize;
       row.result = run_soak(w, det, scale.vpes, scale.lines_per_vpe, workers,
-                            shared_arena);
+                            sharing, stagger);
       // Quantized scoring legitimately shifts scores; parity is pinned on
       // the fp32 rows (the quant tier has its own rank-agreement gate).
+      // Stagger rows ARE parity-checked: flush phase can never move a
+      // warning, only its latency.
       if (!quantize) {
         row.parity_checked = true;
         parity_ok =
             same_warnings(serial, row.result.merged,
-                          "vpes=" + std::to_string(scale.vpes) + " arena=" +
-                              (shared_arena ? "shared" : "private") +
-                              " workers=" + std::to_string(workers)) &&
+                          "vpes=" + std::to_string(scale.vpes) + " sharing=" +
+                              sharing_name(sharing) +
+                              " workers=" + std::to_string(workers) +
+                              (stagger ? "" : " stagger=off")) &&
             parity_ok;
       }
       log_row(row);
       rows.push_back(std::move(row));
     };
 
-    add_row(1, false, false);  // private baseline
-    add_row(1, true, false);   // shared arena
-    add_row(4, true, false);   // shared arena, different worker count
-    if (scale.vpes <= 1000) {
-      add_row(1, true, true);  // shared arena + int8 scoring
-    }
+    add_row(1, Sharing::kPrivate, true, false);  // pre-sharing baseline
+    add_row(1, Sharing::kArena, true, false);    // token arena only
+    add_row(1, Sharing::kForest, true, false);   // arena + template forest
+    add_row(4, Sharing::kForest, true, false);   // forest, multi-worker
+    // Stagger-off twin of the multi-worker forest row: same work, flush
+    // deadlines all in phase — the p99/p999 delta is the stagger win.
+    add_row(4, Sharing::kForest, false, false);
+    // The full stack: int8 scoring over the shared arena + forest.
+    add_row(1, Sharing::kForest, true, true);
   }
   if (!parity_ok) return 1;
 
-  // Both bytes/vPE figures are in the JSON; also enforce the cut here so
-  // a regression cannot silently ship numbers where shared >= private.
+  // All three bytes/vPE figures are in the JSON; also enforce the cuts
+  // here so a regression cannot silently ship numbers where a sharing
+  // tier fails to pay for itself.
   for (const Scale scale : scales) {
-    double shared_bpv = -1.0, private_bpv = -1.0;
+    double forest_bpv = -1.0, arena_bpv = -1.0, private_bpv = -1.0;
     for (const Row& row : rows) {
-      if (row.vpes != scale.vpes || row.quantize || row.workers != 1) continue;
-      (row.shared_arena ? shared_bpv : private_bpv) =
-          row.result.memory.bytes_per_vpe;
+      if (row.vpes != scale.vpes || row.quantize || row.workers != 1 ||
+          !row.stagger) {
+        continue;
+      }
+      switch (row.sharing) {
+        case Sharing::kPrivate: private_bpv = row.result.memory.bytes_per_vpe; break;
+        case Sharing::kArena: arena_bpv = row.result.memory.bytes_per_vpe; break;
+        case Sharing::kForest: forest_bpv = row.result.memory.bytes_per_vpe; break;
+      }
     }
-    if (!(shared_bpv >= 0.0 && private_bpv >= 0.0 &&
-          shared_bpv < private_bpv)) {
-      std::cerr << "soak: shared arena bytes/vPE (" << shared_bpv
+    if (!(arena_bpv >= 0.0 && private_bpv >= 0.0 && arena_bpv < private_bpv)) {
+      std::cerr << "soak: shared arena bytes/vPE (" << arena_bpv
                 << ") did not beat private baseline (" << private_bpv
                 << ") at " << scale.vpes << " vPEs\n";
+      return 1;
+    }
+    if (!(forest_bpv >= 0.0 && forest_bpv < arena_bpv)) {
+      std::cerr << "soak: arena+forest bytes/vPE (" << forest_bpv
+                << ") did not beat arena-only (" << arena_bpv << ") at "
+                << scale.vpes << " vPEs\n";
       return 1;
     }
   }

@@ -254,7 +254,7 @@ int run_smoke() {
     if (reference.signatures()[i].pattern() !=
             fast.pattern(static_cast<std::int32_t>(i)) ||
         reference.signatures()[i].match_count !=
-            fast.signatures()[i].match_count) {
+            fast.match_count(static_cast<std::int32_t>(i))) {
       std::cerr << "smoke: template " << i << " diverges\n";
       return 1;
     }

@@ -39,9 +39,10 @@ int main() {
   for (const char* line : raw_lines) tree.learn(line);
 
   util::Table mined({"id", "hits", "template"}, "mined signatures");
-  for (const auto& sig : tree.signatures()) {
-    mined.add_row({std::to_string(sig.id), std::to_string(sig.match_count),
-                   tree.pattern(sig.id)});
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    mined.add_row({std::to_string(id), std::to_string(tree.match_count(id)),
+                   tree.pattern(id)});
   }
   mined.print(std::cout);
 

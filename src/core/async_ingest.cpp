@@ -47,6 +47,10 @@ AsyncIngest::AsyncIngest(const AnomalyDetector* detector,
   NFV_CHECK(config_.queue_capacity >= 1, "queue_capacity must be >= 1");
   if (config_.share_token_arena) {
     token_arena_ = std::make_unique<nfv::util::SharedInterner>();
+    if (config_.share_template_forest) {
+      template_forest_ =
+          std::make_unique<logproc::SharedSignatureForest>(token_arena_.get());
+    }
   }
   model_mem_ = detector->model_memory();
 }
@@ -62,7 +66,8 @@ std::size_t AsyncIngest::add_shard(std::int32_t vpe,
   shard->vpe = vpe;
   shard->index = shards_.size();
   shard->tree = std::make_unique<logproc::SignatureTree>(
-      logproc::SignatureTreeConfig{}, token_arena_.get());
+      logproc::SignatureTreeConfig{}, token_arena_.get(),
+      template_forest_.get());
   Shard* raw = shard.get();
   shard->monitor = std::make_unique<StreamMonitor>(
       vpe, detector_.load(std::memory_order_relaxed), shard->tree.get(),
@@ -480,15 +485,22 @@ RuntimeStatsSnapshot AsyncIngest::snapshot() const {
   snap.warning_queue.capacity = warning_queue_.capacity();
   snap.warning_queue.stalls = warning_queue_.stall_count();
 
-  // Fleet memory cut: the arena is read directly (its byte counters are
-  // atomics), per-shard tree bytes come from the seqlock-published slots
-  // above — so the aggregate is consistent with the per-shard rows.
+  // Fleet memory cut: the arena and forest are read directly (their byte
+  // counters are atomics) and counted ONCE fleet-wide, per-shard tree
+  // bytes come from the seqlock-published slots above — so the aggregate
+  // is consistent with the per-shard rows and shared structures are
+  // never re-summed per shard.
   FleetMemoryStats& mem = snap.memory;
   mem.shards = shards_.size();
   mem.shared_arena = token_arena_ != nullptr;
   if (token_arena_ != nullptr) {
     mem.arena_bytes = token_arena_->bytes();
     mem.arena_tokens = token_arena_->size();
+  }
+  mem.shared_forest = template_forest_ != nullptr;
+  if (template_forest_ != nullptr) {
+    mem.forest_bytes = template_forest_->bytes();
+    mem.forest_templates = template_forest_->size();
   }
   for (const ShardStatsSnapshot& sh : snap.shards) {
     mem.tree_bytes_total += sh.tree_bytes;
@@ -513,6 +525,20 @@ RuntimeStatsSnapshot AsyncIngest::snapshot() const {
 void AsyncIngest::worker_loop(std::size_t index) {
   Worker& worker = *workers_[index];
   const bool instrument = config_.instrument;
+  // Staggered flush deadline: a deterministic per-worker phase offset
+  // (worker w waits deadline * (1 + w/workers)) decorrelates the
+  // workers' deadline flushes — without it every worker's micro-batch
+  // ripens in lockstep and the aligned flush bursts drive the p99/p999
+  // queue-residency cliff at high shard counts under one core. The
+  // deadline never affects scores or warnings, so neither does this.
+  const std::chrono::microseconds flush_deadline =
+      config_.stagger_flush && worker_count_ > 1 &&
+              config_.flush_deadline.count() > 0
+          ? config_.flush_deadline +
+                (config_.flush_deadline *
+                 static_cast<std::int64_t>(index)) /
+                    static_cast<std::int64_t>(worker_count_)
+          : config_.flush_deadline;
 
   // Per-worker micro-batching group over this worker's shards only.
   const AnomalyDetector* detector = detector_.load(std::memory_order_acquire);
@@ -703,8 +729,8 @@ void AsyncIngest::worker_loop(std::size_t index) {
     // flush immediately for minimum latency; batching then only engages
     // under backlog).
     if (staged > 0 &&
-        (config_.flush_deadline.count() <= 0 ||
-         Clock::now() - batch_start >= config_.flush_deadline)) {
+        (flush_deadline.count() <= 0 ||
+         Clock::now() - batch_start >= flush_deadline)) {
       flush_group();
       continue;
     }

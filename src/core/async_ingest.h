@@ -151,6 +151,13 @@ struct AsyncIngestConfig {
   /// line while the queue is idle (0 = flush whenever the queue is empty).
   /// Neither trigger affects scores or warnings, only latency/GEMM size.
   std::chrono::microseconds flush_deadline{2000};
+  /// Stagger each worker's flush deadline by a deterministic phase offset
+  /// (worker w waits flush_deadline * (1 + w/workers)), so at high shard
+  /// counts the workers' deadline flushes decorrelate instead of firing
+  /// in lockstep — the aligned bursts are what drove the p99/p999
+  /// queue-residency cliff at 10k shards under one core. Deadlines never
+  /// affect scores or warnings, so neither does the stagger.
+  bool stagger_flush = true;
   /// Bounded capacity of the warning queue. Overflowing warnings spill
   /// losslessly (and still in per-vPE order) into per-worker buffers, so
   /// an undrained caller never blocks or crashes the workers.
@@ -172,6 +179,16 @@ struct AsyncIngestConfig {
   /// the fully-private pre-arena layout (the bytes/vPE baseline in
   /// bench_fleet_soak).
   bool share_token_arena = true;
+  /// All shards additionally share one read-mostly template forest
+  /// (logproc::SharedSignatureForest): templates whose token ids are all
+  /// shared-arena ids are stored once fleet-wide as immutable nodes with
+  /// fleet-stable node ids, and each shard tree keeps only a 16-byte
+  /// entry (match count + node id) plus a copy-on-write private range
+  /// for diverging templates. Warning streams are unaffected (pinned by
+  /// miner_equivalence_test and the async determinism tests). Effective
+  /// only when share_token_arena is also set — the forest's node
+  /// sequences are only meaningful over a fleet-wide token id space.
+  bool share_template_forest = true;
   /// Online continual learning: run the background trainer thread (see
   /// the file comment). Requires the detector passed to the constructor
   /// to be an LstmDetector (checked at start()).
@@ -323,6 +340,13 @@ class AsyncIngest {
   const nfv::util::SharedInterner* token_arena() const {
     return token_arena_.get();
   }
+  /// The fleet-wide template forest every shard tree delegates template
+  /// storage to, or nullptr when share_template_forest (or the arena it
+  /// requires) is off. Safe to read from any thread (lock-free reader
+  /// contract in logproc/shared_forest.h).
+  const logproc::SharedSignatureForest* template_forest() const {
+    return template_forest_.get();
+  }
   AsyncIngestStats stats() const;
 
  private:
@@ -422,10 +446,13 @@ class AsyncIngest {
 
   std::atomic<const AnomalyDetector*> detector_;
   AsyncIngestConfig config_;
-  // Fleet-wide token arena (share_token_arena); created before any shard
-  // tree and destroyed after them (member order), satisfying the arena-
-  // outlives-trees contract.
+  // Fleet-wide token arena (share_token_arena) and template forest
+  // (share_template_forest); created before any shard tree and destroyed
+  // after them (member order), satisfying the arena/forest-outlive-trees
+  // contract. The forest is declared after the arena it references, so
+  // it is destroyed first.
   std::unique_ptr<nfv::util::SharedInterner> token_arena_;
+  std::unique_ptr<logproc::SharedSignatureForest> template_forest_;
   std::size_t worker_count_ = 0;
   bool started_ = false;
   bool stopped_ = false;

@@ -62,9 +62,11 @@ double HistogramSnapshot::quantile(double q) const {
 
 void FleetMemoryStats::finalize_bytes_per_vpe() {
   bytes_per_vpe =
-      shards == 0 ? 0.0
-                  : static_cast<double>(arena_bytes + tree_bytes_total) /
-                        static_cast<double>(shards);
+      shards == 0
+          ? 0.0
+          : static_cast<double>(arena_bytes + forest_bytes +
+                                tree_bytes_total) /
+                static_cast<double>(shards);
 }
 
 HistogramSnapshot RuntimeStatsSnapshot::merged_latency() const {
@@ -160,6 +162,9 @@ std::string to_json(const RuntimeStatsSnapshot& snapshot) {
   w.kv("shared_arena", snapshot.memory.shared_arena);
   w.kv("arena_bytes", snapshot.memory.arena_bytes);
   w.kv("arena_tokens", snapshot.memory.arena_tokens);
+  w.kv("shared_forest", snapshot.memory.shared_forest);
+  w.kv("forest_bytes", snapshot.memory.forest_bytes);
+  w.kv("forest_templates", snapshot.memory.forest_templates);
   w.kv("tree_bytes_total", snapshot.memory.tree_bytes_total);
   w.kv("tree_bytes_max", snapshot.memory.tree_bytes_max);
   w.kv("shards", snapshot.memory.shards);

@@ -123,16 +123,22 @@ struct RuntimeTotals {
   std::uint64_t rejected_submits = 0;
 };
 
-/// Fleet-level memory aggregates over the token side of the runtime: the
-/// shared arena (counted ONCE, however many vPEs resolve against it) plus
-/// the sum/max of per-shard tree bytes. bytes_per_vpe is the soak bench's
-/// headline figure: (arena + sum of tree bytes) / shards — model weights
-/// are reported separately in the per-shard ModelMemoryStats block (also
+/// Fleet-level memory aggregates over the template-mining side of the
+/// runtime: the shared token arena and shared template forest (each
+/// counted ONCE, however many vPEs resolve against them — never
+/// re-summed per shard) plus the sum/max of per-shard tree bytes (whose
+/// memory_bytes() deliberately exclude the shared structures).
+/// bytes_per_vpe is the soak bench's headline figure:
+/// (arena + forest + sum of tree bytes) / shards — model weights are
+/// reported separately in the per-shard ModelMemoryStats block (also
 /// shared fleet-wide, so adding them here would double-count per vPE).
 struct FleetMemoryStats {
   bool shared_arena = false;       // share_token_arena was on
   std::uint64_t arena_bytes = 0;   // 0 when shared_arena is false
   std::uint64_t arena_tokens = 0;
+  bool shared_forest = false;       // share_template_forest was effective
+  std::uint64_t forest_bytes = 0;   // 0 when shared_forest is false
+  std::uint64_t forest_templates = 0;
   std::uint64_t tree_bytes_total = 0;  // sum over shards
   std::uint64_t tree_bytes_max = 0;    // worst shard
   std::uint64_t shards = 0;

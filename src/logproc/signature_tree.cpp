@@ -11,25 +11,35 @@ namespace {
 /// wildcard in the constructor, so it is always 1).
 constexpr std::uint32_t kEmptyTokenId = 1;
 
-}  // namespace
+constexpr std::size_t kInitialLeafSlots = 64;  // power of two
 
-std::size_t SignatureTree::LeafKeyHash::operator()(std::uint64_t key) const {
-  // splitmix64 finalizer; libstdc++'s identity hash would feed strided
-  // (count << 32 | head) keys straight into the bucket index.
+/// splitmix64 over the packed (token count, head id) leaf key, so the
+/// per-line leaf probe hashes two integers instead of a std::string.
+inline std::uint64_t leaf_hash(std::uint64_t key) {
   key ^= key >> 30;
   key *= 0xBF58476D1CE4E5B9ull;
   key ^= key >> 27;
   key *= 0x94D049BB133111EBull;
   key ^= key >> 31;
-  return static_cast<std::size_t>(key);
+  return key;
 }
 
+}  // namespace
+
 SignatureTree::SignatureTree(SignatureTreeConfig config,
-                             nfv::util::SharedInterner* shared_tokens)
-    : config_(config), interner_(shared_tokens) {
+                             nfv::util::SharedInterner* shared_tokens,
+                             SharedSignatureForest* forest)
+    : config_(config),
+      interner_(forest != nullptr && shared_tokens == nullptr
+                    ? forest->arena()
+                    : shared_tokens),
+      forest_(forest) {
   NFV_CHECK(config.merge_threshold > 0.0 && config.merge_threshold <= 1.0,
             "merge_threshold must be in (0, 1]");
   NFV_CHECK(config.max_signatures > 0, "max_signatures must be positive");
+  NFV_CHECK(forest == nullptr || shared_tokens == nullptr ||
+                shared_tokens == forest->arena(),
+            "tree's token arena must be its forest's arena");
   // In shared mode these resolve against the arena (which pre-interns
   // them); privately they are the first two admissions. Either way the
   // reserved ids hold.
@@ -37,34 +47,81 @@ SignatureTree::SignatureTree(SignatureTreeConfig config,
   NFV_CHECK(wildcard == kWildcardTokenId, "wildcard must intern to id 0");
   const std::uint32_t empty = interner_.intern("<empty>");
   NFV_CHECK(empty == kEmptyTokenId, "<empty> must intern to id 1");
+  leaf_slots_.resize(kInitialLeafSlots);
+  leaf_mask_ = kInitialLeafSlots - 1;
+}
+
+std::size_t SignatureTree::checked_index(std::int32_t id) const {
+  NFV_CHECK(id >= 0 && static_cast<std::size_t>(id) < sigs_.size(),
+            "unknown template id " << id);
+  return static_cast<std::size_t>(id);
+}
+
+SignatureTree::TokenSpan SignatureTree::node_tokens(
+    std::uint32_t node) const {
+  if (node >= kPrivateNodeBase) {
+    const NodeRef& ref = private_nodes_[node - kPrivateNodeBase];
+    return TokenSpan{private_words_.data() + ref.offset, ref.length};
+  }
+  const nfv::util::SharedSeqInterner::Seq seq = forest_->view(node);
+  return TokenSpan{seq.data, seq.length};
+}
+
+std::uint32_t SignatureTree::store_node(
+    const std::vector<std::uint32_t>& ids) {
+  if (forest_ != nullptr) {
+    // Sequences over privately-spilled token ids are tree-local by
+    // definition and must never be published fleet-wide.
+    bool shareable = true;
+    for (const std::uint32_t t : ids) {
+      if (t >= nfv::util::ScopedInterner::kPrivateBase) {
+        shareable = false;
+        break;
+      }
+    }
+    if (shareable) {
+      const std::uint32_t node = forest_->intern(ids.data(), ids.size());
+      if (node != SharedSignatureForest::kNotFound) return node;
+    }
+  }
+  NFV_CHECK(private_words_.size() + ids.size() <= 0xFFFFFFFFull &&
+                private_nodes_.size() < kPrivateNodeBase,
+            "private template pool exhausted");
+  NodeRef ref;
+  ref.offset = static_cast<std::uint32_t>(private_words_.size());
+  ref.length = static_cast<std::uint32_t>(ids.size());
+  private_words_.insert(private_words_.end(), ids.begin(), ids.end());
+  private_nodes_.push_back(ref);
+  return kPrivateNodeBase +
+         static_cast<std::uint32_t>(private_nodes_.size() - 1);
 }
 
 std::string SignatureTree::pattern(std::int32_t id) const {
-  NFV_CHECK(id >= 0 && static_cast<std::size_t>(id) < signatures_.size(),
-            "pattern(): unknown template id " << id);
-  const Signature& sig = signatures_[static_cast<std::size_t>(id)];
+  const TokenSpan toks = node_tokens(sigs_[checked_index(id)].node);
   std::string out;
-  for (std::size_t i = 0; i < sig.tokens.size(); ++i) {
+  for (std::size_t i = 0; i < toks.size; ++i) {
     if (i > 0) out += ' ';
-    out += token_text(sig.tokens[i]);
+    out += token_text(toks.data[i]);
   }
   return out;
 }
 
 std::size_t SignatureTree::memory_bytes() const {
-  // O(1) estimate from capacities and running totals; close enough for
-  // the bytes/vPE fleet accounting (it tracks the dominant vectors and
-  // tables, not allocator slack).
+  // O(1) estimate from capacities; close enough for the bytes/vPE fleet
+  // accounting (it tracks the dominant vectors and tables, not allocator
+  // slack). Forest-backed template sequences cost this tree nothing —
+  // the forest reports its bytes once per fleet.
   const std::size_t signature_bytes =
-      signatures_.capacity() * sizeof(Signature) +
-      signature_token_count_ * sizeof(std::uint32_t);
+      sigs_.capacity() * sizeof(SigEntry) +
+      private_words_.capacity() * sizeof(std::uint32_t) +
+      private_nodes_.capacity() * sizeof(NodeRef);
   const std::size_t leaf_bytes =
-      leaves_.bucket_count() * (sizeof(void*) + sizeof(std::uint64_t)) +
-      leaves_.size() * (sizeof(std::uint64_t) + sizeof(Leaf) + 2 * sizeof(void*)) +
-      signatures_.size() * sizeof(std::int32_t);
+      leaf_slots_.capacity() * sizeof(LeafSlot) +
+      leaf_chain_.capacity() * sizeof(std::pair<std::int32_t, std::int32_t>);
   const std::size_t scratch_bytes =
       spans_.capacity() * sizeof(std::string_view) + variable_.capacity() +
-      line_ids_.capacity() * sizeof(std::uint32_t);
+      line_ids_.capacity() * sizeof(std::uint32_t) +
+      gen_ids_.capacity() * sizeof(std::uint32_t);
   return interner_.private_bytes() + signature_bytes + leaf_bytes +
          scratch_bytes;
 }
@@ -81,26 +138,26 @@ std::uint32_t SignatureTree::head_id() const {
   return interner_.find_hashed(spans_[0], head_hash_);
 }
 
-double SignatureTree::similarity_to_line(const Signature& sig) const {
+double SignatureTree::similarity_to_line(const SigEntry& sig) const {
+  const TokenSpan toks = node_tokens(sig.node);
   // Same-count is guaranteed by the leaf key, but keep the guard so a
   // corrupt tree degrades to "no match" instead of out-of-bounds reads.
   const std::size_t n = line_token_count();
-  if (sig.tokens.size() != n) return 0.0;
+  if (toks.size != n) return 0.0;
   if (spans_.empty()) {
     // Placeholder line "<empty>": matches a wildcard or itself.
-    return sig.tokens[0] == kWildcardTokenId ||
-                   sig.tokens[0] == kEmptyTokenId
+    return toks.data[0] == kWildcardTokenId || toks.data[0] == kEmptyTokenId
                ? 1.0
                : 0.0;
   }
-  // A position matches when the signature holds the wildcard there, or
+  // A position matches when the template holds the wildcard there, or
   // when its interned text equals the line's span (a variable line token
   // is masked to "<*>" in the reference miner, so it can only match a
   // wildcard). Comparing text in place keeps the per-line interner
   // traffic to the single head probe.
   std::size_t matched = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t t = sig.tokens[i];
+    const std::uint32_t t = toks.data[i];
     matched += static_cast<std::size_t>(
         t == kWildcardTokenId ||
         (variable_[i] == 0 && interner_.view(t) == spans_[i]));
@@ -108,22 +165,134 @@ double SignatureTree::similarity_to_line(const Signature& sig) const {
   return static_cast<double>(matched) / static_cast<double>(n);
 }
 
+void SignatureTree::generalize_to_line(SigEntry& sig) {
+  if (sig.node >= kPrivateNodeBase) {
+    // Private node: 1:1 with this template, mutate in place (identical
+    // to the pre-forest behavior).
+    const NodeRef& ref = private_nodes_[sig.node - kPrivateNodeBase];
+    std::uint32_t* toks = private_words_.data() + ref.offset;
+    if (spans_.empty()) {
+      if (toks[0] != kWildcardTokenId && toks[0] != kEmptyTokenId) {
+        toks[0] = kWildcardTokenId;
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      const std::uint32_t t = toks[i];
+      if (t != kWildcardTokenId &&
+          (variable_[i] != 0 || interner_.view(t) != spans_[i])) {
+        toks[i] = kWildcardTokenId;
+      }
+    }
+    return;
+  }
+  // Shared forest node: immutable, so diverge copy-on-write. The
+  // generalized sequence is re-interned — deterministic, so vPEs
+  // diverging the same way keep deduping onto one node — and only
+  // spills into the private pool when the forest rejects it. The
+  // per-tree template id (and its leaf position) never changes.
+  const nfv::util::SharedSeqInterner::Seq seq = forest_->view(sig.node);
+  gen_ids_.assign(seq.data, seq.data + seq.length);
+  bool changed = false;
+  if (spans_.empty()) {
+    if (gen_ids_[0] != kWildcardTokenId && gen_ids_[0] != kEmptyTokenId) {
+      gen_ids_[0] = kWildcardTokenId;
+      changed = true;
+    }
+  } else {
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      const std::uint32_t t = gen_ids_[i];
+      if (t != kWildcardTokenId &&
+          (variable_[i] != 0 || interner_.view(t) != spans_[i])) {
+        gen_ids_[i] = kWildcardTokenId;
+        changed = true;
+      }
+    }
+  }
+  if (!changed) return;
+  sig.node = store_node(gen_ids_);
+}
+
 SignatureTree::BestMatch SignatureTree::find_best(std::uint32_t head) const {
   BestMatch best;
   if (head == nfv::util::StringInterner::kNotFound) return best;
   const std::uint64_t key =
       (static_cast<std::uint64_t>(line_token_count()) << 32) | head;
-  const auto it = leaves_.find(key);
-  if (it == leaves_.end()) return best;
-  for (const std::int32_t id : it->second.signature_ids) {
+  const LeafSlot* slot = leaf_find(key);
+  if (slot == nullptr) return best;
+  // Walk head + chain in template creation order (first-best wins,
+  // identical to the reference miner's candidate scan).
+  std::int32_t id = slot->sig;
+  std::int32_t next = slot->next;
+  while (id >= 0) {
     const double score =
-        similarity_to_line(signatures_[static_cast<std::size_t>(id)]);
+        similarity_to_line(sigs_[static_cast<std::size_t>(id)]);
     if (score > best.score) {
       best.score = score;
       best.id = id;
     }
+    if (next >= 0) {
+      id = leaf_chain_[static_cast<std::size_t>(next)].first;
+      next = leaf_chain_[static_cast<std::size_t>(next)].second;
+    } else {
+      id = -1;
+    }
   }
   return best;
+}
+
+const SignatureTree::LeafSlot* SignatureTree::leaf_find(
+    std::uint64_t key) const {
+  std::size_t slot = static_cast<std::size_t>(leaf_hash(key)) & leaf_mask_;
+  while (true) {
+    const LeafSlot& s = leaf_slots_[slot];
+    if (s.key == key) return &s;
+    if (s.key == 0) return nullptr;
+    slot = (slot + 1) & leaf_mask_;
+  }
+}
+
+void SignatureTree::leaf_grow() {
+  const std::size_t new_size = leaf_slots_.size() * 2;
+  std::vector<LeafSlot> fresh(new_size);
+  const std::size_t new_mask = new_size - 1;
+  for (const LeafSlot& s : leaf_slots_) {
+    if (s.key == 0) continue;
+    std::size_t slot =
+        static_cast<std::size_t>(leaf_hash(s.key)) & new_mask;
+    while (fresh[slot].key != 0) slot = (slot + 1) & new_mask;
+    fresh[slot] = s;
+  }
+  leaf_slots_ = std::move(fresh);
+  leaf_mask_ = new_mask;
+}
+
+void SignatureTree::leaf_insert(std::uint64_t key, std::int32_t sig) {
+  // Keep load factor under ~0.75 so probe chains stay short.
+  if ((leaf_count_ + 1) * 4 > leaf_slots_.size() * 3) leaf_grow();
+  std::size_t slot = static_cast<std::size_t>(leaf_hash(key)) & leaf_mask_;
+  while (leaf_slots_[slot].key != 0 && leaf_slots_[slot].key != key) {
+    slot = (slot + 1) & leaf_mask_;
+  }
+  LeafSlot& s = leaf_slots_[slot];
+  if (s.key == 0) {
+    s.key = key;
+    s.sig = sig;
+    ++leaf_count_;
+    return;
+  }
+  // Append at the chain tail so find_best scans creation order.
+  const std::int32_t link = static_cast<std::int32_t>(leaf_chain_.size());
+  leaf_chain_.emplace_back(sig, -1);
+  if (s.next < 0) {
+    s.next = link;
+    return;
+  }
+  std::int32_t cur = s.next;
+  while (leaf_chain_[static_cast<std::size_t>(cur)].second >= 0) {
+    cur = leaf_chain_[static_cast<std::size_t>(cur)].second;
+  }
+  leaf_chain_[static_cast<std::size_t>(cur)].second = link;
 }
 
 std::int32_t SignatureTree::learn(std::string_view line) {
@@ -131,32 +300,17 @@ std::int32_t SignatureTree::learn(std::string_view line) {
   const std::uint32_t head = head_id();
 
   const BestMatch best = find_best(head);
-  const bool at_capacity = signatures_.size() >= config_.max_signatures;
+  const bool at_capacity = sigs_.size() >= config_.max_signatures;
   if (best.id >= 0 &&
       (best.score >= config_.merge_threshold || at_capacity)) {
-    Signature& sig = signatures_[static_cast<std::size_t>(best.id)];
+    SigEntry& sig = sigs_[static_cast<std::size_t>(best.id)];
     // Generalize: disagreeing positions become wildcards — the same
     // predicate similarity_to_line() counted as a mismatch. A perfect
     // score means no position disagreed, so the pass would be a no-op;
     // skipping it removes the second text-compare walk from the
     // steady-state path (a warm template has already generalized every
     // variable position to a wildcard).
-    if (best.score == 1.0) {
-      // nothing to generalize
-    } else if (spans_.empty()) {
-      if (sig.tokens[0] != kWildcardTokenId &&
-          sig.tokens[0] != kEmptyTokenId) {
-        sig.tokens[0] = kWildcardTokenId;
-      }
-    } else {
-      for (std::size_t i = 0; i < spans_.size(); ++i) {
-        const std::uint32_t t = sig.tokens[i];
-        if (t != kWildcardTokenId &&
-            (variable_[i] != 0 || interner_.view(t) != spans_[i])) {
-          sig.tokens[i] = kWildcardTokenId;
-        }
-      }
-    }
+    if (best.score != 1.0) generalize_to_line(sig);
     ++sig.match_count;
     return best.id;
   }
@@ -186,17 +340,16 @@ std::int32_t SignatureTree::learn(std::string_view line) {
   }
   if (line_ids_.empty()) line_ids_.push_back(kEmptyTokenId);
 
-  Signature sig;
-  sig.id = static_cast<std::int32_t>(signatures_.size());
-  sig.tokens = line_ids_;
-  sig.match_count = 1;
-  signature_token_count_ += line_ids_.size();
   const std::uint64_t key =
       (static_cast<std::uint64_t>(line_ids_.size()) << 32) |
       line_ids_.front();
-  leaves_[key].signature_ids.push_back(sig.id);
-  signatures_.push_back(std::move(sig));
-  return signatures_.back().id;
+  const std::int32_t id = static_cast<std::int32_t>(sigs_.size());
+  SigEntry entry;
+  entry.node = store_node(line_ids_);
+  entry.match_count = 1;
+  leaf_insert(key, id);
+  sigs_.push_back(entry);
+  return id;
 }
 
 std::int32_t SignatureTree::match(std::string_view line) const {

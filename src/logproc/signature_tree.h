@@ -9,18 +9,18 @@
 // merged messages become wildcards.
 //
 // Fast-path representation (zero allocation in steady state): every stable
-// token of a SIGNATURE is interned once and thereafter a Signature stores
-// u32 token ids (kWildcardTokenId matches anything). The per-line front
-// end — one-pass span tokenization, a single head-token interner probe,
-// and a (token count, head id) leaf lookup — never materializes a
-// std::string, and candidate scoring compares each signature token's
-// interned text against the line's spans in place, so a warm line touches
-// the interner exactly once (its head). The head probe's result AND hash
-// are cached across the learn() call, so even the template-discovery path
-// never probes the same token twice in one line (one probe per line holds
-// under max_signatures cap pressure — pinned by signature_tree_test).
-// Line token ids are only built (and new tokens interned) when a genuinely
-// new signature is created.
+// token of a signature is interned once and thereafter a template is a
+// sequence of u32 token ids (kWildcardTokenId matches anything). The
+// per-line front end — one-pass span tokenization, a single head-token
+// interner probe, and a (token count, head id) leaf lookup — never
+// materializes a std::string, and candidate scoring compares each template
+// token's interned text against the line's spans in place, so a warm line
+// touches the interner exactly once (its head). The head probe's result
+// AND hash are cached across the learn() call, so even the template-
+// discovery path never probes the same token twice in one line (one probe
+// per line holds under max_signatures cap pressure — pinned by
+// signature_tree_test). Line token ids are only built (and new tokens
+// interned) when a genuinely new signature is created.
 // Mined template ids are bit-identical to ReferenceSignatureTree (the seed
 // implementation); tests/logproc/miner_equivalence_test.cpp and
 // bench_parsing_throughput --smoke replay full fleet traces through both.
@@ -32,48 +32,56 @@
 // a private overflow id range: fleet memory for the overlapping token set
 // becomes O(vocabulary) instead of O(vPEs x vocabulary), and shared-range
 // token ids are identical across every tree on the arena ("id-stable
-// across vPEs" — the substrate for fleet-wide template correlation).
-// Template ids, patterns and match_counts are UNAFFECTED by the arena
-// choice: leaf keying and candidate scoring depend only on token identity
-// (text), never on numeric token ids, so shared-arena trees mine byte-
-// identical templates to private-arena trees (also pinned by
+// across vPEs").
+//
+// TEMPLATE storage is two-level in the same way. Each per-tree template
+// entry holds only a match count plus a node id naming its token
+// sequence. With a SharedSignatureForest attached, sequences whose tokens
+// are all shared-arena ids live as immutable nodes in the forest —
+// deduped fleet-wide, so 10k identically-primed vPEs hold ONE cache-
+// resident copy of the catalog instead of 10k cold private vectors, and
+// the node id is fleet-stable across vPEs (SignatureTree::fleet_template_id).
+// Divergence is copy-on-write: generalizing a shared-backed template
+// re-interns the generalized sequence into the forest (vPEs diverging the
+// same way keep deduping) or, when the forest rejects it (capacity caps,
+// or the sequence contains a privately-spilled token id), spills it into
+// the tree's private node range above kPrivateNodeBase, where later
+// generalizations mutate it in place. Local precedence: the per-tree
+// template id (dense creation order) never changes when its backing node
+// moves between tiers. Template ids, patterns and match_counts are
+// UNAFFECTED by the arena and forest choices: leaf keying and candidate
+// scoring depend only on token identity (text) and per-tree creation
+// order, never on where the sequence bytes live, so forest trees mine
+// byte-identical templates to private trees (pinned by
 // miner_equivalence_test).
 //
 // Thread-safety / ownership: a SignatureTree owns its (private) interner
-// tier and its tokenization scratch outright, and BOTH learn() and
-// match() use that scratch — a tree instance is strictly single-threaded,
-// even for read-only matching. StreamMonitor therefore keeps one tree per
-// monitor (per vPE), exactly as the streaming contract already required;
-// sharing one tree across threads is only sound when every access is
-// externally serialized. The SHARED arena is the one cross-thread piece:
-// many trees on many threads may read it lock-free while any of them
-// admits new tokens (a small mutex on the cold miss path) — see the
-// concurrency contract in util/interner.h. Copying a tree deep-copies its
-// private tier and scratch; the shared arena is referenced, not copied,
+// tier, private node pool and tokenization scratch outright, and BOTH
+// learn() and match() use that scratch — a tree instance is strictly
+// single-threaded, even for read-only matching. StreamMonitor therefore
+// keeps one tree per monitor (per vPE). The SHARED pieces are the token
+// arena and the forest: many trees on many threads may read them
+// lock-free while any of them admits new tokens/templates (a small mutex
+// on the cold miss path) — see util/interner.h and
+// logproc/shared_forest.h. Copying a tree deep-copies its private tiers
+// and scratch; the shared arena and forest are referenced, not copied,
 // so copies stay id-compatible with the originals.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "logproc/shared_forest.h"
 #include "util/interner.h"
 
 namespace nfv::logproc {
 
 /// Token id reserved for the wildcard marker "<*>" (always interned first).
 inline constexpr std::uint32_t kWildcardTokenId = 0;
-
-/// A learned message template over interned token ids. Positions equal to
-/// kWildcardTokenId match anything. Token text is owned by the tree's
-/// interner view: render with SignatureTree::pattern()/token_text().
-struct Signature {
-  std::int32_t id = -1;
-  std::vector<std::uint32_t> tokens;
-  std::uint64_t match_count = 0;
-};
 
 struct SignatureTreeConfig {
   /// Minimum fraction of positions that must match (wildcards count as
@@ -95,24 +103,63 @@ struct SignatureTreeConfig {
 /// vocabulary.
 class SignatureTree {
  public:
-  /// `shared_tokens` attaches the tree to a fleet-wide token arena (may
-  /// be null for a fully private tree). The arena must out-live the tree.
+  /// Returned by fleet_template_id() for a privately-backed template (or
+  /// any template of a tree with no forest attached).
+  static constexpr std::uint32_t kNoFleetId = 0xFFFFFFFFu;
+
+  /// `shared_tokens` attaches the tree to a fleet-wide token arena and
+  /// `forest` to a fleet-wide template forest (both may be null for a
+  /// fully private tree; both must out-live the tree). A forest implies
+  /// its arena: pass the forest alone and the tree attaches to
+  /// forest->arena(); if both are given they must agree.
   explicit SignatureTree(SignatureTreeConfig config = {},
-                         nfv::util::SharedInterner* shared_tokens = nullptr);
+                         nfv::util::SharedInterner* shared_tokens = nullptr,
+                         SharedSignatureForest* forest = nullptr);
 
   /// Match the line, creating or generalizing a signature as needed.
   /// Returns the template id. Zero heap allocation in steady state (warm
-  /// tree, previously-seen stable tokens) — in shared-arena mode too.
+  /// tree, previously-seen stable tokens) — in shared-arena and
+  /// shared-forest modes too.
   std::int32_t learn(std::string_view line);
 
   /// Read-only best match; returns -1 if nothing clears the threshold.
   /// Zero heap allocation in steady state, and never takes the shared
-  /// arena's admission mutex (find-only).
+  /// arena's or forest's admission mutex (find-only).
   std::int32_t match(std::string_view line) const;
 
-  const std::vector<Signature>& signatures() const { return signatures_; }
-  std::size_t size() const { return signatures_.size(); }
+  std::size_t size() const { return sigs_.size(); }
   const SignatureTreeConfig& config() const { return config_; }
+
+  /// Lines absorbed by template `id` (including the one that created it).
+  std::uint64_t match_count(std::int32_t id) const {
+    return sigs_[checked_index(id)].match_count;
+  }
+
+  /// The template's token-id sequence. Positions equal to
+  /// kWildcardTokenId match anything. Forest-backed spans are stable for
+  /// the forest's lifetime; privately-backed spans are invalidated by
+  /// the next learn() that creates or generalizes a private template.
+  std::span<const std::uint32_t> tokens(std::int32_t id) const {
+    const TokenSpan s = node_tokens(sigs_[checked_index(id)].node);
+    return std::span<const std::uint32_t>(s.data, s.size);
+  }
+
+  /// Fleet-stable template id: the forest node currently backing
+  /// template `id` — identical in every tree on the forest that mined
+  /// the same (identically generalized) template — or kNoFleetId when
+  /// the template is privately backed or no forest is attached.
+  std::uint32_t fleet_template_id(std::int32_t id) const {
+    const std::uint32_t node = sigs_[checked_index(id)].node;
+    return node < kPrivateNodeBase ? node : kNoFleetId;
+  }
+
+  /// Templates currently backed by this tree's private node pool
+  /// (diverged under forest caps or over private token ids). Counts
+  /// pool entries, including nodes abandoned by later re-interning.
+  std::size_t private_template_count() const { return private_nodes_.size(); }
+
+  /// The attached forest, or nullptr.
+  const SharedSignatureForest* forest() const { return forest_; }
 
   /// Text of one interned token id ("<*>" for kWildcardTokenId). Views
   /// into the shared arena are stable; views into the private tier are
@@ -129,20 +176,49 @@ class SignatureTree {
   const nfv::util::ScopedInterner& interner() const { return interner_; }
 
   /// Approximate resident bytes of this tree's PER-VPE state: private
-  /// interner tier, signatures, leaf table and scratch. Deliberately
-  /// excludes the shared arena (reported once per fleet) — this is the
-  /// bytes/vPE figure the runtime stats publish. O(1).
+  /// interner tier, template entries, private node pool, leaf table and
+  /// scratch. Deliberately excludes the shared arena and forest
+  /// (reported once per fleet) — this is the bytes/vPE figure the
+  /// runtime stats publish. O(1).
   std::size_t memory_bytes() const;
 
  private:
-  struct Leaf {
-    std::vector<std::int32_t> signature_ids;
+  /// First private-node id. Forest node ids live below it (the forest's
+  /// seq interner enforces that); without a forest every node is
+  /// private. Same constant as the token tier for symmetry.
+  static constexpr std::uint32_t kPrivateNodeBase =
+      nfv::util::ScopedInterner::kPrivateBase;
+
+  /// A learned template: where its token sequence lives (shared forest
+  /// node or private pool node) plus the per-vPE match count. 16 bytes —
+  /// the entire per-tree cost of a fleet-shared template.
+  struct SigEntry {
+    std::uint32_t node = 0;
+    std::uint64_t match_count = 0;
   };
 
-  /// splitmix64 over the packed (token count, head id) leaf key, so the
-  /// per-line leaf probe hashes two integers instead of a std::string.
-  struct LeafKeyHash {
-    std::size_t operator()(std::uint64_t key) const;
+  /// Resolved token sequence of a node (either tier).
+  struct TokenSpan {
+    const std::uint32_t* data;
+    std::size_t size;
+  };
+
+  /// Span-of-signatures in the private pool. Offsets into private_words_.
+  struct NodeRef {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  /// Open-addressed (token count, head id) -> template list table. One
+  /// flat power-of-two slot array (16 B/slot) plus a chain pool for the
+  /// rare leaves holding multiple templates, replacing the node-based
+  /// unordered_map (whose per-leaf allocations dominated tree bytes at
+  /// fleet scale). Keys are never 0: the packed key always has a nonzero
+  /// token count in its high half.
+  struct LeafSlot {
+    std::uint64_t key = 0;    // 0 = empty
+    std::int32_t sig = -1;    // first template at this leaf
+    std::int32_t next = -1;   // index into leaf_chain_, -1 = none
   };
 
   /// Result of the shared tokenize→leaf-lookup→best-candidate walk.
@@ -150,6 +226,8 @@ class SignatureTree {
     std::int32_t id = -1;
     double score = 0.0;
   };
+
+  std::size_t checked_index(std::int32_t id) const;
 
   /// Token count of the tokenized line in scratch ("<empty>" placeholder
   /// counts as one token, matching the reference miner).
@@ -164,22 +242,50 @@ class SignatureTree {
   /// re-probing the token it just looked up.
   std::uint32_t head_id() const;
 
-  /// Fraction of positions where `sig` matches the tokenized line in
-  /// scratch: wildcard signature positions match anything; stable
-  /// positions compare the signature token's interned text against the
-  /// line's span in place (a variable line token only matches a wildcard).
-  double similarity_to_line(const Signature& sig) const;
+  TokenSpan node_tokens(std::uint32_t node) const;
+
+  /// Store a token sequence as a node: forest intern when attached and
+  /// every token id is shared (dedup across vPEs), else private pool.
+  std::uint32_t store_node(const std::vector<std::uint32_t>& ids);
+
+  /// Fraction of positions where the template matches the tokenized line
+  /// in scratch: wildcard positions match anything; stable positions
+  /// compare the token's interned text against the line's span in place
+  /// (a variable line token only matches a wildcard).
+  double similarity_to_line(const SigEntry& sig) const;
+
+  /// Wildcard every position of `sig` that disagrees with the line in
+  /// scratch: in place for a private node, copy-on-write (re-intern or
+  /// private spill) for a shared node.
+  void generalize_to_line(SigEntry& sig);
 
   /// Shared by learn() and match(): probe the leaf for (count, head) and
   /// scan its candidates for the best similarity score (first-best wins,
   /// in signature creation order — identical to the reference miner).
   BestMatch find_best(std::uint32_t head) const;
 
+  const LeafSlot* leaf_find(std::uint64_t key) const;
+  void leaf_insert(std::uint64_t key, std::int32_t sig);
+  void leaf_grow();
+
   SignatureTreeConfig config_;
   nfv::util::ScopedInterner interner_;  // two-level token view (see above)
-  std::vector<Signature> signatures_;
-  std::unordered_map<std::uint64_t, Leaf, LeafKeyHash> leaves_;
-  std::size_t signature_token_count_ = 0;  // sum of tokens across templates
+  SharedSignatureForest* forest_;       // fleet template tier, may be null
+  std::vector<SigEntry> sigs_;          // template id -> entry
+
+  // Private node pool: token sequences the forest does not hold. Nodes
+  // are 1:1 with the templates they back and mutate in place on
+  // generalization (a shared node is immutable and COWs into here or
+  // back into the forest instead).
+  std::vector<std::uint32_t> private_words_;
+  std::vector<NodeRef> private_nodes_;
+
+  // Flat leaf table (see LeafSlot).
+  std::vector<LeafSlot> leaf_slots_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> leaf_chain_;
+  std::size_t leaf_mask_ = 0;
+  std::size_t leaf_count_ = 0;
+
   // Per-tree tokenization scratch, reused across learn()/match() calls so
   // the steady state allocates nothing. mutable: match() is logically
   // const but still owns the scratch (single-threaded contract above).
@@ -191,6 +297,7 @@ class SignatureTree {
   mutable std::uint64_t head_hash_ = 0;
   mutable bool head_hash_valid_ = false;
   std::vector<std::uint32_t> line_ids_;  // new-signature path only
+  std::vector<std::uint32_t> gen_ids_;   // COW generalization scratch
 };
 
 }  // namespace nfv::logproc

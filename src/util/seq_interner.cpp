@@ -1,0 +1,194 @@
+#include "util/seq_interner.h"
+
+#include <cstring>
+#include <string_view>
+
+#include "util/check.h"
+#include "util/interner.h"
+
+namespace nfv::util {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 64;  // power of two
+
+}  // namespace
+
+std::uint64_t SharedSeqInterner::hash_words(const std::uint32_t* words,
+                                            std::size_t count) {
+  // Same mix as the token interners, folded over the raw word bytes, so
+  // the sequence hash quality matches the (well-tested) string hash.
+  return StringInterner::hash_bytes(std::string_view(
+      reinterpret_cast<const char*>(words), count * sizeof(std::uint32_t)));
+}
+
+SharedSeqInterner::SharedSeqInterner() : SharedSeqInterner(Config{}) {}
+
+SharedSeqInterner::SharedSeqInterner(Config config) : config_(config) {
+  auto table = std::make_unique<Table>(kInitialSlots);
+  table_bytes_.store(kInitialSlots * sizeof(std::uint32_t),
+                     std::memory_order_relaxed);
+  table_.store(table.get(), std::memory_order_release);
+  tables_.push_back(std::move(table));
+}
+
+SharedSeqInterner::~SharedSeqInterner() {
+  const std::uint32_t n = size_.load(std::memory_order_acquire);
+  const std::size_t used_blocks =
+      (static_cast<std::size_t>(n) + kBlockSize - 1) >> kBlockShift;
+  for (std::size_t b = 0; b < used_blocks; ++b) {
+    delete[] blocks_[b].load(std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t SharedSeqInterner::probe(const Table& table,
+                                       const std::uint32_t* words,
+                                       std::size_t count,
+                                       std::uint64_t hash) const {
+  std::size_t slot = static_cast<std::size_t>(hash) & table.mask;
+  while (true) {
+    const std::uint32_t stored =
+        table.slots[slot].load(std::memory_order_acquire);
+    if (stored == 0) return kNotFound;
+    const std::uint32_t id = stored - 1;
+    const Entry& e = entry(id);
+    if (e.hash == hash && e.length == count &&
+        std::memcmp(e.data, words, count * sizeof(std::uint32_t)) == 0) {
+      return id;
+    }
+    slot = (slot + 1) & table.mask;
+  }
+}
+
+std::uint32_t SharedSeqInterner::find(const std::uint32_t* words,
+                                      std::size_t count) const {
+  return find_hashed(words, count, hash_words(words, count));
+}
+
+std::uint32_t SharedSeqInterner::find_hashed(const std::uint32_t* words,
+                                             std::size_t count,
+                                             std::uint64_t hash) const {
+  return probe(*table_.load(std::memory_order_acquire), words, count, hash);
+}
+
+std::uint32_t SharedSeqInterner::intern(const std::uint32_t* words,
+                                        std::size_t count) {
+  const std::uint64_t hash = hash_words(words, count);
+  const std::uint32_t found = find_hashed(words, count, hash);
+  if (found != kNotFound) return found;
+  return admit(words, count, hash, /*enforce_caps=*/true);
+}
+
+std::uint32_t SharedSeqInterner::register_seq(const std::uint32_t* words,
+                                              std::size_t count) {
+  const std::uint64_t hash = hash_words(words, count);
+  const std::uint32_t found = find_hashed(words, count, hash);
+  if (found != kNotFound) return found;
+  return admit(words, count, hash, /*enforce_caps=*/false);
+}
+
+const std::uint32_t* SharedSeqInterner::append_words(
+    const std::uint32_t* words, std::size_t count) {
+  if (chunk_cap_ - chunk_used_ < count) {
+    // Chunks double up to 1 MiB so small fleets stay small; words in
+    // older chunks never move (published views stay valid forever).
+    std::size_t cap = chunks_.empty() ? 1024 : chunk_cap_ * 2;
+    if (cap > (1u << 18)) cap = 1u << 18;  // 256K words = 1 MiB
+    if (cap < count) cap = count;
+    chunks_.push_back(std::make_unique<std::uint32_t[]>(cap));
+    chunk_cap_ = cap;
+    chunk_used_ = 0;
+    chunk_bytes_.fetch_add(cap * sizeof(std::uint32_t),
+                           std::memory_order_relaxed);
+  }
+  std::uint32_t* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, words, count * sizeof(std::uint32_t));
+  chunk_used_ += count;
+  return dst;
+}
+
+std::uint32_t SharedSeqInterner::admit(const std::uint32_t* words,
+                                       std::size_t count, std::uint64_t hash,
+                                       bool enforce_caps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Double-check under the lock: another thread may have admitted the
+  // sequence between our lock-free miss and here.
+  Table* table = table_.load(std::memory_order_relaxed);
+  const std::uint32_t raced = probe(*table, words, count, hash);
+  if (raced != kNotFound) return raced;
+
+  const std::uint32_t published = size_.load(std::memory_order_relaxed);
+  if (enforce_caps &&
+      (published >= config_.max_seqs ||
+       word_count_.load(std::memory_order_relaxed) + count >
+           config_.max_words)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return kNotFound;
+  }
+  // Ids stay below the private-overflow base so callers can layer a
+  // private id range on top, exactly like ScopedInterner does for
+  // token ids.
+  NFV_CHECK(published < ScopedInterner::kPrivateBase &&
+                static_cast<std::size_t>(published) < kMaxBlocks * kBlockSize,
+            "shared seq interner id space exhausted");
+  NFV_CHECK(count <= 0xFFFFFFFFull, "sequence too long");
+
+  const std::size_t block = published >> kBlockShift;
+  Entry* entries = blocks_[block].load(std::memory_order_relaxed);
+  if (entries == nullptr) {
+    entries = new Entry[kBlockSize];
+    blocks_[block].store(entries, std::memory_order_release);
+  }
+  Entry& e = entries[published & (kBlockSize - 1)];
+  e.data = append_words(words, count);
+  e.length = static_cast<std::uint32_t>(count);
+  e.hash = hash;
+  word_count_.fetch_add(count, std::memory_order_relaxed);
+
+  // Grow BEFORE publishing so the new id is inserted exactly once, into
+  // the table every subsequent reader will load (see SharedInterner).
+  if ((static_cast<std::size_t>(published) + 2) * 4 >
+      table->slots.size() * 3) {
+    grow_table_locked(published);
+    table = table_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t slot = static_cast<std::size_t>(hash) & table->mask;
+  while (table->slots[slot].load(std::memory_order_relaxed) != 0) {
+    slot = (slot + 1) & table->mask;
+  }
+  // Publication point: the release-store makes the entry (and its block
+  // pointer and words) visible to any reader that acquires this slot.
+  table->slots[slot].store(published + 1, std::memory_order_release);
+  size_.store(published + 1, std::memory_order_release);
+  return published;
+}
+
+void SharedSeqInterner::grow_table_locked(std::size_t count) {
+  Table* old = table_.load(std::memory_order_relaxed);
+  auto fresh = std::make_unique<Table>(old->slots.size() * 2);
+  for (std::uint32_t id = 0; id < count; ++id) {
+    const Entry& e = entry(id);
+    std::size_t slot = static_cast<std::size_t>(e.hash) & fresh->mask;
+    while (fresh->slots[slot].load(std::memory_order_relaxed) != 0) {
+      slot = (slot + 1) & fresh->mask;
+    }
+    fresh->slots[slot].store(id + 1, std::memory_order_relaxed);
+  }
+  table_bytes_.fetch_add(fresh->slots.size() * sizeof(std::uint32_t),
+                         std::memory_order_relaxed);
+  // Retired tables stay resident so racing readers never touch freed
+  // memory; total retired memory is bounded by the geometric growth.
+  table_.store(fresh.get(), std::memory_order_release);
+  tables_.push_back(std::move(fresh));
+}
+
+std::size_t SharedSeqInterner::bytes() const {
+  const std::size_t n = size_.load(std::memory_order_acquire);
+  const std::size_t blocks = (n + kBlockSize - 1) >> kBlockShift;
+  return chunk_bytes_.load(std::memory_order_relaxed) +
+         blocks * kBlockSize * sizeof(Entry) +
+         table_bytes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace nfv::util

@@ -1,0 +1,160 @@
+// Append-only interner of u32 id sequences: span of ids -> dense u32 id.
+//
+// SharedSeqInterner is the SharedInterner publication machinery (see
+// util/interner.h) generalized from byte strings to fixed sequences of
+// 32-bit ids. It exists for fleet-wide structures whose unit of sharing
+// is a *sequence over an already-shared id space* — concretely the
+// shared signature forest (logproc/shared_forest.h), where each
+// published sequence is one immutable template over shared token ids.
+//
+// Concurrency contract (identical to SharedInterner):
+//  - find()/view()/size() are LOCK-FREE and safe from any number of
+//    threads concurrently with admissions. Published sequences are
+//    immutable once visible: sequence words live in stable chunks that
+//    never move, entry records live in fixed-size blocks that never
+//    move, and the open-addressed id table is published by
+//    release-storing the slot AFTER the entry is fully written (grown
+//    tables are swapped via an atomic pointer and retired, not freed,
+//    until destruction).
+//  - intern() takes a small mutex only on the cold miss path (first
+//    sight of a sequence) to admit it — or reject it once a capacity
+//    cap is reached, in which case it returns kNotFound and the caller
+//    falls back to private storage.
+//  - register_seq() is the registrar admission path: same mutex, exempt
+//    from the capacity caps (pre-seeding, promotion).
+// A view() is stable for the interner's lifetime — growth never
+// invalidates it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace nfv::util {
+
+class SharedSeqInterner {
+ public:
+  /// Returned by find() when the sequence was never interned, and by
+  /// intern() when a capacity cap rejects admission.
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+
+  struct Config {
+    /// Admission cap on distinct sequences; beyond it intern() rejects
+    /// (returns kNotFound) and callers fall back to private storage.
+    std::size_t max_seqs = 1u << 17;
+    /// Admission cap on total u32 words across all sequences.
+    std::size_t max_words = 4u << 20;
+  };
+
+  /// An immutable published sequence. The pointer is stable for the
+  /// interner's lifetime.
+  struct Seq {
+    const std::uint32_t* data = nullptr;
+    std::uint32_t length = 0;
+  };
+
+  SharedSeqInterner();
+  explicit SharedSeqInterner(Config config);
+  ~SharedSeqInterner();
+
+  SharedSeqInterner(const SharedSeqInterner&) = delete;
+  SharedSeqInterner& operator=(const SharedSeqInterner&) = delete;
+
+  /// Lock-free: id for the sequence if published, else kNotFound.
+  std::uint32_t find(const std::uint32_t* words, std::size_t count) const;
+  std::uint32_t find_hashed(const std::uint32_t* words, std::size_t count,
+                            std::uint64_t hash) const;
+
+  /// Id for the sequence, admitting it if new (mutex on the cold miss
+  /// path only). Returns kNotFound when a capacity cap rejects.
+  std::uint32_t intern(const std::uint32_t* words, std::size_t count);
+
+  /// Registrar admission: like intern() but exempt from the caps.
+  std::uint32_t register_seq(const std::uint32_t* words, std::size_t count);
+
+  /// The published words for an id. Stable for the interner's lifetime.
+  /// Lock-free, any thread.
+  Seq view(std::uint32_t id) const {
+    const Entry& e = entry(id);
+    return Seq{e.data, e.length};
+  }
+
+  /// Published sequence count. Lock-free, any thread.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Total published words across all sequences. Lock-free, any thread.
+  std::size_t words() const {
+    return word_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Resident bytes: word chunks + entry blocks + live and retired id
+  /// tables. Lock-free, any thread.
+  std::size_t bytes() const;
+
+  /// Admissions rejected by the capacity caps.
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// 64-bit sequence hash (shared mix with StringInterner::hash_bytes).
+  static std::uint64_t hash_words(const std::uint32_t* words,
+                                  std::size_t count);
+
+ private:
+  struct Entry {
+    const std::uint32_t* data = nullptr;
+    std::uint32_t length = 0;
+    std::uint64_t hash = 0;
+  };
+
+  // Entry records live in fixed blocks so a published Entry& never
+  // moves; 4096 entries/block x 4096 blocks = 16M id headroom.
+  static constexpr std::size_t kBlockShift = 12;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+  static constexpr std::size_t kMaxBlocks = std::size_t{1} << 12;
+
+  // Open-addressed id table (slot = id + 1, 0 = empty), swapped
+  // wholesale on growth via the atomic table_ pointer.
+  struct Table {
+    explicit Table(std::size_t n) : slots(n), mask(n - 1) {}
+    std::vector<std::atomic<std::uint32_t>> slots;
+    std::size_t mask;
+  };
+
+  const Entry& entry(std::uint32_t id) const {
+    return blocks_[id >> kBlockShift].load(std::memory_order_acquire)
+        [id & (kBlockSize - 1)];
+  }
+
+  std::uint32_t probe(const Table& table, const std::uint32_t* words,
+                      std::size_t count, std::uint64_t hash) const;
+  std::uint32_t admit(const std::uint32_t* words, std::size_t count,
+                      std::uint64_t hash, bool enforce_caps);
+  const std::uint32_t* append_words(const std::uint32_t* words,
+                                    std::size_t count);
+  void grow_table_locked(std::size_t count);
+
+  Config config_;
+
+  std::array<std::atomic<Entry*>, kMaxBlocks> blocks_{};
+  std::atomic<std::uint32_t> size_{0};
+  std::atomic<Table*> table_{nullptr};
+
+  std::atomic<std::size_t> word_count_{0};
+  std::atomic<std::size_t> chunk_bytes_{0};
+  std::atomic<std::size_t> table_bytes_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  // Cold admission path only.
+  std::mutex mu_;
+  std::vector<std::unique_ptr<std::uint32_t[]>> chunks_;  // words, stable
+  std::size_t chunk_used_ = 0;                            // within back()
+  std::size_t chunk_cap_ = 0;
+  std::vector<std::unique_ptr<Table>> tables_;            // live + retired
+};
+
+}  // namespace nfv::util

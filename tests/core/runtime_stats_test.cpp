@@ -313,15 +313,17 @@ TEST(RuntimeStatsSnapshotTest, JsonDumpRoundTripsThroughTheParser) {
   EXPECT_GT(latency->find("buckets")->items.size(), 0u);
 }
 
-// Fleet-memory aggregates (satellite of the shared-arena work): the
-// snapshot and its JSON dump must report the arena once, per-shard tree
-// bytes, and the combined bytes/vPE figure — in both arena modes.
+// Fleet-memory aggregates: the snapshot and its JSON dump must report
+// the shared structures (arena, forest) exactly ONCE fleet-wide — never
+// re-summed per shard — plus per-shard tree bytes and the combined
+// bytes/vPE figure, in every sharing mode.
 TEST(RuntimeStatsSnapshotTest, FleetMemoryAggregatesInSnapshotAndJson) {
   StepDetector detector;
   for (const bool shared : {true, false}) {
     AsyncIngestConfig config;
     config.workers = 2;
     config.share_token_arena = shared;
+    config.share_template_forest = shared;
     AsyncIngest ingest(&detector, config);
     StreamMonitorConfig monitor;
     monitor.threshold = 10.0;
@@ -358,13 +360,29 @@ TEST(RuntimeStatsSnapshotTest, FleetMemoryAggregatesInSnapshotAndJson) {
       ASSERT_NE(ingest.token_arena(), nullptr);
       EXPECT_GT(snap.memory.arena_tokens, 2u);
       EXPECT_GT(snap.memory.arena_bytes, 0u);
+      ASSERT_NE(ingest.template_forest(), nullptr);
+      EXPECT_TRUE(snap.memory.shared_forest);
+      EXPECT_GT(snap.memory.forest_templates, 0u);
+      EXPECT_GT(snap.memory.forest_bytes, 0u);
+      // Counted once: the aggregates are the live structures' own byte
+      // counters, independent of the shard count.
+      EXPECT_EQ(snap.memory.arena_bytes, ingest.token_arena()->bytes());
+      EXPECT_EQ(snap.memory.forest_bytes, ingest.template_forest()->bytes());
     } else {
       EXPECT_EQ(ingest.token_arena(), nullptr);
       EXPECT_EQ(snap.memory.arena_tokens, 0u);
       EXPECT_EQ(snap.memory.arena_bytes, 0u);
+      EXPECT_EQ(ingest.template_forest(), nullptr);
+      EXPECT_FALSE(snap.memory.shared_forest);
+      EXPECT_EQ(snap.memory.forest_templates, 0u);
+      EXPECT_EQ(snap.memory.forest_bytes, 0u);
     }
+    // bytes/vPE amortizes each shared structure exactly once over the
+    // fleet: (arena + forest + per-shard trees) / shards.
     EXPECT_NEAR(snap.memory.bytes_per_vpe,
-                static_cast<double>(snap.memory.arena_bytes + total) / 3.0,
+                static_cast<double>(snap.memory.arena_bytes +
+                                    snap.memory.forest_bytes + total) /
+                    3.0,
                 1.0);
 
     std::string error;
@@ -373,9 +391,17 @@ TEST(RuntimeStatsSnapshotTest, FleetMemoryAggregatesInSnapshotAndJson) {
     const nfv::util::JsonValue* memory = doc->find("memory");
     ASSERT_NE(memory, nullptr);
     EXPECT_EQ(memory->find("shared_arena")->boolean, shared);
+    EXPECT_EQ(memory->find("shared_forest")->boolean, shared);
+    EXPECT_EQ(memory->find("forest_bytes")->number,
+              static_cast<double>(snap.memory.forest_bytes));
+    EXPECT_EQ(memory->find("forest_templates")->number,
+              static_cast<double>(snap.memory.forest_templates));
     EXPECT_EQ(memory->find("tree_bytes_total")->number,
               static_cast<double>(total));
-    EXPECT_GT(memory->find("bytes_per_vpe")->number, 0.0);
+    // Round trip: the parsed bytes_per_vpe reproduces the once-counted
+    // aggregate formula bit-for-bit within JSON double precision.
+    EXPECT_NEAR(memory->find("bytes_per_vpe")->number,
+                snap.memory.bytes_per_vpe, 1e-6);
     const nfv::util::JsonValue* shards = doc->find("shards");
     ASSERT_NE(shards, nullptr);
     for (const nfv::util::JsonValue& shard : shards->items) {

@@ -169,6 +169,37 @@ TEST(SteadyStateAllocations, SharedArenaLearnAndMatchAreAllocationFree) {
   EXPECT_EQ(tree.size(), templates) << "fresh values minted new templates";
 }
 
+// The shared-forest mode must preserve it too: a warm tree whose
+// templates live as immutable nodes in the fleet-wide forest resolves
+// every template span lock-free and allocates nothing — fresh variable
+// values merge at score 1.0, so neither the forest's admission path nor
+// the copy-on-write divergence path runs in steady state.
+TEST(SteadyStateAllocations, SharedForestLearnAndMatchAreAllocationFree) {
+  nfv::util::SharedInterner arena;
+  SharedSignatureForest forest(&arena);
+  SignatureTree tree(SignatureTreeConfig{}, &arena, &forest);
+  const std::vector<std::string> warmup = make_corpus(7);
+  for (const std::string& line : warmup) tree.learn(line);
+  const std::size_t templates = tree.size();
+  ASSERT_GT(templates, 0u);
+  ASSERT_GT(forest.size(), 0u);  // templates actually landed in the forest
+
+  const std::vector<std::string> fresh = make_corpus(8);
+  const std::string unseen =
+      "wholly unseen stable words that match nothing at all";
+
+  std::int64_t sink = 0;
+  const std::uint64_t before = allocations();
+  for (const std::string& line : fresh) sink += tree.learn(line);
+  for (const std::string& line : fresh) sink += tree.match(line);
+  for (int i = 0; i < 100; ++i) sink += tree.match(unseen);
+  const std::uint64_t after = allocations();
+
+  EXPECT_EQ(after - before, 0u) << "shared-forest warm path allocated";
+  EXPECT_NE(sink, 0);
+  EXPECT_EQ(tree.size(), templates) << "fresh values minted new templates";
+}
+
 // Sanity check that the counting hook itself works — otherwise the zero
 // deltas above would be vacuous.
 TEST(SteadyStateAllocations, HookCountsColdLearns) {

@@ -54,11 +54,10 @@ void expect_trees_identical(const ReferenceSignatureTree& reference,
   ASSERT_EQ(reference.size(), fast.size());
   for (std::size_t i = 0; i < reference.size(); ++i) {
     const ReferenceSignature& ref_sig = reference.signatures()[i];
-    const Signature& fast_sig = fast.signatures()[i];
-    ASSERT_EQ(ref_sig.id, fast_sig.id);
-    ASSERT_EQ(ref_sig.match_count, fast_sig.match_count) << "template " << i;
-    ASSERT_EQ(ref_sig.pattern(), fast.pattern(fast_sig.id))
-        << "template " << i;
+    const auto id = static_cast<std::int32_t>(i);
+    ASSERT_EQ(ref_sig.id, id);
+    ASSERT_EQ(ref_sig.match_count, fast.match_count(id)) << "template " << i;
+    ASSERT_EQ(ref_sig.pattern(), fast.pattern(id)) << "template " << i;
   }
 }
 
@@ -156,6 +155,60 @@ TEST(MinerEquivalence, SharedArenaTreesMatchPrivateTreesExactly) {
   }
   // The fleet vocabulary actually landed in the arena, shared once.
   EXPECT_GT(arena.size(), 2u);
+}
+
+// The shared signature forest extends the contract one level up: with
+// every per-vPE tree delegating TEMPLATE storage to one fleet-wide
+// forest, template-id sequences, patterns and match counts must stay
+// byte-identical to the reference miner AND to fully private trees —
+// mining decisions depend only on token text and per-tree creation
+// order, never on where a template's token sequence is stored.
+TEST(MinerEquivalence, SharedForestTreesMatchPrivateTreesExactly) {
+  const TraceLines trace = fleet_lines();
+  std::size_t vpes = 0;
+  for (const std::size_t v : trace.vpe) vpes = std::max(vpes, v + 1);
+
+  nfv::util::SharedInterner arena;
+  SharedSignatureForest forest(&arena);
+  std::vector<ReferenceSignatureTree> reference(vpes);
+  std::vector<SignatureTree> private_trees(vpes);
+  std::vector<SignatureTree> forest_trees;
+  forest_trees.reserve(vpes);
+  for (std::size_t v = 0; v < vpes; ++v) {
+    forest_trees.emplace_back(SignatureTreeConfig{}, &arena, &forest);
+  }
+
+  for (std::size_t i = 0; i < trace.lines.size(); ++i) {
+    const std::size_t v = trace.vpe[i];
+    const std::int32_t ref_id = reference[v].learn(trace.lines[i]);
+    ASSERT_EQ(private_trees[v].learn(trace.lines[i]), ref_id) << "line " << i;
+    ASSERT_EQ(forest_trees[v].learn(trace.lines[i]), ref_id) << "line " << i;
+  }
+  for (std::size_t v = 0; v < vpes; ++v) {
+    expect_trees_identical(reference[v], forest_trees[v]);
+    for (std::size_t i = v; i < trace.lines.size(); i += 13) {
+      ASSERT_EQ(private_trees[v].match(trace.lines[i]),
+                forest_trees[v].match(trace.lines[i]))
+          << "vpe " << v << " line " << i;
+    }
+  }
+  // Templates actually landed in the forest, shared once: every tree's
+  // fully-shared templates resolve to fleet-stable node ids, and trees
+  // that mined the same template agree on its fleet id.
+  EXPECT_GT(forest.size(), 0u);
+  for (std::size_t v = 1; v < vpes; ++v) {
+    const SignatureTree& a = forest_trees[0];
+    const SignatureTree& b = forest_trees[v];
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const auto id = static_cast<std::int32_t>(i);
+      if (i < b.size() && a.pattern(id) == b.pattern(id) &&
+          a.fleet_template_id(id) != SignatureTree::kNoFleetId &&
+          b.fleet_template_id(id) != SignatureTree::kNoFleetId) {
+        EXPECT_EQ(a.fleet_template_id(id), b.fleet_template_id(id))
+            << "vpe " << v << " template " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

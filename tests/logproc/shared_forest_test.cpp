@@ -1,0 +1,274 @@
+// SharedSignatureForest: fleet-wide template dedup with copy-on-write
+// divergence. Pins the contracts the miner-equivalence suite does not
+// cover directly: identically-primed trees share one forest node per
+// template (fleet-stable ids), trees that diverge keep their LOCAL ids
+// stable while their fleet ids move, same-way divergence re-dedups,
+// capacity caps spill to per-tree private nodes without changing what
+// is mined, and concurrent multi-tree admission / lock-free matching
+// is race-free (the stress tests are what tools/ci.sh runs under
+// ThreadSanitizer: ctest -L forest).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logproc/shared_forest.h"
+#include "logproc/signature_tree.h"
+#include "util/interner.h"
+
+namespace nfv::logproc {
+namespace {
+
+/// Deterministic multi-template corpus. Variable fields rotate with `i`;
+/// the rotating STABLE words ("alpha".."delta") force disagreement at a
+/// stable position, so replaying the corpus exercises generalization
+/// (and, on a forest tree, the copy-on-write path), not just admission.
+std::vector<std::string> stress_corpus() {
+  static const char* kPorts[] = {"alpha", "beta", "gamma", "delta"};
+  std::vector<std::string> lines;
+  for (int i = 0; i < 150; ++i) {
+    const std::string n = std::to_string(i);
+    lines.push_back("bgp peer 10.0." + n + ".1 state changed to Idle");
+    lines.push_back("link flap on port " + std::string(kPorts[i % 4]) +
+                    " detected at " + n);
+    lines.push_back("fan tray " + std::to_string(i % 8) + " rpm " + n +
+                    " deviates from commanded speed");
+    lines.push_back("session 0x" + n + " torn down by peer " +
+                    std::string(kPorts[(i + 1) % 4]));
+  }
+  return lines;
+}
+
+/// A second corpus with entirely different template shapes (different
+/// token counts and heads), for admission-vs-match races.
+std::vector<std::string> writer_corpus() {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 150; ++i) {
+    const std::string n = std::to_string(i);
+    lines.push_back("ospf neighbor " + n + " on area zero went down hard");
+    lines.push_back("license usage for feature slot" + n + " exceeded");
+    lines.push_back("cli commit confirmed by user operator" + n + " rolled back");
+  }
+  return lines;
+}
+
+TEST(SharedForestTest, IdenticallyPrimedTreesShareEveryNode) {
+  nfv::util::SharedInterner arena;
+  SharedSignatureForest forest(&arena);
+  SignatureTree a(SignatureTreeConfig{}, &arena, &forest);
+  SignatureTree b(SignatureTreeConfig{}, &arena, &forest);
+  const std::vector<std::string> lines = stress_corpus();
+  for (const std::string& line : lines) {
+    ASSERT_EQ(a.learn(line), b.learn(line));
+  }
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  // Every template is forest-backed (no private token ids, default caps)
+  // and both trees resolve each one to the SAME fleet-stable node.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    ASSERT_NE(a.fleet_template_id(id), SignatureTree::kNoFleetId)
+        << "template " << i;
+    EXPECT_EQ(a.fleet_template_id(id), b.fleet_template_id(id))
+        << "template " << i;
+    EXPECT_EQ(a.pattern(id), b.pattern(id)) << "template " << i;
+  }
+  EXPECT_EQ(a.private_template_count(), 0u);
+  EXPECT_EQ(b.private_template_count(), 0u);
+  // Shared once: live nodes are deduped across the two trees. (The
+  // forest may also hold earlier generalization stages — admissions are
+  // append-only — but never two trees' worth of live templates.)
+  EXPECT_GE(forest.size(), a.size());
+  EXPECT_LT(forest.size(), 2 * a.size());
+}
+
+TEST(SharedForestTest, DivergenceKeepsLocalIdsStableAndRededups) {
+  nfv::util::SharedInterner arena;
+  SharedSignatureForest forest(&arena);
+  SignatureTree a(SignatureTreeConfig{}, &arena, &forest);
+  SignatureTree b(SignatureTreeConfig{}, &arena, &forest);
+  SignatureTree c(SignatureTreeConfig{}, &arena, &forest);
+
+  // All three vPEs mine the same base template: one shared node.
+  const std::string base = "link flap on port alpha detected now";
+  ASSERT_EQ(a.learn(base), 0);
+  ASSERT_EQ(b.learn(base), 0);
+  ASSERT_EQ(c.learn(base), 0);
+  const std::uint32_t base_fleet = a.fleet_template_id(0);
+  ASSERT_NE(base_fleet, SignatureTree::kNoFleetId);
+  EXPECT_EQ(b.fleet_template_id(0), base_fleet);
+  EXPECT_EQ(c.fleet_template_id(0), base_fleet);
+  EXPECT_EQ(forest.size(), 1u);
+
+  // a and c generalize the port position; b generalizes the tail word.
+  ASSERT_EQ(a.learn("link flap on port beta detected now"), 0);
+  ASSERT_EQ(b.learn("link flap on port alpha detected later"), 0);
+  ASSERT_EQ(c.learn("link flap on port gamma detected now"), 0);
+
+  // Local template ids never moved; the fleet ids did — each diverged
+  // tree re-interned its generalized sequence as a NEW immutable node.
+  const std::uint32_t a_fleet = a.fleet_template_id(0);
+  const std::uint32_t b_fleet = b.fleet_template_id(0);
+  ASSERT_NE(a_fleet, SignatureTree::kNoFleetId);
+  ASSERT_NE(b_fleet, SignatureTree::kNoFleetId);
+  EXPECT_NE(a_fleet, base_fleet);
+  EXPECT_NE(b_fleet, base_fleet);
+  EXPECT_NE(a_fleet, b_fleet);  // different generalizations, different nodes
+  EXPECT_NE(a.pattern(0), b.pattern(0));
+
+  // Two vPEs diverging the SAME way dedup onto the same new node.
+  EXPECT_EQ(c.fleet_template_id(0), a_fleet);
+  EXPECT_EQ(c.pattern(0), a.pattern(0));
+
+  // Each tree mined exactly what a fully private tree would have.
+  SignatureTree private_a;
+  private_a.learn(base);
+  private_a.learn("link flap on port beta detected now");
+  EXPECT_EQ(a.pattern(0), private_a.pattern(0));
+  SignatureTree private_b;
+  private_b.learn(base);
+  private_b.learn("link flap on port alpha detected later");
+  EXPECT_EQ(b.pattern(0), private_b.pattern(0));
+
+  // Match counts are per-vPE state, untouched by the sharing.
+  EXPECT_EQ(a.match_count(0), 2u);
+  EXPECT_EQ(b.match_count(0), 2u);
+  // The base node is immutable: it is still published in the forest
+  // even though no tree's live template points at it any more.
+  const SharedSignatureForest* f = a.forest();
+  ASSERT_NE(f, nullptr);
+  EXPECT_GE(f->size(), 3u);
+  EXPECT_GT(f->view(base_fleet).length, 0u);
+}
+
+TEST(SharedForestTest, CapRejectionSpillsToPrivateNodesWithoutChangingMining) {
+  nfv::util::SharedInterner arena;
+  SharedSignatureForest::Config config;
+  config.max_templates = 1;  // everything after the first admission spills
+  SharedSignatureForest forest(&arena, config);
+  SignatureTree tree(SignatureTreeConfig{}, &arena, &forest);
+  SignatureTree private_tree;
+
+  const std::vector<std::string> lines = stress_corpus();
+  for (const std::string& line : lines) {
+    ASSERT_EQ(tree.learn(line), private_tree.learn(line)) << line;
+  }
+  ASSERT_GT(tree.size(), 1u);
+  // First template landed in the forest; the rest were rejected by the
+  // cap and live in the tree's private node range.
+  EXPECT_EQ(forest.size(), 1u);
+  EXPECT_GT(forest.rejected(), 0u);
+  EXPECT_GT(tree.private_template_count(), 0u);
+  std::size_t private_backed = 0;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    if (tree.fleet_template_id(id) == SignatureTree::kNoFleetId) {
+      ++private_backed;
+    }
+    // Spilling never changes WHAT is mined, only where it is stored.
+    EXPECT_EQ(tree.pattern(id), private_tree.pattern(id)) << "template " << i;
+    EXPECT_EQ(tree.match_count(id), private_tree.match_count(id))
+        << "template " << i;
+  }
+  EXPECT_EQ(private_backed, tree.size() - 1);
+}
+
+// N per-vPE trees replay the SAME corpus concurrently, racing first-
+// sight forest admissions (including copy-on-write re-interns from the
+// generalization path). Mining is deterministic per tree, so all trees
+// must end identical to a sequentially-built one — and must agree on
+// every fleet-stable node id regardless of which thread won each
+// admission race. TSan-clean.
+TEST(SharedForestStressTest, ConcurrentTreesAgreeOnFleetIds) {
+  constexpr std::size_t kThreads = 4;
+  const std::vector<std::string> lines = stress_corpus();
+
+  nfv::util::SharedInterner arena;
+  SharedSignatureForest forest(&arena);
+  std::vector<SignatureTree> trees;
+  trees.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    trees.emplace_back(SignatureTreeConfig{}, &arena, &forest);
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const std::string& line : lines) trees[t].learn(line);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  SignatureTree reference(SignatureTreeConfig{});
+  for (const std::string& line : lines) reference.learn(line);
+
+  ASSERT_GT(reference.size(), 0u);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(trees[t].size(), reference.size()) << "tree " << t;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const auto id = static_cast<std::int32_t>(i);
+      ASSERT_EQ(trees[t].pattern(id), reference.pattern(id))
+          << "tree " << t << " template " << i;
+      ASSERT_EQ(trees[t].match_count(id), reference.match_count(id))
+          << "tree " << t << " template " << i;
+      ASSERT_NE(trees[t].fleet_template_id(id), SignatureTree::kNoFleetId);
+      ASSERT_EQ(trees[t].fleet_template_id(id), trees[0].fleet_template_id(id))
+          << "tree " << t << " template " << i;
+    }
+  }
+}
+
+// Warm reader trees match() lock-free — resolving their forest-backed
+// template spans via view() — while a writer tree keeps admitting new
+// templates (new shapes, so the forest's table grows and word chunks
+// extend under the readers). match() must never take the admission
+// mutex and must keep returning the warm ids throughout. TSan-clean.
+TEST(SharedForestStressTest, LockFreeMatchRacesForestAdmission) {
+  constexpr std::size_t kReaders = 3;
+  const std::vector<std::string> warm = stress_corpus();
+  const std::vector<std::string> fresh = writer_corpus();
+
+  nfv::util::SharedInterner arena;
+  SharedSignatureForest forest(&arena);
+  std::vector<SignatureTree> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back(SignatureTreeConfig{}, &arena, &forest);
+    for (const std::string& line : warm) readers.back().learn(line);
+  }
+  // Expected match ids on a quiet forest, per reader (all identical, but
+  // computed per tree to keep the read path honest).
+  std::vector<std::vector<std::int32_t>> expected(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    for (const std::string& line : warm) {
+      expected[r].push_back(readers[r].match(line));
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    SignatureTree tree(SignatureTreeConfig{}, &arena, &forest);
+    for (const std::string& line : fresh) tree.learn(line);
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      do {
+        for (std::size_t i = 0; i < warm.size(); ++i) {
+          ASSERT_EQ(readers[r].match(warm[i]), expected[r][i])
+              << "reader " << r << " line " << i;
+        }
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  for (std::thread& t : threads) t.join();
+  // The writer's templates actually landed next to the warm ones.
+  EXPECT_GT(forest.size(), readers[0].size());
+}
+
+}  // namespace
+}  // namespace nfv::logproc

@@ -1,0 +1,242 @@
+// SharedSeqInterner: the SharedInterner publication machinery
+// generalized to u32 sequences — the node store under the shared
+// signature forest. Pins the same contract shared_interner_test pins
+// for byte strings: dense stable idempotent ids, views stable across
+// growth, capacity caps that reject (and count) instead of corrupting,
+// a cap-exempt registrar path, and lock-free readers racing admission
+// (the stress tests are what tools/ci.sh runs under ThreadSanitizer:
+// ctest -L forest).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/seq_interner.h"
+
+namespace nfv::util {
+namespace {
+
+/// Deterministic distinct sequence for index `i`: first word is `i`
+/// (uniqueness), length varies 2..5 so chunk packing is irregular.
+std::vector<std::uint32_t> seq(std::size_t i) {
+  std::vector<std::uint32_t> words;
+  const std::size_t length = 2 + i % 4;
+  words.push_back(static_cast<std::uint32_t>(i));
+  for (std::size_t k = 1; k < length; ++k) {
+    words.push_back(static_cast<std::uint32_t>(i * 2654435761u + k));
+  }
+  return words;
+}
+
+void expect_view_equals(const SharedSeqInterner& interner, std::uint32_t id,
+                        const std::vector<std::uint32_t>& words) {
+  const SharedSeqInterner::Seq v = interner.view(id);
+  ASSERT_EQ(v.length, words.size());
+  for (std::size_t k = 0; k < words.size(); ++k) {
+    ASSERT_EQ(v.data[k], words[k]) << "id " << id << " word " << k;
+  }
+}
+
+TEST(SharedSeqInternerTest, InternIsDenseStableAndIdempotent) {
+  SharedSeqInterner interner;
+  constexpr std::size_t kSeqs = 100;
+  for (std::size_t i = 0; i < kSeqs; ++i) {
+    const std::vector<std::uint32_t> words = seq(i);
+    const std::uint32_t id = interner.intern(words.data(), words.size());
+    ASSERT_EQ(id, static_cast<std::uint32_t>(i)) << "ids must be dense";
+  }
+  EXPECT_EQ(interner.size(), kSeqs);
+  for (std::size_t i = 0; i < kSeqs; ++i) {
+    const std::vector<std::uint32_t> words = seq(i);
+    // Idempotent: re-intern and lock-free find agree on the same id.
+    EXPECT_EQ(interner.intern(words.data(), words.size()),
+              static_cast<std::uint32_t>(i));
+    EXPECT_EQ(interner.find(words.data(), words.size()),
+              static_cast<std::uint32_t>(i));
+    expect_view_equals(interner, static_cast<std::uint32_t>(i), words);
+  }
+  EXPECT_EQ(interner.size(), kSeqs);  // no duplicates admitted
+  EXPECT_EQ(interner.rejected(), 0u);
+}
+
+TEST(SharedSeqInternerTest, PrefixAndLengthDisambiguate) {
+  SharedSeqInterner interner;
+  const std::vector<std::uint32_t> longer = {7, 8, 9, 10};
+  const std::uint32_t long_id = interner.intern(longer.data(), longer.size());
+  // A strict prefix is a DIFFERENT sequence, not a hit on the longer one.
+  const std::uint32_t short_id = interner.intern(longer.data(), 2);
+  EXPECT_NE(long_id, short_id);
+  EXPECT_EQ(interner.find(longer.data(), 2), short_id);
+  EXPECT_EQ(interner.find(longer.data(), longer.size()), long_id);
+}
+
+TEST(SharedSeqInternerTest, ViewsStayStableAcrossGrowth) {
+  SharedSeqInterner interner;
+  // Capture early views, then force both id-table growth (well past the
+  // initial slot count) and multiple word-chunk doublings.
+  constexpr std::size_t kEarly = 8;
+  std::vector<SharedSeqInterner::Seq> early(kEarly);
+  for (std::size_t i = 0; i < kEarly; ++i) {
+    const std::vector<std::uint32_t> words = seq(i);
+    early[i] = interner.view(interner.intern(words.data(), words.size()));
+  }
+  constexpr std::size_t kSeqs = 5000;
+  for (std::size_t i = kEarly; i < kSeqs; ++i) {
+    const std::vector<std::uint32_t> words = seq(i);
+    ASSERT_EQ(interner.intern(words.data(), words.size()),
+              static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < kEarly; ++i) {
+    const std::vector<std::uint32_t> words = seq(i);
+    // The pointer captured before any growth must still be the live one.
+    const SharedSeqInterner::Seq now = interner.view(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(early[i].data, now.data) << "view moved on growth";
+    expect_view_equals(interner, static_cast<std::uint32_t>(i), words);
+  }
+  EXPECT_GT(interner.words(), kSeqs * 2);  // lengths are 2..5
+  EXPECT_GT(interner.bytes(), interner.words() * sizeof(std::uint32_t));
+}
+
+TEST(SharedSeqInternerTest, SeqCapRejectsAndCounts) {
+  SharedSeqInterner::Config config;
+  config.max_seqs = 4;
+  SharedSeqInterner interner(config);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<std::uint32_t> words = seq(i);
+    ASSERT_EQ(interner.intern(words.data(), words.size()),
+              static_cast<std::uint32_t>(i));
+  }
+  const std::vector<std::uint32_t> fifth = seq(4);
+  EXPECT_EQ(interner.intern(fifth.data(), fifth.size()),
+            SharedSeqInterner::kNotFound);
+  EXPECT_EQ(interner.rejected(), 1u);
+  EXPECT_EQ(interner.size(), 4u);
+  // Existing sequences stay intact after a rejection: find and re-intern
+  // still hit without counting as admissions.
+  const std::vector<std::uint32_t> first = seq(0);
+  EXPECT_EQ(interner.find(first.data(), first.size()), 0u);
+  EXPECT_EQ(interner.intern(first.data(), first.size()), 0u);
+  EXPECT_EQ(interner.rejected(), 1u);
+}
+
+TEST(SharedSeqInternerTest, WordCapRejectsAndCounts) {
+  SharedSeqInterner::Config config;
+  config.max_words = 8;
+  SharedSeqInterner interner(config);
+  const std::vector<std::uint32_t> a = {1, 2, 3};
+  const std::vector<std::uint32_t> b = {4, 5, 6};
+  const std::vector<std::uint32_t> c = {7, 8, 9};
+  EXPECT_EQ(interner.intern(a.data(), a.size()), 0u);
+  EXPECT_EQ(interner.intern(b.data(), b.size()), 1u);  // 6 of 8 words
+  EXPECT_EQ(interner.intern(c.data(), c.size()),
+            SharedSeqInterner::kNotFound);  // would be 9 > 8
+  EXPECT_EQ(interner.rejected(), 1u);
+  EXPECT_EQ(interner.words(), 6u);
+}
+
+TEST(SharedSeqInternerTest, RegisterSeqIsCapExempt) {
+  SharedSeqInterner::Config config;
+  config.max_seqs = 1;
+  SharedSeqInterner interner(config);
+  const std::vector<std::uint32_t> a = seq(0);
+  const std::vector<std::uint32_t> b = seq(1);
+  EXPECT_EQ(interner.intern(a.data(), a.size()), 0u);
+  EXPECT_EQ(interner.intern(b.data(), b.size()),
+            SharedSeqInterner::kNotFound);
+  // The registrar path admits past the cap (catalog pre-seeding) —
+  // and the admitted sequence is then a normal hit for intern().
+  EXPECT_EQ(interner.register_seq(b.data(), b.size()), 1u);
+  EXPECT_EQ(interner.intern(b.data(), b.size()), 1u);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+// One registrar publishes sequences in order while lock-free readers
+// chase the published frontier: every find() on a published sequence
+// must hit, and its view() must round-trip the exact words. TSan-clean.
+TEST(SharedSeqInternerStressTest, LockFreeReadersRaceRegistrar) {
+  constexpr std::size_t kSeqs = 6000;
+  constexpr std::size_t kReaders = 3;
+  SharedSeqInterner interner;
+  std::atomic<std::uint32_t> published{0};
+  std::atomic<bool> done{false};
+
+  std::thread registrar([&] {
+    for (std::size_t i = 0; i < kSeqs; ++i) {
+      const std::vector<std::uint32_t> words = seq(i);
+      const std::uint32_t id = interner.intern(words.data(), words.size());
+      ASSERT_NE(id, SharedSeqInterner::kNotFound);
+      published.store(static_cast<std::uint32_t>(i + 1),
+                      std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> hits{0};
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t local_hits = 0;
+      std::size_t i = r;
+      while (!done.load(std::memory_order_acquire) || i < kSeqs) {
+        const std::uint32_t upto = published.load(std::memory_order_acquire);
+        if (i >= upto) {
+          if (done.load(std::memory_order_acquire)) break;
+          continue;
+        }
+        const std::vector<std::uint32_t> words = seq(i);
+        const std::uint32_t id = interner.find(words.data(), words.size());
+        ASSERT_NE(id, SharedSeqInterner::kNotFound);
+        const SharedSeqInterner::Seq v = interner.view(id);
+        ASSERT_EQ(v.length, words.size());
+        for (std::size_t k = 0; k < words.size(); ++k) {
+          ASSERT_EQ(v.data[k], words[k]);
+        }
+        ++local_hits;
+        i += kReaders;
+      }
+      hits.fetch_add(local_hits, std::memory_order_relaxed);
+    });
+  }
+  registrar.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GE(hits.load(), kSeqs / kReaders);
+  EXPECT_EQ(interner.size(), kSeqs);
+}
+
+// Many "vPE trees" admit an overlapping template vocabulary
+// concurrently: the double-checked admission must assign exactly one id
+// per distinct sequence, and every thread must agree on it. TSan-clean.
+TEST(SharedSeqInternerStressTest, ConcurrentAdmissionsAgreeOnIds) {
+  constexpr std::size_t kThreads = 4;
+  // Prime, so every per-thread stride below is coprime with it and each
+  // thread's walk visits the whole vocabulary.
+  constexpr std::size_t kVocab = 701;
+  SharedSeqInterner interner;
+  std::vector<std::vector<std::uint32_t>> ids(
+      kThreads, std::vector<std::uint32_t>(kVocab));
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Different strides so admissions interleave instead of one thread
+      // winning every race.
+      for (std::size_t k = 0; k < kVocab; ++k) {
+        const std::size_t i = (k * (t + 1)) % kVocab;
+        const std::vector<std::uint32_t> words = seq(i);
+        ids[t][i] = interner.intern(words.data(), words.size());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(interner.size(), kVocab);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kVocab; ++i) {
+      ASSERT_EQ(ids[t][i], ids[0][i]) << "sequence " << i;
+      ASSERT_NE(ids[t][i], SharedSeqInterner::kNotFound);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nfv::util

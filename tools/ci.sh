@@ -10,8 +10,12 @@
 # the async-ingest determinism/backpressure/control-plane suite, and the
 # batched-inference batch-size/thread-count invariance suite). The
 # async-ingest smoke also gates the instrumentation overhead at <=2%
-# lines/sec; the fleet-soak smoke gates shared-arena bytes/vPE below
-# private-interner bytes/vPE and warning parity vs serial replay. The quantized-scoring leg runs the quant-labelled
+# lines/sec; the fleet-soak smoke gates the sharing-tier memory ladder
+# (arena+forest bytes/vPE < shared-arena < private) and warning parity
+# vs serial replay at two worker counts. The forest-labelled tests cover
+# the shared signature forest (sequence-interner publication machinery,
+# cross-vPE template dedup, copy-on-write divergence) and run in both
+# the regular and TSan legs. The quantized-scoring leg runs the quant-labelled
 # tests, the bench_scoring_throughput --smoke rank-agreement /
 # tier-bit-identity gates, and an ASan build of the int8 kernels.
 #
@@ -41,7 +45,10 @@ echo "=== template mining: fast-path equivalence smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_parsing_throughput
 "$ROOT/build/bench/bench_parsing_throughput" --smoke
 
-echo "=== fleet soak: shared-arena memory + warning-parity smoke ==="
+echo "=== shared signature forest: dedup + divergence tests ==="
+ctest --test-dir "$ROOT/build" -L forest --output-on-failure -j "$JOBS"
+
+echo "=== fleet soak: sharing-tier memory ladder + warning-parity smoke ==="
 cmake --build "$ROOT/build" -j "$JOBS" --target bench_fleet_soak
 "$ROOT/build/bench/bench_fleet_soak" --smoke
 
@@ -60,9 +67,9 @@ cmake --build "$ROOT/build-asan" -j "$JOBS" --target test_logproc --target test_
 echo "=== continual learning: online retrain + hot swap + adapt safety ==="
 ctest --test-dir "$ROOT/build" -L continual --output-on-failure -j "$JOBS"
 
-echo "=== TSan: concurrency + observability + continual labels ==="
+echo "=== TSan: concurrency + observability + continual + forest labels ==="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DNFVPRED_SANITIZE=thread
-cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency --target test_observability --target test_continual
-ctest --test-dir "$ROOT/build-tsan" -L 'concurrency|observability|continual' --output-on-failure
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target test_concurrency --target test_observability --target test_continual --target test_forest
+ctest --test-dir "$ROOT/build-tsan" -L 'concurrency|observability|continual|forest' --output-on-failure
 
 echo "ci.sh: all passes clean"

@@ -103,6 +103,12 @@ void usage() {
       "           [--flush-batch N]     micro-batch size (default 64)\n"
       "           [--flush-deadline US] micro-batch deadline in\n"
       "           microseconds (default 2000; 0 = immediate)\n"
+      "           [--share-arena 0|1]   fleet-wide shared token arena\n"
+      "           (default 1; 0 = fully private per-shard interners)\n"
+      "           [--share-forest 0|1]  fleet-wide shared signature\n"
+      "           forest: cross-vPE template dedup with copy-on-write\n"
+      "           divergence (default 1; needs --share-arena 1; never\n"
+      "           changes mined templates or warnings)\n"
       "           [--stats-json FILE]   dump the runtime observability\n"
       "           snapshot (per-shard counters, ingest-to-scored latency\n"
       "           histograms, queue gauges) as JSON after the replay\n"
@@ -209,10 +215,10 @@ int cmd_mine(const Args& args) {
       static_cast<std::size_t>(args.get_long("max", 1000));
   std::cout << tree.size() << " templates from " << lines.size()
             << " lines\n";
-  for (const auto& sig : tree.signatures()) {
-    if (static_cast<std::size_t>(sig.id) >= max_shown) break;
-    std::cout << "[" << sig.id << "] x" << sig.match_count << "  "
-              << tree.pattern(sig.id) << "\n";
+  for (std::size_t i = 0; i < tree.size() && i < max_shown; ++i) {
+    const auto id = static_cast<std::int32_t>(i);
+    std::cout << "[" << id << "] x" << tree.match_count(id) << "  "
+              << tree.pattern(id) << "\n";
   }
   return 0;
 }
@@ -311,6 +317,9 @@ int cmd_score(const Args& args) {
         static_cast<std::size_t>(args.get_long("flush-batch", 64));
     ingest_config.flush_deadline =
         std::chrono::microseconds(args.get_long("flush-deadline", 2000));
+    ingest_config.share_token_arena = args.get_long("share-arena", 1) != 0;
+    ingest_config.share_template_forest =
+        args.get_long("share-forest", 1) != 0;
     ingest_config.single_producer = true;
     ingest_config.online_retrain = args.get_long("online-retrain", 0) != 0;
     const long retrain_interval = args.get_long("retrain-interval", 50000);
